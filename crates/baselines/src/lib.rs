@@ -1,0 +1,30 @@
+//! Policy-level reimplementations of the systems FlexPipe is evaluated
+//! against (§9), all running on the identical `flexpipe-serving` substrate:
+//!
+//! - [`static_pipeline`] — the fixed-configuration baseline of §3.3;
+//! - [`alpaserve`] — offline-optimised placement, provisioned for peak,
+//!   never reconfigured;
+//! - [`muxserve`] — statistical GPU multiplexing sized near the mean;
+//! - [`serverlessllm`] — fast checkpoint loading with reactive
+//!   whole-instance scaling;
+//! - [`tetris`] — memory-efficient packing with slow reactive scaling.
+//!
+//! Each captures the salient *policy* of the original system; the paper's
+//! comparison is about control decisions, so mechanism differences
+//! (CUDA kernels, container runtimes) deliberately stay on the shared
+//! substrate.
+
+#![warn(missing_docs)]
+
+pub mod alpaserve;
+pub mod common;
+pub mod muxserve;
+pub mod serverlessllm;
+pub mod static_pipeline;
+pub mod tetris;
+
+pub use alpaserve::{AlpaServeConfig, AlpaServeLike};
+pub use muxserve::{MuxServeConfig, MuxServeLike};
+pub use serverlessllm::{ServerlessLlmConfig, ServerlessLlmLike};
+pub use static_pipeline::StaticPipeline;
+pub use tetris::{TetrisConfig, TetrisLike};

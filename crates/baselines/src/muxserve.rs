@@ -1,0 +1,132 @@
+//! MuxServe-like baseline: spatial-temporal GPU multiplexing.
+//!
+//! MuxServe (ICML '24) maximises utilisation by statistically multiplexing
+//! models onto shared GPUs. On this substrate that translates to: size the
+//! deployment near the *mean* (betting on sharing to absorb variance),
+//! place replicas onto already-subscribed GPUs (packing), and accept a
+//! constant interference multiplier. Static pipelines; no elasticity —
+//! under bursty traffic the shared devices contend exactly when every
+//! tenant spikes together, which is the paper's §6.2 argument for the
+//! CV²-scaled multiplexing penalty.
+
+use flexpipe_serving::{ControlPolicy, Ctx, Placement};
+
+use crate::common::{estimate_capacity, packed_gpus, quiet_gpus};
+
+/// MuxServe-like configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MuxServeConfig {
+    /// Pipeline depth of every replica.
+    pub stages: u32,
+    /// Historical mean rate used for sizing.
+    pub expected_rate: f64,
+    /// Sizing margin over the mean (well below peak — multiplexing bets on
+    /// statistical smoothing).
+    pub margin: f64,
+    /// Interference multiplier from sharing GPUs with co-located tenants.
+    pub interference: f64,
+    /// Mean prompt tokens for capacity estimation.
+    pub mean_prompt_tokens: f64,
+    /// Mean output tokens for capacity estimation.
+    pub mean_output_tokens: f64,
+    /// Decode micro-batch for capacity estimation.
+    pub ubatch: u32,
+    /// Hop estimate, seconds.
+    pub hop_secs: f64,
+}
+
+impl Default for MuxServeConfig {
+    fn default() -> Self {
+        MuxServeConfig {
+            stages: 4,
+            expected_rate: 20.0,
+            margin: 1.6,
+            interference: 1.25,
+            mean_prompt_tokens: 1540.0,
+            mean_output_tokens: 64.0,
+            ubatch: 128,
+            hop_secs: 0.002,
+        }
+    }
+}
+
+/// The MuxServe-like policy.
+#[derive(Debug, Clone)]
+pub struct MuxServeLike {
+    cfg: MuxServeConfig,
+}
+
+impl MuxServeLike {
+    /// Creates the policy.
+    pub fn new(cfg: MuxServeConfig) -> Self {
+        MuxServeLike { cfg }
+    }
+}
+
+impl ControlPolicy for MuxServeLike {
+    fn name(&self) -> &'static str {
+        "MuxServe"
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        // Multiplexed GPUs degrade quadratically with burstiness — the
+        // co-located tenants spike together (the Eq. 9 effect FlexPipe's
+        // allocation optimizer explicitly prices; a static multiplexer
+        // simply suffers it).
+        let (_, cv, _) = ctx.monitor();
+        let mult = (self.cfg.interference * (1.0 + 0.08 * cv * cv)).min(2.5);
+        for inst in ctx.instances() {
+            ctx.set_compute_multiplier(inst.id, mult);
+        }
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        let ranges = match ctx.state.lattice().level(self.cfg.stages) {
+            Some(l) => l.ranges.clone(),
+            None => return,
+        };
+        let mu = estimate_capacity(
+            ctx.state.graph(),
+            ctx.state.cost(),
+            &ranges,
+            self.cfg.ubatch,
+            self.cfg.mean_prompt_tokens,
+            self.cfg.mean_output_tokens,
+            self.cfg.hop_secs,
+        ) / (self.cfg.interference * 1.4); // sharing + background contention
+        let replicas = ((self.cfg.expected_rate * self.cfg.margin / mu.max(1e-9)).ceil() as u32).max(1);
+
+        // Multiplexers hold whatever they deploy on.
+        ctx.set_always_on(quiet_gpus(ctx, (replicas * self.cfg.stages) as usize));
+
+        let min_free = ranges
+            .iter()
+            .map(|&r| ctx.state.cost().stage_mem_bytes(ctx.state.graph(), r, 32))
+            .max()
+            .unwrap_or(0);
+        for _ in 0..replicas {
+            // Pack onto busy GPUs (share with other tenants); fall back to
+            // first-fit if packing finds nothing.
+            let placement = match packed_gpus(ctx, ranges.len(), min_free, &[]) {
+                Some(gpus) => Placement::Explicit(gpus),
+                None => Placement::FirstFit,
+            };
+            match ctx.spawn_prewarmed(self.cfg.stages, placement) {
+                Ok(id) => ctx.set_compute_multiplier(id, self.cfg.interference),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_is_mean_based() {
+        let cfg = MuxServeConfig::default();
+        assert!(cfg.margin < 2.0, "multiplexing sizes near the mean");
+        assert!(cfg.interference > 1.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! A fixed pipeline deployment: the §3.3 motivation baseline.
+//!
+//! Deploys `replicas` instances at a fixed stage count and never adapts —
+//! the configuration every static system degenerates to once traffic
+//! deviates from its planning assumptions.
+
+use flexpipe_serving::{ControlPolicy, Ctx, Placement};
+
+use crate::common::quiet_gpus;
+
+/// The static pipeline policy.
+#[derive(Debug, Clone)]
+pub struct StaticPipeline {
+    /// Pipeline depth.
+    pub stages: u32,
+    /// Data-parallel replicas.
+    pub replicas: u32,
+}
+
+impl StaticPipeline {
+    /// Creates the policy.
+    pub fn new(stages: u32, replicas: u32) -> Self {
+        StaticPipeline { stages, replicas }
+    }
+}
+
+impl ControlPolicy for StaticPipeline {
+    fn name(&self) -> &'static str {
+        "StaticPipeline"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        // Static systems hold their GPUs permanently: pin exactly what the
+        // deployment needs.
+        let needed = (self.stages * self.replicas) as usize;
+        let pinned = quiet_gpus(ctx, needed);
+        ctx.set_always_on(pinned);
+        for _ in 0..self.replicas {
+            if ctx.spawn_prewarmed(self.stages, Placement::FirstFit).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor() {
+        let p = StaticPipeline::new(4, 2);
+        assert_eq!(p.stages, 4);
+        assert_eq!(p.replicas, 2);
+        assert_eq!(p.name(), "StaticPipeline");
+    }
+}

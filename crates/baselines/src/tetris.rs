@@ -1,0 +1,163 @@
+//! Tetris-like baseline: memory-efficient serverless hosting.
+//!
+//! Tetris (ATC '22) maximises the number of instances a fleet can host by
+//! deduplicating tensors and packing aggressively; it has no
+//! pipeline-parallel specialisation and no fast-load path. Here: replicas
+//! pack onto the busiest feasible GPUs (memory efficiency first), pay a
+//! sharing multiplier, load cold from storage, and scale reactively with
+//! deliberately long patience — reproducing the Fig. 12 signature of high
+//! GPU utilisation with poor goodput under variable load.
+
+use flexpipe_serving::{ControlPolicy, Ctx, InstanceState, Placement};
+
+use crate::common::{packed_gpus, quiet_gpus};
+
+/// Tetris-like configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TetrisConfig {
+    /// Pipeline depth of every replica (memory packing favours few
+    /// stages).
+    pub stages: u32,
+    /// Replicas kept at all times.
+    pub min_replicas: u32,
+    /// Hard replica cap.
+    pub max_replicas: u32,
+    /// Queue depth that triggers a scale-out.
+    pub queue_hi: usize,
+    /// Ticks the queue must stay high before scaling (packing systems
+    /// provision conservatively).
+    pub scale_patience: u32,
+    /// Sharing/dedup bookkeeping multiplier on compute.
+    pub interference: f64,
+    /// Ticks of idleness before scaling in.
+    pub idle_patience: u32,
+}
+
+impl Default for TetrisConfig {
+    fn default() -> Self {
+        TetrisConfig {
+            stages: 4,
+            min_replicas: 3,
+            max_replicas: 5,
+            queue_hi: 40,
+            scale_patience: 12,
+            interference: 1.35,
+            idle_patience: 15,
+        }
+    }
+}
+
+/// The Tetris-like policy.
+#[derive(Debug, Clone)]
+pub struct TetrisLike {
+    cfg: TetrisConfig,
+    high_ticks: u32,
+    idle_ticks: u32,
+}
+
+impl TetrisLike {
+    /// Creates the policy.
+    pub fn new(cfg: TetrisConfig) -> Self {
+        TetrisLike {
+            cfg,
+            high_ticks: 0,
+            idle_ticks: 0,
+        }
+    }
+
+    fn spawn_packed(&self, ctx: &mut Ctx<'_>, standing: bool) {
+        let ranges = match ctx.state.lattice().level(self.cfg.stages) {
+            Some(l) => l.ranges.clone(),
+            None => return,
+        };
+        let min_free = ranges
+            .iter()
+            .map(|&r| ctx.state.cost().stage_mem_bytes(ctx.state.graph(), r, 48))
+            .max()
+            .unwrap_or(0);
+        let placement = match packed_gpus(ctx, ranges.len(), min_free, &[]) {
+            Some(gpus) => Placement::Explicit(gpus),
+            None => Placement::FirstFit,
+        };
+        let spawned = if standing {
+            ctx.spawn_prewarmed(self.cfg.stages, placement)
+        } else {
+            ctx.spawn(self.cfg.stages, placement)
+        };
+        if let Ok(id) = spawned {
+            ctx.set_compute_multiplier(id, self.cfg.interference);
+        }
+    }
+}
+
+impl ControlPolicy for TetrisLike {
+    fn name(&self) -> &'static str {
+        "Tetris"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_always_on(quiet_gpus(
+            ctx,
+            (self.cfg.min_replicas * self.cfg.stages) as usize,
+        ));
+        for _ in 0..self.cfg.min_replicas {
+            self.spawn_packed(ctx, true);
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        // Packed replicas suffer the same correlated-burst interference as
+        // any multiplexer (Eq. 9): contention grows with CV².
+        let (_, cv, _) = ctx.monitor();
+        let mult = (self.cfg.interference * (1.0 + 0.08 * cv * cv)).min(2.5);
+        let queue = ctx.queue_len();
+        let instances = ctx.instances();
+        for inst in &instances {
+            ctx.set_compute_multiplier(inst.id, mult);
+        }
+        let live = instances
+            .iter()
+            .filter(|i| matches!(i.state, InstanceState::Serving | InstanceState::Loading))
+            .count() as u32;
+
+        if queue >= self.cfg.queue_hi {
+            self.high_ticks += 1;
+            self.idle_ticks = 0;
+            if self.high_ticks >= self.cfg.scale_patience && live < self.cfg.max_replicas {
+                self.spawn_packed(ctx, false);
+                self.high_ticks = 0;
+            }
+            return;
+        }
+        self.high_ticks = 0;
+
+        let total_active: u32 = instances.iter().map(|i| i.active_requests).sum();
+        if queue == 0 && total_active == 0 && live > self.cfg.min_replicas {
+            self.idle_ticks += 1;
+            if self.idle_ticks >= self.cfg.idle_patience {
+                if let Some(victim) = instances
+                    .iter()
+                    .filter(|i| i.state == InstanceState::Serving)
+                    .min_by_key(|i| (i.active_requests, i.id))
+                {
+                    ctx.retire(victim.id);
+                }
+                self.idle_ticks = 0;
+            }
+        } else {
+            self.idle_ticks = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_slower_than_serverlessllm() {
+        let t = TetrisConfig::default();
+        assert!(t.scale_patience > 1, "tetris must scale with patience");
+        assert!(t.interference > 1.0);
+    }
+}

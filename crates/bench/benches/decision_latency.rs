@@ -1,0 +1,59 @@
+//! §6.3 claim: refactoring decisions stay under 5 ms across 2-32 stage
+//! configurations. Benchmarks the Eq. (4) scoring pass and the full
+//! granularity-selection + instance-planning decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use flexpipe_cluster::LinkSpec;
+use flexpipe_core::{build_profiles, instances_needed, select, GranularityParams};
+use flexpipe_model::{zoo, CostModel};
+use flexpipe_partition::{GranularityLattice, PartitionParams, Partitioner};
+
+fn bench_decision(c: &mut Criterion) {
+    let graph = zoo::opt_66b();
+    let cost = CostModel::default();
+    let partitioner = Partitioner::new(PartitionParams::default(), cost);
+    let params = GranularityParams::default();
+
+    let mut group = c.benchmark_group("decision_latency");
+    for levels in [
+        vec![2u32, 4],
+        vec![2, 4, 8, 16],
+        vec![2, 4, 8, 16, 32],
+    ] {
+        let lattice =
+            GranularityLattice::build(&partitioner, &graph, 32, &levels, &cost).unwrap();
+        let profiles = build_profiles(&graph, &cost, &lattice, &LinkSpec::default(), &params);
+        group.bench_with_input(
+            BenchmarkId::new("select_and_plan", levels.len()),
+            &profiles,
+            |b, profiles| {
+                b.iter(|| {
+                    // One full Algorithm-1 decision: score every level at the
+                    // current CV, pick g*, size the replica set.
+                    let target = select(black_box(profiles), &params, black_box(3.7)).unwrap();
+                    instances_needed(&target, black_box(22.0), 2.0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transition_planning(c: &mut Criterion) {
+    let graph = zoo::opt_66b();
+    let cost = CostModel::default();
+    let partitioner = Partitioner::new(PartitionParams::default(), cost);
+    let lattice =
+        GranularityLattice::build(&partitioner, &graph, 32, &[2, 4, 8, 16, 32], &cost).unwrap();
+    c.bench_function("transition_plan_4_to_16", |b| {
+        b.iter(|| lattice.plan_transition(black_box(&graph), 4, 16))
+    });
+    c.bench_function("transition_plan_32_to_4", |b| {
+        b.iter(|| lattice.plan_transition(black_box(&graph), 32, 4))
+    });
+}
+
+criterion_group!(benches, bench_decision, bench_transition_planning);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Substrate performance: event-queue throughput and a short end-to-end
+//! serving simulation (the cost of one experiment second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use flexpipe_bench::setup::{paper_scenario, E2eParams};
+use flexpipe_bench::systems::static_pipeline;
+use flexpipe_model::{zoo, CostModel};
+use flexpipe_partition::{GranularityLattice, PartitionParams, Partitioner};
+use flexpipe_serving::Engine;
+use flexpipe_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use flexpipe_workload::{ArrivalSpec, LengthProfile, WorkloadSpec};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos(i * 37 % 100_000), i).unwrap();
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let graph = Arc::new(zoo::llama2_7b());
+    let cost = CostModel::default();
+    let partitioner = Partitioner::new(PartitionParams::default(), cost);
+    let lattice = Arc::new(
+        GranularityLattice::build(&partitioner, &graph, 8, &[1, 2, 4, 8], &cost).unwrap(),
+    );
+    let mut group = c.benchmark_group("end_to_end_sim");
+    group.sample_size(10);
+    group.bench_function("llama_30s_at_8qps", |b| {
+        b.iter(|| {
+            let mut p = E2eParams::paper(1.0);
+            p.horizon_secs = 30.0;
+            p.warmup_secs = 0.0;
+            let workload = WorkloadSpec {
+                arrivals: ArrivalSpec::GammaRenewal { rate: 8.0, cv: 1.0 },
+                lengths: LengthProfile::fixed(256, 16),
+                slo: SimDuration::from_secs(5),
+                slo_per_output_token: SimDuration::ZERO,
+                horizon_secs: 30.0,
+            }
+            .generate(&mut SimRng::seed(1));
+            let scenario = paper_scenario(&p, workload);
+            let report = Engine::new(
+                scenario,
+                graph.clone(),
+                lattice.clone(),
+                static_pipeline(2, 1),
+            )
+            .run();
+            black_box(report.completed())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! §6.3 / §8 KV-consistency costs: validity-mask algebra and migration
+//! planning (the in-decision-path pieces that must stay cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use flexpipe_core::{MigrationModel, ValidityMask};
+use flexpipe_sim::SimDuration;
+
+fn bench_masks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validity_mask");
+    for tokens in [1024u32, 8192, 65536] {
+        let a = ValidityMask::valid_prefix(tokens, tokens * 3 / 4);
+        let b = ValidityMask::valid_prefix(tokens, tokens / 2);
+        group.bench_with_input(BenchmarkId::new("union_mask_delta", tokens), &tokens, |bch, _| {
+            bch.iter(|| {
+                // The Eq. (10) consistency step: union, mask, delta, count.
+                let merged = black_box(&a).or(black_box(&b));
+                let masked = merged.and(&a);
+                let delta = a.minus(&b);
+                masked.count_valid() + delta.count_valid()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_migration_planning(c: &mut Criterion) {
+    let model = MigrationModel::default();
+    c.bench_function("migration_plan", |b| {
+        b.iter(|| {
+            model.plan(
+                black_box(36_864),
+                black_box(160_000),
+                black_box(2_000.0),
+                SimDuration::from_secs(2),
+                8,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_masks, bench_migration_planning);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! §5 partitioner performance: the constrained DP and lattice construction
+//! across stage counts and models (offline-phase costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use flexpipe_model::{zoo, CostModel, ModelId};
+use flexpipe_partition::{GranularityLattice, PartitionParams, Partitioner};
+
+fn bench_partition(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let partitioner = Partitioner::new(PartitionParams::default(), cost);
+    let graph = zoo::opt_66b();
+    let mut group = c.benchmark_group("partition_opt66b");
+    for k in [4u32, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| partitioner.partition(black_box(&graph), k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let partitioner = Partitioner::new(PartitionParams::default(), cost);
+    let mut group = c.benchmark_group("lattice_build");
+    for model in ModelId::all() {
+        let graph = model.graph();
+        let finest = if model == ModelId::Opt66B { 32 } else { 16 };
+        let levels: Vec<u32> = [1u32, 2, 4, 8, 16, 32]
+            .into_iter()
+            .filter(|&l| l <= finest)
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    GranularityLattice::build(&partitioner, black_box(graph), finest, &levels, &cost)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition, bench_lattice);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! §9.6 — production case study: phased rollout of FlexPipe against the
+//! conservative static-elastic baseline.
+//!
+//! The baseline mirrors pre-FlexPipe production practice: 75% of peak
+//! capacity pinned always-on, the rest provisioned reactively with cold
+//! checkpoint loads. FlexPipe pins 30% of peak, scales at fine granularity
+//! and turns cold starts warm via the host-memory cache + affinity
+//! scheduler. Reported: always-on reservation, allocation wait, instance
+//! initialisation latency, and goodput (service quality must not regress).
+
+use flexpipe_baselines::{ServerlessLlmConfig, ServerlessLlmLike};
+use flexpipe_bench::setup::{paper_scenario, steady_offered, steady_summary, E2eParams};
+use flexpipe_bench::systems::flexpipe_config;
+use flexpipe_bench::{write_result, PaperSetup};
+use flexpipe_core::FlexPipePolicy;
+use flexpipe_metrics::{fmt_f, Table};
+use flexpipe_serving::Engine;
+use flexpipe_sim::{SimDuration, SimRng};
+use flexpipe_workload::{ArrivalSpec, LengthProfile, WorkloadSpec};
+
+fn main() {
+    let setup = PaperSetup::opt66b();
+    let mut p = E2eParams::paper(3.0);
+    p.horizon_secs = flexpipe_bench::env_f64("FP_HORIZON", 420.0);
+    let workload = WorkloadSpec {
+        arrivals: ArrivalSpec::Burst {
+            calm_rate: 12.0,
+            burst_rate: 60.0,
+            calm_secs: 45.0,
+            burst_secs: 10.0,
+        },
+        lengths: LengthProfile::splitwise_like(),
+        slo: SimDuration::from_secs(3),
+        slo_per_output_token: SimDuration::from_millis(200),
+        horizon_secs: p.warmup_secs + p.horizon_secs,
+    }
+    .generate(&mut SimRng::seed(p.seed));
+
+    // Phase A: static-elastic production baseline. 75% of peak pinned,
+    // reactive whole-instance scaling, cold checkpoint loads (no host
+    // staging).
+    let baseline_cfg = ServerlessLlmConfig {
+        min_replicas: 3,
+        max_replicas: 6,
+        prewarm_servers: 0, // no fast-load tier: production cold starts
+        always_on_fraction: 0.75,
+        ..ServerlessLlmConfig::default()
+    };
+    let scenario_a = paper_scenario(&p, workload.clone());
+    let report_a = Engine::new(
+        scenario_a,
+        setup.graph.clone(),
+        setup.lattice.clone(),
+        Box::new(ServerlessLlmLike::new(baseline_cfg)),
+    )
+    .run();
+
+    // Phase B: FlexPipe with 30% of peak pinned.
+    let flex_cfg = flexpipe_config(20.0);
+    let scenario_b = paper_scenario(&p, workload);
+    let report_b = Engine::new(
+        scenario_b,
+        setup.graph.clone(),
+        setup.lattice.clone(),
+        Box::new(FlexPipePolicy::new(flex_cfg)),
+    )
+    .run();
+
+    let offered = steady_offered(&p);
+    let sa = steady_summary(&report_a, p.warmup_secs);
+    let sb = steady_summary(&report_b, p.warmup_secs);
+    let pinned_a = (baseline_cfg.min_replicas * baseline_cfg.stages) as f64
+        * baseline_cfg.always_on_fraction;
+    let pinned_b = f64::from(flex_cfg.peak_gpus) * flex_cfg.always_on_fraction;
+
+    let mut t = Table::new(
+        "§9.6 case study — static-elastic baseline vs FlexPipe",
+        &["Metric", "Baseline", "FlexPipe", "Change"],
+    );
+    let pct = |a: f64, b: f64| -> String {
+        if a.abs() < 1e-12 {
+            "n/a".into()
+        } else {
+            format!("{:+.0}%", (b - a) / a * 100.0)
+        }
+    };
+    t.row(vec![
+        "Always-on GPUs pinned".into(),
+        fmt_f(pinned_a, 1),
+        fmt_f(pinned_b, 1),
+        pct(pinned_a, pinned_b),
+    ]);
+    t.row(vec![
+        "Mean allocation wait (s)".into(),
+        fmt_f(report_a.mean_alloc_wait_secs, 2),
+        fmt_f(report_b.mean_alloc_wait_secs, 2),
+        pct(report_a.mean_alloc_wait_secs, report_b.mean_alloc_wait_secs),
+    ]);
+    t.row(vec![
+        "Mean elastic init latency (s)".into(),
+        fmt_f(report_a.mean_init_secs, 2),
+        fmt_f(report_b.mean_init_secs, 2),
+        pct(report_a.mean_init_secs, report_b.mean_init_secs),
+    ]);
+    t.row(vec![
+        "Warm-start load fraction".into(),
+        fmt_f(report_a.warm_load_fraction(), 2),
+        fmt_f(report_b.warm_load_fraction(), 2),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "Goodput (% of offered)".into(),
+        fmt_f(sa.within_slo as f64 / offered.max(1) as f64 * 100.0, 1),
+        fmt_f(sb.within_slo as f64 / offered.max(1) as f64 * 100.0, 1),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "Mean GPUs held".into(),
+        fmt_f(report_a.mean_gpus_held(), 1),
+        fmt_f(report_b.mean_gpus_held(), 1),
+        pct(report_a.mean_gpus_held(), report_b.mean_gpus_held()),
+    ]);
+    write_result("case_study", &t);
+    println!("paper reference: always-on 75% -> 30% of peak; allocation wait -85%; instance init -72%; service quality preserved");
+}

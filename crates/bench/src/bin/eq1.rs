@@ -1,0 +1,90 @@
+//! Eq. (1) — the extended G/G/S queueing model, validated against the
+//! simulator.
+//!
+//! The analytic model predicts the qualitative coupling between pipeline
+//! depth, arrival CV and sojourn time; this binary prints model predictions
+//! next to simulated mean latencies for the §3.3 static-pipeline setup and
+//! checks the `S ∝ √CV` depth heuristic.
+
+use flexpipe_bench::setup::{paper_workload, run_with_workload, steady_summary};
+use flexpipe_bench::systems::static_pipeline;
+use flexpipe_bench::{write_result, E2eParams, PaperSetup};
+use flexpipe_metrics::{fmt_f, Table};
+use flexpipe_serving::{optimal_depth_heuristic, predict, GgsParams};
+
+fn main() {
+    let setup = PaperSetup::opt66b();
+    let mut t = Table::new(
+        "Eq. (1) — G/G/S model vs simulation (static pipelines, OPT-66B, 16 QPS)",
+        &[
+            "Stages",
+            "CV",
+            "Model pipe(s)",
+            "Model queue(s)",
+            "Model total(s)",
+            "Sim/token(s)",
+        ],
+    );
+    for stages in [4u32, 8, 16] {
+        let level = setup.lattice.level(stages).expect("level");
+        // Per-request per-stage busy time (the G/G/S service time).
+        let cost = &setup.cost;
+        let overhead = cost.stage_overhead.as_secs_f64();
+        let busy: f64 = level
+            .ranges
+            .iter()
+            .map(|&r| {
+                let per_tok =
+                    (cost.stage_compute(&setup.graph, r, 1000).as_secs_f64() - overhead) / 1000.0;
+                per_tok * (1024.0 + 64.0) + (overhead + 0.002) * 65.0 / 16.0
+            })
+            .fold(0.0, f64::max);
+        for cv in [0.5, 1.0, 2.0, 4.0] {
+            let params = GgsParams {
+                stages,
+                stage_service_secs: cost
+                    .stage_compute(&setup.graph, level.ranges[level.ranges.len() / 2], 16)
+                    .as_secs_f64(),
+                hop_secs: 0.002,
+                arrival_rate: 16.0,
+                stage_service_rate: 1.0 / busy,
+                cv_arrival: cv,
+                cv_service: 0.5,
+            };
+            let prediction = predict(&params);
+            let mut p = E2eParams::paper(cv);
+            p.rate = 16.0;
+            let workload = paper_workload(&p);
+            let report = run_with_workload(&setup, &p, workload, static_pipeline(stages, 1));
+            // The G/G/S service unit is one decode pass; compare against the
+            // simulated per-output-token sojourn.
+            let sim = steady_summary(&report, p.warmup_secs).mean_latency / 64.0;
+            match prediction {
+                Some(pred) => t.row(vec![
+                    stages.to_string(),
+                    fmt_f(cv, 1),
+                    fmt_f(pred.pipe_secs, 3),
+                    fmt_f(pred.queue_secs + pred.congestion_secs, 3),
+                    fmt_f(pred.total_secs(), 3),
+                    fmt_f(sim, 3),
+                ]),
+                None => t.row(vec![
+                    stages.to_string(),
+                    fmt_f(cv, 1),
+                    "unstable".into(),
+                    "unstable".into(),
+                    "unstable".into(),
+                    fmt_f(sim, 3),
+                ]),
+            };
+        }
+    }
+    write_result("eq1", &t);
+    println!("S ∝ √CV heuristic (base 4 stages at CV=1):");
+    for cv in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        println!(
+            "  CV={cv:>4}: suggested depth {}",
+            optimal_depth_heuristic(cv, 4, 2, 32)
+        );
+    }
+}

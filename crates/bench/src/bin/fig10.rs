@@ -1,0 +1,48 @@
+//! Fig. 10 — performance-stability percentiles (P50/P75/P90/P95/P99) for
+//! the serverless-oriented systems (FlexPipe, ServerlessLLM, Tetris)
+//! across CV = 1, 2, 4.
+
+use flexpipe_bench::setup::{run_e2e, steady_summary};
+use flexpipe_bench::{write_result, E2eParams, PaperSetup, SystemId};
+use flexpipe_metrics::{fmt_f, Table};
+use flexpipe_sim::SimTime;
+
+fn main() {
+    let setup = PaperSetup::opt66b();
+    let systems = [SystemId::FlexPipe, SystemId::ServerlessLlm, SystemId::Tetris];
+    let mut t = Table::new(
+        "Fig. 10 — latency percentiles in serverless deployments (OPT-66B, 20 QPS)",
+        &["CV", "System", "P50(s/tok)", "P75", "P90", "P95", "P99"],
+    );
+    for cv in [1.0, 2.0, 4.0] {
+        let p = E2eParams::paper(cv);
+        for system in systems {
+            let report = run_e2e(&setup, &p, system.policy(p.rate));
+            // Normalise per output token: the raw distribution is dominated
+            // by the (lognormal) output-length tail, which would mask the
+            // system differences the figure is about.
+            let cut_lo = SimTime::from_secs_f64(p.warmup_secs);
+            let cut_hi = SimTime::from_secs_f64(p.warmup_secs + p.horizon_secs);
+            let mut d = flexpipe_metrics::Digest::new();
+            for o in report.outcomes.outcomes() {
+                if o.completion >= cut_lo && o.completion < cut_hi {
+                    d.record(o.latency().as_secs_f64() / f64::from(o.output_tokens.max(1)));
+                }
+            }
+            let row = d.percentile_row();
+            let _ = steady_summary(&report, p.warmup_secs);
+            t.row(vec![
+                fmt_f(cv, 0),
+                system.name().into(),
+                fmt_f(row[0], 3),
+                fmt_f(row[1], 3),
+                fmt_f(row[2], 3),
+                fmt_f(row[3], 3),
+                fmt_f(row[4], 3),
+            ]);
+        }
+    }
+    write_result("fig10", &t);
+    println!("paper reference (P50/P95/P99, s): CV=1 FlexPipe 0.8/1.1/1.3, ServerlessLLM 1.2/2.1/4.1, Tetris 2.0/4.4/6.1");
+    println!("                                  CV=4 FlexPipe 1.3/2.3/3.3, ServerlessLLM 3.2/7.0/8.8, Tetris 3.5/6.0/6.6");
+}

@@ -1,0 +1,66 @@
+//! Fig. 12 — resource efficiency: goodput vs GPU utilisation per system
+//! and CV.
+//!
+//! Two readings per system: utilisation of the GPUs it actually held
+//! (static packers like Tetris run these hot without converting the cycles
+//! into goodput) and goodput per held GPU (the efficiency ratio behind the
+//! paper's 8.5x headline).
+
+use flexpipe_bench::setup::{run_e2e, steady_offered, steady_summary};
+use flexpipe_bench::{write_result, E2eParams, PaperSetup, SystemId};
+use flexpipe_metrics::{fmt_f, Table};
+
+fn main() {
+    let setup = PaperSetup::opt66b();
+    let mut t = Table::new(
+        "Fig. 12 — goodput vs GPU utilisation (OPT-66B, 20 QPS)",
+        &[
+            "CV",
+            "System",
+            "Goodput(req/s)",
+            "Goodput(%)",
+            "MeanGPUs",
+            "HeldUtil(%)",
+            "Goodput/GPU",
+        ],
+    );
+    let mut flex_eff = vec![0.0; 3];
+    let mut tetris_eff = vec![0.0; 3];
+    for (ci, cv) in [1.0, 2.0, 4.0].into_iter().enumerate() {
+        let p = E2eParams::paper(cv);
+        let offered = steady_offered(&p);
+        for system in SystemId::all() {
+            let report = run_e2e(&setup, &p, system.policy(p.rate));
+            let s = steady_summary(&report, p.warmup_secs);
+            let eff = if report.mean_gpus_held() > 0.0 {
+                s.goodput_per_sec / report.mean_gpus_held()
+            } else {
+                0.0
+            };
+            if system == SystemId::FlexPipe {
+                flex_eff[ci] = eff;
+            }
+            if system == SystemId::Tetris {
+                tetris_eff[ci] = eff;
+            }
+            t.row(vec![
+                fmt_f(cv, 0),
+                system.name().into(),
+                fmt_f(s.goodput_per_sec, 1),
+                fmt_f(s.within_slo as f64 / offered.max(1) as f64 * 100.0, 1),
+                fmt_f(report.mean_gpus_held(), 1),
+                fmt_f(report.held_utilization() * 100.0, 1),
+                fmt_f(eff, 2),
+            ]);
+        }
+    }
+    write_result("fig12", &t);
+    for (ci, cv) in [1.0, 2.0, 4.0].into_iter().enumerate() {
+        let ratio = if tetris_eff[ci] > 1e-9 {
+            flex_eff[ci] / tetris_eff[ci]
+        } else {
+            f64::INFINITY
+        };
+        println!("CV={cv}: FlexPipe vs Tetris goodput-per-GPU ratio = {ratio:.1}x (paper: up to 8.5x at CV=4)");
+    }
+}

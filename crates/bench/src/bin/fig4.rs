@@ -1,0 +1,96 @@
+//! Fig. 4 — latency distributions of 4/8/16-stage static pipelines across
+//! CV values.
+//!
+//! Paper shape: at low CV the 16-stage pipeline is ~2.7x slower than
+//! 4-stage (hop + overhead accumulation); at CV = 4 the relationship
+//! inverts and the deep pipeline's distributed buffering wins by ~3x.
+
+use flexpipe_bench::setup::{paper_workload, run_with_workload};
+use flexpipe_bench::systems::static_pipeline;
+use flexpipe_bench::{write_result, E2eParams, PaperSetup};
+use flexpipe_metrics::{fmt_f, Table};
+use flexpipe_sim::SimTime;
+
+fn main() {
+    let setup = PaperSetup::opt66b();
+    let mut t = Table::new(
+        "Fig. 4a — latency percentiles by pipeline depth and CV (OPT-66B, 16 QPS)",
+        &["Stages", "CV", "P25(s)", "P50(s)", "P75(s)", "P95(s)", "Mean(s)"],
+    );
+    let mut cv4_meds: Vec<(u32, f64)> = Vec::new();
+    let mut cv4_digests = Vec::new();
+    for stages in [4u32, 8, 16] {
+        for cv in [0.1, 1.0, 2.0, 4.0] {
+            let mut p = E2eParams::paper(cv);
+            // Lighter rate than the e2e experiments so low-CV rows expose
+            // pure service latency (one replica per depth, as in §3.3).
+            p.rate = flexpipe_bench::env_f64("FP_FIG4_RATE", 16.0);
+            let workload = paper_workload(&p);
+            let report = run_with_workload(&setup, &p, workload, static_pipeline(stages, 1));
+            let mut d = report.outcomes.latency_digest_in(
+                SimTime::from_secs_f64(p.warmup_secs),
+                SimTime::from_secs_f64(p.warmup_secs + p.horizon_secs),
+            );
+            t.row(vec![
+                stages.to_string(),
+                fmt_f(cv, 1),
+                fmt_f(d.quantile(0.25), 2),
+                fmt_f(d.quantile(0.50), 2),
+                fmt_f(d.quantile(0.75), 2),
+                fmt_f(d.quantile(0.95), 2),
+                fmt_f(d.mean(), 2),
+            ]);
+            if (cv - 4.0).abs() < 1e-9 {
+                cv4_meds.push((stages, d.quantile(0.5)));
+                cv4_digests.push((stages, d));
+            }
+        }
+    }
+    write_result("fig4a", &t);
+
+    // Fig. 4b: the CV=4 distribution, as a coarse text histogram.
+    let mut hist = Table::new(
+        "Fig. 4b — latency distribution at CV=4 (fraction of requests per bucket)",
+        &["Bucket(s)", "4-stage", "8-stage", "16-stage"],
+    );
+    let edges = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, f64::INFINITY];
+    let mut fractions: Vec<Vec<f64>> = Vec::new();
+    for (_, d) in cv4_digests.iter_mut() {
+        let total = d.count().max(1) as f64;
+        // Reconstruct bucket counts from quantile sweeps.
+        let mut fs = Vec::new();
+        for w in edges.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let count = (0..=1000)
+                .map(|i| d.quantile(i as f64 / 1000.0))
+                .filter(|&x| x >= lo && x < hi)
+                .count() as f64
+                / 1001.0;
+            let _ = total;
+            fs.push(count);
+        }
+        fractions.push(fs);
+    }
+    for (b, w) in edges.windows(2).enumerate() {
+        let label = if w[1].is_infinite() {
+            format!(">{}", w[0])
+        } else {
+            format!("{}-{}", w[0], w[1])
+        };
+        hist.row(vec![
+            label,
+            fmt_f(fractions[0][b] * 100.0, 1),
+            fmt_f(fractions[1][b] * 100.0, 1),
+            fmt_f(fractions[2][b] * 100.0, 1),
+        ]);
+    }
+    write_result("fig4b", &hist);
+
+    let med = |s: u32| cv4_meds.iter().find(|(st, _)| *st == s).map(|(_, m)| *m).unwrap_or(0.0);
+    println!(
+        "CV=4 median latency: 4-stage {:.2}s vs 16-stage {:.2}s -> deep-pipeline advantage {:.1}x (paper: ~3x)",
+        med(4),
+        med(16),
+        med(4) / med(16).max(1e-9)
+    );
+}

@@ -1,0 +1,56 @@
+//! Fig. 9 — latency under extreme variability (CV = 8), first 300 s:
+//! 15-second-window arrival CV and response-time series for FlexPipe,
+//! AlpaServe and MuxServe on the identical workload.
+
+use flexpipe_bench::setup::{paper_workload, run_with_workload};
+use flexpipe_bench::{write_result, E2eParams, PaperSetup, SystemId};
+use flexpipe_metrics::{fmt_f, Table};
+use flexpipe_sim::{SimDuration, SimTime};
+use flexpipe_workload::cv_in_window;
+
+fn main() {
+    let setup = PaperSetup::opt66b();
+    let p = E2eParams::paper(8.0);
+    let systems = [SystemId::FlexPipe, SystemId::AlpaServe, SystemId::MuxServe];
+    let workload = paper_workload(&p);
+    let arrivals: Vec<SimTime> = workload.requests.iter().map(|r| r.arrival).collect();
+
+    let mut series = Vec::new();
+    for system in systems {
+        let report =
+            run_with_workload(&setup, &p, workload.clone(), system.policy(p.rate));
+        series.push(report);
+    }
+
+    let mut t = Table::new(
+        "Fig. 9 — CV=8 time series (15 s windows, after warmup)",
+        &[
+            "t(s)",
+            "windowCV",
+            "FlexPipe RT(s)",
+            "AlpaServe RT(s)",
+            "MuxServe RT(s)",
+        ],
+    );
+    let start = p.warmup_secs as u64;
+    let end = (p.warmup_secs + p.horizon_secs.min(300.0)) as u64;
+    let mut w = start;
+    while w < end {
+        let from = SimTime::from_secs(w);
+        let to = SimTime::from_secs(w + 15);
+        let cv = cv_in_window(&arrivals, from, to);
+        let mut row = vec![
+            (w - start).to_string(),
+            fmt_f(cv, 2),
+        ];
+        for report in &series {
+            let d = report.outcomes.latency_digest_in(from, to);
+            row.push(fmt_f(d.mean(), 2));
+        }
+        t.row(row);
+        w += 15;
+    }
+    write_result("fig9", &t);
+    let _ = SimDuration::ZERO;
+    println!("paper shape: 15s-window CV swings 0.59-3.47; FlexPipe's series stays low and flat while MuxServe spikes >10s and AlpaServe shows periodic spikes");
+}

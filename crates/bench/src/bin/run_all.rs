@@ -1,0 +1,39 @@
+//! Runs every experiment binary in paper order, collecting all outputs
+//! under `results/`.
+//!
+//! Expects to live next to its sibling binaries (the normal
+//! `cargo run --release -p flexpipe-bench --bin run_all` invocation).
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir").to_path_buf();
+    let experiments = [
+        "table1", "table2", "fig1", "fig2", "fig3", "fig4", "eq1", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "fig13", "case_study", "ablations",
+    ];
+    let mut failed = Vec::new();
+    for name in experiments {
+        let path = dir.join(name);
+        println!("\n=================== {name} ===================");
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failed.push(name);
+            }
+            Err(e) => {
+                eprintln!("could not run {name}: {e} (build all bins first: cargo build --release -p flexpipe-bench)");
+                failed.push(name);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall experiments completed; outputs in results/");
+    } else {
+        eprintln!("\nfailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

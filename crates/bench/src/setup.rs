@@ -1,0 +1,180 @@
+//! Shared experiment setup: model artefacts, scenarios and run drivers.
+
+use std::sync::Arc;
+
+use flexpipe_cluster::{BackgroundProfile, ClusterSpec, TierConfig};
+use flexpipe_metrics::{OutcomeLog, OutcomeSummary};
+use flexpipe_model::{CostModel, ModelGraph, ModelId};
+use flexpipe_partition::{GranularityLattice, PartitionParams, Partitioner};
+use flexpipe_serving::{ControlPolicy, Engine, EngineConfig, RunReport, Scenario};
+use flexpipe_sim::{SimDuration, SimRng, SimTime};
+use flexpipe_workload::{LengthProfile, Workload, WorkloadSpec};
+
+/// Reads an `f64` experiment knob from the environment.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads a `u64` experiment knob from the environment.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Model artefacts + lattice for one evaluation model.
+#[derive(Clone)]
+pub struct PaperSetup {
+    /// The model graph.
+    pub graph: Arc<ModelGraph>,
+    /// The granularity lattice.
+    pub lattice: Arc<GranularityLattice>,
+    /// The calibrated cost model.
+    pub cost: CostModel,
+    /// Lattice stage counts.
+    pub levels: Vec<u32>,
+}
+
+impl PaperSetup {
+    /// Builds the setup for `model` with model-appropriate lattice levels.
+    pub fn for_model(model: ModelId) -> PaperSetup {
+        let graph = model.graph();
+        let cost = CostModel::default();
+        let partitioner = Partitioner::new(PartitionParams::default(), cost);
+        // Finest unit count and levels scale with layer count; small models
+        // can run single-stage, OPT-66B cannot (123 GiB > 80 GiB).
+        let (finest, levels): (u32, Vec<u32>) = match model {
+            ModelId::Opt66B => (32, vec![2, 4, 8, 16, 32]),
+            ModelId::Bert21B => (16, vec![1, 2, 4, 8, 16]),
+            ModelId::Whisper9B => (16, vec![1, 2, 4, 8, 16]),
+            ModelId::Llama2_7B => (16, vec![1, 2, 4, 8, 16]),
+        };
+        let lattice = GranularityLattice::build(&partitioner, &graph, finest, &levels, &cost)
+            .expect("lattice construction");
+        let levels = lattice.stage_counts();
+        PaperSetup {
+            graph: Arc::new(graph),
+            lattice: Arc::new(lattice),
+            cost,
+            levels,
+        }
+    }
+
+    /// The paper's workhorse setup (OPT-66B).
+    pub fn opt66b() -> PaperSetup {
+        Self::for_model(ModelId::Opt66B)
+    }
+}
+
+/// Parameters of one end-to-end serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct E2eParams {
+    /// Arrival CV.
+    pub cv: f64,
+    /// Mean arrival rate, requests/second (paper baseline: 20 QPS).
+    pub rate: f64,
+    /// Measured horizon, seconds.
+    pub horizon_secs: f64,
+    /// Extra warmup before the measured window (deployment + monitor).
+    pub warmup_secs: f64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl E2eParams {
+    /// The paper's §9.1 setup at a given CV. Horizon defaults to 300
+    /// simulated seconds (the paper ran 2 h; the shape stabilises within
+    /// minutes — override with `FP_HORIZON`).
+    pub fn paper(cv: f64) -> E2eParams {
+        E2eParams {
+            cv,
+            rate: env_f64("FP_RATE", 20.0),
+            horizon_secs: env_f64("FP_HORIZON", 300.0),
+            warmup_secs: env_f64("FP_WARMUP", 60.0),
+            seed: env_u64("FP_SEED", 42),
+        }
+    }
+
+    /// Total simulated span (warmup + horizon + drain).
+    pub fn total_secs(&self) -> f64 {
+        self.warmup_secs + self.horizon_secs + 30.0
+    }
+}
+
+/// Builds the paper's workload: Gamma-renewal arrivals at the target CV
+/// with Splitwise-like lengths and a 5 s SLO.
+pub fn paper_workload(p: &E2eParams) -> Workload {
+    WorkloadSpec {
+        arrivals: flexpipe_workload::ArrivalSpec::GammaRenewal {
+            rate: p.rate,
+            cv: p.cv,
+        },
+        lengths: LengthProfile::splitwise_like(),
+        slo: SimDuration::from_secs(2),
+        slo_per_output_token: SimDuration::from_millis(100),
+        horizon_secs: p.warmup_secs + p.horizon_secs,
+    }
+    .generate(&mut SimRng::seed(p.seed))
+}
+
+/// Builds the testbed scenario around a workload.
+pub fn paper_scenario(p: &E2eParams, workload: Workload) -> Scenario {
+    Scenario {
+        config: EngineConfig::default(),
+        cluster: ClusterSpec::paper_testbed(),
+        background: BackgroundProfile::testbed_like(),
+        tier: TierConfig::default(),
+        cost: CostModel::default(),
+        workload,
+        horizon: SimTime::from_secs_f64(p.total_secs()),
+        seed: p.seed,
+    }
+}
+
+/// Runs one end-to-end experiment.
+pub fn run_e2e(setup: &PaperSetup, p: &E2eParams, policy: Box<dyn ControlPolicy>) -> RunReport {
+    let workload = paper_workload(p);
+    let scenario = paper_scenario(p, workload);
+    Engine::new(scenario, setup.graph.clone(), setup.lattice.clone(), policy).run()
+}
+
+/// Runs with an explicit workload (for time-series experiments).
+pub fn run_with_workload(
+    setup: &PaperSetup,
+    p: &E2eParams,
+    workload: Workload,
+    policy: Box<dyn ControlPolicy>,
+) -> RunReport {
+    let scenario = paper_scenario(p, workload);
+    Engine::new(scenario, setup.graph.clone(), setup.lattice.clone(), policy).run()
+}
+
+/// Outcome summary restricted to completions after `warmup_secs`
+/// (steady-state measurement, excluding deployment cold start).
+pub fn steady_summary(report: &RunReport, warmup_secs: f64) -> OutcomeSummary {
+    let cut = SimTime::from_secs_f64(warmup_secs);
+    let mut log = OutcomeLog::new();
+    for o in report.outcomes.outcomes() {
+        if o.completion >= cut {
+            log.record(*o);
+        }
+    }
+    log.summarize(report.horizon_secs - warmup_secs)
+}
+
+/// Offered load (arrivals) after warmup — the goodput denominator.
+///
+/// Regenerates the (deterministic) workload and counts arrivals inside the
+/// measured window exactly.
+pub fn steady_offered(p: &E2eParams) -> usize {
+    let cut = SimTime::from_secs_f64(p.warmup_secs);
+    paper_workload(p)
+        .requests
+        .iter()
+        .filter(|r| r.arrival >= cut)
+        .count()
+}

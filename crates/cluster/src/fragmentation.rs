@@ -1,0 +1,409 @@
+//! Background-tenant fragmentation model.
+//!
+//! §3.1 of the paper measures two production clusters for two weeks and
+//! finds: 216% average GPU subscription, mean SM utilisation of 17–24% with
+//! P95 above 80%, memory utilisation with P50 of 29–54% and P95 ≈ 99%, an
+//! 8.7% probability of finding a single GPU with >85% free memory, and a
+//! 0.02% probability of co-locating four such GPUs on one server.
+//!
+//! This module reproduces those statistics with a per-GPU mixture model:
+//! each GPU independently draws an *activity profile* (idle / light / busy /
+//! saturated) determining correlated memory and SM occupancy plus a
+//! subscription count. Profiles are resampled on exponential churn timers,
+//! giving the "ephemeral availability" the paper highlights.
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_sim::{SimDuration, SimRng};
+
+use crate::state::Cluster;
+use crate::topology::GpuId;
+
+/// Weights and ranges of the four activity classes.
+///
+/// Each class draws memory fraction and SM fraction uniformly from its
+/// range; class choice is shared between the two so that memory-busy GPUs
+/// also tend to be compute-busy (as in real fleets).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundProfile {
+    /// Probability of each memory class: idle, light, busy, saturated.
+    pub weights: [f64; 4],
+    /// Probability of each SM class. Kept separate from `weights` because
+    /// production GPUs are frequently memory-full but compute-idle (models
+    /// resident, few requests); Table 1 shows memory means roughly 2x the
+    /// SM means.
+    pub sm_weights: [f64; 4],
+    /// Memory-fraction range per class.
+    pub mem_ranges: [(f64, f64); 4],
+    /// SM-fraction range per class.
+    pub sm_ranges: [(f64, f64); 4],
+    /// Mean services subscribed per GPU (drives the subscription rate).
+    pub mean_services: f64,
+    /// Mean time between occupancy resamples for one GPU.
+    pub churn_mean: SimDuration,
+}
+
+impl BackgroundProfile {
+    /// Calibrated to Table 1's inference-only cluster C1
+    /// (SM mean 16.9 / P50 9.2 / P95 80.5; mem mean 43.5 / P50 28.8 /
+    /// P95 99.1; 38% of GPUs in the 10–30% memory bucket).
+    pub fn c1_like() -> Self {
+        BackgroundProfile {
+            weights: [0.18, 0.38, 0.26, 0.18],
+            sm_weights: [0.52, 0.32, 0.10, 0.06],
+            mem_ranges: [(0.01, 0.10), (0.10, 0.30), (0.30, 0.85), (0.95, 1.0)],
+            sm_ranges: [(0.0, 0.08), (0.05, 0.25), (0.25, 0.70), (0.70, 1.0)],
+            mean_services: 2.16,
+            churn_mean: SimDuration::from_secs(600),
+        }
+    }
+
+    /// Calibrated to Table 1's hybrid training/inference cluster C2
+    /// (SM mean 23.7 / P50 10.9 / P95 85.4; mem mean 50.9 / P50 53.7 /
+    /// P95 99.3; 18% of GPUs in the 10–30% memory bucket).
+    pub fn c2_like() -> Self {
+        BackgroundProfile {
+            weights: [0.12, 0.18, 0.50, 0.20],
+            sm_weights: [0.48, 0.27, 0.15, 0.10],
+            mem_ranges: [(0.01, 0.10), (0.10, 0.30), (0.30, 0.85), (0.95, 1.0)],
+            sm_ranges: [(0.0, 0.08), (0.05, 0.30), (0.25, 0.75), (0.75, 1.0)],
+            mean_services: 2.16,
+            churn_mean: SimDuration::from_secs(600),
+        }
+    }
+
+    /// A lighter profile for the 42-server evaluation testbed, leaving room
+    /// for the serving system under test while still fragmenting placement.
+    pub fn testbed_like() -> Self {
+        BackgroundProfile {
+            weights: [0.40, 0.35, 0.20, 0.05],
+            sm_weights: [0.55, 0.30, 0.12, 0.03],
+            mem_ranges: [(0.0, 0.05), (0.05, 0.25), (0.25, 0.60), (0.85, 0.95)],
+            sm_ranges: [(0.0, 0.05), (0.05, 0.20), (0.20, 0.60), (0.60, 0.95)],
+            mean_services: 1.2,
+            churn_mean: SimDuration::from_secs(300),
+        }
+    }
+
+    /// No background load at all (for isolation experiments and tests).
+    pub fn none() -> Self {
+        BackgroundProfile {
+            weights: [1.0, 0.0, 0.0, 0.0],
+            sm_weights: [1.0, 0.0, 0.0, 0.0],
+            mem_ranges: [(0.0, 0.0); 4],
+            sm_ranges: [(0.0, 0.0); 4],
+            mean_services: 0.0,
+            churn_mean: SimDuration::from_secs(3600),
+        }
+    }
+
+    fn class_at(weights: &[f64; 4], u: f64) -> usize {
+        let total: f64 = weights.iter().sum();
+        let mut x = u * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        3
+    }
+
+    fn sample_uniform(range: (f64, f64), rng: &mut SimRng) -> f64 {
+        range.0 + (range.1 - range.0) * rng.f64()
+    }
+
+    fn sample_poisson(&self, mean: f64, rng: &mut SimRng) -> u32 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        // Knuth's method is fine for small means (≈2.16).
+        let l = (-mean).exp();
+        let mut k = 0u32;
+        let mut p = 1.0;
+        loop {
+            p *= rng.f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 1000 {
+                return k;
+            }
+        }
+    }
+}
+
+/// Snapshot statistics of background occupancy (Table 1 / Fig. 2 shapes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FragmentationStats {
+    /// Mean SM utilisation, percent.
+    pub sm_mean: f64,
+    /// Median SM utilisation, percent.
+    pub sm_p50: f64,
+    /// P95 SM utilisation, percent.
+    pub sm_p95: f64,
+    /// Fraction of GPUs with SM utilisation in `[10%, 30%)`.
+    pub sm_frac_10_30: f64,
+    /// Mean memory utilisation, percent.
+    pub mem_mean: f64,
+    /// Median memory utilisation, percent.
+    pub mem_p50: f64,
+    /// P95 memory utilisation, percent.
+    pub mem_p95: f64,
+    /// Fraction of GPUs with memory utilisation in `[10%, 30%)`.
+    pub mem_frac_10_30: f64,
+    /// Average services per GPU × 100 (the paper's "subscription rate").
+    pub subscription_pct: f64,
+    /// Fraction of GPUs with more than 85% free memory ("securable").
+    pub p_single_free: f64,
+    /// Fraction of servers that could co-locate 4 securable GPUs.
+    pub p_colocate4: f64,
+}
+
+/// The background tenant process driving fragmentation.
+#[derive(Debug, Clone)]
+pub struct BackgroundTenants {
+    profile: BackgroundProfile,
+    rng: SimRng,
+}
+
+impl BackgroundTenants {
+    /// Creates the process with its own random stream.
+    pub fn new(profile: BackgroundProfile, rng: SimRng) -> Self {
+        BackgroundTenants { profile, rng }
+    }
+
+    /// The configured profile.
+    pub fn profile(&self) -> &BackgroundProfile {
+        &self.profile
+    }
+
+    /// Populates every GPU with an initial occupancy sample.
+    pub fn populate(&mut self, cluster: &mut Cluster) {
+        let ids: Vec<GpuId> = cluster.topology().gpus().iter().map(|g| g.id).collect();
+        for gpu in ids {
+            self.resample(cluster, gpu);
+        }
+    }
+
+    /// Resamples one GPU's background occupancy (a churn event).
+    ///
+    /// Memory and SM classes are drawn through a shared-uniform copula: half
+    /// the time the SM class reuses the memory draw's uniform, creating rank
+    /// correlation while preserving both marginal distributions exactly.
+    pub fn resample(&mut self, cluster: &mut Cluster, gpu: GpuId) {
+        let u = self.rng.f64();
+        let class = BackgroundProfile::class_at(&self.profile.weights, u);
+        let mem_frac = BackgroundProfile::sample_uniform(self.profile.mem_ranges[class], &mut self.rng);
+        let v = if self.rng.chance(0.5) { u } else { self.rng.f64() };
+        let sm_class = BackgroundProfile::class_at(&self.profile.sm_weights, v);
+        let sm_frac = BackgroundProfile::sample_uniform(self.profile.sm_ranges[sm_class], &mut self.rng);
+        let services = self
+            .profile
+            .sample_poisson(self.profile.mean_services, &mut self.rng);
+        let cap = cluster.gpu_mem_capacity();
+        cluster.set_background(gpu, (mem_frac * cap as f64) as u64, sm_frac, services);
+    }
+
+    /// Draws the next churn delay for a single GPU.
+    pub fn next_churn(&mut self) -> SimDuration {
+        let mean = self.profile.churn_mean.as_secs_f64();
+        let u = self.rng.f64().max(1e-12);
+        SimDuration::from_secs_f64(-mean * u.ln())
+    }
+
+    /// Applies one churn step: resamples each GPU independently with
+    /// probability `dt / churn_mean` (first-order approximation suitable
+    /// for coarse stepping).
+    pub fn step(&mut self, cluster: &mut Cluster, dt: SimDuration) {
+        let p = (dt.as_secs_f64() / self.profile.churn_mean.as_secs_f64()).min(1.0);
+        let ids: Vec<GpuId> = cluster.topology().gpus().iter().map(|g| g.id).collect();
+        for gpu in ids {
+            if self.rng.chance(p) {
+                self.resample(cluster, gpu);
+            }
+        }
+    }
+
+    /// Computes fragmentation statistics over the current snapshot.
+    pub fn stats(cluster: &Cluster) -> FragmentationStats {
+        let cap = cluster.gpu_mem_capacity() as f64;
+        let mut mem = Vec::new();
+        let mut sm = Vec::new();
+        let mut services_total = 0u64;
+        let mut securable = vec![false; cluster.topology().gpu_count()];
+        for info in cluster.topology().gpus() {
+            let l = cluster.load(info.id);
+            let mem_frac = l.bg_mem as f64 / cap;
+            mem.push(mem_frac * 100.0);
+            sm.push(l.bg_sm * 100.0);
+            services_total += u64::from(l.bg_services);
+            // "Securable": >85% memory free, light compute, ≤1 subscriber —
+            // the conditions under which the scheduler could actually hand
+            // this GPU to a new tenant (§3.1).
+            securable[info.id.0 as usize] =
+                (1.0 - mem_frac) > 0.85 && l.bg_sm < 0.30 && l.bg_services <= 1;
+        }
+        let n = mem.len().max(1) as f64;
+        let pct = |xs: &mut Vec<f64>, q: f64| -> f64 {
+            if xs.is_empty() {
+                return 0.0;
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let idx = ((xs.len() - 1) as f64 * q).round() as usize;
+            xs[idx]
+        };
+        let frac_in = |xs: &[f64], lo: f64, hi: f64| {
+            xs.iter().filter(|&&x| x >= lo && x < hi).count() as f64 / n
+        };
+        let mem_mean = mem.iter().sum::<f64>() / n;
+        let sm_mean = sm.iter().sum::<f64>() / n;
+        let mem_frac_10_30 = frac_in(&mem, 10.0, 30.0);
+        let sm_frac_10_30 = frac_in(&sm, 10.0, 30.0);
+
+        // Co-location: fraction of servers with ≥4 simultaneously securable GPUs.
+        let mut colocate = 0usize;
+        let server_count = cluster.topology().server_count();
+        for s in 0..server_count {
+            let free = cluster
+                .topology()
+                .gpus_on(crate::topology::ServerId(s as u32))
+                .iter()
+                .filter(|g| securable[g.0 as usize])
+                .count();
+            if free >= 4 {
+                colocate += 1;
+            }
+        }
+        let p_single_free = securable.iter().filter(|&&b| b).count() as f64 / n;
+
+        let mut mem_sorted = mem.clone();
+        let mut sm_sorted = sm.clone();
+        FragmentationStats {
+            sm_mean,
+            sm_p50: pct(&mut sm_sorted, 0.50),
+            sm_p95: pct(&mut sm_sorted, 0.95),
+            sm_frac_10_30,
+            mem_mean,
+            mem_p50: pct(&mut mem_sorted, 0.50),
+            mem_p95: pct(&mut mem_sorted, 0.95),
+            mem_frac_10_30,
+            subscription_pct: services_total as f64 / n * 100.0,
+            p_single_free,
+            p_colocate4: colocate as f64 / server_count.max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ClusterSpec;
+
+    fn stats_for(profile: BackgroundProfile, spec: ClusterSpec, seed: u64) -> FragmentationStats {
+        let mut cluster = Cluster::new(spec);
+        let mut bg = BackgroundTenants::new(profile, SimRng::seed(seed));
+        bg.populate(&mut cluster);
+        BackgroundTenants::stats(&cluster)
+    }
+
+    #[test]
+    fn c1_profile_lands_in_table1_bands() {
+        // Average over several snapshots to smooth the 468-GPU sample.
+        let mut acc = FragmentationStats::default();
+        let runs = 8;
+        for seed in 0..runs {
+            let s = stats_for(BackgroundProfile::c1_like(), ClusterSpec::alibaba_c1(), seed);
+            acc.sm_mean += s.sm_mean / runs as f64;
+            acc.mem_mean += s.mem_mean / runs as f64;
+            acc.mem_p95 += s.mem_p95 / runs as f64;
+            acc.mem_frac_10_30 += s.mem_frac_10_30 / runs as f64;
+            acc.subscription_pct += s.subscription_pct / runs as f64;
+            acc.p_single_free += s.p_single_free / runs as f64;
+        }
+        // Table 1 C1: SM mean 16.91, mem mean 43.48, mem P95 99.09,
+        // 10-30% bucket 38.44%, subscription 216%, single-free 8.7%.
+        assert!((10.0..25.0).contains(&acc.sm_mean), "sm mean {}", acc.sm_mean);
+        assert!((35.0..50.0).contains(&acc.mem_mean), "mem mean {}", acc.mem_mean);
+        assert!(acc.mem_p95 > 90.0, "mem p95 {}", acc.mem_p95);
+        assert!(
+            (0.30..0.46).contains(&acc.mem_frac_10_30),
+            "10-30 bucket {}",
+            acc.mem_frac_10_30
+        );
+        assert!(
+            (190.0..240.0).contains(&acc.subscription_pct),
+            "subscription {}",
+            acc.subscription_pct
+        );
+        assert!(
+            (0.02..0.15).contains(&acc.p_single_free),
+            "p_single_free {}",
+            acc.p_single_free
+        );
+    }
+
+    #[test]
+    fn c2_profile_shifts_toward_busier_cluster() {
+        let c1 = stats_for(BackgroundProfile::c1_like(), ClusterSpec::alibaba_c2(), 1);
+        let c2 = stats_for(BackgroundProfile::c2_like(), ClusterSpec::alibaba_c2(), 1);
+        assert!(c2.mem_mean > c1.mem_mean, "C2 should be busier");
+        assert!(c2.mem_p50 > c1.mem_p50);
+        assert!(c2.mem_frac_10_30 < c1.mem_frac_10_30);
+    }
+
+    #[test]
+    fn colocation_probability_is_tiny() {
+        let s = stats_for(BackgroundProfile::c2_like(), ClusterSpec::alibaba_c2(), 3);
+        // Paper: 0.02%. Anything below 1% demonstrates the fragmentation
+        // argument; exact value recorded in EXPERIMENTS.md.
+        assert!(s.p_colocate4 < 0.01, "colocate4 {}", s.p_colocate4);
+        assert!(s.p_colocate4 < s.p_single_free);
+    }
+
+    #[test]
+    fn none_profile_leaves_cluster_idle() {
+        let s = stats_for(BackgroundProfile::none(), ClusterSpec::paper_testbed(), 9);
+        assert_eq!(s.mem_mean, 0.0);
+        assert_eq!(s.subscription_pct, 0.0);
+        assert_eq!(s.p_single_free, 1.0);
+    }
+
+    #[test]
+    fn churn_changes_occupancy_over_time() {
+        let mut cluster = Cluster::new(ClusterSpec::paper_testbed());
+        let mut bg = BackgroundTenants::new(BackgroundProfile::c1_like(), SimRng::seed(4));
+        bg.populate(&mut cluster);
+        let before: Vec<u64> = cluster
+            .topology()
+            .gpus()
+            .iter()
+            .map(|g| cluster.load(g.id).bg_mem)
+            .collect();
+        bg.step(&mut cluster, SimDuration::from_secs(600));
+        let after: Vec<u64> = cluster
+            .topology()
+            .gpus()
+            .iter()
+            .map(|g| cluster.load(g.id).bg_mem)
+            .collect();
+        let changed = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+        assert!(changed > 10, "only {changed} GPUs churned");
+        cluster.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn churn_respects_serving_leases() {
+        let mut cluster = Cluster::new(ClusterSpec::paper_testbed());
+        let cap = cluster.gpu_mem_capacity();
+        let lease = cluster.reserve_gpu(GpuId(0), cap * 3 / 4).unwrap();
+        let mut bg = BackgroundTenants::new(BackgroundProfile::c2_like(), SimRng::seed(7));
+        for _ in 0..50 {
+            bg.step(&mut cluster, SimDuration::from_secs(600));
+            cluster.check_invariants().unwrap();
+        }
+        assert!(cluster.lease(lease).is_some());
+        assert!(cluster.load(GpuId(0)).bg_mem <= cap / 4);
+    }
+}

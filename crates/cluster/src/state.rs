@@ -1,0 +1,351 @@
+//! Dynamic cluster state: per-GPU memory commitments and leases.
+//!
+//! Two kinds of occupants compete for each GPU: *background tenants* (other
+//! services in the multi-tenant cluster, driven by
+//! [`crate::fragmentation::BackgroundTenants`]) and *serving leases* taken
+//! out by the LLM serving system under test. The cluster enforces that the
+//! sum never exceeds capacity — the central invariant the property tests
+//! pin down.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{ClusterSpec, GpuId, ServerId, Topology};
+
+/// Identifier of a memory lease on a GPU or host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LeaseId(pub u64);
+
+/// Why an allocation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough free memory on the target device.
+    InsufficientMemory {
+        /// Requested bytes.
+        requested: u64,
+        /// Bytes actually free.
+        free: u64,
+    },
+    /// The lease id is unknown (double release or corruption).
+    UnknownLease(LeaseId),
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::InsufficientMemory { requested, free } => write!(
+                f,
+                "insufficient memory: requested {requested} bytes, {free} free"
+            ),
+            AllocError::UnknownLease(id) => write!(f, "unknown lease {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Dynamic state of one GPU.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct GpuLoad {
+    /// Bytes committed by background tenants.
+    pub bg_mem: u64,
+    /// Bytes committed by serving leases.
+    pub serving_mem: u64,
+    /// Background streaming-multiprocessor utilisation fraction `[0, 1]`.
+    pub bg_sm: f64,
+    /// Number of background services subscribed to this GPU.
+    pub bg_services: u32,
+}
+
+/// A memory lease record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lease {
+    /// Device holding the memory.
+    pub target: LeaseTarget,
+    /// Leased bytes.
+    pub bytes: u64,
+}
+
+/// What a lease is held against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaseTarget {
+    /// GPU device memory.
+    Gpu(GpuId),
+    /// Server host DRAM (used by the parameter cache tier).
+    Host(ServerId),
+}
+
+/// The live cluster: topology plus all dynamic occupancy state.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    topo: Topology,
+    loads: Vec<GpuLoad>,
+    host_used: Vec<u64>,
+    leases: HashMap<LeaseId, Lease>,
+    next_lease: u64,
+}
+
+impl Cluster {
+    /// Builds an idle cluster from a spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let topo = Topology::new(spec);
+        let n = topo.gpu_count();
+        let s = topo.server_count();
+        Cluster {
+            topo,
+            loads: vec![GpuLoad::default(); n],
+            host_used: vec![0; s],
+            leases: HashMap::new(),
+            next_lease: 0,
+        }
+    }
+
+    /// The materialised topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// GPU memory capacity in bytes (uniform across the cluster).
+    pub fn gpu_mem_capacity(&self) -> u64 {
+        self.topo.spec().gpu.mem_bytes
+    }
+
+    /// Current load of `gpu`.
+    pub fn load(&self, gpu: GpuId) -> GpuLoad {
+        self.loads[gpu.0 as usize]
+    }
+
+    /// Free device memory on `gpu` in bytes.
+    pub fn free_mem(&self, gpu: GpuId) -> u64 {
+        let l = self.loads[gpu.0 as usize];
+        self.gpu_mem_capacity()
+            .saturating_sub(l.bg_mem + l.serving_mem)
+    }
+
+    /// Free fraction of device memory on `gpu`.
+    pub fn free_frac(&self, gpu: GpuId) -> f64 {
+        self.free_mem(gpu) as f64 / self.gpu_mem_capacity() as f64
+    }
+
+    /// Free host DRAM on `server` in bytes.
+    pub fn free_host_mem(&self, server: ServerId) -> u64 {
+        self.topo
+            .host_mem(server)
+            .saturating_sub(self.host_used[server.0 as usize])
+    }
+
+    /// Overwrites the background occupancy of `gpu` (fragmentation driver).
+    ///
+    /// Background demand is clamped so `bg_mem + serving_mem ≤ capacity`:
+    /// in a real cluster the scheduler would simply not have admitted the
+    /// tenant, and serving leases must never be invalidated retroactively.
+    pub fn set_background(&mut self, gpu: GpuId, mem: u64, sm: f64, services: u32) {
+        let cap = self.gpu_mem_capacity();
+        let l = &mut self.loads[gpu.0 as usize];
+        l.bg_mem = mem.min(cap.saturating_sub(l.serving_mem));
+        l.bg_sm = sm.clamp(0.0, 1.0);
+        l.bg_services = services;
+    }
+
+    /// Takes a serving lease of `bytes` on `gpu`.
+    pub fn reserve_gpu(&mut self, gpu: GpuId, bytes: u64) -> Result<LeaseId, AllocError> {
+        let free = self.free_mem(gpu);
+        if bytes > free {
+            return Err(AllocError::InsufficientMemory {
+                requested: bytes,
+                free,
+            });
+        }
+        self.loads[gpu.0 as usize].serving_mem += bytes;
+        Ok(self.record(Lease {
+            target: LeaseTarget::Gpu(gpu),
+            bytes,
+        }))
+    }
+
+    /// Takes a host-memory lease of `bytes` on `server`.
+    pub fn reserve_host(&mut self, server: ServerId, bytes: u64) -> Result<LeaseId, AllocError> {
+        let free = self.free_host_mem(server);
+        if bytes > free {
+            return Err(AllocError::InsufficientMemory {
+                requested: bytes,
+                free,
+            });
+        }
+        self.host_used[server.0 as usize] += bytes;
+        Ok(self.record(Lease {
+            target: LeaseTarget::Host(server),
+            bytes,
+        }))
+    }
+
+    fn record(&mut self, lease: Lease) -> LeaseId {
+        let id = LeaseId(self.next_lease);
+        self.next_lease += 1;
+        self.leases.insert(id, lease);
+        id
+    }
+
+    /// Releases a lease, returning its record.
+    pub fn release(&mut self, id: LeaseId) -> Result<Lease, AllocError> {
+        let lease = self
+            .leases
+            .remove(&id)
+            .ok_or(AllocError::UnknownLease(id))?;
+        match lease.target {
+            LeaseTarget::Gpu(gpu) => {
+                let l = &mut self.loads[gpu.0 as usize];
+                debug_assert!(l.serving_mem >= lease.bytes);
+                l.serving_mem = l.serving_mem.saturating_sub(lease.bytes);
+            }
+            LeaseTarget::Host(server) => {
+                let used = &mut self.host_used[server.0 as usize];
+                debug_assert!(*used >= lease.bytes);
+                *used = used.saturating_sub(lease.bytes);
+            }
+        }
+        Ok(lease)
+    }
+
+    /// Looks up a live lease.
+    pub fn lease(&self, id: LeaseId) -> Option<Lease> {
+        self.leases.get(&id).copied()
+    }
+
+    /// Number of live leases.
+    pub fn lease_count(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Iterates over GPU ids whose free memory is at least `min_free` bytes.
+    pub fn gpus_with_free(&self, min_free: u64) -> impl Iterator<Item = GpuId> + '_ {
+        self.topo
+            .gpus()
+            .iter()
+            .map(|g| g.id)
+            .filter(move |&g| self.free_mem(g) >= min_free)
+    }
+
+    /// Verifies the capacity invariant on every device; used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let cap = self.gpu_mem_capacity();
+        for (i, l) in self.loads.iter().enumerate() {
+            if l.bg_mem + l.serving_mem > cap {
+                return Err(format!(
+                    "gpu {i}: bg {} + serving {} exceeds capacity {cap}",
+                    l.bg_mem, l.serving_mem
+                ));
+            }
+        }
+        for (s, &used) in self.host_used.iter().enumerate() {
+            let cap = self.topo.host_mem(ServerId(s as u32));
+            if used > cap {
+                return Err(format!("server {s}: host used {used} exceeds {cap}"));
+            }
+        }
+        // Lease ledger must reconcile with per-device sums.
+        let mut per_gpu = vec![0u64; self.loads.len()];
+        let mut per_host = vec![0u64; self.host_used.len()];
+        for lease in self.leases.values() {
+            match lease.target {
+                LeaseTarget::Gpu(g) => per_gpu[g.0 as usize] += lease.bytes,
+                LeaseTarget::Host(s) => per_host[s.0 as usize] += lease.bytes,
+            }
+        }
+        for (i, l) in self.loads.iter().enumerate() {
+            if per_gpu[i] != l.serving_mem {
+                return Err(format!(
+                    "gpu {i}: lease ledger {} != serving_mem {}",
+                    per_gpu[i], l.serving_mem
+                ));
+            }
+        }
+        for (s, &used) in self.host_used.iter().enumerate() {
+            if per_host[s] != used {
+                return Err(format!("server {s}: ledger {} != used {used}", per_host[s]));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cluster {
+        Cluster::new(ClusterSpec::paper_testbed())
+    }
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let mut c = small();
+        let g = GpuId(0);
+        let cap = c.gpu_mem_capacity();
+        let lease = c.reserve_gpu(g, cap / 2).unwrap();
+        assert_eq!(c.free_mem(g), cap - cap / 2);
+        c.release(lease).unwrap();
+        assert_eq!(c.free_mem(g), cap);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn over_reservation_is_refused() {
+        let mut c = small();
+        let g = GpuId(3);
+        let cap = c.gpu_mem_capacity();
+        c.reserve_gpu(g, cap - 100).unwrap();
+        let err = c.reserve_gpu(g, 200).unwrap_err();
+        assert!(matches!(err, AllocError::InsufficientMemory { free: 100, .. }));
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn double_release_fails() {
+        let mut c = small();
+        let lease = c.reserve_gpu(GpuId(1), 1024).unwrap();
+        c.release(lease).unwrap();
+        assert!(matches!(
+            c.release(lease),
+            Err(AllocError::UnknownLease(_))
+        ));
+    }
+
+    #[test]
+    fn background_never_displaces_serving() {
+        let mut c = small();
+        let g = GpuId(2);
+        let cap = c.gpu_mem_capacity();
+        c.reserve_gpu(g, cap / 2).unwrap();
+        // Background demand exceeding remaining capacity is clamped.
+        c.set_background(g, cap, 0.5, 3);
+        assert_eq!(c.load(g).bg_mem, cap / 2);
+        assert_eq!(c.free_mem(g), 0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn host_memory_is_per_server() {
+        let mut c = small();
+        let s = ServerId(0);
+        let cap = c.topology().host_mem(s);
+        let l = c.reserve_host(s, cap).unwrap();
+        assert_eq!(c.free_host_mem(s), 0);
+        assert!(c.reserve_host(s, 1).is_err());
+        // Other servers unaffected.
+        assert_eq!(c.free_host_mem(ServerId(1)), cap);
+        c.release(l).unwrap();
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn gpus_with_free_filters() {
+        let mut c = small();
+        let cap = c.gpu_mem_capacity();
+        c.set_background(GpuId(0), cap, 0.9, 4);
+        let free: Vec<_> = c.gpus_with_free(cap / 2).collect();
+        assert!(!free.contains(&GpuId(0)));
+        assert_eq!(free.len(), c.topology().gpu_count() - 1);
+    }
+}

@@ -1,0 +1,381 @@
+//! Physical cluster topology: racks, servers, GPUs and their links.
+//!
+//! The FlexPipe paper evaluates on a 42-server / 82-GPU Kubernetes cluster
+//! with 100 Gbps networking and ≥256 GB of host memory per server (§9), and
+//! motivates the design with statistics from two Alibaba clusters (§3,
+//! Table 1: C1 with 430 nodes / 468 GPUs, C2 with 927 nodes / 1175 GPUs).
+//! [`ClusterSpec`] can describe all three; constructors for each are
+//! provided.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a GPU within a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GpuId(pub u32);
+
+/// Identifier of a server within a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+/// Identifier of a rack within a [`crate::Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RackId(pub u32);
+
+/// Hardware description of one GPU model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Device memory capacity in bytes (A100-80GB by default).
+    pub mem_bytes: u64,
+    /// Peak dense compute in TFLOP/s (used by the analytic cost model).
+    pub sm_tflops: f64,
+}
+
+impl GpuSpec {
+    /// An A100-80GB-like device.
+    pub const fn a100_80g() -> Self {
+        GpuSpec {
+            mem_bytes: 80 * (1 << 30),
+            sm_tflops: 312.0,
+        }
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::a100_80g()
+    }
+}
+
+/// Per-link bandwidth/latency parameters of the interconnect hierarchy.
+///
+/// Bandwidths are bytes/second; latencies are one-way startup costs.
+/// Defaults follow the environments the paper describes: NVLink for
+/// co-located GPUs, PCIe 4.0 x16 to host memory, 100 Gbps Ethernet between
+/// servers, and cold persistent storage at ~0.7 GB/s (the value implied by
+/// Table 2's parameter-loading times).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// GPU-to-GPU NVLink bandwidth within one server, bytes/s.
+    pub nvlink_bw: f64,
+    /// GPU↔host PCIe bandwidth, bytes/s.
+    pub pcie_bw: f64,
+    /// Server-to-server network bandwidth, bytes/s.
+    pub network_bw: f64,
+    /// Cross-rack network bandwidth (aggregation layer), bytes/s.
+    pub cross_rack_bw: f64,
+    /// Persistent-storage read bandwidth, bytes/s.
+    pub storage_bw: f64,
+    /// One-way network latency between servers.
+    pub network_latency_us: f64,
+    /// Setup cost of establishing an RDMA connection (once per peer pair).
+    pub rdma_setup_us: f64,
+    /// Setup cost of a NCCL-style connection (the paper reports seconds;
+    /// FlexPipe avoids this path entirely, see §8).
+    pub nccl_setup_ms: f64,
+    /// Whether RDMA NICs are present (else fall back to sendfile-style
+    /// kernel transfers at a throughput discount, §8).
+    pub rdma: bool,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            nvlink_bw: 300.0e9,
+            pcie_bw: 24.0e9,
+            network_bw: 12.5e9,    // 100 Gbps
+            cross_rack_bw: 10.0e9, // slight oversubscription at aggregation
+            storage_bw: 0.7e9,     // calibrated from Table 2 load times
+            network_latency_us: 25.0,
+            rdma_setup_us: 150.0,
+            nccl_setup_ms: 2_800.0,
+            rdma: true,
+        }
+    }
+}
+
+/// Description of one server: its rack, GPU count, and host memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Rack housing this server.
+    pub rack: RackId,
+    /// Number of GPUs attached.
+    pub gpus: u32,
+    /// Host DRAM capacity in bytes (≥256 GB in the paper's testbed).
+    pub host_mem_bytes: u64,
+    /// Whether co-located GPUs are NVLink-connected.
+    pub nvlink: bool,
+}
+
+/// Complete static description of a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable name used in experiment output.
+    pub name: String,
+    /// Per-server descriptions.
+    pub servers: Vec<ServerSpec>,
+    /// GPU hardware model (uniform across the cluster).
+    pub gpu: GpuSpec,
+    /// Interconnect parameters.
+    pub links: LinkSpec,
+}
+
+impl ClusterSpec {
+    /// The paper's 42-server / 82-GPU evaluation testbed (§9): forty
+    /// 2-GPU servers plus two 1-GPU servers, 256 GB hosts, 100 Gbps network,
+    /// 6 racks.
+    pub fn paper_testbed() -> Self {
+        let mut servers = Vec::with_capacity(42);
+        for i in 0..42u32 {
+            let rack = RackId(i / 7);
+            let gpus = if i < 40 { 2 } else { 1 };
+            servers.push(ServerSpec {
+                rack,
+                gpus,
+                host_mem_bytes: 256 * (1 << 30),
+                nvlink: i % 4 == 0, // only a minority of servers have NVLink pairs
+            });
+        }
+        ClusterSpec {
+            name: "paper-testbed-42s-82g".into(),
+            servers,
+            gpu: GpuSpec::a100_80g(),
+            links: LinkSpec::default(),
+        }
+    }
+
+    /// Alibaba inference-only cluster C1 (Table 1): 430 nodes, 468 GPUs.
+    ///
+    /// Most nodes carry a single GPU; a small set of 8-GPU and 2-GPU boxes
+    /// makes up the difference, mirroring heterogeneous inference fleets.
+    pub fn alibaba_c1() -> Self {
+        Self::heterogeneous("alibaba-c1", 430, 468, 43)
+    }
+
+    /// Alibaba hybrid training/inference cluster C2 (Table 1): 927 nodes,
+    /// 1175 GPUs.
+    pub fn alibaba_c2() -> Self {
+        Self::heterogeneous("alibaba-c2", 927, 1175, 92)
+    }
+
+    /// Builds a heterogeneous cluster of `nodes` servers totalling
+    /// `total_gpus` GPUs, `servers_per_rack` per rack; multi-GPU servers are
+    /// placed first.
+    pub fn heterogeneous(
+        name: &str,
+        nodes: u32,
+        total_gpus: u32,
+        servers_per_rack: u32,
+    ) -> Self {
+        assert!(total_gpus >= nodes, "need at least one GPU per node");
+        let mut extra = total_gpus - nodes; // GPUs beyond one-per-node
+        let mut servers = Vec::with_capacity(nodes as usize);
+        for i in 0..nodes {
+            // Greedily assign remaining extra GPUs in blocks of 7 (making
+            // 8-GPU boxes), then 1 (making 2-GPU boxes).
+            let bonus = if extra >= 7 {
+                extra -= 7;
+                7
+            } else if extra >= 1 {
+                extra -= 1;
+                1
+            } else {
+                0
+            };
+            servers.push(ServerSpec {
+                rack: RackId(i / servers_per_rack.max(1)),
+                gpus: 1 + bonus,
+                host_mem_bytes: 256 * (1 << 30),
+                nvlink: bonus == 7,
+            });
+        }
+        ClusterSpec {
+            name: name.into(),
+            servers,
+            gpu: GpuSpec::a100_80g(),
+            links: LinkSpec::default(),
+        }
+    }
+
+    /// Total number of GPUs across all servers.
+    pub fn total_gpus(&self) -> u32 {
+        self.servers.iter().map(|s| s.gpus).sum()
+    }
+
+    /// Number of racks (highest rack id + 1).
+    pub fn rack_count(&self) -> u32 {
+        self.servers
+            .iter()
+            .map(|s| s.rack.0 + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Static per-GPU topology record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuInfo {
+    /// This GPU's id.
+    pub id: GpuId,
+    /// Hosting server.
+    pub server: ServerId,
+    /// Hosting rack.
+    pub rack: RackId,
+    /// Whether the hosting server has NVLink between its GPUs.
+    pub nvlink: bool,
+}
+
+/// Materialised topology with id-indexed lookup tables.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    spec: ClusterSpec,
+    gpus: Vec<GpuInfo>,
+    server_gpus: Vec<Vec<GpuId>>,
+    rack_servers: Vec<Vec<ServerId>>,
+}
+
+impl Topology {
+    /// Materialises lookup tables from a spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let mut gpus = Vec::new();
+        let mut server_gpus = Vec::with_capacity(spec.servers.len());
+        let mut rack_servers: Vec<Vec<ServerId>> = vec![Vec::new(); spec.rack_count() as usize];
+        for (si, server) in spec.servers.iter().enumerate() {
+            let sid = ServerId(si as u32);
+            let mut ids = Vec::with_capacity(server.gpus as usize);
+            for _ in 0..server.gpus {
+                let gid = GpuId(gpus.len() as u32);
+                gpus.push(GpuInfo {
+                    id: gid,
+                    server: sid,
+                    rack: server.rack,
+                    nvlink: server.nvlink,
+                });
+                ids.push(gid);
+            }
+            server_gpus.push(ids);
+            rack_servers[server.rack.0 as usize].push(sid);
+        }
+        Topology {
+            spec,
+            gpus,
+            server_gpus,
+            rack_servers,
+        }
+    }
+
+    /// The originating spec.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// All GPUs in id order.
+    pub fn gpus(&self) -> &[GpuInfo] {
+        &self.gpus
+    }
+
+    /// Looks up one GPU's topology record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this cluster.
+    pub fn gpu(&self, id: GpuId) -> GpuInfo {
+        self.gpus[id.0 as usize]
+    }
+
+    /// Number of GPUs.
+    pub fn gpu_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.server_gpus.len()
+    }
+
+    /// GPUs attached to `server`.
+    pub fn gpus_on(&self, server: ServerId) -> &[GpuId] {
+        &self.server_gpus[server.0 as usize]
+    }
+
+    /// Servers in `rack`.
+    pub fn servers_in(&self, rack: RackId) -> &[ServerId] {
+        &self.rack_servers[rack.0 as usize]
+    }
+
+    /// Host memory capacity of `server` in bytes.
+    pub fn host_mem(&self, server: ServerId) -> u64 {
+        self.spec.servers[server.0 as usize].host_mem_bytes
+    }
+
+    /// Whether two GPUs share a server.
+    pub fn same_server(&self, a: GpuId, b: GpuId) -> bool {
+        self.gpu(a).server == self.gpu(b).server
+    }
+
+    /// Whether two GPUs share a rack.
+    pub fn same_rack(&self, a: GpuId, b: GpuId) -> bool {
+        self.gpu(a).rack == self.gpu(b).rack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_matches_headline_numbers() {
+        let spec = ClusterSpec::paper_testbed();
+        assert_eq!(spec.servers.len(), 42);
+        assert_eq!(spec.total_gpus(), 82);
+        assert_eq!(spec.rack_count(), 6);
+    }
+
+    #[test]
+    fn alibaba_clusters_match_table1() {
+        let c1 = ClusterSpec::alibaba_c1();
+        assert_eq!(c1.servers.len(), 430);
+        assert_eq!(c1.total_gpus(), 468);
+        let c2 = ClusterSpec::alibaba_c2();
+        assert_eq!(c2.servers.len(), 927);
+        assert_eq!(c2.total_gpus(), 1175);
+    }
+
+    #[test]
+    fn topology_lookup_tables_are_consistent() {
+        let topo = Topology::new(ClusterSpec::paper_testbed());
+        assert_eq!(topo.gpu_count(), 82);
+        assert_eq!(topo.server_count(), 42);
+        // Every GPU is listed exactly once on its own server.
+        for info in topo.gpus() {
+            let on_server = topo.gpus_on(info.server);
+            assert!(on_server.contains(&info.id));
+            assert!(topo.servers_in(info.rack).contains(&info.server));
+        }
+        // Server GPU lists partition all GPUs.
+        let total: usize = (0..topo.server_count())
+            .map(|s| topo.gpus_on(ServerId(s as u32)).len())
+            .sum();
+        assert_eq!(total, topo.gpu_count());
+    }
+
+    #[test]
+    fn same_server_and_rack_relations() {
+        let topo = Topology::new(ClusterSpec::paper_testbed());
+        // Server 0 has two GPUs: ids 0 and 1.
+        assert!(topo.same_server(GpuId(0), GpuId(1)));
+        assert!(!topo.same_server(GpuId(0), GpuId(2)));
+        assert!(topo.same_rack(GpuId(0), GpuId(2)));
+        let last = GpuId((topo.gpu_count() - 1) as u32);
+        assert!(!topo.same_rack(GpuId(0), last));
+    }
+
+    #[test]
+    fn heterogeneous_distributes_extra_gpus() {
+        let spec = ClusterSpec::heterogeneous("t", 10, 25, 5);
+        assert_eq!(spec.total_gpus(), 25);
+        assert_eq!(spec.servers.len(), 10);
+        // Two 8-GPU servers (7+7 extra), one 2-GPU server, rest single.
+        let eights = spec.servers.iter().filter(|s| s.gpus == 8).count();
+        assert_eq!(eights, 2);
+    }
+}

@@ -1,0 +1,253 @@
+//! Hierarchical data-transfer cost model (paper §8).
+//!
+//! After pipeline refactoring, KV-cache and parameter bytes must move
+//! between devices. The paper's implementation avoids NCCL (multi-second
+//! connection establishment) in favour of RDMA where available, falling
+//! back to `sendfile`-style kernel transfers otherwise. This module turns a
+//! (source, destination, bytes) triple into a simulated duration using the
+//! interconnect hierarchy: NVLink within a server, PCIe through host
+//! memory, and the network across servers — with per-mechanism setup costs.
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_sim::SimDuration;
+
+use crate::state::Cluster;
+use crate::topology::{GpuId, LinkSpec, ServerId};
+
+/// One endpoint of a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// GPU device memory.
+    Gpu(GpuId),
+    /// Host DRAM of a server.
+    Host(ServerId),
+    /// The shared persistent model store (registry / blob storage).
+    Storage,
+}
+
+/// The physical route a transfer takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Route {
+    /// Same-server GPU↔GPU over NVLink.
+    NvLink,
+    /// Same-server GPU↔GPU bounced through host memory over PCIe.
+    PcieBounce,
+    /// Same-server GPU↔host over PCIe.
+    PcieHost,
+    /// Cross-server via RDMA NICs (GPU or host source/sink).
+    Rdma,
+    /// Cross-server via kernel `sendfile` fallback (no RDMA NICs).
+    Sendfile,
+    /// Cold read from persistent storage.
+    Storage,
+}
+
+/// Transfer mechanism choice and cost computation.
+///
+/// # Examples
+///
+/// ```
+/// use flexpipe_cluster::{Cluster, ClusterSpec, Endpoint, TransferEngine};
+/// use flexpipe_cluster::topology::GpuId;
+///
+/// let cluster = Cluster::new(ClusterSpec::paper_testbed());
+/// let engine = TransferEngine::new(cluster.topology().spec().links);
+/// // 1 GiB between two GPUs on different servers.
+/// let d = engine.duration(&cluster, Endpoint::Gpu(GpuId(0)), Endpoint::Gpu(GpuId(5)), 1 << 30);
+/// assert!(d.as_secs_f64() > 0.05); // bounded by the 100 Gbps network
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TransferEngine {
+    links: LinkSpec,
+}
+
+impl TransferEngine {
+    /// Builds an engine over the given link parameters.
+    pub fn new(links: LinkSpec) -> Self {
+        TransferEngine { links }
+    }
+
+    /// The link parameters in use.
+    pub fn links(&self) -> &LinkSpec {
+        &self.links
+    }
+
+    /// Chooses the route between two endpoints.
+    pub fn route(&self, cluster: &Cluster, src: Endpoint, dst: Endpoint) -> Route {
+        use Endpoint::*;
+        match (src, dst) {
+            (Storage, _) | (_, Storage) => Route::Storage,
+            (Gpu(a), Gpu(b)) => {
+                let topo = cluster.topology();
+                if topo.same_server(a, b) {
+                    if topo.gpu(a).nvlink {
+                        Route::NvLink
+                    } else {
+                        Route::PcieBounce
+                    }
+                } else if self.links.rdma {
+                    Route::Rdma
+                } else {
+                    Route::Sendfile
+                }
+            }
+            (Gpu(g), Host(s)) | (Host(s), Gpu(g)) => {
+                if cluster.topology().gpu(g).server == s {
+                    Route::PcieHost
+                } else if self.links.rdma {
+                    Route::Rdma
+                } else {
+                    Route::Sendfile
+                }
+            }
+            (Host(a), Host(b)) => {
+                if a == b {
+                    // Same-host memcpy: treat as PCIe-class bandwidth.
+                    Route::PcieHost
+                } else if self.links.rdma {
+                    Route::Rdma
+                } else {
+                    Route::Sendfile
+                }
+            }
+        }
+    }
+
+    /// Effective bandwidth of a route in bytes/second.
+    pub fn bandwidth(&self, route: Route) -> f64 {
+        match route {
+            Route::NvLink => self.links.nvlink_bw,
+            Route::PcieBounce => self.links.pcie_bw / 2.0, // two PCIe crossings
+            Route::PcieHost => self.links.pcie_bw,
+            Route::Rdma => self.links.network_bw,
+            // §8: sendfile avoids user-space copies but not kernel
+            // protocol overhead; model as a 30% throughput discount.
+            Route::Sendfile => self.links.network_bw * 0.7,
+            Route::Storage => self.links.storage_bw,
+        }
+    }
+
+    /// Setup latency incurred once per transfer.
+    pub fn setup(&self, route: Route) -> SimDuration {
+        match route {
+            Route::NvLink => SimDuration::from_micros(5),
+            Route::PcieBounce | Route::PcieHost => SimDuration::from_micros(15),
+            Route::Rdma => SimDuration::from_secs_f64(
+                (self.links.network_latency_us + self.links.rdma_setup_us) / 1e6,
+            ),
+            Route::Sendfile => SimDuration::from_secs_f64(
+                // TCP connection + syscall path; no RDMA registration.
+                (self.links.network_latency_us * 3.0 + 200.0) / 1e6,
+            ),
+            Route::Storage => SimDuration::from_millis(8),
+        }
+    }
+
+    /// Setup latency a NCCL-style collective would pay instead (kept for
+    /// the ablation that motivates §8's design).
+    pub fn nccl_setup(&self) -> SimDuration {
+        SimDuration::from_millis_f64(self.links.nccl_setup_ms)
+    }
+
+    /// Total duration to move `bytes` from `src` to `dst`.
+    pub fn duration(&self, cluster: &Cluster, src: Endpoint, dst: Endpoint, bytes: u64) -> SimDuration {
+        let route = self.route(cluster, src, dst);
+        self.duration_on(route, bytes)
+    }
+
+    /// Total duration on a pre-computed route.
+    pub fn duration_on(&self, route: Route, bytes: u64) -> SimDuration {
+        let bw = self.bandwidth(route);
+        self.setup(route) + SimDuration::from_secs_f64(bytes as f64 / bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ClusterSpec;
+
+    fn setup() -> (Cluster, TransferEngine) {
+        let cluster = Cluster::new(ClusterSpec::paper_testbed());
+        let engine = TransferEngine::new(cluster.topology().spec().links);
+        (cluster, engine)
+    }
+
+    #[test]
+    fn routes_follow_topology() {
+        let (c, e) = setup();
+        // GPUs 0 and 1 share server 0, which has NVLink (server 0 % 4 == 0).
+        assert_eq!(e.route(&c, Endpoint::Gpu(GpuId(0)), Endpoint::Gpu(GpuId(1))), Route::NvLink);
+        // GPUs 2 and 3 share server 1 (no NVLink) → PCIe bounce.
+        assert_eq!(
+            e.route(&c, Endpoint::Gpu(GpuId(2)), Endpoint::Gpu(GpuId(3))),
+            Route::PcieBounce
+        );
+        // Cross-server with RDMA NICs.
+        assert_eq!(e.route(&c, Endpoint::Gpu(GpuId(0)), Endpoint::Gpu(GpuId(4))), Route::Rdma);
+        // GPU to its own host.
+        assert_eq!(
+            e.route(&c, Endpoint::Gpu(GpuId(0)), Endpoint::Host(ServerId(0))),
+            Route::PcieHost
+        );
+        // Anything touching storage.
+        assert_eq!(e.route(&c, Endpoint::Storage, Endpoint::Gpu(GpuId(0))), Route::Storage);
+    }
+
+    #[test]
+    fn sendfile_fallback_without_rdma() {
+        let mut spec = ClusterSpec::paper_testbed();
+        spec.links.rdma = false;
+        let c = Cluster::new(spec);
+        let e = TransferEngine::new(c.topology().spec().links);
+        assert_eq!(
+            e.route(&c, Endpoint::Gpu(GpuId(0)), Endpoint::Gpu(GpuId(4))),
+            Route::Sendfile
+        );
+        // Sendfile is slower than RDMA for the same payload.
+        let rdma = TransferEngine::new(ClusterSpec::paper_testbed().links);
+        let bytes = 256 << 20;
+        assert!(e.duration_on(Route::Sendfile, bytes) > rdma.duration_on(Route::Rdma, bytes));
+    }
+
+    #[test]
+    fn bandwidth_hierarchy_ordering() {
+        let (_, e) = setup();
+        assert!(e.bandwidth(Route::NvLink) > e.bandwidth(Route::PcieHost));
+        assert!(e.bandwidth(Route::PcieHost) > e.bandwidth(Route::Rdma));
+        assert!(e.bandwidth(Route::Rdma) > e.bandwidth(Route::Storage));
+    }
+
+    #[test]
+    fn duration_scales_linearly_in_bytes() {
+        let (_, e) = setup();
+        let d1 = e.duration_on(Route::Rdma, 100 << 20).as_secs_f64();
+        let d2 = e.duration_on(Route::Rdma, 200 << 20).as_secs_f64();
+        let setup = e.setup(Route::Rdma).as_secs_f64();
+        assert!(((d2 - setup) / (d1 - setup) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rdma_beats_nccl_setup_by_orders_of_magnitude() {
+        // The §8 claim: NCCL-style connection setup costs seconds while the
+        // RDMA path is microseconds.
+        let (_, e) = setup();
+        let nccl = e.nccl_setup().as_secs_f64();
+        let rdma = e.setup(Route::Rdma).as_secs_f64();
+        assert!(nccl / rdma > 1000.0, "nccl {nccl} rdma {rdma}");
+    }
+
+    #[test]
+    fn table2_load_time_shape() {
+        // Loading 33 GB (one 4-stage OPT-66B stage) from storage should take
+        // tens of seconds; loading 4.1 GB (one 32-stage stage) a few seconds —
+        // the 8.7x elasticity ratio of Table 2.
+        let (_, e) = setup();
+        let four_stage = e.duration_on(Route::Storage, 33 * (1 << 30)).as_secs_f64();
+        let thirty_two = e.duration_on(Route::Storage, 4125 << 20).as_secs_f64();
+        assert!((40.0..60.0).contains(&four_stage), "{four_stage}");
+        assert!((4.0..8.0).contains(&thirty_two), "{thirty_two}");
+        assert!((four_stage / thirty_two - 8.0).abs() < 1.5);
+    }
+}

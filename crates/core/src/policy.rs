@@ -1,0 +1,648 @@
+//! The FlexPipe control policy — Algorithm 1 of §6 wired end to end.
+//!
+//! Every control interval the policy:
+//!
+//! 1. reads the arrival monitor (λ_t, ν_t, ∂λ/∂t) and queue state;
+//! 2. scores every lattice level with Eq. (4) and picks `g*`;
+//! 3. refactors serving instances toward `g*` when the score improvement
+//!    beats the hysteresis margin and the per-instance dwell has elapsed —
+//!    placement through the HRG + Eq. (6)–(9) optimizer, timing through the
+//!    Eq. (10) consistency/migration model;
+//! 4. sizes the replica set with Eq. (5), spawning at the Eq. (11)
+//!    burst-aware granularity (checked against the Eq. (12) SLO
+//!    constraint) and retiring patiently under sustained low demand.
+//!
+//! Only 30% of the historical peak GPU count is pinned always-on (§9.6);
+//! everything else flows through the elastic tier with warm-start affinity.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_cluster::GpuId;
+use flexpipe_serving::{
+    ActionError, ControlPolicy, Ctx, InstanceId, InstanceState, Placement, RefactorPlan,
+    StageAssign,
+};
+use flexpipe_sim::{SimDuration, SimTime};
+
+use crate::allocation::{AllocationOptimizer, AllocationParams, StageNeed};
+use crate::consistency::MigrationModel;
+use crate::granularity::{
+    build_profiles, instances_needed, score, select, GranularityParams, LevelProfile,
+};
+use crate::hrg::{Hrg, HrgParams};
+use crate::scaling::{scaling_granularity, slo_feasible, ScalingParams};
+
+/// FlexPipe's configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlexPipeConfig {
+    /// Eq. (4)/(5) parameters.
+    pub granularity: GranularityParams,
+    /// Eq. (11)/(12) parameters.
+    pub scaling: ScalingParams,
+    /// Eq. (6)–(9) parameters.
+    pub allocation: AllocationParams,
+    /// HRG / Eq. (13) parameters.
+    pub hrg: HrgParams,
+    /// Eq. (10) migration timing model.
+    pub migration: MigrationModel,
+    /// Demand headroom when sizing replicas.
+    pub headroom: f64,
+    /// Refactor hysteresis: `score(g*) > hysteresis × score(current)`.
+    pub hysteresis: f64,
+    /// Minimum time between refactors of one instance.
+    pub min_dwell: SimDuration,
+    /// Control ticks of sustained low demand before scaling in.
+    pub scale_down_patience: u32,
+    /// Fraction of `peak_gpus` pinned always-on (0.30 in §9.6).
+    pub always_on_fraction: f64,
+    /// Historical peak GPU count of this service.
+    pub peak_gpus: u32,
+    /// Historical mean request rate — the same offline knowledge the
+    /// static baselines receive; sizes the initial standing fleet.
+    pub expected_rate: f64,
+    /// Burst anticipation: ν_eff = ν_t + boost·max(0, ∂λ/∂t)/λ.
+    pub gradient_boost: f64,
+    /// Consecutive ticks the Eq. (4) argmax must agree before a refactor
+    /// fires (debounces monitor noise around level boundaries).
+    pub confirm_ticks: u32,
+    /// Monitor warmup: no refactor decisions before this much simulated
+    /// time (the CV estimator reads 0 on an empty window).
+    pub warmup: SimDuration,
+    /// Background-interference coefficient (mirrors the engine config).
+    pub interference_coeff: f64,
+    /// Hard cap on replicas.
+    pub max_replicas: u32,
+}
+
+impl Default for FlexPipeConfig {
+    fn default() -> Self {
+        FlexPipeConfig {
+            granularity: GranularityParams::default(),
+            scaling: ScalingParams::default(),
+            allocation: AllocationParams::default(),
+            hrg: HrgParams::default(),
+            migration: MigrationModel::default(),
+            headroom: 1.5,
+            hysteresis: 1.25,
+            min_dwell: SimDuration::from_secs(8),
+            scale_down_patience: 10,
+            always_on_fraction: 0.30,
+            peak_gpus: 16,
+            expected_rate: 20.0,
+            gradient_boost: 2.0,
+            confirm_ticks: 3,
+            warmup: SimDuration::from_secs(20),
+            interference_coeff: 0.6,
+            max_replicas: 16,
+        }
+    }
+}
+
+/// The FlexPipe policy.
+pub struct FlexPipePolicy {
+    cfg: FlexPipeConfig,
+    profiles: Vec<LevelProfile>,
+    optimizer: AllocationOptimizer,
+    hrg: Hrg,
+    last_refactor: HashMap<InstanceId, SimTime>,
+    holds: std::collections::HashSet<InstanceId>,
+    low_demand_ticks: u32,
+    pending_target: Option<u32>,
+    pending_ticks: u32,
+    /// Decision latencies in seconds (wall-clock of the scoring pass),
+    /// recorded to validate the paper's < 5 ms claim.
+    pub decision_secs: Vec<f64>,
+}
+
+impl FlexPipePolicy {
+    /// Creates the policy.
+    pub fn new(cfg: FlexPipeConfig) -> Self {
+        FlexPipePolicy {
+            optimizer: AllocationOptimizer::new(cfg.allocation),
+            hrg: Hrg::new(cfg.hrg),
+            cfg,
+            profiles: Vec::new(),
+            last_refactor: HashMap::new(),
+            holds: std::collections::HashSet::new(),
+            low_demand_ticks: 0,
+            pending_target: None,
+            pending_ticks: 0,
+            decision_secs: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FlexPipeConfig {
+        &self.cfg
+    }
+
+    /// The level profiles (built during `init`).
+    pub fn profiles(&self) -> &[LevelProfile] {
+        &self.profiles
+    }
+
+    fn effective_nu(&self, rate: f64, cv: f64, grad: f64) -> f64 {
+        // Anticipate building bursts (§6.3: intensity gradients enable
+        // proactive adaptation before queues reflect the shift).
+        let boost = if rate > 0.1 && grad > 0.0 {
+            self.cfg.gradient_boost * grad / rate
+        } else {
+            0.0
+        };
+        cv + boost.min(4.0)
+    }
+
+    fn level_for_stages(&self, stages: u32) -> Option<LevelProfile> {
+        self.profiles.iter().find(|p| p.stages == stages).copied()
+    }
+
+    /// Picks the lattice level closest to (and at least) `m` stages.
+    fn nearest_level_at_least(&self, m: u32) -> Option<LevelProfile> {
+        self.profiles
+            .iter()
+            .filter(|p| p.stages >= m)
+            .min_by_key(|p| p.stages)
+            .or_else(|| self.profiles.iter().max_by_key(|p| p.stages))
+            .copied()
+    }
+
+    fn stage_needs(&self, ctx: &Ctx<'_>, ranges: &[flexpipe_model::OpRange]) -> Vec<StageNeed> {
+        ranges
+            .iter()
+            .map(|&r| StageNeed {
+                range: r,
+                mem_bytes: ctx.state.cost().stage_mem_bytes(ctx.state.graph(), r, 8),
+            })
+            .collect()
+    }
+
+    fn spawn_replica(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        stages: u32,
+        cv: f64,
+        standing: bool,
+    ) -> Result<InstanceId, ActionError> {
+        let now = ctx.now();
+        let ranges = ctx
+            .state
+            .lattice()
+            .level(stages)
+            .ok_or(ActionError::UnknownLevel(stages))?
+            .ranges
+            .clone();
+        let needs = self.stage_needs(ctx, &ranges);
+        let forbidden: Vec<GpuId> = ctx.state.gpus_in_use().iter().copied().collect();
+        let assignment = self
+            .hrg
+            .place(
+                ctx.state.cluster(),
+                ctx.state.graph(),
+                ctx.state.cost(),
+                &self.optimizer,
+                self.cfg.interference_coeff,
+                &needs,
+                &forbidden,
+                cv,
+                now,
+            )
+            .ok_or_else(|| ActionError::NoCapacity("HRG found no placement".into()))?;
+        if standing {
+            ctx.spawn_prewarmed(stages, Placement::Explicit(assignment.gpus))
+        } else {
+            ctx.spawn(stages, Placement::Explicit(assignment.gpus))
+        }
+    }
+
+    fn try_refactor(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        inst: &flexpipe_serving::InstanceSnapshot,
+        target: &LevelProfile,
+        rate: f64,
+        cv: f64,
+    ) {
+        let now = ctx.now();
+        let graph = ctx.state.graph();
+        let plan = ctx
+            .state
+            .lattice()
+            .plan_transition(graph, inst.stages, target.stages);
+
+        // Fresh-device placement for transitions without a reused host.
+        let fresh_ranges: Vec<flexpipe_model::OpRange> = plan
+            .transitions
+            .iter()
+            .filter(|t| t.reuse_old_stage.is_none())
+            .map(|t| plan_range(&plan, ctx, t.new_stage))
+            .collect();
+        let fresh_gpus = if fresh_ranges.is_empty() {
+            Vec::new()
+        } else {
+            let needs = self.stage_needs(ctx, &fresh_ranges);
+            let forbidden: Vec<GpuId> = ctx.state.gpus_in_use().iter().copied().collect();
+            match self.hrg.place(
+                ctx.state.cluster(),
+                ctx.state.graph(),
+                ctx.state.cost(),
+                &self.optimizer,
+                self.cfg.interference_coeff,
+                &needs,
+                &forbidden,
+                cv,
+                now,
+            ) {
+                Some(a) => a.gpus,
+                None => return, // no capacity: stay on the current topology
+            }
+        };
+
+        // Timing: parameter fetches (+ provisioning) overlap the bulk KV
+        // copy in prepare; the delta sync bounds the pause (Eq. 10).
+        let mut param_load = SimDuration::ZERO;
+        let mut fresh_iter = fresh_gpus.iter();
+        let new_ranges = ctx
+            .state
+            .lattice()
+            .level(target.stages)
+            .expect("level exists")
+            .ranges
+            .clone();
+        let mut assignments = Vec::with_capacity(new_ranges.len());
+        for t in &plan.transitions {
+            match t.reuse_old_stage {
+                Some(old) => assignments.push(StageAssign::Reuse { old_index: old }),
+                None => {
+                    let gpu = *fresh_iter.next().expect("one gpu per fresh stage");
+                    let r = new_ranges[t.new_stage as usize];
+                    let load = ctx.state.load_duration(r, gpu)
+                        + ctx.state.provisioning_delay(gpu, now);
+                    param_load = param_load.max(load);
+                    assignments.push(StageAssign::Fresh { gpu });
+                }
+            }
+        }
+
+        // Cached tokens ≈ active requests × (prompt + half the output).
+        let gp = &self.cfg.granularity;
+        let cached_tokens = (f64::from(inst.active_requests)
+            * (gp.mean_prompt_tokens + gp.mean_output_tokens / 2.0)) as u64;
+        let token_rate = rate * gp.mean_output_tokens;
+        // Transfers run pairwise-parallel across the stages that receive
+        // data (§8's hierarchical engine).
+        let lanes = plan
+            .transitions
+            .iter()
+            .filter(|t| t.kv_move_bytes_per_token > 0 || t.reuse_old_stage.is_none())
+            .count()
+            .max(1) as u32;
+        let timing = self.cfg.migration.plan(
+            plan.total_kv_bytes_per_token,
+            cached_tokens,
+            token_rate,
+            param_load,
+            lanes,
+        );
+
+        let refactor_plan = RefactorPlan {
+            new_ranges,
+            assignments,
+            prepare: timing.prepare,
+            pause: timing.pause,
+        };
+        if ctx.refactor(inst.id, refactor_plan).is_ok() {
+            self.last_refactor.insert(inst.id, now);
+        }
+    }
+}
+
+/// Range of `new_stage` in the transition plan's target level.
+fn plan_range(
+    plan: &flexpipe_partition::TransitionPlan,
+    ctx: &Ctx<'_>,
+    new_stage: u32,
+) -> flexpipe_model::OpRange {
+    ctx.state
+        .lattice()
+        .level(plan.to_stages)
+        .expect("level exists")
+        .ranges[new_stage as usize]
+}
+
+impl ControlPolicy for FlexPipePolicy {
+    fn name(&self) -> &'static str {
+        "FlexPipe"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.profiles = build_profiles(
+            ctx.state.graph(),
+            ctx.state.cost(),
+            ctx.state.lattice(),
+            &ctx.state.cluster().topology().spec().links,
+            &self.cfg.granularity,
+        );
+        // Levels whose stages cannot hold a useful batch under realistic
+        // free memory are not usable configurations (e.g. 2-stage OPT-66B
+        // leaves < 1 GiB of KV room).
+        self.profiles.retain(|p| p.batch_cap >= 8);
+        assert!(
+            !self.profiles.is_empty(),
+            "lattice must provide at least one usable level"
+        );
+
+        // Pin 30% of historical peak as always-on (§9.6), chosen through
+        // the HRG so the pinned set sits on quiet, memory-rich devices.
+        let pinned_count = ((f64::from(self.cfg.peak_gpus) * self.cfg.always_on_fraction).ceil()
+            as usize)
+            .max(1);
+        let cap = ctx.state.cluster().gpu_mem_capacity();
+        let mut candidates: Vec<GpuId> = ctx
+            .state
+            .cluster()
+            .topology()
+            .gpus()
+            .iter()
+            .map(|g| g.id)
+            .collect();
+        candidates.sort_by_key(|&g| {
+            let load = ctx.state.cluster().load(g);
+            (load.bg_mem + (load.bg_sm * cap as f64) as u64, g.0)
+        });
+        let pinned: Vec<GpuId> = candidates.into_iter().take(pinned_count).collect();
+        ctx.set_always_on(pinned);
+
+        // Initial deployment: the standing fleet for the historical mean
+        // rate at the CV=1 sweet spot, prewarmed — this is the deployment
+        // that exists before measurement starts, exactly like the static
+        // baselines' fleets. Eq. (5) takes over from the live monitor.
+        let initial = select(&self.profiles, &self.cfg.granularity, 1.0)
+            .expect("profiles non-empty");
+        let standing = instances_needed(&initial, self.cfg.expected_rate, self.cfg.headroom)
+            .min(self.cfg.max_replicas)
+            .max(1);
+        for _ in 0..standing {
+            if self.spawn_replica(ctx, initial.stages, 1.0, true).is_err() {
+                break;
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let started = std::time::Instant::now();
+        let now = ctx.now();
+        let (rate, cv, grad) = ctx.monitor();
+        let queue = ctx.queue_len();
+        let nu_eff = self.effective_nu(rate, cv, grad);
+
+        let Some(target) = select(&self.profiles, &self.cfg.granularity, nu_eff) else {
+            return;
+        };
+
+        // Debounce: a refactor only fires once the Eq. (4) argmax has been
+        // stable for `confirm_ticks` consecutive ticks. Monitor noise near
+        // a level boundary otherwise causes pathological oscillation.
+        if self.pending_target == Some(target.stages) {
+            self.pending_ticks += 1;
+        } else {
+            self.pending_target = Some(target.stages);
+            self.pending_ticks = 1;
+        }
+        let confirmed = self.pending_ticks >= self.cfg.confirm_ticks && now >= SimTime::ZERO + self.cfg.warmup;
+
+        // --- Replica accounting first: refactors are calm-time actions. ---
+        let instances = ctx.instances();
+        let any_loading = instances
+            .iter()
+            .any(|i| i.state == InstanceState::Loading);
+        let live = instances
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i.state,
+                    InstanceState::Serving
+                        | InstanceState::Loading
+                        | InstanceState::Preparing
+                        | InstanceState::Paused
+                )
+            })
+            .count() as u32;
+        let drain_target_secs = 15.0;
+        let pressure_active = queue > 64;
+        let pressure = if pressure_active {
+            queue as f64 / drain_target_secs
+        } else {
+            0.0
+        };
+        let effective_rate = rate + pressure;
+        let desired = instances_needed(&target, effective_rate, self.cfg.headroom)
+            .min(self.cfg.max_replicas)
+            .max(1);
+
+        // Release holds that no longer serve a purpose (target moved, the
+        // instance reached the target topology, or — critically — backlog
+        // pressure demands every slot of capacity: consolidation waits,
+        // service does not).
+        let stale: Vec<InstanceId> = self
+            .holds
+            .iter()
+            .copied()
+            .filter(|id| {
+                pressure_active
+                    || instances
+                        .iter()
+                        .find(|i| i.id == *id)
+                        .is_none_or(|i| i.stages == target.stages)
+            })
+            .collect();
+        for id in stale {
+            ctx.set_admit_hold(id, false);
+            self.holds.remove(&id);
+        }
+
+        // --- Refactor pass (Algorithm 1 lines 10-16). ---
+        // Refactor only a calm, stable population: burst absorbers are
+        // retired (not refactored) when demand subsides, capacity that is
+        // still loading must land first, and backlog pressure means the
+        // scaling path — not topology change — is the right tool.
+        let calm = !pressure_active && live == desired && !any_loading;
+        for inst in &instances {
+            if !confirmed || !calm {
+                break;
+            }
+            if inst.state != InstanceState::Serving || inst.stages == target.stages {
+                continue;
+            }
+            // A consolidation below the instance's live load cannot commit
+            // (the merged stages could not hold the admitted KV): hold
+            // admissions so the load drains toward the target capacity,
+            // then refactor on a later tick.
+            if target.batch_cap * 3 / 4 < inst.active_requests {
+                ctx.set_admit_hold(inst.id, true);
+                self.holds.insert(inst.id);
+                continue;
+            }
+            let dwell_ok = self
+                .last_refactor
+                .get(&inst.id)
+                .is_none_or(|&t| now.saturating_since(t) >= self.cfg.min_dwell);
+            if !dwell_ok {
+                continue;
+            }
+            let Some(current) = self.level_for_stages(inst.stages) else {
+                continue;
+            };
+            let s_target = score(&target, &self.profiles, &self.cfg.granularity, nu_eff);
+            let s_current = score(&current, &self.profiles, &self.cfg.granularity, nu_eff);
+            if s_target > self.cfg.hysteresis * s_current {
+                self.try_refactor(ctx, inst, &target, rate, cv);
+            }
+        }
+
+        if live < desired {
+            // One cold spawn in flight at a time: spawning again before the
+            // last instance loads only duplicates capacity that is already
+            // on the way.
+            if any_loading {
+                return;
+            }
+            // Steady-state additions deploy at the Eq. (4) target
+            // granularity. Under backlog pressure the Eq. (11) decision
+            // kicks in: urgency (cv·q̂) pushes toward fine stages whose
+            // parameter shards load quickly, and the Eq. (12) feasibility
+            // ladder escalates fineness until the initialisation time fits
+            // the drain deadline.
+            let level = if !pressure_active {
+                target
+            } else {
+                let g_max = self.profiles.iter().map(|p| p.stages).max().unwrap_or(1);
+                let m = scaling_granularity(&self.cfg.scaling, g_max, cv, queue);
+                let mut level = self.nearest_level_at_least(m).unwrap_or(target);
+                let deadline = 20.0;
+                loop {
+                    let init_secs = ctx
+                        .state
+                        .lattice()
+                        .level(level.stages)
+                        .map(|l| {
+                            l.ranges
+                                .iter()
+                                .map(|&r| {
+                                    ctx.state
+                                        .cost()
+                                        .stage_load(ctx.state.graph(), r, 0.7e9)
+                                        .as_secs_f64()
+                                })
+                                .fold(0.0, f64::max)
+                        })
+                        .unwrap_or(0.0);
+                    if slo_feasible(deadline, init_secs, level.mu, 1, queue, 1)
+                        || level.stages >= g_max
+                    {
+                        break;
+                    }
+                    match self
+                        .profiles
+                        .iter()
+                        .filter(|p| p.stages > level.stages)
+                        .min_by_key(|p| p.stages)
+                    {
+                        Some(finer) => level = *finer,
+                        None => break,
+                    }
+                }
+                level
+            };
+            // Fall back through coarser (fewer-GPU) levels when the chosen
+            // one cannot be placed — a fragmented fleet may lack 16 free
+            // devices while easily fitting 4.
+            let mut candidates: Vec<u32> = self
+                .profiles
+                .iter()
+                .map(|p| p.stages)
+                .filter(|&s| s <= level.stages)
+                .collect();
+            candidates.sort_unstable_by(|a, b| b.cmp(a));
+            candidates.insert(0, level.stages);
+            candidates.dedup();
+            let mut spawned = false;
+            for stages in candidates {
+                if self.spawn_replica(ctx, stages, cv, false).is_ok() {
+                    spawned = true;
+                    break;
+                }
+            }
+            if !spawned {
+                return;
+            }
+            self.low_demand_ticks = 0;
+        } else if live > desired {
+            self.low_demand_ticks += 1;
+            if self.low_demand_ticks >= self.cfg.scale_down_patience {
+                // Retire the least-loaded serving replicas.
+                let mut serving: Vec<_> = ctx
+                    .instances()
+                    .into_iter()
+                    .filter(|i| i.state == InstanceState::Serving)
+                    .collect();
+                serving.sort_by(|a, b| {
+                    // Retire burst absorbers (off-target granularity) first,
+                    // then the least-loaded replicas — "revert to coarse"
+                    // happens by attrition, not by refactoring throwaway
+                    // instances.
+                    let a_off = a.stages != target.stages;
+                    let b_off = b.stages != target.stages;
+                    b_off
+                        .cmp(&a_off)
+                        .then(
+                            (f64::from(a.active_requests) / f64::from(a.batch_cap.max(1)))
+                                .partial_cmp(
+                                    &(f64::from(b.active_requests)
+                                        / f64::from(b.batch_cap.max(1))),
+                                )
+                                .unwrap(),
+                        )
+                        .then(a.id.cmp(&b.id))
+                });
+                let excess = (live - desired) as usize;
+                for inst in serving.into_iter().take(excess) {
+                    ctx.retire(inst.id);
+                }
+                self.low_demand_ticks = 0;
+            }
+        } else {
+            self.low_demand_ticks = 0;
+        }
+
+        self.decision_secs.push(started.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_match_paper_constants() {
+        let cfg = FlexPipeConfig::default();
+        assert!((cfg.always_on_fraction - 0.30).abs() < 1e-9);
+        assert!(cfg.hysteresis > 1.0);
+        assert!(cfg.granularity.alpha > 0.0 && cfg.granularity.alpha < 1.0);
+    }
+
+    #[test]
+    fn effective_nu_boosts_on_positive_gradient() {
+        let p = FlexPipePolicy::new(FlexPipeConfig::default());
+        let flat = p.effective_nu(20.0, 2.0, 0.0);
+        let rising = p.effective_nu(20.0, 2.0, 10.0);
+        let falling = p.effective_nu(20.0, 2.0, -10.0);
+        assert_eq!(flat, 2.0);
+        assert!(rising > flat);
+        assert_eq!(falling, flat);
+        // Boost saturates.
+        let extreme = p.effective_nu(1.0, 2.0, 1e9);
+        assert!(extreme <= 6.0 + 1e-9);
+    }
+}

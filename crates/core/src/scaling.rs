@@ -1,0 +1,137 @@
+//! Adaptive pipeline scaling — Eq. (11) and Eq. (12) of §7.
+//!
+//! When traffic bursts, the system must decide *how fine* to scale: fine
+//! (stage-level) scaling loads small parameter shards fast but adds
+//! communication; coarse scaling is the reverse. Eq. (11) blends the
+//! traffic CV and the normalised queue length through a sigmoid:
+//!
+//! ```text
+//! m_j = ceil( G_max / (1 + β·e^{−γ(cv_j · q̂_j)}) )
+//! ```
+//!
+//! pushing toward `G_max` (the finest granularity) exactly when both the
+//! burstiness and the queue urgency are high. Eq. (12) then checks the SLO
+//! feasibility of the chosen expansion.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the scaling-granularity decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingParams {
+    /// Sigmoid offset β of Eq. (11).
+    pub beta: f64,
+    /// Sigmoid steepness γ of Eq. (11).
+    pub gamma: f64,
+    /// Queue normalisation constant `Q_max` for q̂ = min(q/Q_max, 1).
+    pub queue_norm: f64,
+}
+
+impl Default for ScalingParams {
+    fn default() -> Self {
+        ScalingParams {
+            beta: 40.0,
+            gamma: 1.6,
+            queue_norm: 100.0,
+        }
+    }
+}
+
+/// Eq. (11): the scaling granularity (stage count) for a workload with
+/// coefficient of variation `cv` and queue length `queue`.
+pub fn scaling_granularity(params: &ScalingParams, g_max: u32, cv: f64, queue: usize) -> u32 {
+    let q_hat = (queue as f64 / params.queue_norm).min(1.0);
+    let x = cv.max(0.0) * q_hat;
+    let m = f64::from(g_max) / (1.0 + params.beta * (-params.gamma * x).exp());
+    (m.ceil() as u32).clamp(1, g_max)
+}
+
+/// Eq. (12): whether `m` expanded stages with per-stage throughput
+/// `stage_rate` can process `required` requests within the SLO deadline
+/// `deadline_secs`, after paying `init_secs` of scaling initialisation.
+///
+/// The paper writes the constraint as
+/// `(T_j − S_j)·Σ_k μ_jk / Q_j ≥ r_j`; with `r_j` being the requests to
+/// clear (typically the queue itself plus projected arrivals) this reduces
+/// to post-init capacity covering the requirement, which is the form
+/// implemented here. `queue` is accepted for interface symmetry with the
+/// paper and folded into `required` by callers.
+pub fn slo_feasible(
+    deadline_secs: f64,
+    init_secs: f64,
+    stage_rate: f64,
+    m: u32,
+    queue: usize,
+    required: usize,
+) -> bool {
+    if deadline_secs <= init_secs {
+        return false;
+    }
+    let capacity = (deadline_secs - init_secs) * stage_rate * f64::from(m);
+    let _ = queue;
+    capacity >= required as f64
+}
+
+/// The smallest `m ≤ g_max` satisfying Eq. (12), or `None`.
+pub fn min_feasible_expansion(
+    deadline_secs: f64,
+    init_secs: f64,
+    stage_rate: f64,
+    g_max: u32,
+    queue: usize,
+    required: usize,
+) -> Option<u32> {
+    (1..=g_max).find(|&m| slo_feasible(deadline_secs, init_secs, stage_rate, m, queue, required))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_spans_coarse_to_fine() {
+        let p = ScalingParams::default();
+        // Calm: tiny granularity (coarse scaling).
+        let calm = scaling_granularity(&p, 32, 0.5, 2);
+        assert!(calm <= 2, "calm {calm}");
+        // Full burst: approaches G_max.
+        let burst = scaling_granularity(&p, 32, 6.0, 200);
+        assert!(burst >= 30, "burst {burst}");
+        // Monotone in cv at fixed queue.
+        let mid_lo = scaling_granularity(&p, 32, 1.0, 60);
+        let mid_hi = scaling_granularity(&p, 32, 4.0, 60);
+        assert!(mid_hi >= mid_lo);
+    }
+
+    #[test]
+    fn queue_urgency_matters_even_at_fixed_cv() {
+        let p = ScalingParams::default();
+        let idle = scaling_granularity(&p, 32, 4.0, 0);
+        let packed = scaling_granularity(&p, 32, 4.0, 150);
+        assert!(packed > idle);
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let p = ScalingParams::default();
+        for cv in [0.0, 1.0, 8.0, 100.0] {
+            for q in [0usize, 10, 1000] {
+                let m = scaling_granularity(&p, 16, cv, q);
+                assert!((1..=16).contains(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn slo_feasibility() {
+        // 5 s deadline, 1 s init, 2 req/s per stage.
+        assert!(slo_feasible(5.0, 1.0, 2.0, 4, 10, 30)); // 4·2·4 = 32 ≥ 30
+        assert!(!slo_feasible(5.0, 1.0, 2.0, 3, 10, 30)); // 24 < 30
+        assert!(!slo_feasible(1.0, 2.0, 10.0, 8, 10, 1)); // init exceeds deadline
+    }
+
+    #[test]
+    fn min_feasible_expansion_finds_threshold() {
+        assert_eq!(min_feasible_expansion(5.0, 1.0, 2.0, 8, 10, 30), Some(4));
+        assert_eq!(min_feasible_expansion(5.0, 1.0, 0.1, 8, 10, 1000), None);
+    }
+}

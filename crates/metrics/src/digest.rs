@@ -1,0 +1,187 @@
+//! Quantile digests for latency distributions.
+//!
+//! Experiments at this scale complete at most a few hundred thousand
+//! requests, so an exact sample digest (sort-on-demand with a dirty flag)
+//! is both simpler and more accurate than streaming sketches; the paper's
+//! percentile plots (Fig. 10, Fig. 13) need faithful tails.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact sample quantile digest.
+///
+/// # Examples
+///
+/// ```
+/// use flexpipe_metrics::digest::Digest;
+///
+/// let mut d = Digest::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     d.record(x);
+/// }
+/// assert_eq!(d.quantile(0.5), 2.5);
+/// assert_eq!(d.quantile(1.0), 4.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Digest {
+    samples: Vec<f64>,
+    #[serde(skip)]
+    sorted: bool,
+}
+
+impl Digest {
+    /// Creates an empty digest.
+    pub fn new() -> Self {
+        Digest {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records one observation. Non-finite values are rejected.
+    pub fn record(&mut self, x: f64) {
+        if x.is_finite() {
+            self.samples.push(x);
+            self.sorted = false;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the digest holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("non-finite rejected at record"));
+            self.sorted = true;
+        }
+    }
+
+    /// Linear-interpolated quantile `q ∈ [0, 1]`; 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.samples[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+        }
+    }
+
+    /// The standard evaluation percentiles (P50/P75/P90/P95/P99).
+    pub fn percentile_row(&mut self) -> [f64; 5] {
+        [
+            self.quantile(0.50),
+            self.quantile(0.75),
+            self.quantile(0.90),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        ]
+    }
+
+    /// Maximum observation, 0 when empty.
+    pub fn max(&mut self) -> f64 {
+        self.quantile(1.0)
+    }
+
+    /// Minimum observation, 0 when empty.
+    pub fn min(&mut self) -> f64 {
+        self.quantile(0.0)
+    }
+
+    /// Merges another digest into this one.
+    pub fn merge(&mut self, other: &Digest) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut d = Digest::new();
+        for x in 1..=100 {
+            d.record(f64::from(x));
+        }
+        assert!((d.quantile(0.5) - 50.5).abs() < 1e-9);
+        assert!((d.quantile(0.99) - 99.01).abs() < 1e-9);
+        assert_eq!(d.min(), 1.0);
+        assert_eq!(d.max(), 100.0);
+    }
+
+    #[test]
+    fn empty_digest_is_zero() {
+        let mut d = Digest::new();
+        assert_eq!(d.quantile(0.5), 0.0);
+        assert_eq!(d.mean(), 0.0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut d = Digest::new();
+        d.record(f64::NAN);
+        d.record(f64::INFINITY);
+        d.record(2.0);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Digest::new();
+        let mut b = Digest::new();
+        a.record(1.0);
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn interleaved_record_and_query() {
+        let mut d = Digest::new();
+        d.record(5.0);
+        assert_eq!(d.quantile(0.5), 5.0);
+        d.record(1.0);
+        assert_eq!(d.quantile(0.0), 1.0);
+        d.record(9.0);
+        assert_eq!(d.quantile(0.5), 5.0);
+    }
+
+    #[test]
+    fn percentile_row_is_monotone() {
+        let mut d = Digest::new();
+        let mut x = 1.0;
+        for _ in 0..1000 {
+            x = (x * 1.13) % 97.0;
+            d.record(x);
+        }
+        let row = d.percentile_row();
+        assert!(row.windows(2).all(|w| w[0] <= w[1]), "{row:?}");
+    }
+}

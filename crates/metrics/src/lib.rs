@@ -1,0 +1,25 @@
+//! Instrumentation for the FlexPipe experiments: latency digests, goodput
+//! and SLO accounting, stall detection, utilisation ledgers and tabular
+//! output.
+//!
+//! Every serving run produces an [`outcome::OutcomeLog`]; the figure
+//! harnesses in `flexpipe-bench` post-process it with [`stall`] (Fig. 11),
+//! [`util`] (Fig. 12, §9.6) and [`digest`]/[`timeline`] (Figs. 8–10, 13).
+
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod outcome;
+pub mod p2;
+pub mod stall;
+pub mod table;
+pub mod timeline;
+pub mod util;
+
+pub use digest::Digest;
+pub use p2::P2Quantile;
+pub use outcome::{OutcomeLog, OutcomeSummary, RequestOutcome};
+pub use stall::{analyze_stalls, StallConfig, StallEpisode, StallReport};
+pub use table::{fmt_f, fmt_pct, fmt_secs, Table};
+pub use timeline::Timeline;
+pub use util::UtilizationLedger;

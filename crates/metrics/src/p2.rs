@@ -1,0 +1,249 @@
+//! Streaming quantile estimation with the P² algorithm (Jain & Chlamtac,
+//! 1985).
+//!
+//! The exact [`crate::digest::Digest`] stores every sample; for
+//! long-horizon monitoring loops (FlexPipe's controller watching latency
+//! quantiles over hours) a constant-memory estimator is the right tool.
+//! P² maintains five markers whose heights approximate the target
+//! quantile; accuracy is typically within a few percent for unimodal
+//! distributions, which the property tests pin down against the exact
+//! digest.
+
+use serde::{Deserialize, Serialize};
+
+/// Constant-memory streaming estimator of one quantile.
+///
+/// # Examples
+///
+/// ```
+/// use flexpipe_metrics::p2::P2Quantile;
+///
+/// let mut q = P2Quantile::new(0.5);
+/// for i in 1..=1001 {
+///     q.observe(f64::from(i));
+/// }
+/// let med = q.estimate().unwrap();
+/// assert!((med - 501.0).abs() < 10.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based sample ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired position increments.
+    dn: [f64; 5],
+    count: usize,
+    /// Initial observations until all five markers exist.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1), got {p}");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The target quantile.
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation. Non-finite values are ignored.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (i, &v) in self.initial.iter().enumerate() {
+                    self.q[i] = v;
+                }
+            }
+            return;
+        }
+
+        // Locate the cell containing x and update extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            let right = self.n[i + 1] - self.n[i];
+            let left = self.n[i - 1] - self.n[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                // Piecewise-parabolic prediction.
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate, or `None` before five observations.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.initial.len() {
+            5 => Some(self.q[2]),
+            0 => None,
+            // Fewer than five samples: fall back to the nearest-rank value.
+            n => {
+                let mut xs = self.initial.clone();
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let idx = ((n as f64 - 1.0) * self.p).round() as usize;
+                Some(xs[idx.min(n - 1)])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::Digest;
+
+    fn compare_with_exact(samples: &[f64], p: f64, tolerance_frac: f64) {
+        let mut est = P2Quantile::new(p);
+        let mut exact = Digest::new();
+        for &x in samples {
+            est.observe(x);
+            exact.record(x);
+        }
+        let got = est.estimate().unwrap();
+        let want = exact.quantile(p);
+        let spread = exact.quantile(0.99) - exact.quantile(0.01);
+        assert!(
+            (got - want).abs() <= tolerance_frac * spread.max(1e-9),
+            "p={p}: P2 {got} vs exact {want} (spread {spread})"
+        );
+    }
+
+    fn lcg_stream(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        compare_with_exact(&lcg_stream(20_000, 7), 0.5, 0.02);
+    }
+
+    #[test]
+    fn tail_quantiles_of_skewed_stream() {
+        // Exponential-ish transform: heavy right tail.
+        let xs: Vec<f64> = lcg_stream(20_000, 9)
+            .into_iter()
+            .map(|u| -(1.0 - u).ln())
+            .collect();
+        compare_with_exact(&xs, 0.9, 0.05);
+        compare_with_exact(&xs, 0.99, 0.08);
+    }
+
+    #[test]
+    fn small_streams_fall_back_to_exact_ranks() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        q.observe(3.0);
+        assert_eq!(q.estimate(), Some(3.0));
+        q.observe(1.0);
+        q.observe(2.0);
+        let med = q.estimate().unwrap();
+        assert!((1.0..=3.0).contains(&med));
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut q = P2Quantile::new(0.5);
+        q.observe(f64::NAN);
+        q.observe(f64::INFINITY);
+        assert_eq!(q.count(), 0);
+        for i in 0..100 {
+            q.observe(f64::from(i));
+        }
+        assert_eq!(q.count(), 100);
+        assert!(q.estimate().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let mut q = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            q.observe(42.0);
+        }
+        assert_eq!(q.estimate(), Some(42.0));
+    }
+}

@@ -1,0 +1,253 @@
+//! Pipeline stall detection and recovery measurement (paper §9.3).
+//!
+//! The paper's methodology: a *stall* begins when response latency exceeds
+//! 1.5x the baseline (the P25 latency under normal operation) and *recovers*
+//! when latency returns below 1.2x baseline; the elapsed time is the
+//! recovery duration (Fig. 11 reports its distribution per system and CV).
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_sim::{SimDuration, SimTime};
+
+use crate::digest::Digest;
+use crate::outcome::OutcomeLog;
+
+/// Parameters of the stall detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StallConfig {
+    /// Stall begins above `enter_factor` x baseline.
+    pub enter_factor: f64,
+    /// Stall ends at or below `exit_factor` x baseline.
+    pub exit_factor: f64,
+    /// Quantile of the calibration latencies used as baseline (P25).
+    pub baseline_quantile: f64,
+    /// Smoothing window: latency is averaged over this many completions.
+    pub smooth: usize,
+    /// Normalise latency per output token before thresholding. Removes
+    /// output-length variance so stalls reflect system state, not the
+    /// length mix of recently completed requests.
+    pub per_token: bool,
+}
+
+impl Default for StallConfig {
+    fn default() -> Self {
+        StallConfig {
+            enter_factor: 1.5,
+            exit_factor: 1.2,
+            baseline_quantile: 0.25,
+            smooth: 8,
+            per_token: true,
+        }
+    }
+}
+
+/// One detected stall episode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StallEpisode {
+    /// When latency first crossed the stall threshold.
+    pub start: SimTime,
+    /// When latency recovered below the exit threshold.
+    pub end: SimTime,
+}
+
+impl StallEpisode {
+    /// Recovery duration of this episode.
+    pub fn recovery(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// Result of stall analysis over a run.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct StallReport {
+    /// Baseline latency (calibration quantile), seconds.
+    pub baseline_secs: f64,
+    /// All completed episodes.
+    pub episodes: Vec<StallEpisode>,
+    /// Whether the run ended inside an unrecovered stall.
+    pub unrecovered: bool,
+}
+
+impl StallReport {
+    /// Median recovery time across episodes, seconds (0 when none).
+    pub fn median_recovery_secs(&self) -> f64 {
+        if self.episodes.is_empty() {
+            return 0.0;
+        }
+        let mut d = Digest::new();
+        for e in &self.episodes {
+            d.record(e.recovery().as_secs_f64());
+        }
+        d.quantile(0.5)
+    }
+
+    /// Mean recovery time, seconds.
+    pub fn mean_recovery_secs(&self) -> f64 {
+        if self.episodes.is_empty() {
+            return 0.0;
+        }
+        self.episodes
+            .iter()
+            .map(|e| e.recovery().as_secs_f64())
+            .sum::<f64>()
+            / self.episodes.len() as f64
+    }
+
+    /// Fraction of the run spent stalled, given the run span.
+    pub fn stall_fraction(&self, span: SimDuration) -> f64 {
+        if span == SimDuration::ZERO {
+            return 0.0;
+        }
+        let stalled: f64 = self
+            .episodes
+            .iter()
+            .map(|e| e.recovery().as_secs_f64())
+            .sum();
+        stalled / span.as_secs_f64()
+    }
+}
+
+/// Analyzes a completed run for stall episodes.
+///
+/// The baseline is calibrated from the first `calibration_fraction` of
+/// completions (which the experiments arrange to be unloaded/normal
+/// operation), then the smoothed latency series is scanned for
+/// enter/exit crossings.
+pub fn analyze_stalls(
+    log: &OutcomeLog,
+    config: StallConfig,
+    calibration_fraction: f64,
+) -> StallReport {
+    let outcomes = log.outcomes();
+    if outcomes.len() < 10 {
+        return StallReport::default();
+    }
+    let signal = |o: &crate::outcome::RequestOutcome| -> f64 {
+        let lat = o.latency().as_secs_f64();
+        if config.per_token {
+            lat / f64::from(o.output_tokens.max(1))
+        } else {
+            lat
+        }
+    };
+    let calib_n = ((outcomes.len() as f64 * calibration_fraction) as usize).max(5);
+    let mut calib = Digest::new();
+    for o in &outcomes[..calib_n.min(outcomes.len())] {
+        calib.record(signal(o));
+    }
+    let baseline = calib.quantile(config.baseline_quantile);
+    if baseline <= 0.0 {
+        return StallReport::default();
+    }
+
+    let mut episodes = Vec::new();
+    let mut in_stall: Option<SimTime> = None;
+    let smooth = config.smooth.max(1);
+    let mut window: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
+    for o in outcomes {
+        window.push_back(signal(o));
+        if window.len() > smooth {
+            window.pop_front();
+        }
+        let avg = window.iter().sum::<f64>() / window.len() as f64;
+        match in_stall {
+            None => {
+                if avg > config.enter_factor * baseline {
+                    in_stall = Some(o.completion);
+                }
+            }
+            Some(start) => {
+                if avg <= config.exit_factor * baseline {
+                    episodes.push(StallEpisode {
+                        start,
+                        end: o.completion,
+                    });
+                    in_stall = None;
+                }
+            }
+        }
+    }
+    StallReport {
+        baseline_secs: baseline,
+        episodes,
+        unrecovered: in_stall.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::RequestOutcome;
+
+    fn run_with_latencies(lat_ms: &[u64]) -> OutcomeLog {
+        let mut log = OutcomeLog::new();
+        for (i, &ms) in lat_ms.iter().enumerate() {
+            let arrival = SimTime::from_millis(i as u64 * 100);
+            log.record(RequestOutcome {
+                id: i as u64,
+                arrival,
+                completion: arrival + SimDuration::from_millis(ms),
+                queue: SimDuration::ZERO,
+                execution: SimDuration::from_millis(ms),
+                communication: SimDuration::ZERO,
+                prefill: SimDuration::ZERO,
+                slo: SimDuration::from_secs(10),
+                prompt_tokens: 1,
+                output_tokens: 1,
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn detects_single_stall_and_recovery() {
+        // 40 normal completions at 100 ms, a burst at 400 ms, recovery.
+        let mut lat = vec![100u64; 40];
+        lat.extend(vec![400u64; 20]);
+        lat.extend(vec![100u64; 40]);
+        let log = run_with_latencies(&lat);
+        let report = analyze_stalls(&log, StallConfig::default(), 0.3);
+        assert!((report.baseline_secs - 0.1).abs() < 1e-9);
+        assert_eq!(report.episodes.len(), 1);
+        assert!(!report.unrecovered);
+        assert!(report.median_recovery_secs() > 0.0);
+    }
+
+    #[test]
+    fn quiet_run_has_no_stalls() {
+        let log = run_with_latencies(&vec![100u64; 100]);
+        let report = analyze_stalls(&log, StallConfig::default(), 0.3);
+        assert!(report.episodes.is_empty());
+        assert_eq!(report.median_recovery_secs(), 0.0);
+    }
+
+    #[test]
+    fn unrecovered_stall_is_flagged() {
+        let mut lat = vec![100u64; 40];
+        lat.extend(vec![500u64; 60]);
+        let log = run_with_latencies(&lat);
+        let report = analyze_stalls(&log, StallConfig::default(), 0.3);
+        assert!(report.unrecovered);
+    }
+
+    #[test]
+    fn multiple_episodes_counted() {
+        let mut lat = Vec::new();
+        for _ in 0..3 {
+            lat.extend(vec![100u64; 30]);
+            lat.extend(vec![400u64; 15]);
+        }
+        lat.extend(vec![100u64; 30]);
+        let log = run_with_latencies(&lat);
+        let report = analyze_stalls(&log, StallConfig::default(), 0.2);
+        assert_eq!(report.episodes.len(), 3);
+    }
+
+    #[test]
+    fn short_runs_return_default() {
+        let log = run_with_latencies(&[100, 200]);
+        let report = analyze_stalls(&log, StallConfig::default(), 0.3);
+        assert_eq!(report.episodes.len(), 0);
+        assert_eq!(report.baseline_secs, 0.0);
+    }
+}

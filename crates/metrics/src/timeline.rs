@@ -1,0 +1,128 @@
+//! Time-series recording (queue lengths, response times, CV traces).
+//!
+//! Fig. 9 plots response time and windowed CV over a 300-second run; the
+//! [`Timeline`] recorder captures `(t, value)` points and can resample into
+//! fixed windows for tabular output.
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_sim::{SimDuration, SimTime};
+
+/// An append-only `(time, value)` series.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point; time must be non-decreasing.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        debug_assert!(self.points.last().is_none_or(|&(t, _)| t <= at));
+        self.points.push((at, value));
+    }
+
+    /// All raw points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of values within `[from, to)`.
+    pub fn mean_in(&self, from: SimTime, to: SimTime) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(t, v) in &self.points {
+            if t >= from && t < to {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Maximum value within `[from, to)`, 0 when no points fall inside.
+    pub fn max_in(&self, from: SimTime, to: SimTime) -> f64 {
+        self.points
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max)
+    }
+
+    /// Resamples into consecutive windows of `window` from zero to
+    /// `horizon`, returning `(window_start_secs, mean)` rows.
+    pub fn resample(&self, window: SimDuration, horizon: SimTime) -> Vec<(f64, f64)> {
+        assert!(window > SimDuration::ZERO);
+        let mut out = Vec::new();
+        let mut start = SimTime::ZERO;
+        while start < horizon {
+            let end = start + window;
+            out.push((start.as_secs_f64(), self.mean_in(start, end)));
+            start = end;
+        }
+        out
+    }
+
+    /// Overall mean, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_window_queries() {
+        let mut tl = Timeline::new();
+        for s in 0..10 {
+            tl.record(SimTime::from_secs(s), s as f64);
+        }
+        assert_eq!(tl.len(), 10);
+        assert_eq!(tl.mean_in(SimTime::from_secs(0), SimTime::from_secs(5)), 2.0);
+        assert_eq!(tl.max_in(SimTime::from_secs(5), SimTime::from_secs(10)), 9.0);
+        assert_eq!(tl.mean(), 4.5);
+    }
+
+    #[test]
+    fn resample_produces_fixed_rows() {
+        let mut tl = Timeline::new();
+        for s in 0..100 {
+            tl.record(SimTime::from_secs(s), 1.0);
+        }
+        let rows = tl.resample(SimDuration::from_secs(10), SimTime::from_secs(100));
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|&(_, m)| (m - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn empty_windows_are_zero() {
+        let tl = Timeline::new();
+        assert_eq!(tl.mean_in(SimTime::ZERO, SimTime::from_secs(10)), 0.0);
+        assert_eq!(tl.mean(), 0.0);
+        let rows = tl.resample(SimDuration::from_secs(5), SimTime::from_secs(10));
+        assert_eq!(rows.len(), 2);
+    }
+}

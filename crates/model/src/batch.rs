@@ -1,0 +1,144 @@
+//! Batch-aware transmission scaling — Eq. (3) of the paper.
+//!
+//! Profiling measures activation sizes at one batch size `b_base`; online
+//! serving runs arbitrary micro-batch sizes. The paper fits
+//!
+//! ```text
+//! s_a(S_k, b) = s_a_base(S_k) · (1 + α · log(b / b_base))
+//! ```
+//!
+//! with α learned by linear regression over historical (batch, bytes)
+//! profiles. The sub-linear growth reflects transport-level compression
+//! and padding amortisation at larger batches.
+
+use serde::{Deserialize, Serialize};
+
+/// Fitted batch-aware activation scaling model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatchScaling {
+    /// Compression factor α of Eq. (3).
+    pub alpha: f64,
+    /// Profiling batch size `b_base`.
+    pub b_base: f64,
+}
+
+impl Default for BatchScaling {
+    fn default() -> Self {
+        // α defaults to mildly sub-linear; experiments refit from profiles.
+        BatchScaling {
+            alpha: 0.85,
+            b_base: 8.0,
+        }
+    }
+}
+
+impl BatchScaling {
+    /// Predicted activation bytes at micro-batch `b`, given the profiled
+    /// per-micro-batch bytes `s_base` measured at `b_base`.
+    ///
+    /// The multiplier is clamped to be non-negative, so absurd
+    /// extrapolations far below `b_base` degrade to zero rather than
+    /// negative traffic.
+    pub fn scale(&self, s_base: f64, b: f64) -> f64 {
+        if b <= 0.0 || s_base <= 0.0 {
+            return 0.0;
+        }
+        let factor = 1.0 + self.alpha * (b / self.b_base).ln();
+        (s_base * factor).max(0.0)
+    }
+
+    /// Fits α by least squares from observed `(batch, bytes)` pairs with
+    /// known `s_base` at `b_base`.
+    ///
+    /// Model: `y/s_base - 1 = α · ln(b/b_base)` — a one-parameter
+    /// regression through the origin, `α = Σ(x·y') / Σ(x²)`.
+    ///
+    /// Returns `None` when fewer than two usable points exist.
+    pub fn fit(samples: &[(f64, f64)], s_base: f64, b_base: f64) -> Option<BatchScaling> {
+        if s_base <= 0.0 || b_base <= 0.0 {
+            return None;
+        }
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut used = 0;
+        for &(b, y) in samples {
+            if b <= 0.0 || y < 0.0 {
+                continue;
+            }
+            let x = (b / b_base).ln();
+            if x.abs() < 1e-12 {
+                continue; // the base point carries no slope information
+            }
+            let yp = y / s_base - 1.0;
+            sxx += x * x;
+            sxy += x * yp;
+            used += 1;
+        }
+        if used < 2 || sxx <= 0.0 {
+            return None;
+        }
+        Some(BatchScaling {
+            alpha: sxy / sxx,
+            b_base,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_is_identity_at_base_batch() {
+        let s = BatchScaling::default();
+        let bytes = s.scale(1000.0, s.b_base);
+        assert!((bytes - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_grows_sublinearly() {
+        let s = BatchScaling {
+            alpha: 0.8,
+            b_base: 8.0,
+        };
+        let at_8 = s.scale(1000.0, 8.0);
+        let at_64 = s.scale(1000.0, 64.0);
+        assert!(at_64 > at_8);
+        // 8x more batch yields far less than 8x more bytes.
+        assert!(at_64 / at_8 < 4.0);
+    }
+
+    #[test]
+    fn scale_clamps_to_zero() {
+        let s = BatchScaling {
+            alpha: 2.0,
+            b_base: 64.0,
+        };
+        // b ≪ b_base drives the multiplier negative; clamp at zero.
+        assert_eq!(s.scale(1000.0, 1.0), 0.0);
+        assert_eq!(s.scale(0.0, 32.0), 0.0);
+        assert_eq!(s.scale(1000.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_known_alpha() {
+        let truth = BatchScaling {
+            alpha: 0.6,
+            b_base: 8.0,
+        };
+        let s_base = 5000.0;
+        let samples: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 128.0]
+            .iter()
+            .map(|&b| (b, truth.scale(s_base, b)))
+            .collect();
+        let fitted = BatchScaling::fit(&samples, s_base, 8.0).unwrap();
+        assert!((fitted.alpha - 0.6).abs() < 0.05, "alpha {}", fitted.alpha);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        assert!(BatchScaling::fit(&[], 100.0, 8.0).is_none());
+        assert!(BatchScaling::fit(&[(8.0, 100.0)], 100.0, 8.0).is_none());
+        assert!(BatchScaling::fit(&[(1.0, 1.0), (2.0, 2.0)], 0.0, 8.0).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Operator taxonomy for transformer computation graphs.
+//!
+//! FlexPipe partitions models at *operator* granularity (§5): the unit of
+//! placement is not a layer but an individual projection / attention /
+//! MLP operator, each annotated with the three metrics the paper's profiler
+//! measures — computation time `t_c(v)` (derived from FLOPs here),
+//! parameter size `s_p(v)` and activation size `s_a(v)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an operator inside one [`crate::graph::ModelGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+/// Identifier of a hierarchical block (one transformer layer, the embedding
+/// front-end, or the LM head). Cutting *between* blocks preserves the
+/// structure FlexPipe's regulariser `R(S_k)` rewards (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// The kinds of operator the model zoo emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Token + positional embedding lookup.
+    Embedding,
+    /// Audio convolution front-end (Whisper-style models).
+    ConvFrontend,
+    /// Pre-attention layer norm.
+    LayerNorm,
+    /// Fused Q/K/V projection.
+    QkvProj,
+    /// Scaled dot-product attention (the only KV-cache-bearing operator).
+    Attention,
+    /// Attention output projection.
+    AttnOut,
+    /// MLP up projection (and gate for SwiGLU models).
+    MlpUp,
+    /// MLP down projection.
+    MlpDown,
+    /// Final layer norm + LM head projection.
+    LmHead,
+    /// Classification pooler (encoder-only models).
+    Pooler,
+}
+
+impl OpKind {
+    /// Whether this operator holds KV cache during generation.
+    pub fn holds_kv(self) -> bool {
+        matches!(self, OpKind::Attention)
+    }
+}
+
+/// One operator: a vertex of the computation graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    /// This operator's id (equals its index in the graph's op list).
+    pub id: OpId,
+    /// What it computes.
+    pub kind: OpKind,
+    /// The hierarchical block it belongs to.
+    pub block: BlockId,
+    /// Transformer layer index, if inside a layer.
+    pub layer: Option<u32>,
+    /// Dense FLOPs per input token (prefill; decode uses the same figure
+    /// per generated token).
+    pub flops_per_token: f64,
+    /// Parameter bytes held by this operator.
+    pub param_bytes: u64,
+    /// Output activation bytes per token crossing a cut placed *after*
+    /// this operator. Includes the residual stream where one is live, so
+    /// mid-block cuts are organically more expensive.
+    pub act_out_bytes_per_token: u64,
+    /// KV-cache bytes per cached token (non-zero only for attention).
+    pub kv_bytes_per_token: u64,
+}
+
+impl Operator {
+    /// Whether a pipeline cut immediately after this operator lands on a
+    /// block boundary (the refactoring-friendly position).
+    pub fn is_block_tail(&self, next: Option<&Operator>) -> bool {
+        match next {
+            Some(n) => n.block != self.block,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_attention_holds_kv() {
+        assert!(OpKind::Attention.holds_kv());
+        for k in [
+            OpKind::Embedding,
+            OpKind::LayerNorm,
+            OpKind::QkvProj,
+            OpKind::AttnOut,
+            OpKind::MlpUp,
+            OpKind::MlpDown,
+            OpKind::LmHead,
+            OpKind::Pooler,
+            OpKind::ConvFrontend,
+        ] {
+            assert!(!k.holds_kv(), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn block_tail_detection() {
+        let a = Operator {
+            id: OpId(0),
+            kind: OpKind::LayerNorm,
+            block: BlockId(0),
+            layer: Some(0),
+            flops_per_token: 1.0,
+            param_bytes: 1,
+            act_out_bytes_per_token: 1,
+            kv_bytes_per_token: 0,
+        };
+        let mut b = a;
+        b.id = OpId(1);
+        b.block = BlockId(1);
+        assert!(a.is_block_tail(Some(&b)));
+        b.block = BlockId(0);
+        assert!(!a.is_block_tail(Some(&b)));
+        assert!(a.is_block_tail(None));
+    }
+}

@@ -1,0 +1,147 @@
+//! Simple structural partition helpers.
+//!
+//! The optimising partitioner lives in `flexpipe-partition`; this module
+//! provides the *uniform layer split* used for calibration (Table 2 slices
+//! OPT-66B into 4/8/16/32 equal stages) and as the baseline cut that the
+//! DP partitioner must beat.
+
+use crate::graph::{ModelGraph, OpRange};
+use crate::ops::OpId;
+
+/// Splits `g` into `stages` contiguous ranges with evenly many transformer
+/// layers each; the embedding front-end rides with the first stage and the
+/// head with the last.
+///
+/// # Panics
+///
+/// Panics if `stages` is zero or exceeds the layer count.
+pub fn even_layer_ranges(g: &ModelGraph, stages: u32) -> Vec<OpRange> {
+    assert!(stages >= 1, "stages must be >= 1");
+    let n_layers = g.config().n_layers;
+    assert!(
+        stages <= n_layers,
+        "cannot split {n_layers} layers into {stages} stages"
+    );
+    // First op index of each layer.
+    let mut layer_starts = vec![u32::MAX; n_layers as usize];
+    let mut layer_ends = vec![0u32; n_layers as usize];
+    for op in g.ops() {
+        if let Some(l) = op.layer {
+            let l = l as usize;
+            layer_starts[l] = layer_starts[l].min(op.id.0);
+            layer_ends[l] = layer_ends[l].max(op.id.0 + 1);
+        }
+    }
+    let mut ranges = Vec::with_capacity(stages as usize);
+    let mut cursor = 0u32;
+    for s in 0..stages {
+        // Layers [lo, hi) for stage s, distributing remainders forward.
+        let lo = (u64::from(s) * u64::from(n_layers) / u64::from(stages)) as u32;
+        let hi = (u64::from(s + 1) * u64::from(n_layers) / u64::from(stages)) as u32;
+        debug_assert!(hi > lo);
+        let end = if s == stages - 1 {
+            g.op_count() // head rides with the last stage
+        } else {
+            layer_ends[(hi - 1) as usize]
+        };
+        ranges.push(OpRange::new(cursor, end));
+        cursor = end;
+    }
+    ranges
+}
+
+/// Returns the cut boundaries (last op of each non-final stage) of a
+/// partition expressed as ranges.
+pub fn boundaries_of(ranges: &[OpRange]) -> Vec<OpId> {
+    ranges
+        .iter()
+        .take(ranges.len().saturating_sub(1))
+        .map(|r| OpId(r.end - 1))
+        .collect()
+}
+
+/// Checks that `ranges` is a partition of `g` into contiguous, non-empty,
+/// exhaustive stages.
+pub fn validate_partition(g: &ModelGraph, ranges: &[OpRange]) -> Result<(), String> {
+    if ranges.is_empty() {
+        return Err("no stages".into());
+    }
+    if ranges[0].start != 0 {
+        return Err(format!("first stage starts at {}", ranges[0].start));
+    }
+    if ranges[ranges.len() - 1].end != g.op_count() {
+        return Err(format!(
+            "last stage ends at {} of {}",
+            ranges[ranges.len() - 1].end,
+            g.op_count()
+        ));
+    }
+    for w in ranges.windows(2) {
+        if !w[0].adjacent_to(&w[1]) {
+            return Err(format!("gap between {:?} and {:?}", w[0], w[1]));
+        }
+    }
+    if ranges.iter().any(|r| r.is_empty()) {
+        return Err("empty stage".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn even_split_is_valid_partition() {
+        let g = zoo::opt_66b();
+        for stages in [1, 2, 4, 8, 16, 32, 64] {
+            let ranges = even_layer_ranges(&g, stages);
+            assert_eq!(ranges.len(), stages as usize);
+            validate_partition(&g, &ranges).unwrap();
+        }
+    }
+
+    #[test]
+    fn interior_stages_have_equal_layer_params() {
+        let g = zoo::opt_66b();
+        let ranges = even_layer_ranges(&g, 8);
+        // Interior stages (not first, not last) hold identical layer sets.
+        let params: Vec<u64> = ranges[1..7]
+            .iter()
+            .map(|&r| g.range_param_bytes(r))
+            .collect();
+        assert!(params.windows(2).all(|w| w[0] == w[1]), "{params:?}");
+    }
+
+    #[test]
+    fn cuts_land_on_block_boundaries() {
+        let g = zoo::llama2_7b();
+        let ranges = even_layer_ranges(&g, 8);
+        for b in boundaries_of(&ranges) {
+            assert!(g.is_block_boundary(b), "cut after {b:?} is mid-block");
+        }
+    }
+
+    #[test]
+    fn uneven_layer_counts_distribute() {
+        let g = zoo::llama2_7b(); // 32 layers
+        let ranges = even_layer_ranges(&g, 5); // 32/5: sizes 6,7,6,7,6
+        validate_partition(&g, &ranges).unwrap();
+        assert_eq!(ranges.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn too_many_stages_panics() {
+        let g = zoo::llama2_7b();
+        even_layer_ranges(&g, 33);
+    }
+
+    #[test]
+    fn validate_rejects_gaps() {
+        let g = zoo::llama2_7b();
+        let bad = vec![OpRange::new(0, 5), OpRange::new(6, g.op_count())];
+        assert!(validate_partition(&g, &bad).is_err());
+    }
+}

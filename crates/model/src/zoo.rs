@@ -1,0 +1,404 @@
+//! The model zoo used throughout the paper's evaluation (§9): OPT-66B,
+//! LLAMA2-7B, BERT-21B and WHISPER-9B.
+//!
+//! Graphs are generated from architectural parameters, emitting seven
+//! operators per transformer layer (ln → qkv → attention → attn-out → ln →
+//! mlp-up → mlp-down) plus embedding/head blocks, each annotated with
+//! FLOPs, parameter bytes, activation-cut bytes and KV bytes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{ModelConfig, ModelGraph};
+use crate::ops::{BlockId, OpId, OpKind, Operator};
+
+/// Effective context length used to linearise the (quadratic) attention
+/// score cost into a per-token figure. A constant keeps the cost model
+/// linear in tokens, which is what the §5 DP requires; the value matches
+/// the KV token budget of the calibrated cost model.
+pub const ATTN_EFF_CTX: f64 = 512.0;
+
+/// The four evaluation models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelId {
+    /// OPT-66B decoder (the paper's large-model workhorse, Table 2).
+    Opt66B,
+    /// LLAMA2-7B decoder.
+    Llama2_7B,
+    /// A 21B-parameter BERT-style encoder.
+    Bert21B,
+    /// A 9B-parameter Whisper-style encoder-decoder.
+    Whisper9B,
+}
+
+impl ModelId {
+    /// All zoo members in the order the paper's Fig. 13 lists them.
+    pub fn all() -> [ModelId; 4] {
+        [
+            ModelId::Whisper9B,
+            ModelId::Llama2_7B,
+            ModelId::Bert21B,
+            ModelId::Opt66B,
+        ]
+    }
+
+    /// Builds this model's graph.
+    pub fn graph(self) -> ModelGraph {
+        match self {
+            ModelId::Opt66B => opt_66b(),
+            ModelId::Llama2_7B => llama2_7b(),
+            ModelId::Bert21B => bert_21b(),
+            ModelId::Whisper9B => whisper_9b(),
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelId::Opt66B => "OPT-66B",
+            ModelId::Llama2_7B => "LLAMA2-7B",
+            ModelId::Bert21B => "BERT-21B",
+            ModelId::Whisper9B => "WHISPER-9B",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+struct StackSpec {
+    name: &'static str,
+    d_model: u32,
+    n_layers: u32,
+    n_heads: u32,
+    d_ffn: u32,
+    vocab: u32,
+    generative: bool,
+    /// SwiGLU MLPs carry a gate projection (Llama family).
+    swiglu: bool,
+    /// Audio convolution front-end instead of token embedding.
+    conv_frontend: bool,
+    /// Classification pooler instead of LM head.
+    pooler: bool,
+    /// Layers `< kv_from_layer` do not hold KV (encoder halves).
+    kv_from_layer: u32,
+}
+
+fn build(spec: StackSpec) -> ModelGraph {
+    let d = f64::from(spec.d_model);
+    let ffn = f64::from(spec.d_ffn);
+    let vocab = f64::from(spec.vocab);
+    let wb = 2u64; // fp16
+    let elem = 2u64; // activation bytes per element
+
+    let mut ops: Vec<Operator> = Vec::new();
+    let mut block = 0u32;
+    let push = |ops: &mut Vec<Operator>,
+                    kind: OpKind,
+                    block: u32,
+                    layer: Option<u32>,
+                    flops: f64,
+                    params: f64,
+                    act_elems: f64,
+                    kv_elems: f64| {
+        ops.push(Operator {
+            id: OpId(ops.len() as u32),
+            kind,
+            block: BlockId(block),
+            layer,
+            flops_per_token: flops,
+            param_bytes: (params * wb as f64) as u64,
+            act_out_bytes_per_token: (act_elems * elem as f64) as u64,
+            kv_bytes_per_token: (kv_elems * elem as f64) as u64,
+        });
+    };
+
+    // Front-end block.
+    if spec.conv_frontend {
+        push(
+            &mut ops,
+            OpKind::ConvFrontend,
+            block,
+            None,
+            60.0 * d,
+            3.0 * 9.0 * d + 2.0 * d * d / 64.0,
+            d,
+            0.0,
+        );
+    } else {
+        // Token + positional embeddings (4k positions).
+        push(
+            &mut ops,
+            OpKind::Embedding,
+            block,
+            None,
+            2.0 * d,
+            vocab * d + 4096.0 * d,
+            d,
+            0.0,
+        );
+    }
+
+    // Transformer layers.
+    for layer in 0..spec.n_layers {
+        block += 1;
+        let holds_kv = layer >= spec.kv_from_layer;
+        let kv = if holds_kv { 2.0 * d } else { 0.0 };
+        let (mlp_up_flops, mlp_up_params) = if spec.swiglu {
+            (4.0 * d * ffn, 2.0 * d * ffn + 2.0 * ffn)
+        } else {
+            (2.0 * d * ffn, d * ffn + ffn)
+        };
+        let l = Some(layer);
+        // Pre-attention norm: normed stream + live residual cross a cut.
+        push(&mut ops, OpKind::LayerNorm, block, l, 10.0 * d, 2.0 * d, 2.0 * d, 0.0);
+        // Fused QKV: q,k,v (3d) + residual (d).
+        push(
+            &mut ops,
+            OpKind::QkvProj,
+            block,
+            l,
+            6.0 * d * d,
+            3.0 * d * d + 3.0 * d,
+            4.0 * d,
+            0.0,
+        );
+        // Attention: context output + residual; holds the KV cache.
+        push(
+            &mut ops,
+            OpKind::Attention,
+            block,
+            l,
+            4.0 * d * ATTN_EFF_CTX,
+            0.0,
+            2.0 * d,
+            kv,
+        );
+        // Output projection; residual add folds in, single stream leaves.
+        push(
+            &mut ops,
+            OpKind::AttnOut,
+            block,
+            l,
+            2.0 * d * d,
+            d * d + d,
+            2.0 * d,
+            0.0,
+        );
+        // Pre-MLP norm.
+        push(&mut ops, OpKind::LayerNorm, block, l, 10.0 * d, 2.0 * d, 2.0 * d, 0.0);
+        // MLP up (+ gate when SwiGLU): widest activation in the block.
+        push(
+            &mut ops,
+            OpKind::MlpUp,
+            block,
+            l,
+            mlp_up_flops,
+            mlp_up_params,
+            ffn + d,
+            0.0,
+        );
+        // MLP down; residual add folds in — the block-tail cut is cheap.
+        push(
+            &mut ops,
+            OpKind::MlpDown,
+            block,
+            l,
+            2.0 * ffn * d,
+            ffn * d + d,
+            d,
+            0.0,
+        );
+    }
+
+    // Head block.
+    block += 1;
+    if spec.pooler {
+        push(&mut ops, OpKind::Pooler, block, None, 2.0 * d * d, d * d + d, d, 0.0);
+    } else {
+        push(
+            &mut ops,
+            OpKind::LmHead,
+            block,
+            None,
+            2.0 * d * vocab,
+            d * vocab,
+            d,
+            0.0,
+        );
+    }
+
+    ModelGraph::from_parts(
+        ModelConfig {
+            name: spec.name.to_string(),
+            d_model: spec.d_model,
+            n_layers: spec.n_layers,
+            n_heads: spec.n_heads,
+            d_ffn: spec.d_ffn,
+            vocab: spec.vocab,
+            weight_bytes: wb as u32,
+            generative: spec.generative,
+        },
+        ops,
+    )
+}
+
+/// OPT-66B: 64 layers, d=9216 — the model behind Table 2 (~123 GiB fp16).
+pub fn opt_66b() -> ModelGraph {
+    build(StackSpec {
+        name: "OPT-66B",
+        d_model: 9216,
+        n_layers: 64,
+        n_heads: 72,
+        d_ffn: 36864,
+        vocab: 50272,
+        generative: true,
+        swiglu: false,
+        conv_frontend: false,
+        pooler: false,
+        kv_from_layer: 0,
+    })
+}
+
+/// LLAMA2-7B: 32 layers, d=4096, SwiGLU MLPs.
+pub fn llama2_7b() -> ModelGraph {
+    build(StackSpec {
+        name: "LLAMA2-7B",
+        d_model: 4096,
+        n_layers: 32,
+        n_heads: 32,
+        d_ffn: 11008,
+        vocab: 32000,
+        generative: true,
+        swiglu: true,
+        conv_frontend: false,
+        pooler: false,
+        kv_from_layer: 0,
+    })
+}
+
+/// BERT-21B: a 48-layer, d=6144 encoder; single-pass (no KV, no decode).
+pub fn bert_21b() -> ModelGraph {
+    build(StackSpec {
+        name: "BERT-21B",
+        d_model: 6144,
+        n_layers: 48,
+        n_heads: 48,
+        d_ffn: 24576,
+        vocab: 30522,
+        generative: false,
+        swiglu: false,
+        conv_frontend: false,
+        pooler: true,
+        kv_from_layer: u32::MAX,
+    })
+}
+
+/// WHISPER-9B: a Whisper-style encoder-decoder with a conv front-end;
+/// only the decoder half (layers 32..64) holds KV cache.
+pub fn whisper_9b() -> ModelGraph {
+    build(StackSpec {
+        name: "WHISPER-9B",
+        d_model: 3328,
+        n_layers: 64,
+        n_heads: 52,
+        d_ffn: 13312,
+        vocab: 51865,
+        generative: true,
+        swiglu: false,
+        conv_frontend: true,
+        pooler: false,
+        kv_from_layer: 32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_names() {
+        let checks = [
+            (opt_66b(), 60.0e9, 72.0e9),
+            (llama2_7b(), 6.0e9, 8.0e9),
+            (bert_21b(), 19.0e9, 24.0e9),
+            (whisper_9b(), 8.0e9, 11.0e9),
+        ];
+        for (g, lo, hi) in checks {
+            let p = g.total_params() as f64;
+            assert!(
+                (lo..hi).contains(&p),
+                "{} has {:.1}B params, expected {:.0}–{:.0}B",
+                g.name(),
+                p / 1e9,
+                lo / 1e9,
+                hi / 1e9
+            );
+        }
+    }
+
+    #[test]
+    fn opt_66b_is_roughly_120_gigabytes() {
+        // The paper quotes "OPT-66B (120GB)" in Table 2.
+        let gib = opt_66b().total_param_bytes() as f64 / (1u64 << 30) as f64;
+        assert!((115.0..135.0).contains(&gib), "{gib} GiB");
+    }
+
+    #[test]
+    fn op_counts_follow_structure() {
+        let g = llama2_7b();
+        // 1 embedding + 32 * 7 + 1 head.
+        assert_eq!(g.op_count(), 1 + 32 * 7 + 1);
+        assert_eq!(g.block_count(), 34);
+    }
+
+    #[test]
+    fn encoder_has_no_kv() {
+        let g = bert_21b();
+        assert!(g.ops().iter().all(|o| o.kv_bytes_per_token == 0));
+        assert!(!g.config().generative);
+    }
+
+    #[test]
+    fn whisper_kv_only_in_decoder_half() {
+        let g = whisper_9b();
+        for op in g.ops() {
+            match op.layer {
+                Some(l) if l >= 32 => {
+                    if op.kind == OpKind::Attention {
+                        assert!(op.kv_bytes_per_token > 0);
+                    }
+                }
+                _ => assert_eq!(op.kv_bytes_per_token, 0, "{op:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn model_id_round_trip() {
+        for id in ModelId::all() {
+            let g = id.graph();
+            assert_eq!(g.name(), id.name());
+        }
+    }
+
+    #[test]
+    fn swiglu_increases_mlp_params() {
+        let llama = llama2_7b();
+        let up = llama
+            .ops()
+            .iter()
+            .find(|o| o.kind == OpKind::MlpUp)
+            .unwrap();
+        let down = llama
+            .ops()
+            .iter()
+            .find(|o| o.kind == OpKind::MlpDown)
+            .unwrap();
+        // Gate + up ≈ 2x down.
+        let ratio = up.param_bytes as f64 / down.param_bytes as f64;
+        assert!((1.9..2.1).contains(&ratio), "{ratio}");
+    }
+}

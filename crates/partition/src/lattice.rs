@@ -1,0 +1,442 @@
+//! The granularity lattice: pre-aligned pipeline configurations that make
+//! inflight refactoring a matter of merging or splitting *finest units*.
+//!
+//! §5's partitioner "preserves the parameter grouping structure to enable
+//! future replica alignment": every coarser pipeline configuration is a
+//! grouping of the same finest stage set, so a runtime transition never
+//! re-cuts the model — merged stages reuse existing memory layouts, and the
+//! bytes that must move are exactly the units that change host.
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_model::{CostModel, ModelGraph, OpRange};
+
+use crate::dp::{Partition, PartitionError, Partitioner};
+
+/// One pipeline configuration inside the lattice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatticeLevel {
+    /// Stage count η of this level.
+    pub stages: u32,
+    /// For each coarse stage, the `[start, end)` range of finest units it
+    /// merges.
+    pub groups: Vec<(u32, u32)>,
+    /// Materialised operator ranges (unions of unit ranges).
+    pub ranges: Vec<OpRange>,
+    /// Bottleneck scalar cost of this level, seconds.
+    pub bottleneck_secs: f64,
+}
+
+/// The lattice: a finest partition plus aligned coarser levels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GranularityLattice {
+    finest: Partition,
+    levels: Vec<LatticeLevel>,
+}
+
+/// How one new stage is populated during a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTransition {
+    /// Index of the stage in the new configuration.
+    pub new_stage: u32,
+    /// Old stage whose device keeps hosting the surviving units (the one
+    /// with maximal parameter overlap), if any overlap exists.
+    pub reuse_old_stage: Option<u32>,
+    /// Parameter bytes that must be fetched onto the hosting device
+    /// (from host cache or storage) because they lived elsewhere.
+    pub load_param_bytes: u64,
+    /// KV-cache bytes per cached token that must migrate to this stage.
+    pub kv_move_bytes_per_token: u64,
+}
+
+/// A full transition plan between two lattice levels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionPlan {
+    /// Stage count before.
+    pub from_stages: u32,
+    /// Stage count after.
+    pub to_stages: u32,
+    /// Per-new-stage population plans.
+    pub transitions: Vec<StageTransition>,
+    /// Sum of parameter bytes to fetch.
+    pub total_load_bytes: u64,
+    /// Sum of KV bytes per cached token to migrate.
+    pub total_kv_bytes_per_token: u64,
+}
+
+impl TransitionPlan {
+    /// Whether this transition refines the pipeline (split, Fig. 6a) as
+    /// opposed to consolidating it (merge, Fig. 6c).
+    pub fn is_expansion(&self) -> bool {
+        self.to_stages > self.from_stages
+    }
+}
+
+impl GranularityLattice {
+    /// Builds a lattice over `g`: the finest feasible partition with
+    /// `finest_stages` units, plus one aligned level per entry of
+    /// `level_stage_counts` (each must divide into the unit count; levels
+    /// exceeding it are skipped).
+    pub fn build(
+        partitioner: &Partitioner,
+        g: &ModelGraph,
+        finest_stages: u32,
+        level_stage_counts: &[u32],
+        cost_model: &CostModel,
+    ) -> Result<Self, PartitionError> {
+        let finest = partitioner.partition(g, finest_stages)?;
+        let unit_count = finest.ranges.len() as u32;
+
+        let mut levels = Vec::new();
+        for &eta in level_stage_counts {
+            if eta == 0 || eta > unit_count {
+                continue;
+            }
+            if let Some(level) = Self::group_units(&finest, g, eta, partitioner, cost_model) {
+                levels.push(level);
+            }
+        }
+        levels.sort_by_key(|l| l.stages);
+        levels.dedup_by_key(|l| l.stages);
+        Ok(GranularityLattice { finest, levels })
+    }
+
+    /// Groups finest units into `eta` contiguous, memory-feasible stages by
+    /// bottleneck DP over unit boundaries.
+    fn group_units(
+        finest: &Partition,
+        g: &ModelGraph,
+        eta: u32,
+        partitioner: &Partitioner,
+        cost_model: &CostModel,
+    ) -> Option<LatticeLevel> {
+        let units = &finest.ranges;
+        let n = units.len();
+        let eta = eta as usize;
+        let params = partitioner.params();
+        let objective = crate::objective::Objective::new(*params, cost_model);
+
+        // cost[i][j]: scalar cost of merging units i..j, or None if the
+        // merged stage does not fit in GPU memory.
+        let mut cost = vec![vec![None::<f64>; n + 1]; n + 1];
+        for i in 0..n {
+            for j in (i + 1)..=n {
+                let r = OpRange::new(units[i].start, units[j - 1].end);
+                let c = objective.stage_cost(g, r);
+                if c.feasible {
+                    cost[i][j] = Some(c.scalar(params.lambda));
+                }
+            }
+        }
+        const INF: f64 = f64::INFINITY;
+        let mut best = vec![vec![(INF, INF); eta + 1]; n + 1];
+        let mut back = vec![vec![usize::MAX; eta + 1]; n + 1];
+        best[0][0] = (0.0, 0.0);
+        for s in 1..=eta {
+            for j in s..=n {
+                for i in (s - 1)..j {
+                    let Some(c) = cost[i][j] else { continue };
+                    let (pb, ps) = best[i][s - 1];
+                    if pb.is_infinite() {
+                        continue;
+                    }
+                    let cand = (pb.max(c), ps + c);
+                    if cand < best[j][s] {
+                        best[j][s] = cand;
+                        back[j][s] = i;
+                    }
+                }
+            }
+        }
+        if best[n][eta].0.is_infinite() {
+            return None;
+        }
+        let mut bounds = vec![n];
+        let mut j = n;
+        for s in (1..=eta).rev() {
+            j = back[j][s];
+            bounds.push(j);
+        }
+        bounds.reverse();
+        let groups: Vec<(u32, u32)> = bounds
+            .windows(2)
+            .map(|w| (w[0] as u32, w[1] as u32))
+            .collect();
+        let ranges: Vec<OpRange> = groups
+            .iter()
+            .map(|&(a, b)| OpRange::new(units[a as usize].start, units[b as usize - 1].end))
+            .collect();
+        Some(LatticeLevel {
+            stages: eta as u32,
+            groups,
+            ranges,
+            bottleneck_secs: best[n][eta].0,
+        })
+    }
+
+    /// The finest partition (the lattice's unit set).
+    pub fn finest(&self) -> &Partition {
+        &self.finest
+    }
+
+    /// All levels, sorted by ascending stage count.
+    pub fn levels(&self) -> &[LatticeLevel] {
+        &self.levels
+    }
+
+    /// The level with exactly `stages` stages, if present.
+    pub fn level(&self, stages: u32) -> Option<&LatticeLevel> {
+        self.levels.iter().find(|l| l.stages == stages)
+    }
+
+    /// Stage counts available in the lattice.
+    pub fn stage_counts(&self) -> Vec<u32> {
+        self.levels.iter().map(|l| l.stages).collect()
+    }
+
+    /// Plans a transition between two levels of the lattice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either stage count is not a lattice level.
+    pub fn plan_transition(
+        &self,
+        g: &ModelGraph,
+        from_stages: u32,
+        to_stages: u32,
+    ) -> TransitionPlan {
+        let from = self
+            .level(from_stages)
+            .unwrap_or_else(|| panic!("no lattice level with {from_stages} stages"));
+        let to = self
+            .level(to_stages)
+            .unwrap_or_else(|| panic!("no lattice level with {to_stages} stages"));
+
+        let unit_count = self.finest.ranges.len();
+        // Which old stage hosts each finest unit.
+        let mut old_of_unit = vec![u32::MAX; unit_count];
+        for (si, &(a, b)) in from.groups.iter().enumerate() {
+            for u in a..b {
+                old_of_unit[u as usize] = si as u32;
+            }
+        }
+
+        let unit_params: Vec<u64> = self
+            .finest
+            .ranges
+            .iter()
+            .map(|&r| g.range_param_bytes(r))
+            .collect();
+        let unit_kv: Vec<u64> = self
+            .finest
+            .ranges
+            .iter()
+            .map(|&r| g.range_kv_bytes_per_token(r))
+            .collect();
+
+        // Parameter overlap of every (new stage, old stage) pair.
+        let mut candidates: Vec<(u64, u32, u32)> = Vec::new(); // (bytes, new, old)
+        for (ni, &(a, b)) in to.groups.iter().enumerate() {
+            let mut overlap: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+            for u in a..b {
+                *overlap.entry(old_of_unit[u as usize]).or_insert(0) +=
+                    unit_params[u as usize];
+            }
+            for (&old, &bytes) in &overlap {
+                candidates.push((bytes, ni as u32, old));
+            }
+        }
+        // Each old stage occupies one physical device, so it can keep
+        // hosting at most one new stage: assign reuse greedily by maximal
+        // parameter overlap (deterministic tie-break on indices). In an
+        // expansion this is what forces the split-off halves onto fresh
+        // devices; in a consolidation each old stage is contained in
+        // exactly one new stage and the assignment is trivially injective.
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut reuse_of_new = vec![None::<u32>; to.groups.len()];
+        let mut old_taken = vec![false; from.groups.len()];
+        for (_, ni, old) in candidates {
+            if reuse_of_new[ni as usize].is_none() && !old_taken[old as usize] {
+                reuse_of_new[ni as usize] = Some(old);
+                old_taken[old as usize] = true;
+            }
+        }
+
+        let mut transitions = Vec::with_capacity(to.groups.len());
+        let mut total_load = 0u64;
+        let mut total_kv = 0u64;
+        for (ni, &(a, b)) in to.groups.iter().enumerate() {
+            let reuse = reuse_of_new[ni];
+            let mut load = 0u64;
+            let mut kv = 0u64;
+            for u in a..b {
+                if Some(old_of_unit[u as usize]) != reuse {
+                    load += unit_params[u as usize];
+                    kv += unit_kv[u as usize];
+                }
+            }
+            total_load += load;
+            total_kv += kv;
+            transitions.push(StageTransition {
+                new_stage: ni as u32,
+                reuse_old_stage: reuse,
+                load_param_bytes: load,
+                kv_move_bytes_per_token: kv,
+            });
+        }
+        TransitionPlan {
+            from_stages,
+            to_stages,
+            transitions,
+            total_load_bytes: total_load,
+            total_kv_bytes_per_token: total_kv,
+        }
+    }
+
+    /// Validates lattice alignment invariants.
+    pub fn validate(&self, g: &ModelGraph) -> Result<(), String> {
+        let n = self.finest.ranges.len() as u32;
+        for level in &self.levels {
+            if level.groups.len() != level.ranges.len() {
+                return Err(format!("level {}: group/range mismatch", level.stages));
+            }
+            // Groups must partition [0, n).
+            let mut cursor = 0u32;
+            for &(a, b) in &level.groups {
+                if a != cursor || b <= a {
+                    return Err(format!(
+                        "level {}: groups not a partition at ({a},{b})",
+                        level.stages
+                    ));
+                }
+                cursor = b;
+            }
+            if cursor != n {
+                return Err(format!("level {}: groups end at {cursor} of {n}", level.stages));
+            }
+            // Ranges must be exact unions of unit ranges and cover the graph.
+            for (&(a, b), r) in level.groups.iter().zip(&level.ranges) {
+                let expect = OpRange::new(
+                    self.finest.ranges[a as usize].start,
+                    self.finest.ranges[b as usize - 1].end,
+                );
+                if *r != expect {
+                    return Err(format!("level {}: range {r:?} != {expect:?}", level.stages));
+                }
+            }
+            if level.ranges[0].start != 0
+                || level.ranges.last().unwrap().end != g.op_count()
+            {
+                return Err(format!("level {} does not cover the graph", level.stages));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::PartitionParams;
+    use flexpipe_model::zoo;
+
+    fn lattice_for(g: &ModelGraph, finest: u32, levels: &[u32]) -> GranularityLattice {
+        let cm = CostModel::default();
+        let p = Partitioner::new(PartitionParams::default(), cm);
+        GranularityLattice::build(&p, g, finest, levels, &cm).unwrap()
+    }
+
+    #[test]
+    fn builds_paper_levels_for_opt() {
+        let g = zoo::opt_66b();
+        let lat = lattice_for(&g, 32, &[2, 4, 8, 16, 32]);
+        lat.validate(&g).unwrap();
+        assert_eq!(lat.stage_counts(), vec![2, 4, 8, 16, 32]);
+        // Finer levels have strictly smaller bottlenecks (more parallelism).
+        let bots: Vec<f64> = lat.levels().iter().map(|l| l.bottleneck_secs).collect();
+        assert!(
+            bots.windows(2).all(|w| w[1] < w[0]),
+            "bottlenecks not decreasing: {bots:?}"
+        );
+    }
+
+    #[test]
+    fn infeasible_levels_are_skipped() {
+        let g = zoo::opt_66b();
+        // A single stage (123 GiB) cannot exist; 1 must be skipped.
+        let lat = lattice_for(&g, 32, &[1, 2, 4]);
+        assert_eq!(lat.stage_counts(), vec![2, 4]);
+    }
+
+    #[test]
+    fn expansion_plan_loads_split_halves() {
+        let g = zoo::opt_66b();
+        let lat = lattice_for(&g, 32, &[4, 8]);
+        let plan = lat.plan_transition(&g, 4, 8);
+        assert!(plan.is_expansion());
+        assert_eq!(plan.transitions.len(), 8);
+        // Each old stage keeps roughly half its parameters on the original
+        // device; the total fetched must be well under the full model but
+        // non-zero.
+        assert!(plan.total_load_bytes > 0);
+        assert!(plan.total_load_bytes < g.total_param_bytes() * 3 / 4);
+        // Exactly the old devices can be reused: 4 of the 8 new stages keep
+        // a device, the split-off halves start fresh.
+        let reused = plan
+            .transitions
+            .iter()
+            .filter(|t| t.reuse_old_stage.is_some())
+            .count();
+        assert_eq!(reused, 4);
+        // Reuse is injective over old stages.
+        let mut olds: Vec<u32> = plan
+            .transitions
+            .iter()
+            .filter_map(|t| t.reuse_old_stage)
+            .collect();
+        olds.sort_unstable();
+        olds.dedup();
+        assert_eq!(olds.len(), reused);
+    }
+
+    #[test]
+    fn consolidation_plan_moves_less_than_everything() {
+        let g = zoo::opt_66b();
+        let lat = lattice_for(&g, 32, &[4, 8]);
+        let plan = lat.plan_transition(&g, 8, 4);
+        assert!(!plan.is_expansion());
+        assert_eq!(plan.transitions.len(), 4);
+        // Merging adjacent pairs: each merged stage keeps its bigger half.
+        assert!(plan.total_load_bytes <= g.total_param_bytes() / 2 + (1 << 30));
+    }
+
+    #[test]
+    fn identity_transition_moves_nothing() {
+        let g = zoo::opt_66b();
+        let lat = lattice_for(&g, 32, &[8]);
+        let plan = lat.plan_transition(&g, 8, 8);
+        assert_eq!(plan.total_load_bytes, 0);
+        assert_eq!(plan.total_kv_bytes_per_token, 0);
+    }
+
+    #[test]
+    fn kv_migration_tracks_attention_movement() {
+        let g = zoo::opt_66b();
+        let lat = lattice_for(&g, 32, &[4, 16]);
+        let plan = lat.plan_transition(&g, 4, 16);
+        // Three quarters of the units leave their original device; their
+        // attention KV must move.
+        assert!(plan.total_kv_bytes_per_token > 0);
+        let whole_kv = g.range_kv_bytes_per_token(OpRange::new(0, g.op_count()));
+        assert!(plan.total_kv_bytes_per_token < whole_kv);
+    }
+
+    #[test]
+    fn small_model_lattice() {
+        let g = zoo::llama2_7b();
+        let lat = lattice_for(&g, 16, &[1, 2, 4, 8, 16]);
+        lat.validate(&g).unwrap();
+        // Llama-7B fits on one GPU, so level 1 exists.
+        assert!(lat.level(1).is_some());
+    }
+}

@@ -1,0 +1,22 @@
+//! FlexPipe §5: fine-grained model partitioning with preserved
+//! computational-graph constraints.
+//!
+//! Three pieces:
+//!
+//! - [`objective`] — the Eq. (2) stage cost: compute + un-overlapped
+//!   parameter streaming + the refactoring-potential regulariser `R(S_k)`;
+//! - [`dp`] — the constrained bottleneck DP solving for a `K`-stage
+//!   partition under per-stage memory feasibility;
+//! - [`lattice`] — the granularity lattice of aligned configurations
+//!   (finest units + merge groupings) that inflight refactoring (§6)
+//!   transitions across, plus byte-accurate transition plans.
+
+#![warn(missing_docs)]
+
+pub mod dp;
+pub mod lattice;
+pub mod objective;
+
+pub use dp::{Partition, PartitionError, Partitioner};
+pub use lattice::{GranularityLattice, LatticeLevel, StageTransition, TransitionPlan};
+pub use objective::{CutPolicy, Objective, PartitionParams, StageCost};

@@ -1,0 +1,237 @@
+//! The Eq. (2) stage-cost objective.
+//!
+//! For a candidate stage `S_k` (a contiguous operator range) the paper
+//! prices:
+//!
+//! ```text
+//! cost(S_k) = t_c(S_k) + max(s_p(S_k)/B − C, 0) + λ·R(S_k)
+//! ```
+//!
+//! - `t_c` — compute time of the stage at the profiling token count;
+//! - `s_p/B − C` — parameter-streaming time not hidden by the target
+//!   computation/communication overlap cycle `C`;
+//! - `R` — the refactoring-potential regulariser, penalising cuts that do
+//!   not respect hierarchical block boundaries (mid-block cuts both carry
+//!   wider activations *and* break the merge alignment that inflight
+//!   refactoring relies on).
+//!
+//! Subject to `s_p(S_k) ≤ M_GPU` (memory feasibility, including the KV
+//! budget for the planning batch size).
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_model::{CostModel, ModelGraph, OpId, OpRange};
+use flexpipe_sim::SimDuration;
+
+/// Tunable parameters of the Eq. (2) objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionParams {
+    /// Inter-stage bandwidth `B` in bytes/s.
+    pub bandwidth: f64,
+    /// Target computation/communication overlap cycle `C`.
+    pub overlap_cycle: SimDuration,
+    /// Regularisation weight `λ` (seconds per unit of `R`).
+    pub lambda: f64,
+    /// GPU memory capacity `M_GPU` in bytes.
+    pub gpu_mem: u64,
+    /// Tokens per pass used to evaluate `t_c` (profiling sequence length).
+    pub profile_tokens: u64,
+    /// Batch size assumed when checking memory feasibility.
+    pub planning_batch: u32,
+}
+
+impl Default for PartitionParams {
+    fn default() -> Self {
+        PartitionParams {
+            bandwidth: 12.5e9, // 100 Gbps
+            overlap_cycle: SimDuration::from_millis(40),
+            lambda: 2.0e-3,
+            gpu_mem: 80 * (1 << 30),
+            profile_tokens: 4096,
+            planning_batch: 8,
+        }
+    }
+}
+
+/// Where cuts may be placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CutPolicy {
+    /// Only between hierarchical blocks (the paper's default: preserves
+    /// computational-graph constraints for future reconfiguration).
+    BlockBoundary,
+    /// After any operator (ablation mode; mid-block cuts get priced by the
+    /// regulariser and wider activation transfers instead of forbidden).
+    AnyOp,
+}
+
+/// Full cost breakdown of one stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageCost {
+    /// Compute time at the profiling token count.
+    pub compute: SimDuration,
+    /// Un-overlapped parameter streaming time, seconds.
+    pub load_slack_secs: f64,
+    /// Regulariser value `R(S_k)` (dimensionless).
+    pub regularizer: f64,
+    /// Stage parameter bytes.
+    pub param_bytes: u64,
+    /// Device memory needed at the planning batch.
+    pub mem_bytes: u64,
+    /// Whether the stage fits in GPU memory.
+    pub feasible: bool,
+}
+
+impl StageCost {
+    /// Scalar Eq. (2) cost in seconds.
+    pub fn scalar(&self, lambda: f64) -> f64 {
+        self.compute.as_secs_f64() + self.load_slack_secs + lambda * self.regularizer
+    }
+}
+
+/// Evaluates stage costs for one model under fixed parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Objective<'a> {
+    /// Parameters of the objective.
+    pub params: PartitionParams,
+    /// The calibrated cost model.
+    pub cost_model: &'a CostModel,
+}
+
+impl<'a> Objective<'a> {
+    /// Creates an objective over `cost_model` with `params`.
+    pub fn new(params: PartitionParams, cost_model: &'a CostModel) -> Self {
+        Objective { params, cost_model }
+    }
+
+    /// Prices stage `r` of `g`.
+    pub fn stage_cost(&self, g: &ModelGraph, r: OpRange) -> StageCost {
+        let compute = self.cost_model.stage_compute(g, r, self.params.profile_tokens);
+        let param_bytes = g.range_param_bytes(r);
+        let stream_secs = param_bytes as f64 / self.params.bandwidth;
+        let load_slack_secs =
+            (stream_secs - self.params.overlap_cycle.as_secs_f64()).max(0.0);
+        let regularizer = self.regularizer(g, r);
+        let mem_bytes = self
+            .cost_model
+            .stage_mem_bytes(g, r, self.params.planning_batch);
+        StageCost {
+            compute,
+            load_slack_secs,
+            regularizer,
+            param_bytes,
+            mem_bytes,
+            feasible: mem_bytes <= self.params.gpu_mem,
+        }
+    }
+
+    /// The refactoring-potential regulariser `R(S_k)`.
+    ///
+    /// Both cuts delimiting the stage contribute: a block-boundary cut
+    /// costs its (normalised) activation width; a mid-block cut adds a
+    /// fixed structural penalty on top, because it breaks merge alignment.
+    pub fn regularizer(&self, g: &ModelGraph, r: OpRange) -> f64 {
+        let norm = 2.0 * f64::from(g.config().d_model); // block-tail bytes/token
+        let mut total = 0.0;
+        for boundary in [r.start.checked_sub(1), Some(r.end - 1)]
+            .into_iter()
+            .flatten()
+        {
+            let id = OpId(boundary);
+            if id.0 + 1 >= g.op_count() {
+                continue; // the terminal cut is free
+            }
+            let act = g.cut_act_bytes_per_token(id) as f64 / norm;
+            let structural = if g.is_block_boundary(id) { 0.0 } else { 4.0 };
+            total += act + structural;
+        }
+        total
+    }
+
+    /// Legal cut positions under `policy`: indices `e` such that a stage
+    /// may end with operator `e - 1` (i.e. range `.. e`).
+    pub fn cut_positions(&self, g: &ModelGraph, policy: CutPolicy) -> Vec<u32> {
+        match policy {
+            CutPolicy::BlockBoundary => g
+                .block_boundaries()
+                .into_iter()
+                .map(|id| id.0 + 1)
+                .collect(),
+            CutPolicy::AnyOp => (1..=g.op_count()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpipe_model::{even_layer_ranges, zoo};
+
+    fn obj(cm: &CostModel) -> Objective<'_> {
+        Objective::new(PartitionParams::default(), cm)
+    }
+
+    #[test]
+    fn stage_cost_components_are_sane() {
+        let g = zoo::opt_66b();
+        let cm = CostModel::default();
+        let o = obj(&cm);
+        let r = even_layer_ranges(&g, 8)[3];
+        let c = o.stage_cost(&g, r);
+        assert!(c.compute.as_millis_f64() > 10.0);
+        assert!(c.load_slack_secs > 0.0, "16 GB over 12.5 GB/s exceeds 40 ms");
+        assert!(c.feasible);
+        assert!(c.scalar(o.params.lambda) > c.compute.as_secs_f64());
+    }
+
+    #[test]
+    fn whole_model_stage_is_infeasible_for_opt() {
+        let g = zoo::opt_66b();
+        let cm = CostModel::default();
+        let o = obj(&cm);
+        let c = o.stage_cost(&g, OpRange::new(0, g.op_count()));
+        assert!(!c.feasible);
+    }
+
+    #[test]
+    fn regularizer_prefers_block_boundaries() {
+        let g = zoo::llama2_7b();
+        let cm = CostModel::default();
+        let o = obj(&cm);
+        // A stage ending exactly on a layer boundary...
+        let ranges = even_layer_ranges(&g, 4);
+        let aligned = o.regularizer(&g, ranges[1]);
+        // ...versus the same stage shifted one op to end mid-block.
+        let shifted = OpRange::new(ranges[1].start, ranges[1].end + 1);
+        let misaligned = o.regularizer(&g, shifted);
+        assert!(
+            misaligned > aligned + 3.0,
+            "aligned {aligned} misaligned {misaligned}"
+        );
+    }
+
+    #[test]
+    fn cut_positions_respect_policy() {
+        let g = zoo::llama2_7b();
+        let cm = CostModel::default();
+        let o = obj(&cm);
+        let block = o.cut_positions(&g, CutPolicy::BlockBoundary);
+        let any = o.cut_positions(&g, CutPolicy::AnyOp);
+        assert_eq!(any.len(), g.op_count() as usize);
+        assert_eq!(block.len() as u32, g.block_count());
+        // Block cuts are a subset of any-op cuts.
+        assert!(block.iter().all(|p| any.contains(p)));
+        // Final position present in both (needed to close the partition).
+        assert!(block.contains(&g.op_count()));
+    }
+
+    #[test]
+    fn load_slack_vanishes_for_small_stages() {
+        let g = zoo::llama2_7b();
+        let cm = CostModel::default();
+        let o = obj(&cm);
+        // One llama layer is ~0.4 GB → streams in ~32 ms < 40 ms cycle.
+        let r = even_layer_ranges(&g, 32)[16];
+        let c = o.stage_cost(&g, r);
+        assert_eq!(c.load_slack_secs, 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests of the §5 partitioner under randomized objective
+//! parameters.
+
+use proptest::prelude::*;
+
+use flexpipe_model::{validate_partition, zoo, CostModel, OpId};
+use flexpipe_partition::{CutPolicy, GranularityLattice, PartitionParams, Partitioner};
+use flexpipe_sim::SimDuration;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Valid partitions under random bandwidth/λ/overlap parameters: the
+    /// objective may reweigh cuts but never break structure.
+    #[test]
+    fn random_objectives_yield_valid_partitions(
+        bw_gbps in 1.0f64..400.0,
+        lambda in 0.0f64..0.1,
+        overlap_ms in 0u64..200,
+        k in 2u32..24,
+    ) {
+        let graph = zoo::llama2_7b();
+        let cost = CostModel::default();
+        let params = PartitionParams {
+            bandwidth: bw_gbps * 1e9,
+            lambda,
+            overlap_cycle: SimDuration::from_millis(overlap_ms),
+            ..PartitionParams::default()
+        };
+        let partitioner = Partitioner::new(params, cost);
+        let partition = partitioner.partition(&graph, k).unwrap();
+        prop_assert!(validate_partition(&graph, &partition.ranges).is_ok());
+        // Block policy: every interior cut on a block boundary.
+        for r in &partition.ranges[..partition.ranges.len() - 1] {
+            prop_assert!(graph.is_block_boundary(OpId(r.end - 1)));
+        }
+        // Bottleneck is at least the heaviest single mandatory cost.
+        prop_assert!(partition.bottleneck_secs > 0.0);
+        prop_assert!(partition.total_secs >= partition.bottleneck_secs);
+    }
+
+    /// AnyOp policy dominates BlockBoundary on bottleneck cost (a superset
+    /// of cuts can only improve the optimum).
+    #[test]
+    fn any_op_never_worse_than_block_policy(k in 2u32..16) {
+        let graph = zoo::llama2_7b();
+        let cost = CostModel::default();
+        let params = PartitionParams::default();
+        let block = Partitioner::new(params, cost).partition(&graph, k).unwrap();
+        let any = Partitioner::new(params, cost)
+            .with_policy(CutPolicy::AnyOp)
+            .partition(&graph, k)
+            .unwrap();
+        prop_assert!(any.bottleneck_secs <= block.bottleneck_secs + 1e-12);
+    }
+
+    /// Lattices built over random level subsets validate and preserve the
+    /// finest boundaries.
+    #[test]
+    fn random_lattices_validate(levels in prop::collection::btree_set(1u32..=16, 1..5)) {
+        let graph = zoo::bert_21b();
+        let cost = CostModel::default();
+        let partitioner = Partitioner::new(PartitionParams::default(), cost);
+        let levels: Vec<u32> = levels.into_iter().collect();
+        let lattice = GranularityLattice::build(&partitioner, &graph, 16, &levels, &cost).unwrap();
+        lattice.validate(&graph).unwrap();
+        // Every level boundary is a finest-unit boundary.
+        let finest_bounds: std::collections::HashSet<u32> = lattice
+            .finest()
+            .ranges
+            .iter()
+            .map(|r| r.end)
+            .collect();
+        for level in lattice.levels() {
+            for r in &level.ranges {
+                prop_assert!(finest_bounds.contains(&r.end));
+            }
+        }
+    }
+}

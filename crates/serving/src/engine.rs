@@ -1,0 +1,1466 @@
+//! The serving engine: a discrete-event world executing pipelined LLM
+//! inference over the simulated cluster under a pluggable control policy.
+//!
+//! Mechanism lives here (micro-batch passes, admission, instance
+//! lifecycle, refactor execution, host-memory parameter cache); decisions
+//! live in [`crate::policy::ControlPolicy`] implementations.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use flexpipe_cluster::{
+    BackgroundProfile, BackgroundTenants, Cluster, ClusterSpec, Endpoint, GpuId, LeaseId,
+    Provisioner, Route, ServerId, TierConfig, TransferEngine,
+};
+use flexpipe_metrics::{OutcomeLog, RequestOutcome, Timeline, UtilizationLedger};
+use flexpipe_model::{CostModel, ModelGraph, OpId, OpRange};
+use flexpipe_partition::GranularityLattice;
+use flexpipe_sim::{EventQueue, RunOutcome, SimDuration, SimRng, SimTime, World};
+use flexpipe_workload::{CvEstimator, Request, RequestId, Workload};
+
+use crate::config::EngineConfig;
+use crate::instance::{
+    Instance, InstanceId, InstanceSnapshot, InstanceState, MicroBatch, Phase, StageRuntime,
+    UbatchId,
+};
+use crate::policy::{ActionError, ControlPolicy, Placement, RefactorPlan, StageAssign};
+use crate::report::RunReport;
+
+/// Events routed through the simulation queue.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Request `workload[i]` arrives at the gateway.
+    Arrival(u32),
+    /// Periodic control-loop invocation.
+    ControlTick,
+    /// Background fragmentation churn step.
+    Churn,
+    /// An instance finished loading parameters.
+    InstanceReady {
+        /// Target instance.
+        id: InstanceId,
+        /// Epoch the event belongs to.
+        epoch: u64,
+    },
+    /// A micro-batch reaches a stage's input queue.
+    StageArrive {
+        /// Target instance.
+        id: InstanceId,
+        /// Epoch guard.
+        epoch: u64,
+        /// Stage index.
+        stage: u16,
+        /// The micro-batch.
+        ub: UbatchId,
+    },
+    /// A stage finishes computing a micro-batch pass.
+    StageDone {
+        /// Target instance.
+        id: InstanceId,
+        /// Epoch guard.
+        epoch: u64,
+        /// Stage index.
+        stage: u16,
+        /// The micro-batch.
+        ub: UbatchId,
+    },
+    /// A refactor's background preparation completes (switchover begins).
+    PrepareDone {
+        /// Target instance.
+        id: InstanceId,
+        /// Epoch guard.
+        epoch: u64,
+    },
+    /// A refactor's switchover pause completes (new topology live).
+    PauseDone {
+        /// Target instance.
+        id: InstanceId,
+        /// Epoch guard.
+        epoch: u64,
+    },
+}
+
+/// Scenario description bundling everything an engine run needs.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Engine tunables.
+    pub config: EngineConfig,
+    /// Cluster to simulate.
+    pub cluster: ClusterSpec,
+    /// Background fragmentation profile.
+    pub background: BackgroundProfile,
+    /// Dual-tier provisioning parameters.
+    pub tier: TierConfig,
+    /// Calibrated cost model.
+    pub cost: CostModel,
+    /// The request stream.
+    pub workload: Workload,
+    /// Simulation horizon.
+    pub horizon: SimTime,
+    /// Root random seed.
+    pub seed: u64,
+}
+
+struct ReqRuntime {
+    req: Request,
+    admitted: Option<SimTime>,
+    prefill_done: Option<SimTime>,
+    generated: u32,
+    exec_secs: f64,
+    comm_secs: f64,
+    done: bool,
+}
+
+struct HostCacheEntry {
+    server: ServerId,
+    lease: LeaseId,
+    expires: SimTime,
+}
+
+struct PendingRefactor {
+    plan: RefactorPlan,
+    fresh_acquired: Vec<GpuId>,
+}
+
+/// All mutable engine state (separated from the policy for borrow hygiene).
+pub struct EngineState {
+    pub(crate) config: EngineConfig,
+    pub(crate) graph: Arc<ModelGraph>,
+    pub(crate) cost: CostModel,
+    pub(crate) lattice: Arc<GranularityLattice>,
+    pub(crate) cluster: Cluster,
+    pub(crate) transfer: TransferEngine,
+    pub(crate) provisioner: Provisioner,
+    pub(crate) tier: TierConfig,
+    bg: BackgroundTenants,
+    workload: Arc<Vec<Request>>,
+    gateway: VecDeque<RequestId>,
+    reqs: Vec<ReqRuntime>,
+    instances: BTreeMap<InstanceId, Instance>,
+    ubatches: HashMap<UbatchId, MicroBatch>,
+    pending_refactors: HashMap<InstanceId, PendingRefactor>,
+    host_cache: HashMap<(u32, u32), HostCacheEntry>,
+    gpus_in_use: std::collections::HashSet<GpuId>,
+    next_instance: u64,
+    next_ubatch: u64,
+    horizon: SimTime,
+    // Metrics.
+    outcomes: OutcomeLog,
+    ledger: UtilizationLedger,
+    queue_timeline: Timeline,
+    inflight_timeline: Timeline,
+    cv_est: CvEstimator,
+    refactors: u32,
+    refactor_pause_secs: f64,
+    spawns: u32,
+    init_latencies: Vec<f64>,
+    warm_loads: u32,
+    cold_loads: u32,
+}
+
+impl EngineState {
+    /// Current gateway queue length.
+    pub fn queue_len(&self) -> usize {
+        self.gateway.len()
+    }
+
+    /// The model graph.
+    pub fn graph(&self) -> &ModelGraph {
+        &self.graph
+    }
+
+    /// The granularity lattice.
+    pub fn lattice(&self) -> &GranularityLattice {
+        &self.lattice
+    }
+
+    /// The cluster (read-only access for policies).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Snapshots of all instances.
+    pub fn snapshots(&self) -> Vec<InstanceSnapshot> {
+        self.instances.values().map(|i| i.snapshot()).collect()
+    }
+
+    fn new_instance_id(&mut self) -> InstanceId {
+        self.next_instance += 1;
+        InstanceId(self.next_instance)
+    }
+
+    fn new_ubatch_id(&mut self) -> UbatchId {
+        self.next_ubatch += 1;
+        UbatchId(self.next_ubatch)
+    }
+
+    fn load_route(&self, range: OpRange, gpu: GpuId) -> Route {
+        let key = (range.start, range.end);
+        match self.host_cache.get(&key) {
+            Some(entry) => {
+                if self.cluster.topology().gpu(gpu).server == entry.server {
+                    Route::PcieHost
+                } else {
+                    Route::Rdma
+                }
+            }
+            None => Route::Storage,
+        }
+    }
+
+    /// Load duration of `range` onto `gpu`, using the host cache if warm.
+    pub fn load_duration(&self, range: OpRange, gpu: GpuId) -> SimDuration {
+        let bytes = self.graph.range_param_bytes(range);
+        self.transfer.duration_on(self.load_route(range, gpu), bytes)
+    }
+
+    /// Whether `range` is warm in some server's host cache.
+    pub fn is_cached(&self, range: OpRange) -> Option<ServerId> {
+        self.host_cache
+            .get(&(range.start, range.end))
+            .map(|e| e.server)
+    }
+
+    /// GPUs currently holding stages of our instances.
+    pub fn gpus_in_use(&self) -> &std::collections::HashSet<GpuId> {
+        &self.gpus_in_use
+    }
+
+    /// Control-plane readiness delay of acquiring `gpu` at `now`.
+    pub fn provisioning_delay(&self, gpu: GpuId, now: SimTime) -> SimDuration {
+        if self.provisioner.is_instant(gpu, now) {
+            SimDuration::ZERO
+        } else {
+            self.tier.elastic_delay
+        }
+    }
+
+    /// Per-stage (range, gpu) placement of an instance.
+    pub fn stage_placement(&self, id: InstanceId) -> Option<Vec<(OpRange, GpuId)>> {
+        self.instances
+            .get(&id)
+            .map(|i| i.stages.iter().map(|s| (s.range, s.gpu)).collect())
+    }
+
+    /// Pre-stages the parameters of `range` into `server`'s host memory
+    /// (ServerlessLLM-style checkpoint placement). Subsequent loads of the
+    /// range onto GPUs of that server run at PCIe speed. Returns whether
+    /// host memory could be reserved; refreshing an existing entry always
+    /// succeeds.
+    pub fn prewarm_host_cache(
+        &mut self,
+        now: SimTime,
+        range: OpRange,
+        server: ServerId,
+    ) -> bool {
+        let key = (range.start, range.end);
+        let expires = now + self.config.host_cache_ttl;
+        if let Some(entry) = self.host_cache.get_mut(&key) {
+            entry.expires = expires;
+            return true;
+        }
+        let bytes = self.graph.range_param_bytes(range);
+        match self.cluster.reserve_host(server, bytes) {
+            Ok(lease) => {
+                self.host_cache.insert(
+                    key,
+                    HostCacheEntry {
+                        server,
+                        lease,
+                        expires,
+                    },
+                );
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn select_gpus(
+        &self,
+        ranges: &[OpRange],
+        placement: &Placement,
+    ) -> Result<Vec<GpuId>, ActionError> {
+        match placement {
+            Placement::Explicit(gpus) => {
+                if gpus.len() != ranges.len() {
+                    return Err(ActionError::BadPlan(format!(
+                        "{} gpus for {} stages",
+                        gpus.len(),
+                        ranges.len()
+                    )));
+                }
+                let mut seen = std::collections::HashSet::new();
+                for (&g, &r) in gpus.iter().zip(ranges) {
+                    if self.gpus_in_use.contains(&g) || !seen.insert(g) {
+                        return Err(ActionError::NoCapacity(format!("gpu {g:?} already in use")));
+                    }
+                    let need = self.cost.stage_mem_bytes(&self.graph, r, 1);
+                    if self.cluster.free_mem(g) < need {
+                        return Err(ActionError::NoCapacity(format!(
+                            "gpu {g:?} lacks {need} bytes"
+                        )));
+                    }
+                }
+                Ok(gpus.clone())
+            }
+            Placement::FirstFit => {
+                // Greedy best-fit: each stage takes the feasible GPU with
+                // the most free memory. Picking barely-fitting devices
+                // would collapse the joint batch capacity (Table 2's max
+                // batch is memory-bound), starving admission.
+                let mut chosen: Vec<GpuId> = Vec::with_capacity(ranges.len());
+                for &r in ranges {
+                    let need = self.cost.stage_mem_bytes(&self.graph, r, 1);
+                    let found = self
+                        .cluster
+                        .topology()
+                        .gpus()
+                        .iter()
+                        .map(|g| g.id)
+                        .filter(|g| !self.gpus_in_use.contains(g) && !chosen.contains(g))
+                        .filter(|&g| self.cluster.free_mem(g) >= need)
+                        .max_by_key(|&g| (self.cluster.free_mem(g), std::cmp::Reverse(g.0)))
+                        .ok_or_else(|| {
+                            ActionError::NoCapacity(format!(
+                                "no gpu with {} MiB free for stage",
+                                need >> 20
+                            ))
+                        })?;
+                    chosen.push(found);
+                }
+                Ok(chosen)
+            }
+        }
+    }
+
+    /// Spawns an instance at lattice level `stages`; returns its id.
+    ///
+    /// `prewarmed` instances come up instantly — they model the standing
+    /// deployment that exists before measurement starts (static systems
+    /// are always-on; only *elastic* scale-outs pay provisioning and
+    /// parameter-loading delays).
+    pub fn spawn(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        stages: u32,
+        placement: Placement,
+        prewarmed: bool,
+    ) -> Result<InstanceId, ActionError> {
+        let now = queue.now();
+        let ranges: Vec<OpRange> = self
+            .lattice
+            .level(stages)
+            .ok_or(ActionError::UnknownLevel(stages))?
+            .ranges
+            .clone();
+        let gpus = self.select_gpus(&ranges, &placement)?;
+
+        // Joint batch capacity over all stages given each device's memory.
+        let batch_cap = ranges
+            .iter()
+            .zip(&gpus)
+            .map(|(&r, &g)| self.cost.max_batch(&self.graph, r, self.cluster.free_mem(g)))
+            .min()
+            .unwrap_or(0);
+        if batch_cap == 0 {
+            return Err(ActionError::NoCapacity("batch capacity would be zero".into()));
+        }
+
+        let mut stage_runtimes = Vec::with_capacity(ranges.len());
+        let mut ready = now;
+        for (&r, &g) in ranges.iter().zip(&gpus) {
+            let bytes = self.cost.stage_mem_bytes(&self.graph, r, batch_cap);
+            let lease = self
+                .cluster
+                .reserve_gpu(g, bytes)
+                .map_err(|e| ActionError::NoCapacity(e.to_string()))?;
+            let acq = self.provisioner.acquire(g, now);
+            self.ledger.record_acquire(now);
+            self.gpus_in_use.insert(g);
+            if !prewarmed {
+                let route = self.load_route(r, g);
+                if route == Route::Storage {
+                    self.cold_loads += 1;
+                } else {
+                    self.warm_loads += 1;
+                }
+                let load = self.transfer.duration_on(route, self.graph.range_param_bytes(r));
+                ready = ready.max(acq.ready_at + load);
+            }
+            stage_runtimes.push(StageRuntime {
+                range: r,
+                gpu: g,
+                lease,
+                busy: false,
+                input_decode: VecDeque::new(),
+                input_prefill: VecDeque::new(),
+                decode_streak: 0,
+            });
+        }
+
+        let id = self.new_instance_id();
+        self.instances.insert(
+            id,
+            Instance {
+                id,
+                stages: stage_runtimes,
+                state: InstanceState::Loading,
+                batch_cap,
+                active_requests: 0,
+                ubatches: Vec::new(),
+                decode_ready: VecDeque::new(),
+                admit_hold: false,
+                compute_multiplier: 1.0,
+                spawned_at: now,
+                ready_at: None,
+                epoch: 0,
+            },
+        );
+        self.spawns += 1;
+        if !prewarmed {
+            self.init_latencies
+                .push(ready.saturating_since(now).as_secs_f64());
+        }
+        queue
+            .schedule(ready, Event::InstanceReady { id, epoch: 0 })
+            .expect("ready time is in the future");
+        Ok(id)
+    }
+
+    /// Marks an instance draining; it is released once empty.
+    pub fn retire(&mut self, queue: &mut EventQueue<Event>, id: InstanceId) {
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
+        if matches!(inst.state, InstanceState::Draining) {
+            return;
+        }
+        inst.state = InstanceState::Draining;
+        if inst.active_requests == 0 {
+            self.release_instance(queue.now(), id);
+        }
+    }
+
+    fn release_instance(&mut self, now: SimTime, id: InstanceId) {
+        let Some(inst) = self.instances.remove(&id) else {
+            return;
+        };
+        for stage in inst.stages {
+            self.release_stage_device(now, stage.gpu, stage.lease, stage.range);
+        }
+    }
+
+    /// Releases one stage's device: frees the lease, parks parameters in
+    /// the host cache (memory permitting) and returns the GPU to the
+    /// provisioner's warm pool.
+    fn release_stage_device(&mut self, now: SimTime, gpu: GpuId, lease: LeaseId, range: OpRange) {
+        let _ = self.cluster.release(lease);
+        let server = self.cluster.topology().gpu(gpu).server;
+        let bytes = self.graph.range_param_bytes(range);
+        let key = (range.start, range.end);
+        // Refresh or install the host-cache entry (memory permitting).
+        let expires = now + self.config.host_cache_ttl;
+        if let Some(entry) = self.host_cache.get_mut(&key) {
+            entry.expires = expires;
+        } else if let Ok(host_lease) = self.cluster.reserve_host(server, bytes) {
+            self.host_cache.insert(
+                key,
+                HostCacheEntry {
+                    server,
+                    lease: host_lease,
+                    expires,
+                },
+            );
+        }
+        self.provisioner.release(gpu, now);
+        self.ledger.record_release(now);
+        self.gpus_in_use.remove(&gpu);
+    }
+
+    fn expire_host_cache(&mut self, now: SimTime) {
+        let expired: Vec<(u32, u32)> = self
+            .host_cache
+            .iter()
+            .filter(|(_, e)| e.expires <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in expired {
+            if let Some(e) = self.host_cache.remove(&key) {
+                let _ = self.cluster.release(e.lease);
+            }
+        }
+    }
+
+    /// Initiates an inflight refactor of `id` toward `plan`.
+    ///
+    /// The old topology keeps serving during `plan.prepare`; the switchover
+    /// pauses the instance for `plan.pause`; afterwards the new topology is
+    /// live with KV preserved.
+    pub fn refactor(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        id: InstanceId,
+        plan: RefactorPlan,
+    ) -> Result<(), ActionError> {
+        let now = queue.now();
+        let inst = self
+            .instances
+            .get(&id)
+            .ok_or(ActionError::BadInstance(id))?;
+        if inst.state != InstanceState::Serving {
+            return Err(ActionError::BadInstance(id));
+        }
+        if plan.new_ranges.len() != plan.assignments.len() {
+            return Err(ActionError::BadPlan("assignment/range length mismatch".into()));
+        }
+        // Validate assignments: reuse indices in range and unique; fresh
+        // GPUs unused and not duplicated.
+        let mut reuse_seen = std::collections::HashSet::new();
+        let mut fresh_seen = std::collections::HashSet::new();
+        for a in &plan.assignments {
+            match *a {
+                StageAssign::Reuse { old_index } => {
+                    if old_index as usize >= inst.stages.len() || !reuse_seen.insert(old_index) {
+                        return Err(ActionError::BadPlan(format!("bad reuse {old_index}")));
+                    }
+                }
+                StageAssign::Fresh { gpu } => {
+                    if self.gpus_in_use.contains(&gpu) || !fresh_seen.insert(gpu) {
+                        return Err(ActionError::NoCapacity(format!("gpu {gpu:?} unavailable")));
+                    }
+                }
+            }
+        }
+        // Acquire fresh GPUs now; they provision and load during prepare.
+        let mut fresh_acquired = Vec::new();
+        for a in &plan.assignments {
+            if let StageAssign::Fresh { gpu } = *a {
+                self.provisioner.acquire(gpu, now);
+                self.ledger.record_acquire(now);
+                self.gpus_in_use.insert(gpu);
+                fresh_acquired.push(gpu);
+            }
+        }
+        let epoch = inst.epoch;
+        let prepare = plan.prepare;
+        self.pending_refactors
+            .insert(id, PendingRefactor { plan, fresh_acquired });
+        let inst = self.instances.get_mut(&id).expect("checked above");
+        inst.state = InstanceState::Preparing;
+        queue
+            .schedule(now + prepare, Event::PrepareDone { id, epoch })
+            .expect("future");
+        Ok(())
+    }
+
+    fn on_prepare_done(&mut self, queue: &mut EventQueue<Event>, id: InstanceId, epoch: u64) {
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
+        if inst.epoch != epoch || inst.state != InstanceState::Preparing {
+            return;
+        }
+        inst.state = InstanceState::Paused;
+        let pause = self
+            .pending_refactors
+            .get(&id)
+            .map(|p| p.plan.pause)
+            .unwrap_or(SimDuration::ZERO);
+        self.refactor_pause_secs += pause.as_secs_f64();
+        queue
+            .schedule(queue.now() + pause, Event::PauseDone { id, epoch })
+            .expect("future");
+    }
+
+    fn on_pause_done(&mut self, queue: &mut EventQueue<Event>, id: InstanceId, epoch: u64) {
+        let now = queue.now();
+        let Some(pending) = self.pending_refactors.remove(&id) else {
+            return;
+        };
+        let Some(inst) = self.instances.get(&id) else {
+            return;
+        };
+        if inst.epoch != epoch || inst.state != InstanceState::Paused {
+            return;
+        }
+        let plan = pending.plan;
+
+        // Compute the per-stage available memory: a reused device offers
+        // its current free memory plus the old lease being replaced; a
+        // fresh device offers its free memory.
+        let old_stages: Vec<(GpuId, LeaseId, OpRange)> = inst
+            .stages
+            .iter()
+            .map(|s| (s.gpu, s.lease, s.range))
+            .collect();
+        let target_gpu = |a: &StageAssign| -> GpuId {
+            match *a {
+                StageAssign::Reuse { old_index } => old_stages[old_index as usize].0,
+                StageAssign::Fresh { gpu } => gpu,
+            }
+        };
+        let mut batch_cap = u32::MAX;
+        for (a, &r) in plan.assignments.iter().zip(&plan.new_ranges) {
+            let gpu = target_gpu(a);
+            let mut avail = self.cluster.free_mem(gpu);
+            if let StageAssign::Reuse { old_index } = *a {
+                avail += self.cluster.lease(old_stages[old_index as usize].1).map(|l| l.bytes).unwrap_or(0);
+            }
+            batch_cap = batch_cap.min(self.cost.max_batch(&self.graph, r, avail));
+        }
+        if batch_cap < (inst.active_requests / 2).max(1) {
+            // Abort: the new layout cannot hold a useful share of the live
+            // load (background tenants grew under us, or a consolidation
+            // raced an admission burst). Return fresh GPUs and resume the
+            // old topology untouched.
+            for gpu in pending.fresh_acquired {
+                self.provisioner.release(gpu, now);
+                self.ledger.record_release(now);
+                self.gpus_in_use.remove(&gpu);
+            }
+            let inst = self.instances.get_mut(&id).expect("present");
+            inst.state = InstanceState::Serving;
+            self.resume_instance(queue, id);
+            return;
+        }
+
+        // Commit: release every old lease, then reserve the new layout.
+        let reused: std::collections::HashSet<u32> = plan
+            .assignments
+            .iter()
+            .filter_map(|a| match *a {
+                StageAssign::Reuse { old_index } => Some(old_index),
+                _ => None,
+            })
+            .collect();
+        for (i, &(gpu, lease, range)) in old_stages.iter().enumerate() {
+            if reused.contains(&(i as u32)) {
+                let _ = self.cluster.release(lease);
+            } else {
+                // Device leaves the instance entirely.
+                self.release_stage_device(now, gpu, lease, range);
+            }
+        }
+        let mut new_stages = Vec::with_capacity(plan.new_ranges.len());
+        for (a, &r) in plan.assignments.iter().zip(&plan.new_ranges) {
+            let gpu = target_gpu(a);
+            let bytes = self.cost.stage_mem_bytes(&self.graph, r, batch_cap);
+            let lease = self
+                .cluster
+                .reserve_gpu(gpu, bytes)
+                .expect("fit checked via batch_cap computation");
+            new_stages.push(StageRuntime {
+                range: r,
+                gpu,
+                lease,
+                busy: false,
+                input_decode: VecDeque::new(),
+                input_prefill: VecDeque::new(),
+                decode_streak: 0,
+            });
+        }
+
+        let inst = self.instances.get_mut(&id).expect("present");
+        inst.stages = new_stages;
+        inst.batch_cap = batch_cap;
+        inst.state = InstanceState::Serving;
+        inst.admit_hold = false;
+        inst.epoch += 1;
+        let new_epoch = inst.epoch;
+        self.refactors += 1;
+
+        // Relaunch live micro-batches at stage 0 of the new topology; their
+        // KV caches were kept consistent by the §6.3 protocol, so decode
+        // continues from the current token positions.
+        let ubs = inst.ubatches.clone();
+        for ub_id in ubs {
+            if let Some(ub) = self.ubatches.get_mut(&ub_id) {
+                ub.pass_started = now;
+                ub.pass_compute_secs = 0.0;
+                ub.pass_comm_secs = 0.0;
+                queue.schedule_now(Event::StageArrive {
+                    id,
+                    epoch: new_epoch,
+                    stage: 0,
+                    ub: ub_id,
+                });
+            }
+        }
+    }
+
+    fn resume_instance(&mut self, queue: &mut EventQueue<Event>, id: InstanceId) {
+        let Some(inst) = self.instances.get(&id) else {
+            return;
+        };
+        let epoch = inst.epoch;
+        for s in 0..inst.stages.len() {
+            self.try_start_stage(queue, id, epoch, s as u16);
+        }
+    }
+
+    fn try_start_stage(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        id: InstanceId,
+        epoch: u64,
+        stage: u16,
+    ) {
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
+        if inst.epoch != epoch || inst.state == InstanceState::Paused {
+            return;
+        }
+        let s = stage as usize;
+        if s >= inst.stages.len() || inst.stages[s].busy {
+            return;
+        }
+        let Some((ub_id, _)) = inst.stages[s].pop_next() else {
+            return;
+        };
+        let Some(ub) = self.ubatches.get_mut(&ub_id) else {
+            // Dissolved micro-batch: skip and try the next one.
+            self.try_start_stage(queue, id, epoch, stage);
+            return;
+        };
+        let gpu = inst.stages[s].gpu;
+        let range = inst.stages[s].range;
+        let mult = inst.compute_multiplier;
+        inst.stages[s].busy = true;
+        let base = self.cost.stage_compute(&self.graph, range, ub.pass_tokens);
+        let slowdown = 1.0 + self.config.interference_coeff * self.cluster.load(gpu).bg_sm;
+        let dur = base.mul_f64(slowdown * mult);
+        ub.pass_compute_secs += dur.as_secs_f64();
+        self.ledger.record_busy(gpu.0, dur);
+        queue
+            .schedule_after(dur, Event::StageDone { id, epoch, stage, ub: ub_id })
+            .expect("future");
+    }
+
+    fn on_stage_arrive(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        id: InstanceId,
+        epoch: u64,
+        stage: u16,
+        ub: UbatchId,
+    ) {
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
+        if inst.epoch != epoch {
+            return;
+        }
+        let s = stage as usize;
+        if s >= inst.stages.len() {
+            return;
+        }
+        // Two-class scheduling: decode passes are latency-critical and
+        // preferred, but the streak limit in `pop_next` guarantees prefill
+        // progress (without it either class convoys behind the other).
+        let is_decode = self
+            .ubatches
+            .get(&ub)
+            .is_some_and(|u| u.phase == Phase::Decode);
+        if is_decode {
+            inst.stages[s].input_decode.push_back(ub);
+        } else {
+            inst.stages[s].input_prefill.push_back(ub);
+        }
+        self.try_start_stage(queue, id, epoch, stage);
+    }
+
+    fn on_stage_done(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        id: InstanceId,
+        epoch: u64,
+        stage: u16,
+        ub_id: UbatchId,
+    ) {
+        let now = queue.now();
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
+        if inst.epoch != epoch {
+            return;
+        }
+        let s = stage as usize;
+        inst.stages[s].busy = false;
+        let stage_count = inst.stages.len();
+        let last = s + 1 == stage_count;
+        if !last {
+            // Forward over the inter-stage hop.
+            let src = inst.stages[s].gpu;
+            let dst = inst.stages[s + 1].gpu;
+            let boundary = OpId(inst.stages[s].range.end - 1);
+            let tokens = self.ubatches.get(&ub_id).map(|u| u.pass_tokens).unwrap_or(0);
+            let bytes = match self.config.batch_scaling {
+                // Eq. (3): profiled bytes at b_base, scaled sub-linearly to
+                // the actual pass batch.
+                Some(scaling) => {
+                    let base_tokens = scaling.b_base.max(1.0);
+                    let s_base =
+                        self.cost.hop_bytes(&self.graph, boundary, base_tokens as u64) as f64;
+                    scaling.scale(s_base, tokens as f64) as u64
+                }
+                None => self.cost.hop_bytes(&self.graph, boundary, tokens),
+            };
+            let hop = self.transfer.duration(
+                &self.cluster,
+                Endpoint::Gpu(src),
+                Endpoint::Gpu(dst),
+                bytes,
+            );
+            if let Some(ub) = self.ubatches.get_mut(&ub_id) {
+                ub.pass_comm_secs += hop.as_secs_f64();
+            }
+            queue
+                .schedule_after(
+                    hop,
+                    Event::StageArrive {
+                        id,
+                        epoch,
+                        stage: stage + 1,
+                        ub: ub_id,
+                    },
+                )
+                .expect("future");
+        } else {
+            self.finish_pass(queue, id, epoch, ub_id, now);
+        }
+        self.try_start_stage(queue, id, epoch, stage);
+    }
+
+    fn finish_pass(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        id: InstanceId,
+        epoch: u64,
+        ub_id: UbatchId,
+        now: SimTime,
+    ) {
+        let Some(mut ub) = self.ubatches.remove(&ub_id) else {
+            return;
+        };
+        let generative = self.graph.config().generative;
+        let mut completed: Vec<RequestId> = Vec::new();
+
+        // Attribute the pass's compute/comm to every member.
+        for &rid in &ub.members {
+            let r = &mut self.reqs[rid.0 as usize];
+            r.exec_secs += ub.pass_compute_secs;
+            r.comm_secs += ub.pass_comm_secs;
+        }
+
+        // Chunked prefill: more prompt tokens to process → immediately
+        // re-enter stage 0 with the next chunk.
+        if ub.phase == Phase::Prefill && ub.prefill_remaining > 0 {
+            let chunk = self.config.prefill_token_cap.max(1);
+            ub.pass_tokens = ub.prefill_remaining.min(chunk);
+            ub.prefill_remaining -= ub.pass_tokens;
+            ub.pass_started = now;
+            ub.pass_compute_secs = 0.0;
+            ub.pass_comm_secs = 0.0;
+            self.ubatches.insert(ub_id, ub);
+            queue.schedule_now(Event::StageArrive {
+                id,
+                epoch,
+                stage: 0,
+                ub: ub_id,
+            });
+            return;
+        }
+
+        // Survivors return to the decode-ready pool; the dispatcher below
+        // re-coalesces them into full micro-batches (continuous batching).
+        let mut survivors: Vec<RequestId> = Vec::new();
+        match ub.phase {
+            Phase::Prefill => {
+                for &rid in &ub.members {
+                    let r = &mut self.reqs[rid.0 as usize];
+                    r.prefill_done = Some(now);
+                }
+                if generative {
+                    survivors.extend(ub.members.drain(..));
+                } else {
+                    completed.extend(ub.members.drain(..));
+                }
+            }
+            Phase::Decode => {
+                for &rid in &ub.members {
+                    let r = &mut self.reqs[rid.0 as usize];
+                    r.generated += 1;
+                    if r.generated >= r.req.output_tokens {
+                        completed.push(rid);
+                    } else {
+                        survivors.push(rid);
+                    }
+                }
+            }
+        }
+
+        for rid in completed {
+            self.complete_request(now, id, rid);
+        }
+
+        // The micro-batch always dissolves; members regroup at launch.
+        let _ = epoch;
+        if let Some(inst) = self.instances.get_mut(&id) {
+            inst.ubatches.retain(|&u| u != ub_id);
+            inst.decode_ready.extend(survivors);
+        }
+        self.launch_decode(queue, id);
+
+        // Capacity freed → try to admit more traffic; drained instances
+        // may now release.
+        let release = self
+            .instances
+            .get(&id)
+            .map(|i| i.state == InstanceState::Draining && i.active_requests == 0)
+            .unwrap_or(false);
+        if release {
+            self.release_instance(now, id);
+        }
+        self.drain_gateway(queue);
+    }
+
+    /// The continuous-batching dispatcher: launches decode micro-batches
+    /// from the ready pool while the pipeline has free slots.
+    ///
+    /// Launch policy: keep a *small* number of large micro-batches in
+    /// flight rather than many small ones — decode passes pay the
+    /// weight-read floor regardless of batch size, so splitting the active
+    /// set across extra passes wastes HBM bandwidth (Table 2's batching
+    /// argument). The slot budget is about half the pipeline depth (prefill
+    /// chunks fill the remaining stages), and a launch waits until the
+    /// ready pool reaches its fair share of the active set unless the pipe
+    /// would otherwise go idle.
+    fn launch_decode(&mut self, queue: &mut EventQueue<Event>, id: InstanceId) {
+        loop {
+            let Some(inst) = self.instances.get_mut(&id) else {
+                return;
+            };
+            if inst.state == InstanceState::Paused {
+                return;
+            }
+            let limit = (inst.stages.len() / 2 + 1).max(2);
+            if inst.decode_ready.is_empty() {
+                return;
+            }
+            let decode_in_flight = inst
+                .ubatches
+                .iter()
+                .filter(|u| {
+                    self.ubatches
+                        .get(u)
+                        .is_some_and(|ub| ub.phase == Phase::Decode)
+                })
+                .count();
+            if decode_in_flight >= limit {
+                return;
+            }
+            // Fair-share batching delay: wait for the pool to accumulate
+            // ~active/limit members before launching, unless no decode is
+            // in flight at all (never idle the pipe for batching).
+            let target = ((inst.active_requests as usize) / limit)
+                .clamp(1, self.config.ubatch_size as usize);
+            if decode_in_flight > 0 && inst.decode_ready.len() < target {
+                return;
+            }
+            let take = (self.config.ubatch_size as usize).min(inst.decode_ready.len());
+            let members: Vec<RequestId> = inst.decode_ready.drain(..take).collect();
+            let epoch = inst.epoch;
+            let ub_id = {
+                self.next_ubatch += 1;
+                UbatchId(self.next_ubatch)
+            };
+            let inst = self.instances.get_mut(&id).expect("checked above");
+            inst.ubatches.push(ub_id);
+            let tokens = members.len() as u64;
+            self.ubatches.insert(
+                ub_id,
+                MicroBatch {
+                    id: ub_id,
+                    members,
+                    phase: Phase::Decode,
+                    pass_tokens: tokens,
+                    prefill_remaining: 0,
+                    pass_started: queue.now(),
+                    pass_compute_secs: 0.0,
+                    pass_comm_secs: 0.0,
+                },
+            );
+            queue.schedule_now(Event::StageArrive {
+                id,
+                epoch,
+                stage: 0,
+                ub: ub_id,
+            });
+        }
+    }
+
+    fn complete_request(&mut self, now: SimTime, inst_id: InstanceId, rid: RequestId) {
+        let r = &mut self.reqs[rid.0 as usize];
+        if r.done {
+            return;
+        }
+        r.done = true;
+        let admitted = r.admitted.unwrap_or(r.req.arrival);
+        let latency = now.saturating_since(r.req.arrival).as_secs_f64();
+        let exec = r.exec_secs.min(latency);
+        let comm = r.comm_secs.min(latency - exec);
+        let queue_secs = (latency - exec - comm).max(0.0);
+        let prefill = r
+            .prefill_done
+            .map(|p| p.saturating_since(admitted))
+            .unwrap_or(SimDuration::ZERO);
+        self.outcomes.record(RequestOutcome {
+            id: rid.0,
+            arrival: r.req.arrival,
+            completion: now,
+            queue: SimDuration::from_secs_f64(queue_secs),
+            execution: SimDuration::from_secs_f64(exec),
+            communication: SimDuration::from_secs_f64(comm),
+            prefill,
+            slo: r.req.slo,
+            prompt_tokens: r.req.prompt_tokens,
+            output_tokens: r.req.output_tokens,
+        });
+        if let Some(inst) = self.instances.get_mut(&inst_id) {
+            inst.active_requests = inst.active_requests.saturating_sub(1);
+        }
+    }
+
+    /// Admits queued requests to instances with capacity and launches
+    /// prefill micro-batches.
+    pub fn drain_gateway(&mut self, queue: &mut EventQueue<Event>) {
+        let now = queue.now();
+        // Per-instance groups formed this round.
+        let mut formed: HashMap<InstanceId, Vec<RequestId>> = HashMap::new();
+        loop {
+            let Some(&rid) = self.gateway.front() else {
+                break;
+            };
+            // Least-loaded admissible instance.
+            let target = self
+                .instances
+                .values()
+                .filter(|i| i.can_admit())
+                .min_by(|a, b| {
+                    a.load_factor()
+                        .partial_cmp(&b.load_factor())
+                        .unwrap()
+                        .then(a.id.cmp(&b.id))
+                })
+                .map(|i| i.id);
+            let Some(target) = target else {
+                break;
+            };
+            self.gateway.pop_front();
+            let r = &mut self.reqs[rid.0 as usize];
+            r.admitted = Some(now);
+            let inst = self.instances.get_mut(&target).expect("selected above");
+            inst.active_requests += 1;
+            formed.entry(target).or_default().push(rid);
+        }
+        // Launch prefill micro-batches per instance, respecting the
+        // prefill batch/token caps.
+        for (inst_id, rids) in formed {
+            let epoch = match self.instances.get(&inst_id) {
+                Some(i) => i.epoch,
+                None => continue,
+            };
+            let mut group: Vec<RequestId> = Vec::new();
+            let mut tokens = 0u64;
+            let launch = |state: &mut EngineState,
+                              queue: &mut EventQueue<Event>,
+                              group: &mut Vec<RequestId>,
+                              tokens: &mut u64| {
+                if group.is_empty() {
+                    return;
+                }
+                let ub_id = state.new_ubatch_id();
+                let members = std::mem::take(group);
+                let chunk = state.config.prefill_token_cap.max(1);
+                let first = (*tokens).min(chunk);
+                state.ubatches.insert(
+                    ub_id,
+                    MicroBatch {
+                        id: ub_id,
+                        members,
+                        phase: Phase::Prefill,
+                        pass_tokens: first,
+                        prefill_remaining: *tokens - first,
+                        pass_started: queue.now(),
+                        pass_compute_secs: 0.0,
+                        pass_comm_secs: 0.0,
+                    },
+                );
+                if let Some(inst) = state.instances.get_mut(&inst_id) {
+                    inst.ubatches.push(ub_id);
+                }
+                queue.schedule_now(Event::StageArrive {
+                    id: inst_id,
+                    epoch,
+                    stage: 0,
+                    ub: ub_id,
+                });
+                *tokens = 0;
+            };
+            for rid in rids {
+                let prompt = u64::from(self.reqs[rid.0 as usize].req.prompt_tokens);
+                if group.len() as u32 >= self.config.prefill_batch {
+                    launch(self, queue, &mut group, &mut tokens);
+                }
+                group.push(rid);
+                tokens += prompt;
+            }
+            launch(self, queue, &mut group, &mut tokens);
+        }
+    }
+
+    /// Online arrival statistics: (rate, cv, gradient).
+    pub fn monitor(&self, now: SimTime) -> (f64, f64, f64) {
+        (
+            self.cv_est.rate(now),
+            self.cv_est.cv(),
+            self.cv_est.rate_gradient(now),
+        )
+    }
+
+    /// Replaces the always-on GPU set (policy initialisation).
+    pub fn set_always_on(&mut self, gpus: Vec<GpuId>) {
+        self.provisioner = Provisioner::new(self.tier, gpus);
+    }
+
+    /// Sets an instance's compute multiplier (multiplexing interference).
+    pub fn set_compute_multiplier(&mut self, id: InstanceId, mult: f64) {
+        if let Some(inst) = self.instances.get_mut(&id) {
+            inst.compute_multiplier = mult.max(1.0);
+        }
+    }
+
+    /// Holds or releases admissions to an instance (drain-to-consolidate).
+    pub fn set_admit_hold(&mut self, id: InstanceId, hold: bool) {
+        if let Some(inst) = self.instances.get_mut(&id) {
+            inst.admit_hold = hold;
+        }
+    }
+}
+
+/// The engine: state + policy, driving a [`Scenario`] to completion.
+pub struct Engine {
+    state: EngineState,
+    policy: Option<Box<dyn ControlPolicy>>,
+    events_seen: u64,
+}
+
+/// Policy-facing context: state queries plus actions.
+pub struct Ctx<'a> {
+    /// Mutable engine state.
+    pub state: &'a mut EngineState,
+    /// The event queue (for time and scheduling through actions).
+    pub queue: &'a mut EventQueue<Event>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Gateway queue length.
+    pub fn queue_len(&self) -> usize {
+        self.state.queue_len()
+    }
+
+    /// Online (rate, cv, gradient) from the arrival monitor.
+    pub fn monitor(&self) -> (f64, f64, f64) {
+        self.state.monitor(self.queue.now())
+    }
+
+    /// Instance snapshots.
+    pub fn instances(&self) -> Vec<InstanceSnapshot> {
+        self.state.snapshots()
+    }
+
+    /// Spawns an instance through the elastic path (provisioning +
+    /// parameter-loading delays apply).
+    pub fn spawn(&mut self, stages: u32, placement: Placement) -> Result<InstanceId, ActionError> {
+        self.state.spawn(self.queue, stages, placement, false)
+    }
+
+    /// Spawns a standing instance that is ready immediately (the
+    /// deployment that exists before measurement starts).
+    pub fn spawn_prewarmed(
+        &mut self,
+        stages: u32,
+        placement: Placement,
+    ) -> Result<InstanceId, ActionError> {
+        self.state.spawn(self.queue, stages, placement, true)
+    }
+
+    /// Retires an instance (drain then release).
+    pub fn retire(&mut self, id: InstanceId) {
+        self.state.retire(self.queue, id)
+    }
+
+    /// Starts an inflight refactor.
+    pub fn refactor(&mut self, id: InstanceId, plan: RefactorPlan) -> Result<(), ActionError> {
+        self.state.refactor(self.queue, id, plan)
+    }
+
+    /// Declares the always-on GPU tier (call once from `init`).
+    pub fn set_always_on(&mut self, gpus: Vec<GpuId>) {
+        self.state.set_always_on(gpus)
+    }
+
+    /// Sets multiplexing interference on an instance.
+    pub fn set_compute_multiplier(&mut self, id: InstanceId, mult: f64) {
+        self.state.set_compute_multiplier(id, mult)
+    }
+
+    /// Holds or releases admissions to an instance.
+    pub fn set_admit_hold(&mut self, id: InstanceId, hold: bool) {
+        self.state.set_admit_hold(id, hold)
+    }
+
+    /// Pre-stages parameters into a server's host memory tier.
+    pub fn prewarm_host_cache(&mut self, range: flexpipe_model::OpRange, server: ServerId) -> bool {
+        let now = self.queue.now();
+        self.state.prewarm_host_cache(now, range, server)
+    }
+}
+
+impl Engine {
+    /// Builds an engine for `scenario` with the given model artefacts and
+    /// policy.
+    pub fn new(
+        scenario: Scenario,
+        graph: Arc<ModelGraph>,
+        lattice: Arc<GranularityLattice>,
+        policy: Box<dyn ControlPolicy>,
+    ) -> Self {
+        let rng = SimRng::seed(scenario.seed);
+        let mut cluster = Cluster::new(scenario.cluster.clone());
+        let mut bg = BackgroundTenants::new(scenario.background, rng.stream_named("background"));
+        bg.populate(&mut cluster);
+        let transfer = TransferEngine::new(scenario.cluster.links);
+        let reqs = scenario
+            .workload
+            .requests
+            .iter()
+            .map(|&req| ReqRuntime {
+                req,
+                admitted: None,
+                prefill_done: None,
+                generated: 0,
+                exec_secs: 0.0,
+                comm_secs: 0.0,
+                done: false,
+            })
+            .collect();
+        let state = EngineState {
+            config: scenario.config,
+            graph,
+            cost: scenario.cost,
+            lattice,
+            cluster,
+            transfer,
+            provisioner: Provisioner::new(scenario.tier, Vec::new()),
+            tier: scenario.tier,
+            bg,
+            workload: Arc::new(scenario.workload.requests),
+            gateway: VecDeque::new(),
+            reqs,
+            instances: BTreeMap::new(),
+            ubatches: HashMap::new(),
+            pending_refactors: HashMap::new(),
+            host_cache: HashMap::new(),
+            gpus_in_use: std::collections::HashSet::new(),
+            next_instance: 0,
+            next_ubatch: 0,
+            horizon: scenario.horizon,
+            outcomes: OutcomeLog::new(),
+            ledger: UtilizationLedger::new(),
+            queue_timeline: Timeline::new(),
+            inflight_timeline: Timeline::new(),
+            cv_est: CvEstimator::new(scenario.config.monitor_window),
+            refactors: 0,
+            refactor_pause_secs: 0.0,
+            spawns: 0,
+            init_latencies: Vec::new(),
+            warm_loads: 0,
+            cold_loads: 0,
+        };
+        Engine {
+            state,
+            policy: Some(policy),
+            events_seen: 0,
+        }
+    }
+
+    fn with_policy(&mut self, queue: &mut EventQueue<Event>, f: impl FnOnce(&mut dyn ControlPolicy, &mut Ctx<'_>)) {
+        let mut policy = self.policy.take().expect("policy present");
+        {
+            let mut ctx = Ctx {
+                state: &mut self.state,
+                queue,
+            };
+            f(policy.as_mut(), &mut ctx);
+        }
+        self.policy = Some(policy);
+    }
+
+    /// Runs the scenario to its horizon and produces the report.
+    pub fn run(mut self) -> RunReport {
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        // Policy initialisation (deploys the initial configuration).
+        self.with_policy(&mut queue, |p, ctx| p.init(ctx));
+        // Seed the event streams.
+        if !self.state.workload.is_empty() {
+            let t = self.state.workload[0].arrival;
+            queue.schedule(t, Event::Arrival(0)).expect("arrival in future");
+        }
+        queue.schedule_now(Event::ControlTick);
+        queue
+            .schedule_after(self.state.config.churn_step, Event::Churn)
+            .expect("future");
+
+        let horizon = self.state.horizon;
+        let max_events = self.state.config.max_events;
+        let (outcome, steps) = flexpipe_sim::run(&mut self, &mut queue, horizon, max_events);
+        debug_assert!(!matches!(outcome, RunOutcome::StepBudgetExhausted), "event budget blown");
+        self.events_seen = steps;
+        self.into_report(horizon)
+    }
+
+    fn into_report(self, horizon: SimTime) -> RunReport {
+        let st = self.state;
+        let span = horizon.as_secs_f64();
+        let summary = st.outcomes.summarize(span);
+        let policy_name = self
+            .policy
+            .as_ref()
+            .map(|p| p.name().to_string())
+            .unwrap_or_default();
+        RunReport {
+            policy: policy_name,
+            horizon_secs: span,
+            arrived: st.workload.len(),
+            summary,
+            outcomes: st.outcomes,
+            queue_timeline: st.queue_timeline,
+            inflight_timeline: st.inflight_timeline,
+            fleet_size: st.cluster.topology().gpu_count() as u32,
+            ledger: st.ledger,
+            refactors: st.refactors,
+            refactor_pause_secs: st.refactor_pause_secs,
+            spawns: st.spawns,
+            mean_init_secs: if st.init_latencies.is_empty() {
+                0.0
+            } else {
+                st.init_latencies.iter().sum::<f64>() / st.init_latencies.len() as f64
+            },
+            mean_alloc_wait_secs: st.provisioner.mean_wait_secs(),
+            warm_loads: st.warm_loads,
+            cold_loads: st.cold_loads,
+            events: self.events_seen,
+        }
+    }
+}
+
+impl World for Engine {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::Arrival(i) => {
+                let i = i as usize;
+                let rid = RequestId(i as u64);
+                self.state.cv_est.record(now);
+                self.state.gateway.push_back(rid);
+                if i + 1 < self.state.workload.len() {
+                    let t = self.state.workload[i + 1].arrival;
+                    queue
+                        .schedule(t.max(now), Event::Arrival(i as u32 + 1))
+                        .expect("sorted arrivals");
+                }
+                self.state.drain_gateway(queue);
+                self.with_policy(queue, |p, ctx| p.on_arrival(ctx));
+            }
+            Event::ControlTick => {
+                self.state.cv_est.evict(now);
+                self.state
+                    .queue_timeline
+                    .record(now, self.state.gateway.len() as f64);
+                let in_system: u32 = self
+                    .state
+                    .instances
+                    .values()
+                    .map(|i| i.active_requests)
+                    .sum::<u32>()
+                    + self.state.gateway.len() as u32;
+                self.state.inflight_timeline.record(now, f64::from(in_system));
+                self.state.expire_host_cache(now);
+                self.state.provisioner.expire_warm(now);
+                self.with_policy(queue, |p, ctx| p.on_tick(ctx));
+                self.state.drain_gateway(queue);
+                let next = now + self.state.config.control_interval;
+                if next < self.state.horizon {
+                    queue.schedule(next, Event::ControlTick).expect("future");
+                }
+            }
+            Event::Churn => {
+                let step = self.state.config.churn_step;
+                let mut bg = self.state.bg.clone();
+                bg.step(&mut self.state.cluster, step);
+                self.state.bg = bg;
+                let next = now + step;
+                if next < self.state.horizon {
+                    queue.schedule(next, Event::Churn).expect("future");
+                }
+            }
+            Event::InstanceReady { id, epoch } => {
+                let ready = {
+                    let Some(inst) = self.state.instances.get_mut(&id) else {
+                        return;
+                    };
+                    if inst.epoch != epoch || inst.state != InstanceState::Loading {
+                        false
+                    } else {
+                        inst.state = InstanceState::Serving;
+                        inst.ready_at = Some(now);
+                        true
+                    }
+                };
+                if ready {
+                    self.state.drain_gateway(queue);
+                    self.with_policy(queue, |p, ctx| p.on_instance_ready(ctx, id));
+                }
+            }
+            Event::StageArrive { id, epoch, stage, ub } => {
+                self.state.on_stage_arrive(queue, id, epoch, stage, ub);
+            }
+            Event::StageDone { id, epoch, stage, ub } => {
+                self.state.on_stage_done(queue, id, epoch, stage, ub);
+            }
+            Event::PrepareDone { id, epoch } => {
+                self.state.on_prepare_done(queue, id, epoch);
+            }
+            Event::PauseDone { id, epoch } => {
+                self.state.on_pause_done(queue, id, epoch);
+                self.state.resume_instance(queue, id);
+                self.state.launch_decode(queue, id);
+                self.state.drain_gateway(queue);
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The control-policy interface.
+//!
+//! FlexPipe (in `flexpipe-core`) and every baseline (in
+//! `flexpipe-baselines`) implement [`ControlPolicy`]; the engine invokes it
+//! on a fixed control interval and at request arrivals, and the policy
+//! steers the system exclusively through the [`crate::engine::Ctx`]
+//! actions (spawn / retire / refactor / placement). Keeping the mechanism
+//! in the engine and the decisions in policies is what makes the paper's
+//! system comparison apples-to-apples.
+
+use flexpipe_cluster::GpuId;
+use flexpipe_model::OpRange;
+use flexpipe_sim::SimDuration;
+
+use crate::engine::Ctx;
+use crate::instance::InstanceId;
+
+/// How GPUs are chosen for a spawn.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// Engine default: first-fit over free memory, distinct servers for
+    /// stages of the same instance (the paper's anti-colocation rule, §6.2).
+    FirstFit,
+    /// Policy-chosen explicit GPU list (FlexPipe's HRG placement).
+    Explicit(Vec<GpuId>),
+}
+
+/// A refactor's execution parameters, computed by the policy (FlexPipe's
+/// consistency protocol + placement) and executed by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefactorPlan {
+    /// Target stage ranges (a lattice level).
+    pub new_ranges: Vec<OpRange>,
+    /// GPU for each new stage: reuse an old stage's device or a new GPU.
+    pub assignments: Vec<StageAssign>,
+    /// Background preparation time (parameter fetches + bulk KV copy)
+    /// during which the old topology keeps serving.
+    pub prepare: SimDuration,
+    /// Switchover pause (final KV delta sync + gateway update).
+    pub pause: SimDuration,
+}
+
+/// Where a new stage lives after a refactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageAssign {
+    /// Keep the device of old stage `old_index`.
+    Reuse {
+        /// Index of the old stage whose GPU is kept.
+        old_index: u32,
+    },
+    /// Move onto a freshly acquired GPU.
+    Fresh {
+        /// The new device.
+        gpu: GpuId,
+    },
+}
+
+/// Why a spawn or refactor was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionError {
+    /// Not enough suitable GPUs in the cluster right now.
+    NoCapacity(String),
+    /// The requested stage count is not a lattice level.
+    UnknownLevel(u32),
+    /// The instance id is unknown or in the wrong state.
+    BadInstance(InstanceId),
+    /// Assignment list inconsistent with the plan.
+    BadPlan(String),
+}
+
+impl std::fmt::Display for ActionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActionError::NoCapacity(s) => write!(f, "no capacity: {s}"),
+            ActionError::UnknownLevel(k) => write!(f, "no lattice level with {k} stages"),
+            ActionError::BadInstance(id) => write!(f, "bad instance {id:?}"),
+            ActionError::BadPlan(s) => write!(f, "bad plan: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ActionError {}
+
+/// A serving control policy.
+///
+/// All methods are invoked by the engine with a [`Ctx`] exposing state
+/// queries and actions. Default implementations do nothing, so minimal
+/// policies (e.g. a static pipeline) only override [`ControlPolicy::init`].
+pub trait ControlPolicy {
+    /// Short name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Called once at simulation start to set up the initial deployment.
+    fn init(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Called every control interval.
+    fn on_tick(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Called after each request is enqueued at the gateway.
+    fn on_arrival(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Called when an instance finishes loading and starts serving.
+    fn on_instance_ready(&mut self, _ctx: &mut Ctx<'_>, _id: InstanceId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_error_displays() {
+        let e = ActionError::UnknownLevel(7);
+        assert!(e.to_string().contains('7'));
+        let e = ActionError::NoCapacity("need 4".into());
+        assert!(e.to_string().contains("need 4"));
+    }
+
+    #[test]
+    fn placement_equality() {
+        assert_eq!(Placement::FirstFit, Placement::FirstFit);
+        assert_ne!(
+            Placement::Explicit(vec![GpuId(1)]),
+            Placement::Explicit(vec![GpuId(2)])
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! The extended G/G/S queueing model of Eq. (1) (§3.3).
+//!
+//! ```text
+//! T_total =  ρ^S / (S!(1−ρ)) · (CV_a² + CV_s²)/2     (queue latency)
+//!          + Σ_i λ_i / (μ_i (μ_i − λ_i))              (stage congestion)
+//! ```
+//!
+//! plus the deterministic pipeline fill time `T_pipe = S·τ + (S−1)·δ`. The
+//! model explains the S ∝ √CV_a rule of thumb the paper derives: past
+//! CV_a ≈ 3, deeper pipelines win because distributed buffering absorbs
+//! bursts faster than the added per-stage register delay accumulates.
+
+use serde::{Deserialize, Serialize};
+
+/// Inputs of the Eq. (1) model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GgsParams {
+    /// Pipeline depth `S`.
+    pub stages: u32,
+    /// Single-stage service time τ, seconds.
+    pub stage_service_secs: f64,
+    /// Inter-stage communication overhead δ, seconds.
+    pub hop_secs: f64,
+    /// Arrival rate λ, requests/second.
+    pub arrival_rate: f64,
+    /// Per-stage service rate μ_i, requests/second.
+    pub stage_service_rate: f64,
+    /// CV of arrival intervals.
+    pub cv_arrival: f64,
+    /// CV of service times.
+    pub cv_service: f64,
+}
+
+/// Model outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GgsPrediction {
+    /// Deterministic pipeline traversal time `S·τ + (S−1)·δ`.
+    pub pipe_secs: f64,
+    /// Queue-latency term of Eq. (1).
+    pub queue_secs: f64,
+    /// Stage-congestion term of Eq. (1).
+    pub congestion_secs: f64,
+}
+
+impl GgsPrediction {
+    /// Total predicted sojourn time.
+    pub fn total_secs(&self) -> f64 {
+        self.pipe_secs + self.queue_secs + self.congestion_secs
+    }
+}
+
+fn factorial(n: u32) -> f64 {
+    (1..=n).map(f64::from).product::<f64>().max(1.0)
+}
+
+/// Evaluates Eq. (1). Returns `None` when the system is unstable
+/// (utilisation ≥ 1 at any stage).
+pub fn predict(p: &GgsParams) -> Option<GgsPrediction> {
+    if p.stages == 0 || p.stage_service_rate <= 0.0 {
+        return None;
+    }
+    let rho = p.arrival_rate / (p.stage_service_rate * f64::from(p.stages));
+    if rho >= 1.0 || p.arrival_rate >= p.stage_service_rate {
+        return None;
+    }
+    let s = p.stages;
+    let pipe_secs =
+        f64::from(s) * p.stage_service_secs + f64::from(s.saturating_sub(1)) * p.hop_secs;
+    let queue_secs = rho.powi(s as i32) / (factorial(s) * (1.0 - rho))
+        * (p.cv_arrival * p.cv_arrival + p.cv_service * p.cv_service)
+        / 2.0;
+    // Per-stage congestion: λ_i = λ (every request visits every stage).
+    let congestion_one = p.arrival_rate / (p.stage_service_rate * (p.stage_service_rate - p.arrival_rate));
+    let congestion_secs = f64::from(s) * congestion_one;
+    Some(GgsPrediction {
+        pipe_secs,
+        queue_secs,
+        congestion_secs,
+    })
+}
+
+/// The paper's optimal-depth heuristic: `S ∝ √CV_a` once `CV_a > 3`.
+///
+/// Returns the suggested stage count within `[min_stages, max_stages]`,
+/// scaling from `base_stages` at CV = 1.
+pub fn optimal_depth_heuristic(cv_arrival: f64, base_stages: u32, min_stages: u32, max_stages: u32) -> u32 {
+    let scale = cv_arrival.max(0.25).sqrt();
+    let s = (f64::from(base_stages) * scale).round() as u32;
+    s.clamp(min_stages, max_stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(stages: u32, cv: f64) -> GgsParams {
+        GgsParams {
+            stages,
+            stage_service_secs: 0.02,
+            hop_secs: 0.002,
+            arrival_rate: 20.0,
+            stage_service_rate: 40.0,
+            cv_arrival: cv,
+            cv_service: 0.3,
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_arrival_cv() {
+        let lo = predict(&base(4, 0.5)).unwrap().total_secs();
+        let hi = predict(&base(4, 4.0)).unwrap().total_secs();
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn unstable_system_returns_none() {
+        let mut p = base(4, 1.0);
+        p.arrival_rate = 45.0; // beyond the per-stage service rate
+        assert!(predict(&p).is_none());
+        assert!(predict(&GgsParams { stages: 0, ..base(4, 1.0) }).is_none());
+    }
+
+    #[test]
+    fn pipe_time_scales_with_depth() {
+        let p4 = predict(&base(4, 1.0)).unwrap();
+        let p16 = predict(&base(16, 1.0)).unwrap();
+        assert!(p16.pipe_secs > p4.pipe_secs);
+        assert!((p4.pipe_secs - (4.0 * 0.02 + 3.0 * 0.002)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_pipelines_shrink_queue_term() {
+        // The ρ^S/S! factor collapses with S: distributed buffering.
+        let q4 = predict(&base(4, 4.0)).unwrap().queue_secs;
+        let q8 = predict(&base(8, 4.0)).unwrap().queue_secs;
+        assert!(q8 < q4);
+    }
+
+    #[test]
+    fn depth_heuristic_follows_sqrt_law() {
+        assert_eq!(optimal_depth_heuristic(1.0, 8, 2, 32), 8);
+        assert_eq!(optimal_depth_heuristic(4.0, 8, 2, 32), 16);
+        assert_eq!(optimal_depth_heuristic(16.0, 8, 2, 32), 32);
+        // Clamping.
+        assert_eq!(optimal_depth_heuristic(100.0, 8, 2, 32), 32);
+        assert_eq!(optimal_depth_heuristic(0.01, 8, 4, 32), 4);
+    }
+}

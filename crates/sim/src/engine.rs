@@ -1,0 +1,150 @@
+//! A minimal world-driver loop on top of the event queue.
+//!
+//! Simulation state lives in a user-defined "world" implementing [`World`];
+//! the engine pops events and hands them to the world together with the
+//! queue so handlers can schedule follow-up events. The split keeps the DES
+//! core free of any serving-domain knowledge.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// A simulation world: owns all mutable state and handles events.
+pub trait World {
+    /// The event payload type routed through the queue.
+    type Event;
+
+    /// Handles one event fired at `now`; may schedule more via `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Outcome of a bounded simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the deadline.
+    Drained {
+        /// Clock value when the last event fired.
+        at: SimTime,
+    },
+    /// The deadline was reached with events still pending.
+    DeadlineReached,
+    /// The step budget was exhausted (runaway-loop guard).
+    StepBudgetExhausted,
+}
+
+/// Runs `world` until `deadline`, the queue drains, or `max_steps` events.
+///
+/// Returns the outcome and the number of events processed. `max_steps`
+/// guards against accidental infinite self-scheduling loops in handlers.
+///
+/// # Examples
+///
+/// ```
+/// use flexpipe_sim::engine::{run, RunOutcome, World};
+/// use flexpipe_sim::queue::EventQueue;
+/// use flexpipe_sim::time::{SimDuration, SimTime};
+///
+/// struct Counter(u32);
+/// impl World for Counter {
+///     type Event = ();
+///     fn handle(&mut self, _t: SimTime, _e: (), q: &mut EventQueue<()>) {
+///         self.0 += 1;
+///         if self.0 < 5 {
+///             q.schedule_after(SimDuration::from_secs(1), ()).unwrap();
+///         }
+///     }
+/// }
+///
+/// let mut world = Counter(0);
+/// let mut q = EventQueue::new();
+/// q.schedule_now(());
+/// let (outcome, steps) = run(&mut world, &mut q, SimTime::from_secs(100), u64::MAX);
+/// assert_eq!(steps, 5);
+/// assert!(matches!(outcome, RunOutcome::Drained { .. }));
+/// ```
+pub fn run<W: World>(
+    world: &mut W,
+    queue: &mut EventQueue<W::Event>,
+    deadline: SimTime,
+    max_steps: u64,
+) -> (RunOutcome, u64) {
+    let mut steps = 0u64;
+    loop {
+        if steps >= max_steps {
+            return (RunOutcome::StepBudgetExhausted, steps);
+        }
+        match queue.pop_until(deadline) {
+            Some((now, event)) => {
+                world.handle(now, event, queue);
+                steps += 1;
+            }
+            None => {
+                let outcome = if queue.is_empty() {
+                    RunOutcome::Drained { at: queue.now() }
+                } else {
+                    RunOutcome::DeadlineReached
+                };
+                return (outcome, steps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct Pinger {
+        fired_at: Vec<SimTime>,
+    }
+
+    impl World for Pinger {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+            self.fired_at.push(now);
+            if ev > 0 {
+                q.schedule_after(SimDuration::from_secs(1), ev - 1).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn chain_runs_to_completion() {
+        let mut w = Pinger { fired_at: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule_now(3);
+        let (outcome, steps) = run(&mut w, &mut q, SimTime::from_secs(100), 1000);
+        assert_eq!(steps, 4);
+        assert!(matches!(outcome, RunOutcome::Drained { .. }));
+        assert_eq!(w.fired_at.len(), 4);
+        assert_eq!(w.fired_at[3], SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn deadline_stops_run_and_preserves_events() {
+        let mut w = Pinger { fired_at: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule_now(10);
+        let (outcome, steps) = run(&mut w, &mut q, SimTime::from_secs(2), 1000);
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        assert_eq!(steps, 3); // fired at t=0, 1, 2
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn step_budget_guards_runaway() {
+        struct Loopy;
+        impl World for Loopy {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), q: &mut EventQueue<()>) {
+                q.schedule_now(());
+            }
+        }
+        let mut q = EventQueue::new();
+        q.schedule_now(());
+        let (outcome, steps) = run(&mut Loopy, &mut q, SimTime::MAX, 500);
+        assert_eq!(outcome, RunOutcome::StepBudgetExhausted);
+        assert_eq!(steps, 500);
+    }
+}

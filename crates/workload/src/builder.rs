@@ -1,0 +1,173 @@
+//! Assembles complete [`Workload`]s from arrival processes and length
+//! profiles.
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_sim::{SimDuration, SimRng, SimTime};
+
+use crate::arrivals::{gen_gamma_renewal, gen_mmpp, MmppState};
+use crate::lengths::{LengthProfile, LengthSampler};
+use crate::request::{Request, RequestId, Workload};
+use crate::trace::{SyntheticTrace, TraceProfile};
+
+/// The arrival process of a workload specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalSpec {
+    /// Gamma renewal at `rate` with coefficient of variation `cv`.
+    GammaRenewal {
+        /// Requests per second.
+        rate: f64,
+        /// Coefficient of variation of inter-arrival gaps.
+        cv: f64,
+    },
+    /// Two-state burst/calm MMPP.
+    Burst {
+        /// Calm-state rate, requests/second.
+        calm_rate: f64,
+        /// Burst-state rate, requests/second.
+        burst_rate: f64,
+        /// Mean calm duration, seconds.
+        calm_secs: f64,
+        /// Mean burst duration, seconds.
+        burst_secs: f64,
+    },
+    /// Synthetic production trace (diurnal + bursts).
+    Trace(TraceProfile),
+}
+
+/// Declarative workload specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Arrival process.
+    pub arrivals: ArrivalSpec,
+    /// Length profile.
+    pub lengths: LengthProfile,
+    /// Base latency SLO attached to every request (the time-to-first-token
+    /// / queueing budget).
+    pub slo: SimDuration,
+    /// Additional SLO budget per generated token (token-level SLOs are
+    /// standard for generation workloads; a fixed deadline would penalise
+    /// long generations even on an idle system).
+    pub slo_per_output_token: SimDuration,
+    /// Generation horizon, seconds.
+    pub horizon_secs: f64,
+}
+
+impl WorkloadSpec {
+    /// The paper's end-to-end setup (§9.1): 20 QPS baseline at a given CV,
+    /// Splitwise-like lengths, 5 s SLO.
+    pub fn paper_e2e(cv: f64, horizon_secs: f64) -> Self {
+        WorkloadSpec {
+            arrivals: ArrivalSpec::GammaRenewal { rate: 20.0, cv },
+            lengths: LengthProfile::splitwise_like(),
+            slo: SimDuration::from_secs(2),
+            slo_per_output_token: SimDuration::from_millis(100),
+            horizon_secs,
+        }
+    }
+
+    /// Generates the workload deterministically from `rng`.
+    pub fn generate(&self, rng: &mut SimRng) -> Workload {
+        let mut arrival_rng = rng.stream_named("arrivals");
+        let mut length_rng = rng.stream_named("lengths");
+        let times: Vec<SimTime> = match &self.arrivals {
+            ArrivalSpec::GammaRenewal { rate, cv } => {
+                gen_gamma_renewal(*rate, *cv, self.horizon_secs, &mut arrival_rng)
+            }
+            ArrivalSpec::Burst {
+                calm_rate,
+                burst_rate,
+                calm_secs,
+                burst_secs,
+            } => gen_mmpp(
+                &[
+                    MmppState {
+                        rate: *calm_rate,
+                        dwell_mean_secs: *calm_secs,
+                    },
+                    MmppState {
+                        rate: *burst_rate,
+                        dwell_mean_secs: *burst_secs,
+                    },
+                ],
+                self.horizon_secs,
+                &mut arrival_rng,
+            ),
+            ArrivalSpec::Trace(profile) => {
+                let trace = SyntheticTrace::generate(*profile, self.horizon_secs, &mut arrival_rng);
+                trace.arrivals(&mut arrival_rng)
+            }
+        };
+        let sampler = LengthSampler::new(self.lengths);
+        let requests = times
+            .into_iter()
+            .enumerate()
+            .map(|(i, arrival)| {
+                let (prompt_tokens, output_tokens) = sampler.sample(&mut length_rng);
+                Request {
+                    id: RequestId(i as u64),
+                    arrival,
+                    prompt_tokens,
+                    output_tokens,
+                    slo: self.slo + self.slo_per_output_token * u64::from(output_tokens),
+                }
+            })
+            .collect();
+        Workload::new(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::interarrival_cv;
+
+    #[test]
+    fn paper_e2e_spec_generates_expected_rate_and_cv() {
+        let spec = WorkloadSpec::paper_e2e(4.0, 600.0);
+        let w = spec.generate(&mut SimRng::seed(42));
+        assert!((w.mean_rate() - 20.0).abs() < 2.0, "rate {}", w.mean_rate());
+        let times: Vec<SimTime> = w.requests.iter().map(|r| r.arrival).collect();
+        let cv = interarrival_cv(&times);
+        assert!((cv - 4.0).abs() < 0.6, "cv {cv}");
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let spec = WorkloadSpec::paper_e2e(1.0, 60.0);
+        let w = spec.generate(&mut SimRng::seed(1));
+        for (i, r) in w.requests.iter().enumerate() {
+            assert_eq!(r.id, RequestId(i as u64));
+        }
+        assert!(w.requests.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+    }
+
+    #[test]
+    fn burst_spec_produces_bimodal_traffic() {
+        let spec = WorkloadSpec {
+            arrivals: ArrivalSpec::Burst {
+                calm_rate: 2.0,
+                burst_rate: 100.0,
+                calm_secs: 50.0,
+                burst_secs: 5.0,
+            },
+            lengths: LengthProfile::chat(),
+            slo: SimDuration::from_secs(5),
+            slo_per_output_token: SimDuration::ZERO,
+            horizon_secs: 2000.0,
+        };
+        let w = spec.generate(&mut SimRng::seed(7));
+        let times: Vec<SimTime> = w.requests.iter().map(|r| r.arrival).collect();
+        assert!(interarrival_cv(&times) > 1.5);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let spec = WorkloadSpec::paper_e2e(2.0, 120.0);
+        let a = spec.generate(&mut SimRng::seed(5));
+        let b = spec.generate(&mut SimRng::seed(5));
+        assert_eq!(a, b);
+        let c = spec.generate(&mut SimRng::seed(6));
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,262 @@
+//! Coefficient-of-variation analysis.
+//!
+//! Two consumers: the *offline* windowed analyzer regenerating Fig. 1 (CV
+//! of the same trace computed over 180 s, 3 h and 12 h windows diverges by
+//! up to 7x), and the *online* sliding estimator FlexPipe's controller uses
+//! for ν_t, the arrival rate λ_t and the intensity gradient ∂λ/∂t
+//! (Algorithm 1).
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_sim::{SimDuration, SimTime};
+
+/// CV of the inter-arrival gaps among `arrivals` restricted to `[from, to)`.
+pub fn cv_in_window(arrivals: &[SimTime], from: SimTime, to: SimTime) -> f64 {
+    let xs: Vec<SimTime> = arrivals
+        .iter()
+        .copied()
+        .filter(|t| *t >= from && *t < to)
+        .collect();
+    crate::arrivals::interarrival_cv(&xs)
+}
+
+/// One point of a windowed CV series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CvPoint {
+    /// Window start.
+    pub at: SimTime,
+    /// CV of inter-arrival gaps inside the window (0 if < 3 arrivals).
+    pub cv: f64,
+    /// Number of arrivals inside the window.
+    pub count: usize,
+}
+
+/// Computes the CV series of `arrivals` over consecutive windows of length
+/// `window`, from time zero to `horizon`.
+pub fn windowed_cv_series(
+    arrivals: &[SimTime],
+    window: SimDuration,
+    horizon: SimTime,
+) -> Vec<CvPoint> {
+    assert!(window > SimDuration::ZERO, "window must be positive");
+    let mut out = Vec::new();
+    let mut start = SimTime::ZERO;
+    let mut lo = 0usize;
+    while start < horizon {
+        let end = start + window;
+        while lo < arrivals.len() && arrivals[lo] < start {
+            lo += 1;
+        }
+        let mut hi = lo;
+        while hi < arrivals.len() && arrivals[hi] < end {
+            hi += 1;
+        }
+        out.push(CvPoint {
+            at: start,
+            cv: crate::arrivals::interarrival_cv(&arrivals[lo..hi]),
+            count: hi - lo,
+        });
+        start = end;
+    }
+    out
+}
+
+/// Online sliding-window estimator of rate, CV and intensity gradient.
+///
+/// Holds arrival timestamps inside a trailing window; all queries are O(1)
+/// amortised. This is the monitoring substrate of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct CvEstimator {
+    window: SimDuration,
+    arrivals: VecDeque<SimTime>,
+}
+
+impl CvEstimator {
+    /// Creates an estimator with the given trailing window.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        CvEstimator {
+            window,
+            arrivals: VecDeque::new(),
+        }
+    }
+
+    /// The trailing window length.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Records one arrival; timestamps must be non-decreasing.
+    pub fn record(&mut self, at: SimTime) {
+        debug_assert!(self.arrivals.back().is_none_or(|&b| b <= at));
+        self.arrivals.push_back(at);
+        self.evict(at);
+    }
+
+    /// Drops arrivals older than the window relative to `now`.
+    pub fn evict(&mut self, now: SimTime) {
+        let cutoff = now - self.window; // saturates at 0
+        while let Some(&front) = self.arrivals.front() {
+            if front < cutoff {
+                self.arrivals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of arrivals currently inside the window.
+    pub fn count(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Arrival rate over the window, requests/second.
+    ///
+    /// The observation span is clamped below at one second so the earliest
+    /// ticks of a run do not divide a handful of arrivals by microseconds.
+    pub fn rate(&self, now: SimTime) -> f64 {
+        let span = self
+            .window
+            .as_secs_f64()
+            .min(now.as_secs_f64())
+            .max(1.0);
+        self.arrivals.len() as f64 / span
+    }
+
+    /// CV of inter-arrival gaps inside the window (ν_t of §6).
+    pub fn cv(&self) -> f64 {
+        if self.arrivals.len() < 3 {
+            return 0.0;
+        }
+        let mut prev: Option<SimTime> = None;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        let mut n = 0.0;
+        for &t in &self.arrivals {
+            if let Some(p) = prev {
+                let g = t.saturating_since(p).as_secs_f64();
+                sum += g;
+                sumsq += g * g;
+                n += 1.0;
+            }
+            prev = Some(t);
+        }
+        let mean = sum / n;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let var = (sumsq / n - mean * mean).max(0.0);
+        var.sqrt() / mean
+    }
+
+    /// Intensity gradient ∂λ/∂t: rate in the later half of the window minus
+    /// rate in the earlier half, per second of half-window. Positive values
+    /// signal a building burst before queues reflect it.
+    pub fn rate_gradient(&self, now: SimTime) -> f64 {
+        let half = self.window / 2;
+        let mid = now - half;
+        let (mut early, mut late) = (0usize, 0usize);
+        for &t in &self.arrivals {
+            if t < mid {
+                early += 1;
+            } else {
+                late += 1;
+            }
+        }
+        let h = half.as_secs_f64().max(1e-9);
+        (late as f64 / h - early as f64 / h) / h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::gen_gamma_renewal;
+    use flexpipe_sim::SimRng;
+
+    #[test]
+    fn estimator_tracks_gamma_cv() {
+        for &cv in &[0.5, 1.0, 3.0] {
+            let arr = gen_gamma_renewal(50.0, cv, 600.0, &mut SimRng::seed(7));
+            let mut est = CvEstimator::new(SimDuration::from_secs(600));
+            for &t in &arr {
+                est.record(t);
+            }
+            let got = est.cv();
+            assert!((got - cv).abs() / cv < 0.12, "cv {got} target {cv}");
+        }
+    }
+
+    #[test]
+    fn eviction_keeps_only_window() {
+        let mut est = CvEstimator::new(SimDuration::from_secs(10));
+        for s in 0..100 {
+            est.record(SimTime::from_secs(s));
+        }
+        // Window [90, 100] inclusive of boundary.
+        assert!(est.count() <= 11);
+        assert!(est.count() >= 10);
+    }
+
+    #[test]
+    fn rate_measures_window_rate() {
+        let mut est = CvEstimator::new(SimDuration::from_secs(10));
+        for s in 0..200 {
+            est.record(SimTime::from_millis(s * 100)); // 10/s for 20 s
+        }
+        let r = est.rate(SimTime::from_millis(19_900));
+        assert!((r - 10.0).abs() < 0.7, "rate {r}");
+    }
+
+    #[test]
+    fn gradient_positive_during_burst_onset() {
+        let mut est = CvEstimator::new(SimDuration::from_secs(20));
+        // 1/s for 10 s, then 20/s for 10 s.
+        for s in 0..10 {
+            est.record(SimTime::from_secs(s));
+        }
+        for i in 0..200 {
+            est.record(SimTime::from_millis(10_000 + i * 50));
+        }
+        let g = est.rate_gradient(SimTime::from_secs(20));
+        assert!(g > 0.0, "gradient {g}");
+    }
+
+    #[test]
+    fn windowed_series_splits_time() {
+        let arr = gen_gamma_renewal(10.0, 2.0, 100.0, &mut SimRng::seed(3));
+        let series = windowed_cv_series(&arr, SimDuration::from_secs(10), SimTime::from_secs(100));
+        assert_eq!(series.len(), 10);
+        let total: usize = series.iter().map(|p| p.count).sum();
+        assert_eq!(total, arr.len());
+    }
+
+    #[test]
+    fn window_size_mismatch_reproduces_fig1_effect() {
+        // A regime-switching trace: local CV is ~1 (Poisson within regime)
+        // but long windows see the rate shifts and report much higher CV —
+        // the Fig. 1 phenomenon motivating runtime adaptation.
+        use crate::arrivals::{gen_mmpp, MmppState};
+        let states = [
+            MmppState { rate: 2.0, dwell_mean_secs: 300.0 },
+            MmppState { rate: 60.0, dwell_mean_secs: 60.0 },
+        ];
+        let arr = gen_mmpp(&states, 40_000.0, &mut SimRng::seed(11));
+        let short = windowed_cv_series(&arr, SimDuration::from_secs(30), SimTime::from_secs(40_000));
+        let long = cv_in_window(&arr, SimTime::ZERO, SimTime::from_secs(40_000));
+        let short_mean = {
+            let usable: Vec<f64> = short
+                .iter()
+                .filter(|p| p.count >= 3)
+                .map(|p| p.cv)
+                .collect();
+            usable.iter().sum::<f64>() / usable.len() as f64
+        };
+        assert!(
+            long > 2.0 * short_mean,
+            "long-window CV {long} should dwarf short-window mean {short_mean}"
+        );
+    }
+}

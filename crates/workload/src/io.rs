@@ -1,0 +1,191 @@
+//! Workload serialization: save generated request streams and replay them.
+//!
+//! Experiments become portable artefacts: a generated workload can be
+//! exported once and replayed byte-identically (arrival times at
+//! nanosecond resolution), independent of generator-version drift.
+
+use std::path::Path;
+
+use flexpipe_sim::{SimDuration, SimTime};
+
+use crate::request::{Request, RequestId, Workload};
+
+/// Errors from workload (de)serialization.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed record with its line number and description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace io: {e}"),
+            TraceIoError::Parse { line, reason } => {
+                write!(f, "trace parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+const HEADER: &str = "arrival_ns,prompt_tokens,output_tokens,slo_ns";
+
+/// Renders a workload as CSV (ids are positional and omitted).
+pub fn to_csv(workload: &Workload) -> String {
+    let mut out = String::with_capacity(workload.len() * 32 + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for r in &workload.requests {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            r.arrival.as_nanos(),
+            r.prompt_tokens,
+            r.output_tokens,
+            r.slo.as_nanos()
+        ));
+    }
+    out
+}
+
+/// Parses a workload from CSV produced by [`to_csv`].
+pub fn from_csv(csv: &str) -> Result<Workload, TraceIoError> {
+    let mut requests = Vec::new();
+    let mut last_arrival = 0u64;
+    for (i, line) in csv.lines().enumerate() {
+        if i == 0 {
+            if line.trim() != HEADER {
+                return Err(TraceIoError::Parse {
+                    line: 1,
+                    reason: format!("expected header '{HEADER}', got '{line}'"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 4 {
+            return Err(TraceIoError::Parse {
+                line: i + 1,
+                reason: format!("expected 4 fields, got {}", parts.len()),
+            });
+        }
+        let field = |idx: usize| -> Result<u64, TraceIoError> {
+            parts[idx].trim().parse().map_err(|e| TraceIoError::Parse {
+                line: i + 1,
+                reason: format!("field {idx}: {e}"),
+            })
+        };
+        let arrival = field(0)?;
+        if arrival < last_arrival {
+            return Err(TraceIoError::Parse {
+                line: i + 1,
+                reason: format!("arrivals not sorted: {arrival} after {last_arrival}"),
+            });
+        }
+        last_arrival = arrival;
+        requests.push(Request {
+            id: RequestId(requests.len() as u64),
+            arrival: SimTime::from_nanos(arrival),
+            prompt_tokens: field(1)? as u32,
+            output_tokens: field(2)? as u32,
+            slo: SimDuration::from_nanos(field(3)?),
+        });
+    }
+    Ok(Workload::new(requests))
+}
+
+/// Writes a workload to `path` as CSV.
+pub fn save(workload: &Workload, path: &Path) -> Result<(), TraceIoError> {
+    std::fs::write(path, to_csv(workload))?;
+    Ok(())
+}
+
+/// Loads a workload from a CSV file.
+pub fn load(path: &Path) -> Result<Workload, TraceIoError> {
+    from_csv(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ArrivalSpec, WorkloadSpec};
+    use crate::lengths::LengthProfile;
+    use flexpipe_sim::SimRng;
+
+    fn sample() -> Workload {
+        WorkloadSpec {
+            arrivals: ArrivalSpec::GammaRenewal { rate: 10.0, cv: 2.0 },
+            lengths: LengthProfile::chat(),
+            slo: SimDuration::from_secs(5),
+            slo_per_output_token: SimDuration::from_millis(100),
+            horizon_secs: 30.0,
+        }
+        .generate(&mut SimRng::seed(17))
+    }
+
+    #[test]
+    fn csv_round_trip_is_identical() {
+        let w = sample();
+        let csv = to_csv(&w);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(w, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let w = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join("flexpipe_trace_test.csv");
+        save(&w, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(w, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = from_csv("nope\n1,2,3,4\n").unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let csv = format!("{HEADER}\n1,2,3\n");
+        assert!(matches!(
+            from_csv(&csv).unwrap_err(),
+            TraceIoError::Parse { line: 2, .. }
+        ));
+        let csv = format!("{HEADER}\n1,2,x,4\n");
+        assert!(from_csv(&csv).is_err());
+    }
+
+    #[test]
+    fn rejects_unsorted_arrivals() {
+        let csv = format!("{HEADER}\n100,1,1,1\n50,1,1,1\n");
+        let err = from_csv(&csv).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn empty_trace_loads() {
+        let w = from_csv(&format!("{HEADER}\n")).unwrap();
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Prompt and output length distributions.
+//!
+//! The paper supplements the Azure Functions arrival traces with the
+//! Splitwise corpus for prompt generation (§9). Splitwise's published
+//! distributions have log-normal-shaped prompts with heavy right tails and
+//! much shorter generation lengths; [`LengthProfile`] captures that shape
+//! with clamped log-normal prompts and geometric-like outputs.
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_sim::{LogNormalSampler, SimRng};
+
+/// Parameters of a length distribution pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LengthProfile {
+    /// Median prompt length, tokens.
+    pub prompt_median: f64,
+    /// Log-space sigma of the prompt distribution.
+    pub prompt_sigma: f64,
+    /// Prompt clamp range.
+    pub prompt_range: (u32, u32),
+    /// Mean output length, tokens.
+    pub output_mean: f64,
+    /// Output clamp range.
+    pub output_range: (u32, u32),
+}
+
+impl LengthProfile {
+    /// Splitwise-like conversation/code mix: prompts with median ≈ 1024
+    /// tokens and heavy tail, outputs with mean ≈ 64.
+    pub fn splitwise_like() -> Self {
+        LengthProfile {
+            prompt_median: 1024.0,
+            prompt_sigma: 0.9,
+            prompt_range: (16, 8192),
+            output_mean: 64.0,
+            output_range: (1, 1024),
+        }
+    }
+
+    /// Short interactive chat traffic.
+    pub fn chat() -> Self {
+        LengthProfile {
+            prompt_median: 256.0,
+            prompt_sigma: 0.7,
+            prompt_range: (8, 2048),
+            output_mean: 48.0,
+            output_range: (1, 512),
+        }
+    }
+
+    /// Single-pass encoder traffic (classification): output length 1.
+    pub fn encoder() -> Self {
+        LengthProfile {
+            prompt_median: 384.0,
+            prompt_sigma: 0.5,
+            prompt_range: (16, 512),
+            output_mean: 1.0,
+            output_range: (1, 1),
+        }
+    }
+
+    /// Fixed lengths, for deterministic tests and microbenchmarks.
+    pub fn fixed(prompt: u32, output: u32) -> Self {
+        LengthProfile {
+            prompt_median: f64::from(prompt),
+            prompt_sigma: 0.0,
+            prompt_range: (prompt, prompt),
+            output_mean: f64::from(output),
+            output_range: (output, output),
+        }
+    }
+}
+
+/// Samples (prompt, output) length pairs from a profile.
+#[derive(Debug, Clone)]
+pub struct LengthSampler {
+    profile: LengthProfile,
+    prompt: Option<LogNormalSampler>,
+}
+
+impl LengthSampler {
+    /// Builds a sampler; a zero sigma collapses to the fixed median.
+    pub fn new(profile: LengthProfile) -> Self {
+        let prompt = if profile.prompt_sigma > 0.0 {
+            Some(
+                LogNormalSampler::from_median_sigma(profile.prompt_median, profile.prompt_sigma)
+                    .expect("prompt profile must be valid"),
+            )
+        } else {
+            None
+        };
+        LengthSampler { profile, prompt }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &LengthProfile {
+        &self.profile
+    }
+
+    /// Draws a prompt length.
+    pub fn sample_prompt(&self, rng: &mut SimRng) -> u32 {
+        let (lo, hi) = self.profile.prompt_range;
+        match &self.prompt {
+            Some(d) => d.sample_clamped(rng, u64::from(lo), u64::from(hi)) as u32,
+            None => self.profile.prompt_median.round() as u32,
+        }
+    }
+
+    /// Draws an output length (geometric with the profile mean, clamped).
+    pub fn sample_output(&self, rng: &mut SimRng) -> u32 {
+        let (lo, hi) = self.profile.output_range;
+        if lo == hi {
+            return lo;
+        }
+        // Geometric via inversion: mean m ⇒ p = 1/m.
+        let p = (1.0 / self.profile.output_mean).clamp(1e-6, 1.0);
+        let u = rng.f64().max(1e-12);
+        let k = (u.ln() / (1.0 - p).ln()).ceil().max(1.0);
+        (k as u32).clamp(lo, hi)
+    }
+
+    /// Draws a (prompt, output) pair.
+    pub fn sample(&self, rng: &mut SimRng) -> (u32, u32) {
+        (self.sample_prompt(rng), self.sample_output(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitwise_prompt_median_lands() {
+        let s = LengthSampler::new(LengthProfile::splitwise_like());
+        let mut rng = SimRng::seed(1);
+        let mut xs: Vec<u32> = (0..50_001).map(|_| s.sample_prompt(&mut rng)).collect();
+        xs.sort_unstable();
+        let med = xs[xs.len() / 2] as f64;
+        assert!((med - 1024.0).abs() / 1024.0 < 0.06, "median {med}");
+        // Heavy tail exists but clamps hold.
+        assert!(*xs.last().unwrap() <= 8192);
+        assert!(*xs.first().unwrap() >= 16);
+    }
+
+    #[test]
+    fn output_mean_approximates_profile() {
+        let s = LengthSampler::new(LengthProfile::splitwise_like());
+        let mut rng = SimRng::seed(2);
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| u64::from(s.sample_output(&mut rng))).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 64.0).abs() / 64.0 < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn fixed_profile_is_deterministic() {
+        let s = LengthSampler::new(LengthProfile::fixed(512, 32));
+        let mut rng = SimRng::seed(3);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), (512, 32));
+        }
+    }
+
+    #[test]
+    fn encoder_profile_generates_one_token() {
+        let s = LengthSampler::new(LengthProfile::encoder());
+        let mut rng = SimRng::seed(4);
+        for _ in 0..100 {
+            assert_eq!(s.sample_output(&mut rng), 1);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Bursty serving: sweep the arrival CV and compare FlexPipe against a
+//! static pipeline on OPT-66B — the core trade-off the paper is about.
+//!
+//! ```sh
+//! cargo run --release --example bursty_serving
+//! ```
+
+use std::sync::Arc;
+
+use flexpipe::prelude::*;
+
+fn run_policy(
+    graph: &Arc<ModelGraph>,
+    lattice: &Arc<GranularityLattice>,
+    cost: CostModel,
+    cv: f64,
+    policy: Box<dyn ControlPolicy>,
+) -> RunReport {
+    let workload = WorkloadSpec {
+        arrivals: ArrivalSpec::GammaRenewal { rate: 16.0, cv },
+        lengths: LengthProfile::splitwise_like(),
+        slo: SimDuration::from_secs(3),
+        slo_per_output_token: SimDuration::from_millis(200),
+        horizon_secs: 240.0,
+    }
+    .generate(&mut SimRng::seed(7));
+    let scenario = Scenario {
+        config: EngineConfig::default(),
+        cluster: ClusterSpec::paper_testbed(),
+        background: BackgroundProfile::testbed_like(),
+        tier: TierConfig::default(),
+        cost,
+        workload,
+        horizon: SimTime::from_secs(270),
+        seed: 7,
+    };
+    Engine::new(scenario, graph.clone(), lattice.clone(), policy).run()
+}
+
+fn main() {
+    let graph = Arc::new(flexpipe::model::zoo::opt_66b());
+    let cost = CostModel::default();
+    let partitioner = Partitioner::new(PartitionParams::default(), cost);
+    let lattice = Arc::new(
+        GranularityLattice::build(&partitioner, &graph, 32, &[2, 4, 8, 16, 32], &cost)
+            .expect("OPT-66B lattice"),
+    );
+
+    let mut table = Table::new(
+        "FlexPipe vs static 4-stage across CV (OPT-66B, 16 QPS)",
+        &[
+            "CV",
+            "System",
+            "Goodput(%)",
+            "Mean lat(s)",
+            "P99(s)",
+            "Refactors",
+            "MeanGPUs",
+        ],
+    );
+    for cv in [0.5, 2.0, 6.0] {
+        for flex in [true, false] {
+            let policy: Box<dyn ControlPolicy> = if flex {
+                Box::new(FlexPipePolicy::new(FlexPipeConfig {
+                    granularity: GranularityParams {
+                        base_stages: 4,
+                        mean_prompt_tokens: 1540.0,
+                        ..GranularityParams::default()
+                    },
+                    peak_gpus: 16,
+                    expected_rate: 16.0,
+                    headroom: 2.0,
+                    ..FlexPipeConfig::default()
+                }))
+            } else {
+                Box::new(StaticPipeline::new(4, 2))
+            };
+            let report = run_policy(&graph, &lattice, cost, cv, policy);
+            table.row(vec![
+                format!("{cv}"),
+                report.policy.clone(),
+                format!("{:.1}", report.summary.goodput_rate * 100.0),
+                format!("{:.2}", report.summary.mean_latency),
+                format!("{:.2}", report.summary.p99_latency),
+                report.refactors.to_string(),
+                format!("{:.1}", report.mean_gpus_held()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("The static pipeline cannot shed queueing at high CV; FlexPipe absorbs bursts by refactoring and fine-grained scale-out.");
+}

@@ -1,0 +1,86 @@
+//! Quickstart: serve a bursty workload with FlexPipe on the paper's
+//! simulated 82-GPU testbed and print the run summary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use flexpipe::prelude::*;
+
+fn main() {
+    // 1. Pick a model and build its granularity lattice (the §5 offline
+    //    phase: finest feasible stages + aligned merge levels).
+    let graph = Arc::new(flexpipe::model::zoo::llama2_7b());
+    let cost = CostModel::default();
+    let partitioner = Partitioner::new(PartitionParams::default(), cost);
+    let lattice = Arc::new(
+        GranularityLattice::build(&partitioner, &graph, 8, &[1, 2, 4, 8], &cost)
+            .expect("llama fits every level"),
+    );
+    println!(
+        "model: {} ({:.1}B params), lattice levels: {:?}",
+        graph.name(),
+        graph.total_params() as f64 / 1e9,
+        lattice.stage_counts()
+    );
+
+    // 2. Generate a workload: calm first, then a burst regime shift.
+    let workload = WorkloadSpec {
+        arrivals: ArrivalSpec::Burst {
+            calm_rate: 4.0,
+            burst_rate: 60.0,
+            calm_secs: 30.0,
+            burst_secs: 6.0,
+        },
+        lengths: LengthProfile::chat(),
+        slo: SimDuration::from_secs(5),
+        slo_per_output_token: SimDuration::from_millis(100),
+        horizon_secs: 180.0,
+    }
+    .generate(&mut SimRng::seed(42));
+    println!("workload: {} requests over 180 s", workload.len());
+
+    // 3. Describe the cluster scenario (fragmented testbed).
+    let scenario = Scenario {
+        config: EngineConfig::default(),
+        cluster: ClusterSpec::paper_testbed(),
+        background: BackgroundProfile::testbed_like(),
+        tier: TierConfig::default(),
+        cost,
+        workload,
+        horizon: SimTime::from_secs(220),
+        seed: 42,
+    };
+
+    // 4. Run FlexPipe.
+    let policy = FlexPipePolicy::new(FlexPipeConfig {
+        granularity: GranularityParams {
+            base_stages: 2,
+            mean_prompt_tokens: 256.0,
+            mean_output_tokens: 48.0,
+            ..GranularityParams::default()
+        },
+        peak_gpus: 8,
+        ..FlexPipeConfig::default()
+    });
+    let report = Engine::new(scenario, graph, lattice, Box::new(policy)).run();
+
+    // 5. Inspect the outcome.
+    println!("\n== run report ==");
+    println!("policy:              {}", report.policy);
+    println!("completed:           {}/{}", report.completed(), report.arrived);
+    println!("goodput rate:        {:.1}%", report.summary.goodput_rate * 100.0);
+    println!("mean latency:        {:.2} s", report.summary.mean_latency);
+    println!("p99 latency:         {:.2} s", report.summary.p99_latency);
+    println!("inflight refactors:  {}", report.refactors);
+    println!(
+        "refactor pauses:     {:.1} ms total",
+        report.refactor_pause_secs * 1e3
+    );
+    println!("instances spawned:   {}", report.spawns);
+    println!("mean GPUs held:      {:.1}", report.mean_gpus_held());
+    println!("warm-start loads:    {:.0}%", report.warm_load_fraction() * 100.0);
+    println!("events simulated:    {}", report.events);
+}

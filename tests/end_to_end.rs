@@ -1,0 +1,278 @@
+//! Full-stack integration tests through the facade crate: workload →
+//! cluster → partitioner → serving engine → FlexPipe policy → metrics.
+
+use std::sync::Arc;
+
+use flexpipe::prelude::*;
+
+fn artifacts() -> (Arc<ModelGraph>, Arc<GranularityLattice>, CostModel) {
+    let graph = Arc::new(flexpipe::model::zoo::llama2_7b());
+    let cost = CostModel::default();
+    let partitioner = Partitioner::new(PartitionParams::default(), cost);
+    let lattice = Arc::new(
+        GranularityLattice::build(&partitioner, &graph, 8, &[1, 2, 4, 8], &cost).unwrap(),
+    );
+    (graph, lattice, cost)
+}
+
+fn scenario(cv: f64, rate: f64, horizon: f64, seed: u64, cost: CostModel) -> Scenario {
+    let workload = WorkloadSpec {
+        arrivals: ArrivalSpec::GammaRenewal { rate, cv },
+        lengths: LengthProfile::chat(),
+        slo: SimDuration::from_secs(5),
+        slo_per_output_token: SimDuration::from_millis(100),
+        horizon_secs: horizon,
+    }
+    .generate(&mut SimRng::seed(seed));
+    Scenario {
+        config: EngineConfig::default(),
+        cluster: ClusterSpec::paper_testbed(),
+        background: BackgroundProfile::testbed_like(),
+        tier: TierConfig::default(),
+        cost,
+        workload,
+        horizon: SimTime::from_secs_f64(horizon + 30.0),
+        seed,
+    }
+}
+
+fn flexpipe() -> Box<dyn ControlPolicy> {
+    Box::new(FlexPipePolicy::new(FlexPipeConfig {
+        granularity: GranularityParams {
+            base_stages: 2,
+            mean_prompt_tokens: 256.0,
+            mean_output_tokens: 48.0,
+            ..GranularityParams::default()
+        },
+        peak_gpus: 8,
+        expected_rate: 6.0,
+        ..FlexPipeConfig::default()
+    }))
+}
+
+#[test]
+fn flexpipe_full_stack_smoke() {
+    let (graph, lattice, cost) = artifacts();
+    let report = Engine::new(scenario(1.5, 6.0, 120.0, 3, cost), graph, lattice, flexpipe()).run();
+    assert!(report.completion_rate() > 0.95, "rate {}", report.completion_rate());
+    assert!(report.summary.goodput_rate > 0.8);
+    assert!(report.events > 10_000);
+    // The standing fleet exists from t=0 (prewarmed init).
+    assert!(report.peak_gpus_held() >= 2);
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let (graph, lattice, cost) = artifacts();
+        Engine::new(scenario(3.0, 6.0, 90.0, 9, cost), graph, lattice, flexpipe()).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.completed(), b.completed());
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.refactors, b.refactors);
+    assert_eq!(a.spawns, b.spawns);
+    assert!((a.summary.mean_latency - b.summary.mean_latency).abs() < 1e-12);
+    assert!((a.ledger.total_busy_secs() - b.ledger.total_busy_secs()).abs() < 1e-9);
+}
+
+#[test]
+fn all_baselines_serve_the_same_scenario() {
+    let policies: Vec<Box<dyn ControlPolicy>> = vec![
+        Box::new(StaticPipeline::new(2, 2)),
+        Box::new(AlpaServeLike::new(AlpaServeConfig {
+            expected_rate: 6.0,
+            mean_prompt_tokens: 256.0,
+            mean_output_tokens: 48.0,
+            ..AlpaServeConfig::default()
+        })),
+        Box::new(MuxServeLike::new(MuxServeConfig {
+            stages: 2,
+            expected_rate: 6.0,
+            mean_prompt_tokens: 256.0,
+            mean_output_tokens: 48.0,
+            ..MuxServeConfig::default()
+        })),
+        Box::new(ServerlessLlmLike::new(ServerlessLlmConfig {
+            stages: 2,
+            ..ServerlessLlmConfig::default()
+        })),
+        Box::new(TetrisLike::new(TetrisConfig {
+            stages: 2,
+            min_replicas: 2,
+            ..TetrisConfig::default()
+        })),
+    ];
+    for policy in policies {
+        let name = policy.name();
+        let (graph, lattice, cost) = artifacts();
+        let report =
+            Engine::new(scenario(2.0, 6.0, 90.0, 11, cost), graph, lattice, policy).run();
+        assert!(
+            report.completion_rate() > 0.5,
+            "{name} completed only {:.0}%",
+            report.completion_rate() * 100.0
+        );
+        assert_eq!(report.policy, name);
+    }
+}
+
+#[test]
+fn cv_shift_triggers_refactor_through_facade() {
+    let (graph, lattice, cost) = artifacts();
+    // Calm then violent bursts.
+    let mut calm = WorkloadSpec {
+        arrivals: ArrivalSpec::GammaRenewal { rate: 5.0, cv: 0.7 },
+        lengths: LengthProfile::fixed(256, 24),
+        slo: SimDuration::from_secs(5),
+        slo_per_output_token: SimDuration::from_millis(100),
+        horizon_secs: 90.0,
+    }
+    .generate(&mut SimRng::seed(5));
+    let bursty = WorkloadSpec {
+        arrivals: ArrivalSpec::Burst {
+            calm_rate: 2.0,
+            burst_rate: 70.0,
+            calm_secs: 10.0,
+            burst_secs: 5.0,
+        },
+        lengths: LengthProfile::fixed(256, 24),
+        slo: SimDuration::from_secs(5),
+        slo_per_output_token: SimDuration::from_millis(100),
+        horizon_secs: 120.0,
+    }
+    .generate(&mut SimRng::seed(6));
+    let base = calm.requests.len() as u64;
+    for (i, r) in bursty.requests.iter().enumerate() {
+        let mut r = *r;
+        r.arrival = SimTime::from_secs(90) + (r.arrival - SimTime::ZERO);
+        r.id = flexpipe::workload::RequestId(base + i as u64);
+        calm.requests.push(r);
+    }
+    let scenario = Scenario {
+        config: EngineConfig::default(),
+        cluster: ClusterSpec::paper_testbed(),
+        background: BackgroundProfile::testbed_like(),
+        tier: TierConfig::default(),
+        cost,
+        workload: calm,
+        horizon: SimTime::from_secs(250),
+        seed: 5,
+    };
+    let report = Engine::new(scenario, graph, lattice, flexpipe()).run();
+    assert!(
+        report.refactors >= 1 || report.spawns > 2,
+        "no adaptation: refactors {} spawns {}",
+        report.refactors,
+        report.spawns
+    );
+    assert!(report.completion_rate() > 0.85);
+}
+
+#[test]
+fn survives_hostile_fragmentation() {
+    // Failure injection: the busiest background profile (C2-like, ~51%
+    // memory occupied, churning) on the small testbed. Placements fail,
+    // batch capacities shrink, churn invalidates planning assumptions —
+    // the stack must degrade gracefully, never panic, and keep the cluster
+    // invariants intact (checked inside the engine's debug asserts and the
+    // report's consistency).
+    let (graph, lattice, cost) = artifacts();
+    let workload = WorkloadSpec {
+        arrivals: ArrivalSpec::GammaRenewal { rate: 8.0, cv: 3.0 },
+        lengths: LengthProfile::chat(),
+        slo: SimDuration::from_secs(5),
+        slo_per_output_token: SimDuration::from_millis(100),
+        horizon_secs: 120.0,
+    }
+    .generate(&mut SimRng::seed(71));
+    let scenario = Scenario {
+        config: EngineConfig::default(),
+        cluster: ClusterSpec::paper_testbed(),
+        background: BackgroundProfile::c2_like(), // hostile
+        tier: TierConfig::default(),
+        cost,
+        workload,
+        horizon: SimTime::from_secs(160),
+        seed: 71,
+    };
+    let report = Engine::new(scenario, graph, lattice, flexpipe()).run();
+    // Under this pressure some requests may wait long, but the system must
+    // make real progress and account for every completion consistently.
+    assert!(report.completed() > 0);
+    assert!(report.completion_rate() > 0.3, "{}", report.completion_rate());
+    for o in report.outcomes.outcomes() {
+        assert!(o.completion >= o.arrival);
+        let parts = o.queue.as_secs_f64() + o.execution.as_secs_f64() + o.communication.as_secs_f64();
+        let lat = o.latency().as_secs_f64();
+        assert!(parts <= lat + 1e-6, "breakdown {parts} exceeds latency {lat}");
+    }
+}
+
+#[test]
+fn survives_capacity_exhaustion() {
+    // Failure injection: a 4-GPU cluster where most scale-outs must fail.
+    // The policy's spawn fallback and the engine's error paths must never
+    // wedge the run.
+    let (graph, lattice, cost) = artifacts();
+    let workload = WorkloadSpec {
+        arrivals: ArrivalSpec::Burst {
+            calm_rate: 2.0,
+            burst_rate: 60.0,
+            calm_secs: 15.0,
+            burst_secs: 5.0,
+        },
+        lengths: LengthProfile::chat(),
+        slo: SimDuration::from_secs(5),
+        slo_per_output_token: SimDuration::from_millis(100),
+        horizon_secs: 120.0,
+    }
+    .generate(&mut SimRng::seed(73));
+    let scenario = Scenario {
+        config: EngineConfig::default(),
+        cluster: ClusterSpec::heterogeneous("tiny", 2, 4, 2),
+        background: BackgroundProfile::none(),
+        tier: TierConfig::default(),
+        cost,
+        workload,
+        horizon: SimTime::from_secs(160),
+        seed: 73,
+    };
+    let report = Engine::new(scenario, graph, lattice, flexpipe()).run();
+    assert!(report.completed() > 0);
+    // The fleet can never exceed the 4 physical GPUs.
+    assert!(report.peak_gpus_held() <= 4, "held {}", report.peak_gpus_held());
+}
+
+#[test]
+fn trace_replay_reproduces_run() {
+    // A workload exported to CSV and replayed must produce the identical
+    // simulation (artefact portability).
+    let (graph, lattice, cost) = artifacts();
+    let original = WorkloadSpec {
+        arrivals: ArrivalSpec::GammaRenewal { rate: 6.0, cv: 2.0 },
+        lengths: LengthProfile::chat(),
+        slo: SimDuration::from_secs(5),
+        slo_per_output_token: SimDuration::from_millis(100),
+        horizon_secs: 60.0,
+    }
+    .generate(&mut SimRng::seed(77));
+    let replayed = flexpipe::workload::from_csv(&flexpipe::workload::to_csv(&original)).unwrap();
+    assert_eq!(original, replayed);
+
+    let mk_scenario = |w| Scenario {
+        config: EngineConfig::default(),
+        cluster: ClusterSpec::paper_testbed(),
+        background: BackgroundProfile::testbed_like(),
+        tier: TierConfig::default(),
+        cost,
+        workload: w,
+        horizon: SimTime::from_secs(90),
+        seed: 77,
+    };
+    let a = Engine::new(mk_scenario(original), graph.clone(), lattice.clone(), flexpipe()).run();
+    let b = Engine::new(mk_scenario(replayed), graph, lattice, flexpipe()).run();
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.completed(), b.completed());
+}

@@ -1,0 +1,164 @@
+//! Property-based tests on the core data structures and cross-crate
+//! invariants.
+
+use proptest::prelude::*;
+
+use flexpipe::cluster::{AllocError, Cluster, ClusterSpec, GpuId, ServerId};
+use flexpipe::core::ValidityMask;
+use flexpipe::model::{validate_partition, zoo, CostModel, OpRange};
+use flexpipe::partition::{GranularityLattice, PartitionParams, Partitioner};
+use flexpipe::sim::{EventQueue, SimTime};
+use flexpipe::workload::{gen_gamma_renewal, interarrival_cv};
+use flexpipe::sim::SimRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The DP partitioner always emits a valid, memory-feasible partition
+    /// for any feasible stage count of any zoo model.
+    #[test]
+    fn partitions_are_always_valid(model_idx in 0usize..4, k in 2u32..16) {
+        let graph = flexpipe::model::ModelId::all()[model_idx].graph();
+        let cost = CostModel::default();
+        let partitioner = Partitioner::new(PartitionParams::default(), cost);
+        if let Ok(partition) = partitioner.partition(&graph, k) {
+            prop_assert_eq!(partition.stages(), k);
+            prop_assert!(validate_partition(&graph, &partition.ranges).is_ok());
+            for c in &partition.stage_costs {
+                prop_assert!(c.feasible);
+                prop_assert!(c.mem_bytes <= PartitionParams::default().gpu_mem);
+            }
+        }
+    }
+
+    /// Lattice levels always partition the graph and their transition
+    /// plans conserve parameter bytes (moved ⊆ total).
+    #[test]
+    fn lattice_transitions_conserve_bytes(from_idx in 0usize..4, to_idx in 0usize..4) {
+        let graph = zoo::llama2_7b();
+        let cost = CostModel::default();
+        let partitioner = Partitioner::new(PartitionParams::default(), cost);
+        let lattice =
+            GranularityLattice::build(&partitioner, &graph, 16, &[2, 4, 8, 16], &cost).unwrap();
+        lattice.validate(&graph).unwrap();
+        let counts = lattice.stage_counts();
+        let plan = lattice.plan_transition(&graph, counts[from_idx], counts[to_idx]);
+        prop_assert!(plan.total_load_bytes <= graph.total_param_bytes());
+        let whole_kv = graph.range_kv_bytes_per_token(OpRange::new(0, graph.op_count()));
+        prop_assert!(plan.total_kv_bytes_per_token <= whole_kv);
+        // Identity transitions move nothing.
+        if from_idx == to_idx {
+            prop_assert_eq!(plan.total_load_bytes, 0);
+        }
+        // Reuse assignments are injective.
+        let mut olds: Vec<u32> = plan
+            .transitions
+            .iter()
+            .filter_map(|t| t.reuse_old_stage)
+            .collect();
+        let before = olds.len();
+        olds.sort_unstable();
+        olds.dedup();
+        prop_assert_eq!(olds.len(), before);
+    }
+
+    /// Random reserve/release sequences never violate cluster capacity or
+    /// ledger consistency.
+    #[test]
+    fn cluster_leases_never_overcommit(ops in prop::collection::vec((0u32..82, 0u64..90, any::<bool>()), 1..120)) {
+        let mut cluster = Cluster::new(ClusterSpec::paper_testbed());
+        let mut live = Vec::new();
+        for (gpu, gib, release_one) in ops {
+            if release_one && !live.is_empty() {
+                let id = live.swap_remove(0);
+                prop_assert!(cluster.release(id).is_ok());
+                prop_assert!(matches!(cluster.release(id), Err(AllocError::UnknownLease(_))));
+            } else {
+                let bytes = gib << 30;
+                match cluster.reserve_gpu(GpuId(gpu), bytes) {
+                    Ok(id) => live.push(id),
+                    Err(AllocError::InsufficientMemory { free, requested }) => {
+                        prop_assert!(requested > free);
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                }
+            }
+            cluster.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+
+    /// Host-memory reservations obey per-server capacity.
+    #[test]
+    fn host_leases_respect_capacity(reqs in prop::collection::vec((0u32..42, 1u64..300), 1..40)) {
+        let mut cluster = Cluster::new(ClusterSpec::paper_testbed());
+        for (server, gib) in reqs {
+            let _ = cluster.reserve_host(ServerId(server), gib << 30);
+            cluster.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        }
+    }
+
+    /// Event queue pops are globally time-ordered with FIFO tie-breaking.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(*t), i).unwrap();
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "ties must pop in insertion order");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Gamma-renewal workloads hit their target CV within tolerance.
+    #[test]
+    fn gamma_cv_is_controllable(cv_tenths in 3u32..60, seed in 0u64..1_000) {
+        let cv = f64::from(cv_tenths) / 10.0;
+        let arr = gen_gamma_renewal(40.0, cv, 600.0, &mut SimRng::seed(seed));
+        let measured = interarrival_cv(&arr);
+        prop_assert!((measured - cv).abs() / cv < 0.25, "cv {measured} target {cv}");
+    }
+
+    /// Validity-mask algebra: union/mask/delta laws hold for arbitrary
+    /// prefix pairs (the Eq. 10 operations).
+    #[test]
+    fn validity_mask_laws(len in 1u32..4_096, a in 0u32..4_096, b in 0u32..4_096) {
+        let a = a.min(len);
+        let b = b.min(len);
+        let ma = ValidityMask::valid_prefix(len, a);
+        let mb = ValidityMask::valid_prefix(len, b);
+        let union = ma.or(&mb);
+        let inter = ma.and(&mb);
+        prop_assert_eq!(union.count_valid(), a.max(b));
+        prop_assert_eq!(inter.count_valid(), a.min(b));
+        // Inclusion-exclusion.
+        prop_assert_eq!(
+            union.count_valid() + inter.count_valid(),
+            ma.count_valid() + mb.count_valid()
+        );
+        // delta ∪ smaller = larger side.
+        let delta = ma.minus(&mb);
+        prop_assert_eq!(delta.or(&mb).count_valid(), a.max(b).max(b));
+    }
+
+    /// Cost-model monotonicity: more tokens never compute faster; bigger
+    /// ranges never need less memory.
+    #[test]
+    fn cost_model_is_monotone(t1 in 1u64..8_192, t2 in 1u64..8_192, cut in 1u32..63) {
+        let graph = zoo::opt_66b();
+        let cost = CostModel::default();
+        let ranges = flexpipe::model::even_layer_ranges(&graph, 4);
+        let r = ranges[1];
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        prop_assert!(cost.stage_compute(&graph, r, lo) <= cost.stage_compute(&graph, r, hi));
+        let sub = OpRange::new(r.start, r.start + cut.min(r.len() - 1));
+        prop_assert!(graph.range_param_bytes(sub) <= graph.range_param_bytes(r));
+        prop_assert!(cost.max_batch(&graph, sub, 80 << 30) >= cost.max_batch(&graph, r, 80 << 30));
+    }
+}
