@@ -108,7 +108,10 @@ impl ControlPolicy for AlpaServeLike {
             let cycle: f64 = level
                 .ranges
                 .iter()
-                .map(|&r| cost.stage_compute(graph, r, u64::from(self.cfg.ubatch)).as_secs_f64())
+                .map(|&r| {
+                    cost.stage_compute(graph, r, u64::from(self.cfg.ubatch))
+                        .as_secs_f64()
+                })
                 .sum::<f64>()
                 + f64::from(level.stages.saturating_sub(1)) * self.cfg.hop_secs;
             let prefill: f64 = level
@@ -132,8 +135,7 @@ impl ControlPolicy for AlpaServeLike {
         self.chosen_replicas = replicas;
 
         // Production practice: 75% of peak capacity always-on.
-        let pinned_count =
-            ((f64::from(gpus) * self.cfg.always_on_fraction).ceil() as usize).max(1);
+        let pinned_count = ((f64::from(gpus) * self.cfg.always_on_fraction).ceil() as usize).max(1);
         ctx.set_always_on(quiet_gpus(ctx, pinned_count));
 
         for _ in 0..replicas {

@@ -32,10 +32,14 @@ pub fn estimate_capacity(
     let busy_per_req = ranges
         .iter()
         .map(|&r| {
-            let chunk_pass =
-                cost.stage_compute(graph, r, u64::from(chunk_tokens)).as_secs_f64() + hop_secs;
-            let decode_pass =
-                cost.stage_compute(graph, r, u64::from(decode_batch)).as_secs_f64() + hop_secs;
+            let chunk_pass = cost
+                .stage_compute(graph, r, u64::from(chunk_tokens))
+                .as_secs_f64()
+                + hop_secs;
+            let decode_pass = cost
+                .stage_compute(graph, r, u64::from(decode_batch))
+                .as_secs_f64()
+                + hop_secs;
             mean_prompt_tokens * chunk_pass / f64::from(chunk_tokens)
                 + mean_output_tokens * decode_pass / f64::from(decode_batch)
         })
@@ -43,7 +47,11 @@ pub fn estimate_capacity(
     // Autoregressive bound: cap/cycle limits coarse configurations.
     let decode_cycle: f64 = ranges
         .iter()
-        .map(|&r| cost.stage_compute(graph, r, u64::from(decode_batch)).as_secs_f64() + hop_secs)
+        .map(|&r| {
+            cost.stage_compute(graph, r, u64::from(decode_batch))
+                .as_secs_f64()
+                + hop_secs
+        })
         .sum();
     let cycle_bound = mean_output_tokens * decode_cycle / f64::from(batch_cap);
     1.0 / busy_per_req.max(cycle_bound).max(1e-9)
@@ -64,7 +72,12 @@ pub fn quiet_gpus(ctx: &Ctx<'_>, count: usize) -> Vec<GpuId> {
 /// Picks GPUs *preferring already-subscribed devices* (bin-packing style,
 /// as memory-efficiency-oriented systems do), subject to fitting
 /// `min_free` bytes; skips GPUs in `exclude`.
-pub fn packed_gpus(ctx: &Ctx<'_>, count: usize, min_free: u64, exclude: &[GpuId]) -> Option<Vec<GpuId>> {
+pub fn packed_gpus(
+    ctx: &Ctx<'_>,
+    count: usize,
+    min_free: u64,
+    exclude: &[GpuId],
+) -> Option<Vec<GpuId>> {
     let cluster = ctx.state.cluster();
     let in_use = ctx.state.gpus_in_use();
     let mut candidates: Vec<GpuId> = cluster
@@ -93,10 +106,24 @@ mod tests {
     fn capacity_estimate_scales_with_depth() {
         let g = zoo::opt_66b();
         let cost = CostModel::default();
-        let coarse =
-            estimate_capacity(&g, &cost, &even_layer_ranges(&g, 4), 16, 1024.0, 64.0, 0.002);
-        let fine =
-            estimate_capacity(&g, &cost, &even_layer_ranges(&g, 16), 16, 1024.0, 64.0, 0.002);
+        let coarse = estimate_capacity(
+            &g,
+            &cost,
+            &even_layer_ranges(&g, 4),
+            16,
+            1024.0,
+            64.0,
+            0.002,
+        );
+        let fine = estimate_capacity(
+            &g,
+            &cost,
+            &even_layer_ranges(&g, 16),
+            16,
+            1024.0,
+            64.0,
+            0.002,
+        );
         assert!(fine > coarse, "fine {fine} coarse {coarse}");
         assert!(coarse > 0.0);
     }

@@ -94,7 +94,8 @@ impl ControlPolicy for MuxServeLike {
             self.cfg.mean_output_tokens,
             self.cfg.hop_secs,
         ) / (self.cfg.interference * 1.4); // sharing + background contention
-        let replicas = ((self.cfg.expected_rate * self.cfg.margin / mu.max(1e-9)).ceil() as u32).max(1);
+        let replicas =
+            ((self.cfg.expected_rate * self.cfg.margin / mu.max(1e-9)).ceil() as u32).max(1);
 
         // Multiplexers hold whatever they deploy on.
         ctx.set_always_on(quiet_gpus(ctx, (replicas * self.cfg.stages) as usize));

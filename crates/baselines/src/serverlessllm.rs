@@ -120,7 +120,8 @@ impl ServerlessLlmLike {
             ctx.spawn_prewarmed(self.cfg.stages, Placement::Explicit(gpus))
                 .is_ok()
         } else {
-            ctx.spawn(self.cfg.stages, Placement::Explicit(gpus)).is_ok()
+            ctx.spawn(self.cfg.stages, Placement::Explicit(gpus))
+                .is_ok()
         }
     }
 }
@@ -152,9 +153,7 @@ impl ControlPolicy for ServerlessLlmLike {
         let instances = ctx.instances();
         let live = instances
             .iter()
-            .filter(|i| {
-                matches!(i.state, InstanceState::Serving | InstanceState::Loading)
-            })
+            .filter(|i| matches!(i.state, InstanceState::Serving | InstanceState::Loading))
             .count() as u32;
 
         if queue >= self.cfg.queue_hi && live < self.cfg.max_replicas {
@@ -182,8 +181,7 @@ impl ControlPolicy for ServerlessLlmLike {
                     .min()
                     .unwrap_or(0),
             );
-        let underloaded =
-            queue == 0 && u64::from(total_active) * 4 < u64::from(shrunk_capacity);
+        let underloaded = queue == 0 && u64::from(total_active) * 4 < u64::from(shrunk_capacity);
         if underloaded && live > self.cfg.min_replicas {
             self.idle_ticks += 1;
             if self.idle_ticks >= self.cfg.idle_patience {

@@ -36,7 +36,10 @@ impl ControlPolicy for StaticPipeline {
         let pinned = quiet_gpus(ctx, needed);
         ctx.set_always_on(pinned);
         for _ in 0..self.replicas {
-            if ctx.spawn_prewarmed(self.stages, Placement::FirstFit).is_err() {
+            if ctx
+                .spawn_prewarmed(self.stages, Placement::FirstFit)
+                .is_err()
+            {
                 break;
             }
         }

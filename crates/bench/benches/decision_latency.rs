@@ -17,13 +17,8 @@ fn bench_decision(c: &mut Criterion) {
     let params = GranularityParams::default();
 
     let mut group = c.benchmark_group("decision_latency");
-    for levels in [
-        vec![2u32, 4],
-        vec![2, 4, 8, 16],
-        vec![2, 4, 8, 16, 32],
-    ] {
-        let lattice =
-            GranularityLattice::build(&partitioner, &graph, 32, &levels, &cost).unwrap();
+    for levels in [vec![2u32, 4], vec![2, 4, 8, 16], vec![2, 4, 8, 16, 32]] {
+        let lattice = GranularityLattice::build(&partitioner, &graph, 32, &levels, &cost).unwrap();
         let profiles = build_profiles(&graph, &cost, &lattice, &LinkSpec::default(), &params);
         group.bench_with_input(
             BenchmarkId::new("select_and_plan", levels.len()),

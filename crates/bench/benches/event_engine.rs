@@ -18,7 +18,8 @@ fn bench_event_queue(c: &mut Criterion) {
         b.iter(|| {
             let mut q: EventQueue<u64> = EventQueue::new();
             for i in 0..10_000u64 {
-                q.schedule(SimTime::from_nanos(i * 37 % 100_000), i).unwrap();
+                q.schedule(SimTime::from_nanos(i * 37 % 100_000), i)
+                    .unwrap();
             }
             let mut acc = 0u64;
             while let Some((_, e)) = q.pop() {
@@ -33,9 +34,8 @@ fn bench_end_to_end(c: &mut Criterion) {
     let graph = Arc::new(zoo::llama2_7b());
     let cost = CostModel::default();
     let partitioner = Partitioner::new(PartitionParams::default(), cost);
-    let lattice = Arc::new(
-        GranularityLattice::build(&partitioner, &graph, 8, &[1, 2, 4, 8], &cost).unwrap(),
-    );
+    let lattice =
+        Arc::new(GranularityLattice::build(&partitioner, &graph, 8, &[1, 2, 4, 8], &cost).unwrap());
     let mut group = c.benchmark_group("end_to_end_sim");
     group.sample_size(10);
     group.bench_function("llama_30s_at_8qps", |b| {

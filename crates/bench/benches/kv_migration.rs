@@ -12,15 +12,19 @@ fn bench_masks(c: &mut Criterion) {
     for tokens in [1024u32, 8192, 65536] {
         let a = ValidityMask::valid_prefix(tokens, tokens * 3 / 4);
         let b = ValidityMask::valid_prefix(tokens, tokens / 2);
-        group.bench_with_input(BenchmarkId::new("union_mask_delta", tokens), &tokens, |bch, _| {
-            bch.iter(|| {
-                // The Eq. (10) consistency step: union, mask, delta, count.
-                let merged = black_box(&a).or(black_box(&b));
-                let masked = merged.and(&a);
-                let delta = a.minus(&b);
-                masked.count_valid() + delta.count_valid()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("union_mask_delta", tokens),
+            &tokens,
+            |bch, _| {
+                bch.iter(|| {
+                    // The Eq. (10) consistency step: union, mask, delta, count.
+                    let merged = black_box(&a).or(black_box(&b));
+                    let masked = merged.and(&a);
+                    let delta = a.minus(&b);
+                    masked.count_valid() + delta.count_valid()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -36,8 +36,14 @@ fn bench_lattice(c: &mut Criterion) {
             &graph,
             |b, graph| {
                 b.iter(|| {
-                    GranularityLattice::build(&partitioner, black_box(graph), finest, &levels, &cost)
-                        .unwrap()
+                    GranularityLattice::build(
+                        &partitioner,
+                        black_box(graph),
+                        finest,
+                        &levels,
+                        &cost,
+                    )
+                    .unwrap()
                 })
             },
         );

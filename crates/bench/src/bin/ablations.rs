@@ -126,7 +126,10 @@ fn main() {
         &setup,
         &p,
         "no HRG (best-fit)",
-        Box::new(NaivePlacement(FlexPipePolicy::new(cfg), flexpipe_config(p.rate))),
+        Box::new(NaivePlacement(
+            FlexPipePolicy::new(cfg),
+            flexpipe_config(p.rate),
+        )),
         &mut t,
     );
 

@@ -69,8 +69,8 @@ fn main() {
     let offered = steady_offered(&p);
     let sa = steady_summary(&report_a, p.warmup_secs);
     let sb = steady_summary(&report_b, p.warmup_secs);
-    let pinned_a = (baseline_cfg.min_replicas * baseline_cfg.stages) as f64
-        * baseline_cfg.always_on_fraction;
+    let pinned_a =
+        (baseline_cfg.min_replicas * baseline_cfg.stages) as f64 * baseline_cfg.always_on_fraction;
     let pinned_b = f64::from(flex_cfg.peak_gpus) * flex_cfg.always_on_fraction;
 
     let mut t = Table::new(

@@ -38,7 +38,11 @@ fn daily_cvs(name: &str, profile: TraceProfile, days: u64, seed: u64, t: &mut Ta
             .map(|p| p.cv)
             .collect();
         short.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let cv_180s = if short.is_empty() { 0.0 } else { short[short.len() / 2] };
+        let cv_180s = if short.is_empty() {
+            0.0
+        } else {
+            short[short.len() / 2]
+        };
         // 3 h windows: max CV over the day's eight windows.
         let cv_3h = (0..8)
             .map(|w| {
@@ -74,9 +78,27 @@ fn main() {
         "Fig. 1 — request CV vs measurement window (paper: up to 7x mismatch)",
         &["Trace", "Day", "CV@180s", "CV@3h", "CV@12h"],
     );
-    let r1 = daily_cvs("Alibaba-like", TraceProfile::alibaba_like(), days, seed, &mut t);
-    let r2 = daily_cvs("Azure-top1-like", TraceProfile::azure_top1_like(), days, seed + 1, &mut t);
-    let r3 = daily_cvs("Azure-top2-like", TraceProfile::azure_top2_like(), days, seed + 2, &mut t);
+    let r1 = daily_cvs(
+        "Alibaba-like",
+        TraceProfile::alibaba_like(),
+        days,
+        seed,
+        &mut t,
+    );
+    let r2 = daily_cvs(
+        "Azure-top1-like",
+        TraceProfile::azure_top1_like(),
+        days,
+        seed + 1,
+        &mut t,
+    );
+    let r3 = daily_cvs(
+        "Azure-top2-like",
+        TraceProfile::azure_top2_like(),
+        days,
+        seed + 2,
+        &mut t,
+    );
     write_result("fig1", &t);
     println!(
         "worst 12h/180s CV mismatch: Alibaba {:.1}x, Azure-1 {:.1}x, Azure-2 {:.1}x (paper: up to 7x)",

@@ -9,7 +9,11 @@ use flexpipe_sim::SimTime;
 
 fn main() {
     let setup = PaperSetup::opt66b();
-    let systems = [SystemId::FlexPipe, SystemId::ServerlessLlm, SystemId::Tetris];
+    let systems = [
+        SystemId::FlexPipe,
+        SystemId::ServerlessLlm,
+        SystemId::Tetris,
+    ];
     let mut t = Table::new(
         "Fig. 10 — latency percentiles in serverless deployments (OPT-66B, 20 QPS)",
         &["CV", "System", "P50(s/tok)", "P75", "P90", "P95", "P99"],

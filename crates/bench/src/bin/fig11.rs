@@ -34,8 +34,7 @@ fn main() {
                 fmt_f(stalls.mean_recovery_secs(), 2),
                 stalls.episodes.len().to_string(),
                 fmt_f(
-                    stalls.stall_fraction(SimDuration::from_secs_f64(report.horizon_secs))
-                        * 100.0,
+                    stalls.stall_fraction(SimDuration::from_secs_f64(report.horizon_secs)) * 100.0,
                     1,
                 ),
                 report.refactors.to_string(),

@@ -24,8 +24,8 @@ fn main() {
             "Goodput/GPU",
         ],
     );
-    let mut flex_eff = vec![0.0; 3];
-    let mut tetris_eff = vec![0.0; 3];
+    let mut flex_eff = [0.0; 3];
+    let mut tetris_eff = [0.0; 3];
     for (ci, cv) in [1.0, 2.0, 4.0].into_iter().enumerate() {
         let p = E2eParams::paper(cv);
         let offered = steady_offered(&p);

@@ -7,9 +7,9 @@ use flexpipe_bench::setup::{paper_scenario, E2eParams, PaperSetup};
 use flexpipe_bench::systems::flexpipe_config;
 use flexpipe_bench::{write_result, SystemId};
 use flexpipe_core::FlexPipePolicy;
-use flexpipe_serving::ControlPolicy;
 use flexpipe_metrics::{fmt_f, Table};
 use flexpipe_model::ModelId;
+use flexpipe_serving::ControlPolicy;
 use flexpipe_serving::Engine;
 use flexpipe_sim::{SimDuration, SimRng, SimTime};
 use flexpipe_workload::{ArrivalSpec, LengthProfile, WorkloadSpec};
@@ -23,10 +23,20 @@ fn lengths_for(model: ModelId) -> LengthProfile {
 }
 
 fn main() {
-    let systems = [SystemId::FlexPipe, SystemId::AlpaServe, SystemId::ServerlessLlm];
+    let systems = [
+        SystemId::FlexPipe,
+        SystemId::AlpaServe,
+        SystemId::ServerlessLlm,
+    ];
     let mut t = Table::new(
         "Fig. 13 — prefill latency across model scales (production-like traffic)",
-        &["Model", "System", "Mean prefill(s)", "P95 prefill(s)", "Completed"],
+        &[
+            "Model",
+            "System",
+            "Mean prefill(s)",
+            "P95 prefill(s)",
+            "Completed",
+        ],
     );
     let mut improvements = Vec::new();
     for model in ModelId::all() {
@@ -34,7 +44,10 @@ fn main() {
         let mut p = E2eParams::paper(2.0);
         p.rate = 12.0;
         let workload = WorkloadSpec {
-            arrivals: ArrivalSpec::GammaRenewal { rate: p.rate, cv: p.cv },
+            arrivals: ArrivalSpec::GammaRenewal {
+                rate: p.rate,
+                cv: p.cv,
+            },
             lengths: lengths_for(model),
             slo: SimDuration::from_secs(3),
             slo_per_output_token: SimDuration::from_millis(200),
@@ -65,13 +78,8 @@ fn main() {
                 other => other.policy(p.rate),
             };
             let scenario = paper_scenario(&p, workload.clone());
-            let report = Engine::new(
-                scenario,
-                setup.graph.clone(),
-                setup.lattice.clone(),
-                policy,
-            )
-            .run();
+            let report =
+                Engine::new(scenario, setup.graph.clone(), setup.lattice.clone(), policy).run();
             let cut = SimTime::from_secs_f64(p.warmup_secs);
             let mut d = flexpipe_metrics::Digest::new();
             for o in report.outcomes.outcomes() {

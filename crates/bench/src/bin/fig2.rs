@@ -19,7 +19,12 @@ fn main() {
     // (a) Subscription-rate time series over 24 hours of churn.
     let mut t = Table::new(
         "Fig. 2a — GPU subscription rate over time (paper: ~216% average)",
-        &["Hour", "Subscription(%)", "P(single free)(%)", "P(colocate-4)(%)"],
+        &[
+            "Hour",
+            "Subscription(%)",
+            "P(single free)(%)",
+            "P(colocate-4)(%)",
+        ],
     );
     let mut avg = 0.0;
     let hours = 24;
@@ -64,7 +69,11 @@ fn main() {
     for (server, row) in grid.iter().enumerate() {
         heat.push_str(&format!("s{server:02} "));
         for &c in row {
-            heat.push(if c == 0 { '.' } else { char::from_digit(c.min(9), 10).unwrap() });
+            heat.push(if c == 0 {
+                '.'
+            } else {
+                char::from_digit(c.min(9), 10).unwrap()
+            });
         }
         heat.push('\n');
     }

@@ -44,7 +44,7 @@ fn main() {
             fmt_f(stalls.mean_recovery_secs(), 2),
             fmt_f(
                 stalls.stall_fraction(flexpipe_sim::SimDuration::from_secs_f64(
-                    report.horizon_secs
+                    report.horizon_secs,
                 )) * 100.0,
                 1,
             ),

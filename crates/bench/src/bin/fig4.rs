@@ -15,7 +15,9 @@ fn main() {
     let setup = PaperSetup::opt66b();
     let mut t = Table::new(
         "Fig. 4a — latency percentiles by pipeline depth and CV (OPT-66B, 16 QPS)",
-        &["Stages", "CV", "P25(s)", "P50(s)", "P75(s)", "P95(s)", "Mean(s)"],
+        &[
+            "Stages", "CV", "P25(s)", "P50(s)", "P75(s)", "P95(s)", "Mean(s)",
+        ],
     );
     let mut cv4_meds: Vec<(u32, f64)> = Vec::new();
     let mut cv4_digests = Vec::new();
@@ -86,7 +88,13 @@ fn main() {
     }
     write_result("fig4b", &hist);
 
-    let med = |s: u32| cv4_meds.iter().find(|(st, _)| *st == s).map(|(_, m)| *m).unwrap_or(0.0);
+    let med = |s: u32| {
+        cv4_meds
+            .iter()
+            .find(|(st, _)| *st == s)
+            .map(|(_, m)| *m)
+            .unwrap_or(0.0)
+    };
     println!(
         "CV=4 median latency: 4-stage {:.2}s vs 16-stage {:.2}s -> deep-pipeline advantage {:.1}x (paper: ~3x)",
         med(4),

@@ -17,8 +17,7 @@ fn main() {
 
     let mut series = Vec::new();
     for system in systems {
-        let report =
-            run_with_workload(&setup, &p, workload.clone(), system.policy(p.rate));
+        let report = run_with_workload(&setup, &p, workload.clone(), system.policy(p.rate));
         series.push(report);
     }
 
@@ -39,10 +38,7 @@ fn main() {
         let from = SimTime::from_secs(w);
         let to = SimTime::from_secs(w + 15);
         let cv = cv_in_window(&arrivals, from, to);
-        let mut row = vec![
-            (w - start).to_string(),
-            fmt_f(cv, 2),
-        ];
+        let mut row = vec![(w - start).to_string(), fmt_f(cv, 2)];
         for report in &series {
             let d = report.outcomes.latency_digest_in(from, to);
             row.push(fmt_f(d.mean(), 2));

@@ -10,8 +10,21 @@ fn main() {
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir").to_path_buf();
     let experiments = [
-        "table1", "table2", "fig1", "fig2", "fig3", "fig4", "eq1", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "fig13", "case_study", "ablations",
+        "table1",
+        "table2",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "eq1",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "case_study",
+        "ablations",
     ];
     let mut failed = Vec::new();
     for name in experiments {

@@ -12,7 +12,12 @@ use flexpipe_cluster::{
 use flexpipe_metrics::{fmt_f, Table};
 use flexpipe_sim::{SimDuration, SimRng};
 
-fn measure(spec: ClusterSpec, profile: BackgroundProfile, seed: u64, snapshots: u32) -> FragmentationStats {
+fn measure(
+    spec: ClusterSpec,
+    profile: BackgroundProfile,
+    seed: u64,
+    snapshots: u32,
+) -> FragmentationStats {
     let mut cluster = Cluster::new(spec);
     let mut bg = BackgroundTenants::new(profile, SimRng::seed(seed));
     bg.populate(&mut cluster);
@@ -38,8 +43,18 @@ fn measure(spec: ClusterSpec, profile: BackgroundProfile, seed: u64, snapshots: 
 
 fn main() {
     let seed = env_u64("FP_SEED", 42);
-    let c1 = measure(ClusterSpec::alibaba_c1(), BackgroundProfile::c1_like(), seed, 16);
-    let c2 = measure(ClusterSpec::alibaba_c2(), BackgroundProfile::c2_like(), seed + 1, 16);
+    let c1 = measure(
+        ClusterSpec::alibaba_c1(),
+        BackgroundProfile::c1_like(),
+        seed,
+        16,
+    );
+    let c2 = measure(
+        ClusterSpec::alibaba_c2(),
+        BackgroundProfile::c2_like(),
+        seed + 1,
+        16,
+    );
 
     let mut t = Table::new(
         "Table 1 — GPU cluster statistics (paper values in parentheses)",
@@ -61,9 +76,30 @@ fn main() {
         "927 / 1175".into(),
         "927 / 1175".into(),
     ]);
-    row(&mut t, "SM util mean (%)", c1.sm_mean, "16.91", c2.sm_mean, "23.74");
-    row(&mut t, "SM util P50 (%)", c1.sm_p50, "9.16", c2.sm_p50, "10.85");
-    row(&mut t, "SM util P95 (%)", c1.sm_p95, "80.53", c2.sm_p95, "85.37");
+    row(
+        &mut t,
+        "SM util mean (%)",
+        c1.sm_mean,
+        "16.91",
+        c2.sm_mean,
+        "23.74",
+    );
+    row(
+        &mut t,
+        "SM util P50 (%)",
+        c1.sm_p50,
+        "9.16",
+        c2.sm_p50,
+        "10.85",
+    );
+    row(
+        &mut t,
+        "SM util P95 (%)",
+        c1.sm_p95,
+        "80.53",
+        c2.sm_p95,
+        "85.37",
+    );
     row(
         &mut t,
         "SM 10-30% bucket (%)",
@@ -72,9 +108,30 @@ fn main() {
         c2.sm_frac_10_30 * 100.0,
         "20.98",
     );
-    row(&mut t, "Mem util mean (%)", c1.mem_mean, "43.48", c2.mem_mean, "50.92");
-    row(&mut t, "Mem util P50 (%)", c1.mem_p50, "28.78", c2.mem_p50, "53.69");
-    row(&mut t, "Mem util P95 (%)", c1.mem_p95, "99.09", c2.mem_p95, "99.34");
+    row(
+        &mut t,
+        "Mem util mean (%)",
+        c1.mem_mean,
+        "43.48",
+        c2.mem_mean,
+        "50.92",
+    );
+    row(
+        &mut t,
+        "Mem util P50 (%)",
+        c1.mem_p50,
+        "28.78",
+        c2.mem_p50,
+        "53.69",
+    );
+    row(
+        &mut t,
+        "Mem util P95 (%)",
+        c1.mem_p95,
+        "99.09",
+        c2.mem_p95,
+        "99.34",
+    );
     row(
         &mut t,
         "Mem 10-30% bucket (%)",

@@ -39,10 +39,7 @@ fn main() {
         ],
     );
     for (stages, p_load, p_compute, p_comm, p_batch) in paper {
-        let level = setup
-            .lattice
-            .level(stages)
-            .expect("lattice level present");
+        let level = setup.lattice.level(stages).expect("lattice level present");
         // Interior stage (pure transformer layers).
         let mid = level.ranges[level.ranges.len() / 2];
         let load = cost.stage_load(graph, mid, 0.7e9).as_secs_f64();

@@ -6,9 +6,14 @@ use flexpipe_baselines::{
 };
 use flexpipe_core::{FlexPipeConfig, FlexPipePolicy, GranularityParams};
 use flexpipe_serving::ControlPolicy;
+use serde::{Deserialize, Serialize};
 
 /// The five compared systems.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Serializable so sweep specifications (`flexpipe-fleet`) can name
+/// systems declaratively and reuse this registry instead of duplicating
+/// the constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SystemId {
     /// FlexPipe (this paper).
     FlexPipe,
@@ -109,7 +114,7 @@ mod tests {
     fn all_systems_construct() {
         for s in SystemId::all() {
             let p = s.policy(20.0);
-            assert_eq!(p.name().is_empty(), false);
+            assert!(!p.name().is_empty());
         }
     }
 

@@ -152,8 +152,7 @@ impl Provisioner {
     /// Whether acquiring `gpu` at `now` would be instant (pinned always-on
     /// or still inside its warm reclaim window).
     pub fn is_instant(&self, gpu: GpuId, now: SimTime) -> bool {
-        self.always_on.contains(&gpu)
-            || self.warm.get(&gpu).is_some_and(|&expiry| expiry > now)
+        self.always_on.contains(&gpu) || self.warm.get(&gpu).is_some_and(|&expiry| expiry > now)
     }
 
     /// Mean allocation wait across all acquisitions so far, seconds.
@@ -209,10 +208,7 @@ mod tests {
     use crate::topology::ClusterSpec;
 
     fn provisioner() -> Provisioner {
-        Provisioner::new(
-            TierConfig::default(),
-            vec![GpuId(0), GpuId(1), GpuId(2)],
-        )
+        Provisioner::new(TierConfig::default(), vec![GpuId(0), GpuId(1), GpuId(2)])
     }
 
     #[test]

@@ -195,10 +195,16 @@ impl BackgroundTenants {
     pub fn resample(&mut self, cluster: &mut Cluster, gpu: GpuId) {
         let u = self.rng.f64();
         let class = BackgroundProfile::class_at(&self.profile.weights, u);
-        let mem_frac = BackgroundProfile::sample_uniform(self.profile.mem_ranges[class], &mut self.rng);
-        let v = if self.rng.chance(0.5) { u } else { self.rng.f64() };
+        let mem_frac =
+            BackgroundProfile::sample_uniform(self.profile.mem_ranges[class], &mut self.rng);
+        let v = if self.rng.chance(0.5) {
+            u
+        } else {
+            self.rng.f64()
+        };
         let sm_class = BackgroundProfile::class_at(&self.profile.sm_weights, v);
-        let sm_frac = BackgroundProfile::sample_uniform(self.profile.sm_ranges[sm_class], &mut self.rng);
+        let sm_frac =
+            BackgroundProfile::sample_uniform(self.profile.sm_ranges[sm_class], &mut self.rng);
         let services = self
             .profile
             .sample_poisson(self.profile.mean_services, &mut self.rng);
@@ -314,7 +320,11 @@ mod tests {
         let mut acc = FragmentationStats::default();
         let runs = 8;
         for seed in 0..runs {
-            let s = stats_for(BackgroundProfile::c1_like(), ClusterSpec::alibaba_c1(), seed);
+            let s = stats_for(
+                BackgroundProfile::c1_like(),
+                ClusterSpec::alibaba_c1(),
+                seed,
+            );
             acc.sm_mean += s.sm_mean / runs as f64;
             acc.mem_mean += s.mem_mean / runs as f64;
             acc.mem_p95 += s.mem_p95 / runs as f64;
@@ -324,8 +334,16 @@ mod tests {
         }
         // Table 1 C1: SM mean 16.91, mem mean 43.48, mem P95 99.09,
         // 10-30% bucket 38.44%, subscription 216%, single-free 8.7%.
-        assert!((10.0..25.0).contains(&acc.sm_mean), "sm mean {}", acc.sm_mean);
-        assert!((35.0..50.0).contains(&acc.mem_mean), "mem mean {}", acc.mem_mean);
+        assert!(
+            (10.0..25.0).contains(&acc.sm_mean),
+            "sm mean {}",
+            acc.sm_mean
+        );
+        assert!(
+            (35.0..50.0).contains(&acc.mem_mean),
+            "mem mean {}",
+            acc.mem_mean
+        );
         assert!(acc.mem_p95 > 90.0, "mem p95 {}", acc.mem_p95);
         assert!(
             (0.30..0.46).contains(&acc.mem_frac_10_30),

@@ -297,7 +297,10 @@ mod tests {
         let cap = c.gpu_mem_capacity();
         c.reserve_gpu(g, cap - 100).unwrap();
         let err = c.reserve_gpu(g, 200).unwrap_err();
-        assert!(matches!(err, AllocError::InsufficientMemory { free: 100, .. }));
+        assert!(matches!(
+            err,
+            AllocError::InsufficientMemory { free: 100, .. }
+        ));
         c.check_invariants().unwrap();
     }
 
@@ -306,10 +309,7 @@ mod tests {
         let mut c = small();
         let lease = c.reserve_gpu(GpuId(1), 1024).unwrap();
         c.release(lease).unwrap();
-        assert!(matches!(
-            c.release(lease),
-            Err(AllocError::UnknownLease(_))
-        ));
+        assert!(matches!(c.release(lease), Err(AllocError::UnknownLease(_))));
     }
 
     #[test]

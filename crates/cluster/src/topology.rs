@@ -160,12 +160,7 @@ impl ClusterSpec {
     /// Builds a heterogeneous cluster of `nodes` servers totalling
     /// `total_gpus` GPUs, `servers_per_rack` per rack; multi-GPU servers are
     /// placed first.
-    pub fn heterogeneous(
-        name: &str,
-        nodes: u32,
-        total_gpus: u32,
-        servers_per_rack: u32,
-    ) -> Self {
+    pub fn heterogeneous(name: &str, nodes: u32, total_gpus: u32, servers_per_rack: u32) -> Self {
         assert!(total_gpus >= nodes, "need at least one GPU per node");
         let mut extra = total_gpus - nodes; // GPUs beyond one-per-node
         let mut servers = Vec::with_capacity(nodes as usize);
@@ -203,11 +198,7 @@ impl ClusterSpec {
 
     /// Number of racks (highest rack id + 1).
     pub fn rack_count(&self) -> u32 {
-        self.servers
-            .iter()
-            .map(|s| s.rack.0 + 1)
-            .max()
-            .unwrap_or(0)
+        self.servers.iter().map(|s| s.rack.0 + 1).max().unwrap_or(0)
     }
 }
 

@@ -151,7 +151,13 @@ impl TransferEngine {
     }
 
     /// Total duration to move `bytes` from `src` to `dst`.
-    pub fn duration(&self, cluster: &Cluster, src: Endpoint, dst: Endpoint, bytes: u64) -> SimDuration {
+    pub fn duration(
+        &self,
+        cluster: &Cluster,
+        src: Endpoint,
+        dst: Endpoint,
+        bytes: u64,
+    ) -> SimDuration {
         let route = self.route(cluster, src, dst);
         self.duration_on(route, bytes)
     }
@@ -178,21 +184,30 @@ mod tests {
     fn routes_follow_topology() {
         let (c, e) = setup();
         // GPUs 0 and 1 share server 0, which has NVLink (server 0 % 4 == 0).
-        assert_eq!(e.route(&c, Endpoint::Gpu(GpuId(0)), Endpoint::Gpu(GpuId(1))), Route::NvLink);
+        assert_eq!(
+            e.route(&c, Endpoint::Gpu(GpuId(0)), Endpoint::Gpu(GpuId(1))),
+            Route::NvLink
+        );
         // GPUs 2 and 3 share server 1 (no NVLink) → PCIe bounce.
         assert_eq!(
             e.route(&c, Endpoint::Gpu(GpuId(2)), Endpoint::Gpu(GpuId(3))),
             Route::PcieBounce
         );
         // Cross-server with RDMA NICs.
-        assert_eq!(e.route(&c, Endpoint::Gpu(GpuId(0)), Endpoint::Gpu(GpuId(4))), Route::Rdma);
+        assert_eq!(
+            e.route(&c, Endpoint::Gpu(GpuId(0)), Endpoint::Gpu(GpuId(4))),
+            Route::Rdma
+        );
         // GPU to its own host.
         assert_eq!(
             e.route(&c, Endpoint::Gpu(GpuId(0)), Endpoint::Host(ServerId(0))),
             Route::PcieHost
         );
         // Anything touching storage.
-        assert_eq!(e.route(&c, Endpoint::Storage, Endpoint::Gpu(GpuId(0))), Route::Storage);
+        assert_eq!(
+            e.route(&c, Endpoint::Storage, Endpoint::Gpu(GpuId(0))),
+            Route::Storage
+        );
     }
 
     #[test]

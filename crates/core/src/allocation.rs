@@ -226,16 +226,17 @@ impl AllocationOptimizer {
             .map(|(need, &g)| {
                 let load = cluster.load(g);
                 let slowdown = 1.0 + interference_coeff * load.bg_sm;
-                let compute = cost
-                    .stage_compute(graph, need.range, 1024)
-                    .as_secs_f64()
-                    * slowdown;
+                let compute = cost.stage_compute(graph, need.range, 1024).as_secs_f64() * slowdown;
                 1.0 / compute
             })
             .collect();
         let max_t = throughputs.iter().cloned().fold(f64::MIN, f64::max);
         let min_t = throughputs.iter().cloned().fold(f64::MAX, f64::min);
-        let imbalance = if min_t > 0.0 { max_t / min_t - 1.0 } else { f64::INFINITY };
+        let imbalance = if min_t > 0.0 {
+            max_t / min_t - 1.0
+        } else {
+            f64::INFINITY
+        };
 
         Some(Assignment {
             gpus,
@@ -301,7 +302,16 @@ mod tests {
         let candidates: Vec<GpuId> = cluster.topology().gpus().iter().map(|g| g.id).collect();
         let forbidden: Vec<GpuId> = (0..40).map(GpuId).collect();
         let a = opt
-            .assign(&cluster, &graph, &cost, 0.6, &needs, &candidates, &forbidden, 1.0)
+            .assign(
+                &cluster,
+                &graph,
+                &cost,
+                0.6,
+                &needs,
+                &candidates,
+                &forbidden,
+                1.0,
+            )
             .unwrap();
         assert!(a.gpus.iter().all(|g| g.0 >= 40));
     }

@@ -192,9 +192,7 @@ impl MigrationModel {
         let pause = self.gateway_update
             + if delta_bytes > 0 {
                 self.setup
-                    + SimDuration::from_secs_f64(
-                        delta_bytes as f64 / (self.kv_bandwidth * lanes),
-                    )
+                    + SimDuration::from_secs_f64(delta_bytes as f64 / (self.kv_bandwidth * lanes))
             } else {
                 SimDuration::ZERO
             };

@@ -191,20 +191,29 @@ pub fn build_profiles(
 }
 
 /// The Eq. (4) score of a level at current CV `nu_t`.
-pub fn score(profile: &LevelProfile, profiles: &[LevelProfile], params: &GranularityParams, nu_t: f64) -> f64 {
+pub fn score(
+    profile: &LevelProfile,
+    profiles: &[LevelProfile],
+    params: &GranularityParams,
+    nu_t: f64,
+) -> f64 {
     let t_max = profiles
         .iter()
         .map(|p| p.throughput)
         .fold(f64::MIN, f64::max);
     let l_min = profiles.iter().map(|p| p.latency).fold(f64::MAX, f64::min);
-    let quality = params.alpha * profile.throughput / t_max
-        + (1.0 - params.alpha) * l_min / profile.latency;
+    let quality =
+        params.alpha * profile.throughput / t_max + (1.0 - params.alpha) * l_min / profile.latency;
     let affinity = (-((nu_t - profile.nu).abs()) / params.sigma).exp();
     quality * affinity
 }
 
 /// Selects the optimal granularity `g*` for the current CV (Eq. 4 argmax).
-pub fn select(profiles: &[LevelProfile], params: &GranularityParams, nu_t: f64) -> Option<LevelProfile> {
+pub fn select(
+    profiles: &[LevelProfile],
+    params: &GranularityParams,
+    nu_t: f64,
+) -> Option<LevelProfile> {
     profiles
         .iter()
         .max_by(|a, b| {

@@ -26,9 +26,13 @@ pub mod hrg;
 pub mod policy;
 pub mod scaling;
 
-pub use allocation::{multiplexing_penalty, AllocationOptimizer, AllocationParams, Assignment, StageNeed};
+pub use allocation::{
+    multiplexing_penalty, AllocationOptimizer, AllocationParams, Assignment, StageNeed,
+};
 pub use consistency::{MigrationModel, MigrationTiming, ValidityMask};
-pub use granularity::{build_profiles, instances_needed, score, select, GranularityParams, LevelProfile};
+pub use granularity::{
+    build_profiles, instances_needed, score, select, GranularityParams, LevelProfile,
+};
 pub use hrg::{Hrg, HrgParams};
 pub use policy::{FlexPipeConfig, FlexPipePolicy};
 pub use scaling::{min_feasible_expansion, scaling_granularity, slo_feasible, ScalingParams};

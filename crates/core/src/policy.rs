@@ -277,8 +277,8 @@ impl FlexPipePolicy {
                 None => {
                     let gpu = *fresh_iter.next().expect("one gpu per fresh stage");
                     let r = new_ranges[t.new_stage as usize];
-                    let load = ctx.state.load_duration(r, gpu)
-                        + ctx.state.provisioning_delay(gpu, now);
+                    let load =
+                        ctx.state.load_duration(r, gpu) + ctx.state.provisioning_delay(gpu, now);
                     param_load = param_load.max(load);
                     assignments.push(StageAssign::Fresh { gpu });
                 }
@@ -288,7 +288,8 @@ impl FlexPipePolicy {
         // Cached tokens ≈ active requests × (prompt + half the output).
         let gp = &self.cfg.granularity;
         let cached_tokens = (f64::from(inst.active_requests)
-            * (gp.mean_prompt_tokens + gp.mean_output_tokens / 2.0)) as u64;
+            * (gp.mean_prompt_tokens + gp.mean_output_tokens / 2.0))
+            as u64;
         let token_rate = rate * gp.mean_output_tokens;
         // Transfers run pairwise-parallel across the stages that receive
         // data (§8's hierarchical engine).
@@ -355,9 +356,8 @@ impl ControlPolicy for FlexPipePolicy {
 
         // Pin 30% of historical peak as always-on (§9.6), chosen through
         // the HRG so the pinned set sits on quiet, memory-rich devices.
-        let pinned_count = ((f64::from(self.cfg.peak_gpus) * self.cfg.always_on_fraction).ceil()
-            as usize)
-            .max(1);
+        let pinned_count =
+            ((f64::from(self.cfg.peak_gpus) * self.cfg.always_on_fraction).ceil() as usize).max(1);
         let cap = ctx.state.cluster().gpu_mem_capacity();
         let mut candidates: Vec<GpuId> = ctx
             .state
@@ -378,8 +378,8 @@ impl ControlPolicy for FlexPipePolicy {
         // rate at the CV=1 sweet spot, prewarmed — this is the deployment
         // that exists before measurement starts, exactly like the static
         // baselines' fleets. Eq. (5) takes over from the live monitor.
-        let initial = select(&self.profiles, &self.cfg.granularity, 1.0)
-            .expect("profiles non-empty");
+        let initial =
+            select(&self.profiles, &self.cfg.granularity, 1.0).expect("profiles non-empty");
         let standing = instances_needed(&initial, self.cfg.expected_rate, self.cfg.headroom)
             .min(self.cfg.max_replicas)
             .max(1);
@@ -410,13 +410,12 @@ impl ControlPolicy for FlexPipePolicy {
             self.pending_target = Some(target.stages);
             self.pending_ticks = 1;
         }
-        let confirmed = self.pending_ticks >= self.cfg.confirm_ticks && now >= SimTime::ZERO + self.cfg.warmup;
+        let confirmed =
+            self.pending_ticks >= self.cfg.confirm_ticks && now >= SimTime::ZERO + self.cfg.warmup;
 
         // --- Replica accounting first: refactors are calm-time actions. ---
         let instances = ctx.instances();
-        let any_loading = instances
-            .iter()
-            .any(|i| i.state == InstanceState::Loading);
+        let any_loading = instances.iter().any(|i| i.state == InstanceState::Loading);
         let live = instances
             .iter()
             .filter(|i| {
@@ -599,8 +598,7 @@ impl ControlPolicy for FlexPipePolicy {
                         .then(
                             (f64::from(a.active_requests) / f64::from(a.batch_cap.max(1)))
                                 .partial_cmp(
-                                    &(f64::from(b.active_requests)
-                                        / f64::from(b.batch_cap.max(1))),
+                                    &(f64::from(b.active_requests) / f64::from(b.batch_cap.max(1))),
                                 )
                                 .unwrap(),
                         )

@@ -63,7 +63,11 @@ fn flexpipe_cfg() -> FlexPipeConfig {
 fn flexpipe_serves_stable_traffic_without_thrashing() {
     let w = workload(0.8, 6.0, 120.0, 11);
     let report = run(w, 120.0, Box::new(FlexPipePolicy::new(flexpipe_cfg())), 11);
-    assert!(report.completion_rate() > 0.97, "rate {}", report.completion_rate());
+    assert!(
+        report.completion_rate() > 0.97,
+        "rate {}",
+        report.completion_rate()
+    );
     // Stable CV near the base level: the policy must not oscillate.
     assert!(report.refactors <= 2, "refactors {}", report.refactors);
     assert!(report.summary.goodput_rate > 0.85);
@@ -99,7 +103,11 @@ fn flexpipe_adapts_when_burstiness_rises() {
     // The CV shift must trigger at least one inflight refactor, and the
     // system must keep serving through it.
     assert!(report.refactors >= 1, "no refactor happened");
-    assert!(report.completion_rate() > 0.9, "rate {}", report.completion_rate());
+    assert!(
+        report.completion_rate() > 0.9,
+        "rate {}",
+        report.completion_rate()
+    );
     // Switchover pauses stay in the milliseconds per event.
     let per_refactor_pause = report.refactor_pause_secs / f64::from(report.refactors.max(1));
     assert!(per_refactor_pause < 0.25, "pause {per_refactor_pause}");
@@ -111,7 +119,10 @@ fn flexpipe_beats_static_under_bursts() {
     // CV=5 bursts overwhelm a static single-replica deployment.
     let make = || {
         WorkloadSpec {
-            arrivals: ArrivalSpec::GammaRenewal { rate: 28.0, cv: 5.0 },
+            arrivals: ArrivalSpec::GammaRenewal {
+                rate: 28.0,
+                cv: 5.0,
+            },
             lengths: LengthProfile::fixed(4096, 256),
             slo: SimDuration::from_secs(8),
             slo_per_output_token: SimDuration::ZERO,

@@ -1,0 +1,192 @@
+//! The `flexpipe-fleet` CLI: declarative scenario sweeps over the FlexPipe
+//! serving simulator.
+//!
+//! ```text
+//! flexpipe-fleet init [spec.json]                 write a 24-cell template sweep
+//! flexpipe-fleet run <spec.{json,toml}> [options] execute the sweep in parallel
+//!     --out <report.json>     write the JSON artifact (default: <spec>.report.json)
+//!     --threads <n>           worker threads (default: one per core)
+//!     --quiet                 suppress per-cell progress on stderr
+//! flexpipe-fleet compare <report.json>            render the tables of an artifact
+//! flexpipe-fleet gate <report.json> --baseline <base.json> [options]
+//!     --tolerance <frac>      allowed relative degradation (default 0.02)
+//!     --strict-cells          grid changes fail the gate
+//! ```
+//!
+//! Exit codes: 0 success / gate pass, 1 usage or I/O error, 2 gate fail.
+
+use std::process::ExitCode;
+
+use flexpipe_fleet::{
+    gate::gate, parse_spec, run_sweep, FleetReport, GateConfig, RunOptions, SweepSpec,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet]\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
+    );
+    ExitCode::from(1)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::from(1)
+    })
+}
+
+fn write(path: &str, contents: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("cannot write {path}: {e}");
+        ExitCode::from(1)
+    })
+}
+
+fn load_report(path: &str) -> Result<FleetReport, ExitCode> {
+    let text = read(path)?;
+    FleetReport::from_json(&text).map_err(|e| {
+        eprintln!("cannot parse report {path}: {e}");
+        ExitCode::from(1)
+    })
+}
+
+/// Pulls the value following a `--flag` out of the argument list.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, ExitCode> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            eprintln!("{flag} needs a value");
+            return Err(ExitCode::from(1));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Pulls a boolean `--flag` out of the argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn cmd_init(args: Vec<String>) -> Result<ExitCode, ExitCode> {
+    let path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "sweep.json".to_string());
+    let spec = SweepSpec::template();
+    let json = serde_json::to_string_pretty(&spec).map_err(|e| {
+        eprintln!("template serialization failed: {e}");
+        ExitCode::from(1)
+    })?;
+    write(&path, &format!("{json}\n"))?;
+    eprintln!(
+        "wrote template sweep ({} cells) to {path}",
+        spec.expand().len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
+    let out = take_flag_value(&mut args, "--out")?;
+    let threads = match take_flag_value(&mut args, "--threads")? {
+        Some(t) => t.parse::<usize>().map_err(|_| {
+            eprintln!("--threads needs an integer");
+            ExitCode::from(1)
+        })?,
+        None => 0,
+    };
+    let quiet = take_flag(&mut args, "--quiet");
+    let [spec_path] = args.as_slice() else {
+        return Err(usage());
+    };
+
+    let spec = parse_spec(spec_path, &read(spec_path)?).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::from(1)
+    })?;
+    let report = run_sweep(&spec, &RunOptions { threads, quiet }).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::from(1)
+    })?;
+
+    println!("{}", report.policy_table().render());
+    println!("{}", report.cell_table().render());
+
+    let out_path = out.unwrap_or_else(|| format!("{}.report.json", spec.name));
+    write(&out_path, &report.to_json())?;
+    eprintln!("wrote report to {out_path}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: Vec<String>) -> Result<ExitCode, ExitCode> {
+    let [path] = args.as_slice() else {
+        return Err(usage());
+    };
+    let report = load_report(path)?;
+    println!("{}", report.policy_table().render());
+    println!("{}", report.cell_table().render());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_gate(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
+    let Some(baseline_path) = take_flag_value(&mut args, "--baseline")? else {
+        eprintln!("gate requires --baseline <baseline.json>");
+        return Err(ExitCode::from(1));
+    };
+    let tolerance = match take_flag_value(&mut args, "--tolerance")? {
+        Some(t) => t.parse::<f64>().map_err(|_| {
+            eprintln!("--tolerance needs a number (e.g. 0.02)");
+            ExitCode::from(1)
+        })?,
+        None => GateConfig::default().tolerance,
+    };
+    let strict_cells = take_flag(&mut args, "--strict-cells");
+    let [candidate_path] = args.as_slice() else {
+        return Err(usage());
+    };
+
+    let cfg = GateConfig {
+        tolerance,
+        strict_cells,
+        ..GateConfig::default()
+    };
+    let baseline = load_report(&baseline_path)?;
+    let candidate = load_report(candidate_path)?;
+    let outcome = gate(&baseline, &candidate, &cfg);
+    print!("{}", outcome.render(&cfg));
+    Ok(if outcome.passed(&cfg) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "init" => cmd_init(args),
+        "run" => cmd_run(args),
+        "compare" => cmd_compare(args),
+        "gate" => cmd_gate(args),
+        "--help" | "-h" | "help" => return usage(),
+        other => {
+            eprintln!("unknown subcommand `{other}`");
+            return usage();
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(code) => code,
+    }
+}

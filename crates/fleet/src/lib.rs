@@ -1,0 +1,103 @@
+//! `flexpipe-fleet`: parallel scenario-fleet orchestration for the
+//! FlexPipe reproduction.
+//!
+//! The paper's claims — inflight refactoring beating static and
+//! restart-based serving across *dynamic* workloads and *fragmented*
+//! clusters — only hold up when validated over a grid of scenarios, not a
+//! single run. This crate turns the one-shot simulator into an experiment
+//! orchestration subsystem:
+//!
+//! - [`spec`] — the declarative sweep DSL ([`SweepSpec`], JSON or a TOML
+//!   subset): arrival CV × request rate × cluster shape × policy, expanded
+//!   deterministically with per-cell seed derivation that gives every
+//!   policy in a cell group byte-identical traffic;
+//! - [`runner`] — the thread-pool fleet runner over
+//!   `flexpipe_serving::Engine`, with progress reporting, per-cell panic
+//!   containment and the step-budget watchdog;
+//! - [`report`] — steady-state aggregation (TTFT/TPOT percentiles, SLO
+//!   attainment, goodput, refactor pauses) into per-cell and per-policy
+//!   tables plus a byte-stable JSON artifact;
+//! - [`gate`] — regression detection against a committed baseline report;
+//! - [`toml_lite`] — the offline TOML-subset reader.
+//!
+//! The `flexpipe-fleet` binary wraps it all into `init` / `run` /
+//! `compare` / `gate` subcommands.
+//!
+//! # Determinism contract
+//!
+//! Running the same spec twice — at any thread count — produces
+//! byte-identical JSON reports: cells derive their seeds from spec
+//! coordinates (never from execution order), workers write into
+//! pre-assigned slots, map serialization is order-stable, and wall-clock
+//! measurements go to stderr only, never into the artifact.
+
+#![warn(missing_docs)]
+
+pub mod gate;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod toml_lite;
+
+pub use gate::{gate, GateConfig, GateOutcome, Regression};
+pub use report::{summarize_cell, CellMetrics, CellResult, FleetReport, PolicySummary};
+pub use runner::{run_cell, run_sweep, FleetError, RunOptions};
+pub use spec::{derive_cell_seed, BackgroundShape, Cell, ClusterShape, PolicySpec, SweepSpec};
+
+use serde::Deserialize;
+
+/// Loads a [`SweepSpec`] from JSON or TOML text, deciding by `path`'s
+/// extension (`.toml` → TOML subset, anything else → JSON).
+pub fn parse_spec(path: &str, text: &str) -> Result<SweepSpec, FleetError> {
+    if path.ends_with(".toml") {
+        let value = toml_lite::parse(text).map_err(|e| FleetError(e.to_string()))?;
+        SweepSpec::from_value(&value).map_err(|e| FleetError(format!("spec: {e}")))
+    } else {
+        serde_json::from_str(text).map_err(|e| FleetError(format!("spec: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_and_toml_specs_agree() {
+        let spec = SweepSpec::template();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let from_json = parse_spec("sweep.json", &json).unwrap();
+        assert_eq!(from_json, spec);
+
+        let toml = r#"
+            name = "cv-rate-sensitivity"
+            model = "Opt66B"
+            seed = 42
+            horizon_secs = 120.0
+            warmup_secs = 30.0
+            slo_secs = 2.0
+            slo_per_output_token_ms = 100.0
+            background = "TestbedLike"
+            max_events = 200000000
+            cvs = [0.5, 2.0, 4.0, 8.0]
+            rates = [10.0, 20.0]
+            clusters = ["PaperTestbed"]
+            policies = [{ Paper = "FlexPipe" }, { Paper = "AlpaServe" }, { Paper = "ServerlessLlm" }]
+
+            [lengths]
+            prompt_median = 1024.0
+            prompt_sigma = 0.9
+            prompt_range = [16, 8192]
+            output_mean = 64.0
+            output_range = [1, 1024]
+        "#;
+        let from_toml = parse_spec("sweep.toml", toml).unwrap();
+        assert_eq!(from_toml, spec);
+    }
+
+    #[test]
+    fn bad_specs_error_cleanly() {
+        assert!(parse_spec("x.json", "{").is_err());
+        assert!(parse_spec("x.toml", "= broken").is_err());
+        assert!(parse_spec("x.json", "{}").is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! The declarative sweep DSL: what to run, expanded into a deterministic
+//! grid of scenario cells.
+//!
+//! A [`SweepSpec`] names a model, a workload envelope and four sweep axes
+//! — arrival CV × request rate × cluster shape × policy — and expands into
+//! the full cross product via [`SweepSpec::expand`]. Expansion is pure:
+//! the same spec always yields the same cells in the same order, and each
+//! cell's root seed is derived by hashing the spec seed with the cell's
+//! *workload-defining* coordinates (CV, rate, cluster — **not** the
+//! policy), so every policy in a cell group faces byte-identical traffic
+//! and background churn. That is what makes per-policy comparisons
+//! apples-to-apples and whole reports reproducible.
+
+use flexpipe_bench::SystemId;
+use flexpipe_cluster::{BackgroundProfile, ClusterSpec};
+use flexpipe_model::ModelId;
+use flexpipe_serving::ControlPolicy;
+use flexpipe_workload::LengthProfile;
+use serde::{Deserialize, Serialize};
+
+/// Cluster shapes a sweep can run on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClusterShape {
+    /// The paper's 42-server / 82-GPU evaluation testbed (§9).
+    PaperTestbed,
+    /// Alibaba inference cluster C1 (Table 1): 430 nodes, 468 GPUs.
+    AlibabaC1,
+    /// Alibaba hybrid cluster C2 (Table 1): 927 nodes, 1175 GPUs.
+    AlibabaC2,
+    /// A custom heterogeneous cluster (multi-GPU boxes first).
+    Custom {
+        /// Server count.
+        nodes: u32,
+        /// Total GPUs across all servers (>= nodes).
+        total_gpus: u32,
+        /// Servers per rack.
+        servers_per_rack: u32,
+    },
+}
+
+impl ClusterShape {
+    /// Materializes the cluster specification.
+    pub fn cluster(&self) -> ClusterSpec {
+        match self {
+            ClusterShape::PaperTestbed => ClusterSpec::paper_testbed(),
+            ClusterShape::AlibabaC1 => ClusterSpec::alibaba_c1(),
+            ClusterShape::AlibabaC2 => ClusterSpec::alibaba_c2(),
+            ClusterShape::Custom {
+                nodes,
+                total_gpus,
+                servers_per_rack,
+            } => ClusterSpec::heterogeneous(
+                &format!("custom-{nodes}n-{total_gpus}g"),
+                *nodes,
+                *total_gpus,
+                *servers_per_rack,
+            ),
+        }
+    }
+
+    /// Stable label used in reports and seed derivation.
+    pub fn label(&self) -> String {
+        match self {
+            ClusterShape::PaperTestbed => "paper-testbed".into(),
+            ClusterShape::AlibabaC1 => "alibaba-c1".into(),
+            ClusterShape::AlibabaC2 => "alibaba-c2".into(),
+            ClusterShape::Custom {
+                nodes,
+                total_gpus,
+                servers_per_rack,
+            } => format!("custom-{nodes}n-{total_gpus}g-{servers_per_rack}r"),
+        }
+    }
+}
+
+/// Background-tenant fragmentation profile selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackgroundShape {
+    /// No background tenants (dedicated cluster).
+    Idle,
+    /// The paper testbed's fragmentation level.
+    TestbedLike,
+    /// Alibaba C1-calibrated utilisation distribution.
+    C1Like,
+    /// Alibaba C2-calibrated utilisation distribution.
+    C2Like,
+}
+
+impl BackgroundShape {
+    /// Materializes the background profile.
+    pub fn profile(&self) -> BackgroundProfile {
+        match self {
+            BackgroundShape::Idle => BackgroundProfile::none(),
+            BackgroundShape::TestbedLike => BackgroundProfile::testbed_like(),
+            BackgroundShape::C1Like => BackgroundProfile::c1_like(),
+            BackgroundShape::C2Like => BackgroundProfile::c2_like(),
+        }
+    }
+}
+
+/// A policy under test.
+///
+/// The paper systems come from `flexpipe-bench`'s registry
+/// ([`SystemId::policy`]) so the fleet and the figure harnesses always
+/// agree on system sizing; `Static` exposes the §3.3 fixed-pipeline
+/// baseline of the motivation experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// One of the five compared systems, paper-faithful sizing.
+    Paper(SystemId),
+    /// A fixed pipeline: `stages` deep, `replicas` wide, never
+    /// reconfigured.
+    Static {
+        /// Pipeline depth.
+        stages: u32,
+        /// Replica count.
+        replicas: u32,
+    },
+}
+
+impl PolicySpec {
+    /// Stable label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::Paper(id) => id.name().to_string(),
+            PolicySpec::Static { stages, replicas } => format!("Static-{stages}x{replicas}"),
+        }
+    }
+
+    /// Builds the policy, sized for `rate` requests/second mean demand.
+    pub fn build(&self, rate: f64) -> Box<dyn ControlPolicy> {
+        match self {
+            PolicySpec::Paper(id) => id.policy(rate),
+            PolicySpec::Static { stages, replicas } => {
+                flexpipe_bench::systems::static_pipeline(*stages, *replicas)
+            }
+        }
+    }
+}
+
+/// A declarative sweep: one model and workload envelope, four grid axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Sweep name (used in report headers and artifact names).
+    pub name: String,
+    /// Model under test.
+    pub model: ModelId,
+    /// Root seed; every cell seed derives from it.
+    pub seed: u64,
+    /// Measured horizon per cell, seconds.
+    pub horizon_secs: f64,
+    /// Warmup excluded from steady-state metrics, seconds.
+    pub warmup_secs: f64,
+    /// Base latency SLO, seconds.
+    pub slo_secs: f64,
+    /// Additional SLO budget per generated token, milliseconds.
+    pub slo_per_output_token_ms: f64,
+    /// Background fragmentation profile.
+    pub background: BackgroundShape,
+    /// Request length distribution.
+    pub lengths: LengthProfile,
+    /// Per-cell event step budget (the runaway-cell watchdog).
+    pub max_events: u64,
+    /// Arrival-CV axis.
+    pub cvs: Vec<f64>,
+    /// Request-rate axis (requests/second).
+    pub rates: Vec<f64>,
+    /// Cluster-shape axis.
+    pub clusters: Vec<ClusterShape>,
+    /// Policy axis.
+    pub policies: Vec<PolicySpec>,
+}
+
+/// One expanded grid cell: a (cv, rate, cluster, policy) coordinate plus
+/// its derived seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Index in expansion order (also the report row order).
+    pub index: usize,
+    /// Arrival coefficient of variation.
+    pub cv: f64,
+    /// Mean request rate, requests/second.
+    pub rate: f64,
+    /// Cluster shape.
+    pub cluster: ClusterShape,
+    /// Policy under test.
+    pub policy: PolicySpec,
+    /// Derived root seed (identical for all policies sharing a workload
+    /// coordinate, so systems compete on the same traffic).
+    pub seed: u64,
+}
+
+impl Cell {
+    /// Stable human-readable cell id, e.g. `cv2-r20-paper-testbed-FlexPipe`.
+    pub fn id(&self) -> String {
+        format!(
+            "cv{}-r{}-{}-{}",
+            fmt_axis(self.cv),
+            fmt_axis(self.rate),
+            self.cluster.label(),
+            self.policy.label()
+        )
+    }
+}
+
+/// Axis value formatting that is filesystem- and label-safe (no `.` for
+/// integral values, `p` for the decimal point otherwise).
+fn fmt_axis(x: f64) -> String {
+    if x == x.trunc() {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}").replace('.', "p")
+    }
+}
+
+/// SplitMix64 finalizer used for seed derivation.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a cell's workload seed from the spec seed and the cell's
+/// workload-defining coordinates (policy excluded deliberately).
+pub fn derive_cell_seed(root: u64, cv: f64, rate: f64, cluster_label: &str) -> u64 {
+    let mut h = mix64(root ^ 0xF1EE7F1EE7F1EE7);
+    h = mix64(h ^ cv.to_bits());
+    h = mix64(h ^ rate.to_bits());
+    for b in cluster_label.as_bytes() {
+        h = mix64(h ^ u64::from(*b));
+    }
+    h
+}
+
+impl SweepSpec {
+    /// Expands the sweep into its full cell grid, in deterministic order:
+    /// clusters (outer) × cvs × rates × policies (inner). Policies are the
+    /// innermost axis so consecutive cells share a workload coordinate.
+    pub fn expand(&self) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for cluster in &self.clusters {
+            for &cv in &self.cvs {
+                for &rate in &self.rates {
+                    let seed = derive_cell_seed(self.seed, cv, rate, &cluster.label());
+                    for policy in &self.policies {
+                        cells.push(Cell {
+                            index: cells.len(),
+                            cv,
+                            rate,
+                            cluster: cluster.clone(),
+                            policy: policy.clone(),
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Validates axis sanity, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cvs.is_empty()
+            || self.rates.is_empty()
+            || self.clusters.is_empty()
+            || self.policies.is_empty()
+        {
+            return Err("every sweep axis needs at least one entry".into());
+        }
+        if self.cvs.iter().any(|&cv| !(cv.is_finite() && cv > 0.0)) {
+            return Err("arrival CVs must be finite and positive".into());
+        }
+        if self.rates.iter().any(|&r| !(r.is_finite() && r > 0.0)) {
+            return Err("rates must be finite and positive".into());
+        }
+        if self.horizon_secs <= 0.0 || self.warmup_secs < 0.0 {
+            return Err("horizon must be positive and warmup non-negative".into());
+        }
+        if self.max_events == 0 {
+            return Err("max_events watchdog budget must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// The template sweep written by `flexpipe-fleet init`: a 24-cell grid
+    /// (4 CVs × 2 rates × 1 cluster × 3 policies) matching the paper's
+    /// §9.2 sensitivity axis.
+    pub fn template() -> SweepSpec {
+        SweepSpec {
+            name: "cv-rate-sensitivity".into(),
+            model: ModelId::Opt66B,
+            seed: 42,
+            horizon_secs: 120.0,
+            warmup_secs: 30.0,
+            slo_secs: 2.0,
+            slo_per_output_token_ms: 100.0,
+            background: BackgroundShape::TestbedLike,
+            lengths: LengthProfile::splitwise_like(),
+            max_events: 200_000_000,
+            cvs: vec![0.5, 2.0, 4.0, 8.0],
+            rates: vec![10.0, 20.0],
+            clusters: vec![ClusterShape::PaperTestbed],
+            policies: vec![
+                PolicySpec::Paper(SystemId::FlexPipe),
+                PolicySpec::Paper(SystemId::AlpaServe),
+                PolicySpec::Paper(SystemId::ServerlessLlm),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_deterministic_and_complete() {
+        let spec = SweepSpec::template();
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4 * 2 * 3);
+        for (i, c) in a.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn policies_share_workload_seeds() {
+        let spec = SweepSpec::template();
+        let cells = spec.expand();
+        // Consecutive policy cells of one coordinate share the seed...
+        assert_eq!(cells[0].seed, cells[1].seed);
+        assert_eq!(cells[0].seed, cells[2].seed);
+        // ...while different coordinates get different seeds.
+        assert_ne!(cells[0].seed, cells[3].seed);
+    }
+
+    #[test]
+    fn seed_derivation_depends_on_every_coordinate() {
+        let base = derive_cell_seed(1, 2.0, 20.0, "paper-testbed");
+        assert_ne!(base, derive_cell_seed(2, 2.0, 20.0, "paper-testbed"));
+        assert_ne!(base, derive_cell_seed(1, 4.0, 20.0, "paper-testbed"));
+        assert_ne!(base, derive_cell_seed(1, 2.0, 10.0, "paper-testbed"));
+        assert_ne!(base, derive_cell_seed(1, 2.0, 20.0, "alibaba-c1"));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            PolicySpec::Static {
+                stages: 4,
+                replicas: 2
+            }
+            .label(),
+            "Static-4x2"
+        );
+        assert_eq!(PolicySpec::Paper(SystemId::FlexPipe).label(), "FlexPipe");
+        assert_eq!(ClusterShape::PaperTestbed.label(), "paper-testbed");
+        let cell = &SweepSpec::template().expand()[0];
+        assert_eq!(cell.id(), "cv0p5-r10-paper-testbed-FlexPipe");
+    }
+
+    #[test]
+    fn validation_catches_bad_axes() {
+        let mut spec = SweepSpec::template();
+        spec.cvs.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = SweepSpec::template();
+        spec.rates = vec![-1.0];
+        assert!(spec.validate().is_err());
+        let mut spec = SweepSpec::template();
+        spec.max_events = 0;
+        assert!(spec.validate().is_err());
+        assert!(SweepSpec::template().validate().is_ok());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = SweepSpec::template();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,417 @@
+//! A small TOML-subset reader for sweep specifications.
+//!
+//! The offline build environment has no `toml` crate, so the fleet accepts
+//! specs in either JSON (full support via the vendored `serde_json`) or
+//! this TOML subset, which covers everything a [`crate::SweepSpec`]
+//! needs:
+//!
+//! - top-level and dotted `[table]` headers;
+//! - `key = value` pairs with strings, integers, floats, booleans;
+//! - inline arrays (nestable, heterogeneous) and inline tables;
+//! - `#` comments and blank lines.
+//!
+//! Not supported (and not needed here): arrays-of-tables `[[x]]`,
+//! multi-line strings, datetimes, escape sequences beyond `\" \\ \n \t`.
+//! The parser produces a [`serde::Value`] tree, so anything expressible in
+//! the subset deserializes through the same path as JSON.
+
+use serde::Value;
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TOML line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+/// Parses a TOML-subset document into a value tree.
+pub fn parse(text: &str) -> Result<Value, TomlError> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Dotted path of the currently open [table].
+    let mut current_path: Vec<String> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated table header"))?;
+            if header.starts_with('[') {
+                return Err(err(lineno, "arrays of tables ([[x]]) are not supported"));
+            }
+            current_path = header
+                .split('.')
+                .map(|s| s.trim().trim_matches('"').to_string())
+                .collect();
+            ensure_table(&mut root, &current_path, lineno)?;
+            continue;
+        }
+        let eq = find_top_level_eq(line).ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let key = line[..eq].trim().trim_matches('"').to_string();
+        if key.is_empty() {
+            return Err(err(lineno, "empty key"));
+        }
+        let mut chars = line[eq + 1..].trim().char_indices().peekable();
+        let rest: String = line[eq + 1..].trim().to_string();
+        let (value, consumed) = parse_value(&rest, &mut chars, lineno)?;
+        if rest[consumed..].trim() != "" {
+            return Err(err(lineno, "trailing characters after value"));
+        }
+        let table = navigate(&mut root, &current_path, lineno)?;
+        if table.iter().any(|(k, _)| k == &key) {
+            return Err(err(lineno, &format!("duplicate key `{key}`")));
+        }
+        table.push((key, value));
+    }
+    Ok(Value::Map(root))
+}
+
+fn err(line: usize, msg: &str) -> TomlError {
+    TomlError {
+        line,
+        msg: msg.to_string(),
+    }
+}
+
+/// Strips a `#` comment, respecting string literals (including the
+/// escapes [`parse_string`] accepts, so `"a \" # b"` stays intact).
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Finds the `=` separating key and value (outside any string,
+/// escape-aware like [`strip_comment`]).
+fn find_top_level_eq(line: &str) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '=' if !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Creates (or reuses) the nested table at `path`.
+fn ensure_table(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    lineno: usize,
+) -> Result<(), TomlError> {
+    navigate(root, path, lineno).map(|_| ())
+}
+
+/// Walks to the table at `path`, creating intermediate tables.
+fn navigate<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    lineno: usize,
+) -> Result<&'a mut Vec<(String, Value)>, TomlError> {
+    let mut table = root;
+    for seg in path {
+        if !table.iter().any(|(k, _)| k == seg) {
+            table.push((seg.clone(), Value::Map(Vec::new())));
+        }
+        let idx = table
+            .iter()
+            .position(|(k, _)| k == seg)
+            .expect("just ensured");
+        table = match &mut table[idx].1 {
+            Value::Map(m) => m,
+            _ => return Err(err(lineno, &format!("`{seg}` is both a value and a table"))),
+        };
+    }
+    Ok(table)
+}
+
+type CharIter<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(chars: &mut CharIter<'_>) {
+    while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Parses one value starting at the iterator; returns the value and the
+/// byte offset one past its end.
+fn parse_value(
+    src: &str,
+    chars: &mut CharIter<'_>,
+    lineno: usize,
+) -> Result<(Value, usize), TomlError> {
+    skip_ws(chars);
+    let Some(&(start, c)) = chars.peek() else {
+        return Err(err(lineno, "missing value"));
+    };
+    match c {
+        '"' => parse_string(src, chars, lineno),
+        '[' => parse_array(src, chars, lineno),
+        '{' => parse_inline_table(src, chars, lineno),
+        _ => {
+            // Bare scalar: consume to the next delimiter.
+            let mut end = src.len();
+            while let Some(&(i, c)) = chars.peek() {
+                if matches!(c, ',' | ']' | '}') {
+                    end = i;
+                    break;
+                }
+                chars.next();
+                end = i + c.len_utf8();
+            }
+            let word = src[start..end].trim();
+            let v = match word {
+                "true" => Value::Bool(true),
+                "false" => Value::Bool(false),
+                w => {
+                    if let Ok(u) = w.parse::<u64>() {
+                        Value::UInt(u)
+                    } else if let Ok(i) = w.parse::<i64>() {
+                        Value::Int(i)
+                    } else if let Ok(f) = w.parse::<f64>() {
+                        Value::Float(f)
+                    } else {
+                        return Err(err(lineno, &format!("cannot parse value `{w}`")));
+                    }
+                }
+            };
+            Ok((v, end))
+        }
+    }
+}
+
+fn parse_string(
+    src: &str,
+    chars: &mut CharIter<'_>,
+    lineno: usize,
+) -> Result<(Value, usize), TomlError> {
+    chars.next(); // opening quote
+    let mut s = String::new();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((Value::Str(s), i + 1)),
+            '\\' => match chars.next() {
+                Some((_, '"')) => s.push('"'),
+                Some((_, '\\')) => s.push('\\'),
+                Some((_, 'n')) => s.push('\n'),
+                Some((_, 't')) => s.push('\t'),
+                other => {
+                    return Err(err(
+                        lineno,
+                        &format!("unsupported escape {:?}", other.map(|(_, c)| c)),
+                    ))
+                }
+            },
+            c => s.push(c),
+        }
+    }
+    let _ = src;
+    Err(err(lineno, "unterminated string"))
+}
+
+fn parse_array(
+    src: &str,
+    chars: &mut CharIter<'_>,
+    lineno: usize,
+) -> Result<(Value, usize), TomlError> {
+    chars.next(); // `[`
+    let mut items = Vec::new();
+    loop {
+        skip_ws(chars);
+        match chars.peek() {
+            Some(&(i, ']')) => {
+                chars.next();
+                return Ok((Value::Seq(items), i + 1));
+            }
+            Some(_) => {
+                let (v, _) = parse_value(src, chars, lineno)?;
+                items.push(v);
+                skip_ws(chars);
+                match chars.peek() {
+                    Some((_, ',')) => {
+                        chars.next();
+                    }
+                    Some((i, ']')) => {
+                        let end = i + 1;
+                        chars.next();
+                        return Ok((Value::Seq(items), end));
+                    }
+                    _ => return Err(err(lineno, "expected `,` or `]` in array")),
+                }
+            }
+            None => return Err(err(lineno, "unterminated array")),
+        }
+    }
+}
+
+fn parse_inline_table(
+    src: &str,
+    chars: &mut CharIter<'_>,
+    lineno: usize,
+) -> Result<(Value, usize), TomlError> {
+    chars.next(); // `{`
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    loop {
+        skip_ws(chars);
+        match chars.peek() {
+            Some(&(i, '}')) => {
+                chars.next();
+                return Ok((Value::Map(entries), i + 1));
+            }
+            Some(&(start, _)) => {
+                // key
+                let mut key_end = start;
+                while let Some(&(i, c)) = chars.peek() {
+                    if c == '=' || c.is_whitespace() {
+                        key_end = i;
+                        break;
+                    }
+                    chars.next();
+                    key_end = i + c.len_utf8();
+                }
+                let key = src[start..key_end].trim().trim_matches('"').to_string();
+                skip_ws(chars);
+                match chars.next() {
+                    Some((_, '=')) => {}
+                    _ => return Err(err(lineno, "expected `=` in inline table")),
+                }
+                let (v, _) = parse_value(src, chars, lineno)?;
+                entries.push((key, v));
+                skip_ws(chars);
+                match chars.peek() {
+                    Some((_, ',')) => {
+                        chars.next();
+                    }
+                    Some((i, '}')) => {
+                        let end = i + 1;
+                        chars.next();
+                        return Ok((Value::Map(entries), end));
+                    }
+                    _ => return Err(err(lineno, "expected `,` or `}` in inline table")),
+                }
+            }
+            None => return Err(err(lineno, "unterminated inline table")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_tables_and_arrays() {
+        let doc = r#"
+            # a sweep
+            name = "demo"
+            seed = 42
+            horizon_secs = 120.5
+            flag = true
+            cvs = [0.5, 2.0, 4.0]
+
+            [nested.inner]
+            x = 1
+        "#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str().unwrap(), "demo");
+        assert_eq!(v.get("seed").unwrap(), &Value::UInt(42));
+        assert_eq!(v.get("horizon_secs").unwrap(), &Value::Float(120.5));
+        assert_eq!(v.get("flag").unwrap(), &Value::Bool(true));
+        assert_eq!(
+            v.get("cvs").unwrap(),
+            &Value::Seq(vec![
+                Value::Float(0.5),
+                Value::Float(2.0),
+                Value::Float(4.0)
+            ])
+        );
+        assert_eq!(
+            v.get("nested")
+                .unwrap()
+                .get("inner")
+                .unwrap()
+                .get("x")
+                .unwrap(),
+            &Value::UInt(1)
+        );
+    }
+
+    #[test]
+    fn inline_tables_nest_in_arrays() {
+        let doc =
+            r#"policies = [{ Paper = "FlexPipe" }, { Static = { stages = 4, replicas = 1 } }]"#;
+        let v = parse(doc).unwrap();
+        let seq = v.get("policies").unwrap().as_seq().unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0].get("Paper").unwrap().as_str().unwrap(), "FlexPipe");
+        assert_eq!(
+            seq[1].get("Static").unwrap().get("stages").unwrap(),
+            &Value::UInt(4)
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_interact_safely() {
+        let doc = "s = \"a # not comment\" # real comment";
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "a # not comment");
+        // Escaped quotes do not end the string for comment/`=` scanning.
+        let doc = r#"s = "a \" # b""#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "a \" # b");
+        let doc = r#"s = "x \" = y""#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "x \" = y");
+    }
+
+    #[test]
+    fn errors_name_lines() {
+        let e = parse("x =").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse("ok = 1\n[[bad]]\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("x = 1\nx = 2").is_err());
+        assert!(parse("x = [1, 2").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_parse() {
+        let v = parse("x = -3\ny = -1.5").unwrap();
+        assert_eq!(v.get("x").unwrap(), &Value::Int(-3));
+        assert_eq!(v.get("y").unwrap(), &Value::Float(-1.5));
+    }
+}

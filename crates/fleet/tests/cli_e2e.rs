@@ -1,0 +1,175 @@
+//! End-to-end exercise of the `flexpipe-fleet` binary: init → run →
+//! compare → gate, including the non-zero exit on an injected regression.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_flexpipe-fleet"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flexpipe-fleet-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// A fast spec for CLI runs (smaller than the template's 24 cells).
+fn small_spec_json() -> String {
+    r#"{
+  "name": "cli-e2e",
+  "model": "Llama2_7B",
+  "seed": 11,
+  "horizon_secs": 12.0,
+  "warmup_secs": 3.0,
+  "slo_secs": 2.0,
+  "slo_per_output_token_ms": 100.0,
+  "background": "Idle",
+  "lengths": {
+    "prompt_median": 128.0,
+    "prompt_sigma": 0.0,
+    "prompt_range": [128, 128],
+    "output_mean": 8.0,
+    "output_range": [8, 8]
+  },
+  "max_events": 20000000,
+  "cvs": [1.0, 4.0],
+  "rates": [3.0],
+  "clusters": [{"Custom": {"nodes": 6, "total_gpus": 8, "servers_per_rack": 3}}],
+  "policies": [{"Paper": "FlexPipe"}, {"Static": {"stages": 2, "replicas": 1}}]
+}
+"#
+    .to_string()
+}
+
+#[test]
+fn init_run_compare_gate_pipeline() {
+    let dir = tmp_dir("pipeline");
+    let spec_path = dir.join("sweep.json");
+    let report_path = dir.join("report.json");
+
+    // init writes a parseable template.
+    let out = bin()
+        .arg("init")
+        .arg(dir.join("template.json"))
+        .output()
+        .expect("run init");
+    assert!(out.status.success(), "init failed: {out:?}");
+    let template = std::fs::read_to_string(dir.join("template.json")).unwrap();
+    assert!(template.contains("\"cvs\""));
+
+    // run executes a small sweep and writes the artifact.
+    std::fs::write(&spec_path, small_spec_json()).unwrap();
+    let out = bin()
+        .arg("run")
+        .arg(&spec_path)
+        .arg("--out")
+        .arg(&report_path)
+        .arg("--quiet")
+        .output()
+        .expect("run sweep");
+    assert!(
+        out.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("per-policy summary"),
+        "missing table: {stdout}"
+    );
+    assert!(stdout.contains("FlexPipe"));
+
+    // compare renders the artifact.
+    let out = bin().arg("compare").arg(&report_path).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("per-cell results"));
+
+    // gate against itself passes with exit 0.
+    let out = bin()
+        .arg("gate")
+        .arg(&report_path)
+        .arg("--baseline")
+        .arg(&report_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "self-gate failed");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("GATE PASS"));
+
+    // Injecting a regression into the candidate makes gate exit non-zero.
+    let degraded_path = dir.join("degraded.json");
+    let report = std::fs::read_to_string(&report_path).unwrap();
+    let mut parsed = flexpipe_fleet::FleetReport::from_json(&report).unwrap();
+    for cell in &mut parsed.cells {
+        cell.metrics.slo_attainment *= 0.5;
+        cell.metrics.goodput_per_sec *= 0.5;
+    }
+    std::fs::write(&degraded_path, parsed.to_json()).unwrap();
+    let out = bin()
+        .arg("gate")
+        .arg(&degraded_path)
+        .arg("--baseline")
+        .arg(&report_path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "gate must exit 2 on regression: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("GATE FAIL"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rerunning_the_cli_reproduces_the_artifact_byte_identically() {
+    let dir = tmp_dir("rerun");
+    let spec_path = dir.join("sweep.json");
+    std::fs::write(&spec_path, small_spec_json()).unwrap();
+
+    let mut artifacts = Vec::new();
+    for (i, threads) in ["4", "1"].iter().enumerate() {
+        let report_path = dir.join(format!("report-{i}.json"));
+        let out = bin()
+            .arg("run")
+            .arg(&spec_path)
+            .arg("--out")
+            .arg(&report_path)
+            .arg("--threads")
+            .arg(threads)
+            .arg("--quiet")
+            .output()
+            .expect("run sweep");
+        assert!(
+            out.status.success(),
+            "run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        artifacts.push(std::fs::read(&report_path).unwrap());
+    }
+    assert_eq!(
+        artifacts[0], artifacts[1],
+        "CLI reruns must reproduce the report byte-for-byte"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_one() {
+    let out = bin().output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = bin()
+        .arg("run")
+        .arg("/nonexistent/spec.json")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let out = bin().arg("gate").arg("x.json").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}

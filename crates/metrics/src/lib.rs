@@ -17,8 +17,8 @@ pub mod timeline;
 pub mod util;
 
 pub use digest::Digest;
-pub use p2::P2Quantile;
 pub use outcome::{OutcomeLog, OutcomeSummary, RequestOutcome};
+pub use p2::P2Quantile;
 pub use stall::{analyze_stalls, StallConfig, StallEpisode, StallReport};
 pub use table::{fmt_f, fmt_pct, fmt_secs, Table};
 pub use timeline::Timeline;

@@ -145,10 +145,13 @@ impl OutcomeLog {
         let n = self.outcomes.len();
         let within = self.outcomes.iter().filter(|o| o.within_slo()).count();
         let mut lat = self.latency_digest();
-        let mean =
-            |f: fn(&RequestOutcome) -> SimDuration| -> f64 {
-                self.outcomes.iter().map(|o| f(o).as_secs_f64()).sum::<f64>() / n as f64
-            };
+        let mean = |f: fn(&RequestOutcome) -> SimDuration| -> f64 {
+            self.outcomes
+                .iter()
+                .map(|o| f(o).as_secs_f64())
+                .sum::<f64>()
+                / n as f64
+        };
         OutcomeSummary {
             completed: n,
             within_slo: within,

@@ -101,8 +101,14 @@ mod tests {
             tl.record(SimTime::from_secs(s), s as f64);
         }
         assert_eq!(tl.len(), 10);
-        assert_eq!(tl.mean_in(SimTime::from_secs(0), SimTime::from_secs(5)), 2.0);
-        assert_eq!(tl.max_in(SimTime::from_secs(5), SimTime::from_secs(10)), 9.0);
+        assert_eq!(
+            tl.mean_in(SimTime::from_secs(0), SimTime::from_secs(5)),
+            2.0
+        );
+        assert_eq!(
+            tl.max_in(SimTime::from_secs(5), SimTime::from_secs(10)),
+            9.0
+        );
         assert_eq!(tl.mean(), 4.5);
     }
 

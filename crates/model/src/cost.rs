@@ -72,8 +72,8 @@ impl CostModel {
 
     /// Device memory needed by stage `r` at a given admitted batch size.
     pub fn stage_mem_bytes(&self, g: &ModelGraph, r: OpRange, batch: u32) -> u64 {
-        let kv_per_req =
-            g.range_kv_bytes_per_token(r) * u64::from(self.kv_token_budget) + self.per_request_workspace;
+        let kv_per_req = g.range_kv_bytes_per_token(r) * u64::from(self.kv_token_budget)
+            + self.per_request_workspace;
         g.range_param_bytes(r) + self.runtime_reserve + kv_per_req * u64::from(batch)
     }
 
@@ -84,8 +84,8 @@ impl CostModel {
         if fixed >= gpu_mem {
             return 0;
         }
-        let kv_per_req =
-            g.range_kv_bytes_per_token(r) * u64::from(self.kv_token_budget) + self.per_request_workspace;
+        let kv_per_req = g.range_kv_bytes_per_token(r) * u64::from(self.kv_token_budget)
+            + self.per_request_workspace;
         if kv_per_req == 0 {
             return u32::MAX;
         }

@@ -96,13 +96,13 @@ fn build(spec: StackSpec) -> ModelGraph {
     let mut ops: Vec<Operator> = Vec::new();
     let mut block = 0u32;
     let push = |ops: &mut Vec<Operator>,
-                    kind: OpKind,
-                    block: u32,
-                    layer: Option<u32>,
-                    flops: f64,
-                    params: f64,
-                    act_elems: f64,
-                    kv_elems: f64| {
+                kind: OpKind,
+                block: u32,
+                layer: Option<u32>,
+                flops: f64,
+                params: f64,
+                act_elems: f64,
+                kv_elems: f64| {
         ops.push(Operator {
             id: OpId(ops.len() as u32),
             kind,
@@ -153,7 +153,16 @@ fn build(spec: StackSpec) -> ModelGraph {
         };
         let l = Some(layer);
         // Pre-attention norm: normed stream + live residual cross a cut.
-        push(&mut ops, OpKind::LayerNorm, block, l, 10.0 * d, 2.0 * d, 2.0 * d, 0.0);
+        push(
+            &mut ops,
+            OpKind::LayerNorm,
+            block,
+            l,
+            10.0 * d,
+            2.0 * d,
+            2.0 * d,
+            0.0,
+        );
         // Fused QKV: q,k,v (3d) + residual (d).
         push(
             &mut ops,
@@ -188,7 +197,16 @@ fn build(spec: StackSpec) -> ModelGraph {
             0.0,
         );
         // Pre-MLP norm.
-        push(&mut ops, OpKind::LayerNorm, block, l, 10.0 * d, 2.0 * d, 2.0 * d, 0.0);
+        push(
+            &mut ops,
+            OpKind::LayerNorm,
+            block,
+            l,
+            10.0 * d,
+            2.0 * d,
+            2.0 * d,
+            0.0,
+        );
         // MLP up (+ gate when SwiGLU): widest activation in the block.
         push(
             &mut ops,
@@ -216,7 +234,16 @@ fn build(spec: StackSpec) -> ModelGraph {
     // Head block.
     block += 1;
     if spec.pooler {
-        push(&mut ops, OpKind::Pooler, block, None, 2.0 * d * d, d * d + d, d, 0.0);
+        push(
+            &mut ops,
+            OpKind::Pooler,
+            block,
+            None,
+            2.0 * d * d,
+            d * d + d,
+            d,
+            0.0,
+        );
     } else {
         push(
             &mut ops,

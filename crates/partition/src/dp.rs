@@ -39,7 +39,10 @@ impl std::fmt::Display for PartitionError {
             PartitionError::TooManyStages {
                 requested,
                 available,
-            } => write!(f, "requested {requested} stages but only {available} cuts exist"),
+            } => write!(
+                f,
+                "requested {requested} stages but only {available} cuts exist"
+            ),
             PartitionError::Infeasible { stages } => {
                 write!(f, "no memory-feasible {stages}-stage partition exists")
             }
@@ -204,10 +207,8 @@ impl Partitioner {
             .map(|w| OpRange::new(pos[w[0]], pos[w[1]]))
             .collect();
         debug_assert!(validate_partition(g, &ranges).is_ok());
-        let stage_costs: Vec<StageCost> = ranges
-            .iter()
-            .map(|&r| objective.stage_cost(g, r))
-            .collect();
+        let stage_costs: Vec<StageCost> =
+            ranges.iter().map(|&r| objective.stage_cost(g, r)).collect();
         Ok(Partition {
             ranges,
             stage_costs,

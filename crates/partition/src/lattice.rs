@@ -239,8 +239,7 @@ impl GranularityLattice {
         for (ni, &(a, b)) in to.groups.iter().enumerate() {
             let mut overlap: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
             for u in a..b {
-                *overlap.entry(old_of_unit[u as usize]).or_insert(0) +=
-                    unit_params[u as usize];
+                *overlap.entry(old_of_unit[u as usize]).or_insert(0) += unit_params[u as usize];
             }
             for (&old, &bytes) in &overlap {
                 candidates.push((bytes, ni as u32, old));
@@ -312,7 +311,10 @@ impl GranularityLattice {
                 cursor = b;
             }
             if cursor != n {
-                return Err(format!("level {}: groups end at {cursor} of {n}", level.stages));
+                return Err(format!(
+                    "level {}: groups end at {cursor} of {n}",
+                    level.stages
+                ));
             }
             // Ranges must be exact unions of unit ranges and cover the graph.
             for (&(a, b), r) in level.groups.iter().zip(&level.ranges) {
@@ -324,9 +326,7 @@ impl GranularityLattice {
                     return Err(format!("level {}: range {r:?} != {expect:?}", level.stages));
                 }
             }
-            if level.ranges[0].start != 0
-                || level.ranges.last().unwrap().end != g.op_count()
-            {
+            if level.ranges[0].start != 0 || level.ranges.last().unwrap().end != g.op_count() {
                 return Err(format!("level {} does not cover the graph", level.stages));
             }
         }

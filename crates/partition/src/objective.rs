@@ -105,11 +105,12 @@ impl<'a> Objective<'a> {
 
     /// Prices stage `r` of `g`.
     pub fn stage_cost(&self, g: &ModelGraph, r: OpRange) -> StageCost {
-        let compute = self.cost_model.stage_compute(g, r, self.params.profile_tokens);
+        let compute = self
+            .cost_model
+            .stage_compute(g, r, self.params.profile_tokens);
         let param_bytes = g.range_param_bytes(r);
         let stream_secs = param_bytes as f64 / self.params.bandwidth;
-        let load_slack_secs =
-            (stream_secs - self.params.overlap_cycle.as_secs_f64()).max(0.0);
+        let load_slack_secs = (stream_secs - self.params.overlap_cycle.as_secs_f64()).max(0.0);
         let regularizer = self.regularizer(g, r);
         let mem_bytes = self
             .cost_model
@@ -178,7 +179,10 @@ mod tests {
         let r = even_layer_ranges(&g, 8)[3];
         let c = o.stage_cost(&g, r);
         assert!(c.compute.as_millis_f64() > 10.0);
-        assert!(c.load_slack_secs > 0.0, "16 GB over 12.5 GB/s exceeds 40 ms");
+        assert!(
+            c.load_slack_secs > 0.0,
+            "16 GB over 12.5 GB/s exceeds 40 ms"
+        );
         assert!(c.feasible);
         assert!(c.scalar(o.params.lambda) > c.compute.as_secs_f64());
     }

@@ -216,7 +216,8 @@ impl EngineState {
     /// Load duration of `range` onto `gpu`, using the host cache if warm.
     pub fn load_duration(&self, range: OpRange, gpu: GpuId) -> SimDuration {
         let bytes = self.graph.range_param_bytes(range);
-        self.transfer.duration_on(self.load_route(range, gpu), bytes)
+        self.transfer
+            .duration_on(self.load_route(range, gpu), bytes)
     }
 
     /// Whether `range` is warm in some server's host cache.
@@ -252,12 +253,7 @@ impl EngineState {
     /// range onto GPUs of that server run at PCIe speed. Returns whether
     /// host memory could be reserved; refreshing an existing entry always
     /// succeeds.
-    pub fn prewarm_host_cache(
-        &mut self,
-        now: SimTime,
-        range: OpRange,
-        server: ServerId,
-    ) -> bool {
+    pub fn prewarm_host_cache(&mut self, now: SimTime, range: OpRange, server: ServerId) -> bool {
         let key = (range.start, range.end);
         let expires = now + self.config.host_cache_ttl;
         if let Some(entry) = self.host_cache.get_mut(&key) {
@@ -365,11 +361,16 @@ impl EngineState {
         let batch_cap = ranges
             .iter()
             .zip(&gpus)
-            .map(|(&r, &g)| self.cost.max_batch(&self.graph, r, self.cluster.free_mem(g)))
+            .map(|(&r, &g)| {
+                self.cost
+                    .max_batch(&self.graph, r, self.cluster.free_mem(g))
+            })
             .min()
             .unwrap_or(0);
         if batch_cap == 0 {
-            return Err(ActionError::NoCapacity("batch capacity would be zero".into()));
+            return Err(ActionError::NoCapacity(
+                "batch capacity would be zero".into(),
+            ));
         }
 
         let mut stage_runtimes = Vec::with_capacity(ranges.len());
@@ -390,7 +391,9 @@ impl EngineState {
                 } else {
                     self.warm_loads += 1;
                 }
-                let load = self.transfer.duration_on(route, self.graph.range_param_bytes(r));
+                let load = self
+                    .transfer
+                    .duration_on(route, self.graph.range_param_bytes(r));
                 ready = ready.max(acq.ready_at + load);
             }
             stage_runtimes.push(StageRuntime {
@@ -517,7 +520,9 @@ impl EngineState {
             return Err(ActionError::BadInstance(id));
         }
         if plan.new_ranges.len() != plan.assignments.len() {
-            return Err(ActionError::BadPlan("assignment/range length mismatch".into()));
+            return Err(ActionError::BadPlan(
+                "assignment/range length mismatch".into(),
+            ));
         }
         // Validate assignments: reuse indices in range and unique; fresh
         // GPUs unused and not duplicated.
@@ -549,8 +554,13 @@ impl EngineState {
         }
         let epoch = inst.epoch;
         let prepare = plan.prepare;
-        self.pending_refactors
-            .insert(id, PendingRefactor { plan, fresh_acquired });
+        self.pending_refactors.insert(
+            id,
+            PendingRefactor {
+                plan,
+                fresh_acquired,
+            },
+        );
         let inst = self.instances.get_mut(&id).expect("checked above");
         inst.state = InstanceState::Preparing;
         queue
@@ -610,7 +620,11 @@ impl EngineState {
             let gpu = target_gpu(a);
             let mut avail = self.cluster.free_mem(gpu);
             if let StageAssign::Reuse { old_index } = *a {
-                avail += self.cluster.lease(old_stages[old_index as usize].1).map(|l| l.bytes).unwrap_or(0);
+                avail += self
+                    .cluster
+                    .lease(old_stages[old_index as usize].1)
+                    .map(|l| l.bytes)
+                    .unwrap_or(0);
             }
             batch_cap = batch_cap.min(self.cost.max_batch(&self.graph, r, avail));
         }
@@ -739,7 +753,15 @@ impl EngineState {
         ub.pass_compute_secs += dur.as_secs_f64();
         self.ledger.record_busy(gpu.0, dur);
         queue
-            .schedule_after(dur, Event::StageDone { id, epoch, stage, ub: ub_id })
+            .schedule_after(
+                dur,
+                Event::StageDone {
+                    id,
+                    epoch,
+                    stage,
+                    ub: ub_id,
+                },
+            )
             .expect("future");
     }
 
@@ -800,14 +822,20 @@ impl EngineState {
             let src = inst.stages[s].gpu;
             let dst = inst.stages[s + 1].gpu;
             let boundary = OpId(inst.stages[s].range.end - 1);
-            let tokens = self.ubatches.get(&ub_id).map(|u| u.pass_tokens).unwrap_or(0);
+            let tokens = self
+                .ubatches
+                .get(&ub_id)
+                .map(|u| u.pass_tokens)
+                .unwrap_or(0);
             let bytes = match self.config.batch_scaling {
                 // Eq. (3): profiled bytes at b_base, scaled sub-linearly to
                 // the actual pass batch.
                 Some(scaling) => {
                     let base_tokens = scaling.b_base.max(1.0);
-                    let s_base =
-                        self.cost.hop_bytes(&self.graph, boundary, base_tokens as u64) as f64;
+                    let s_base = self
+                        .cost
+                        .hop_bytes(&self.graph, boundary, base_tokens as u64)
+                        as f64;
                     scaling.scale(s_base, tokens as f64) as u64
                 }
                 None => self.cost.hop_bytes(&self.graph, boundary, tokens),
@@ -888,9 +916,9 @@ impl EngineState {
                     r.prefill_done = Some(now);
                 }
                 if generative {
-                    survivors.extend(ub.members.drain(..));
+                    survivors.append(&mut ub.members);
                 } else {
-                    completed.extend(ub.members.drain(..));
+                    completed.append(&mut ub.members);
                 }
             }
             Phase::Decode => {
@@ -1044,10 +1072,7 @@ impl EngineState {
         let now = queue.now();
         // Per-instance groups formed this round.
         let mut formed: HashMap<InstanceId, Vec<RequestId>> = HashMap::new();
-        loop {
-            let Some(&rid) = self.gateway.front() else {
-                break;
-            };
+        while let Some(&rid) = self.gateway.front() {
             // Least-loaded admissible instance.
             let target = self
                 .instances
@@ -1080,9 +1105,9 @@ impl EngineState {
             let mut group: Vec<RequestId> = Vec::new();
             let mut tokens = 0u64;
             let launch = |state: &mut EngineState,
-                              queue: &mut EventQueue<Event>,
-                              group: &mut Vec<RequestId>,
-                              tokens: &mut u64| {
+                          queue: &mut EventQueue<Event>,
+                          group: &mut Vec<RequestId>,
+                          tokens: &mut u64| {
                 if group.is_empty() {
                     return;
                 }
@@ -1160,6 +1185,7 @@ pub struct Engine {
     state: EngineState,
     policy: Option<Box<dyn ControlPolicy>>,
     events_seen: u64,
+    truncated: bool,
 }
 
 /// Policy-facing context: state queries plus actions.
@@ -1304,10 +1330,15 @@ impl Engine {
             state,
             policy: Some(policy),
             events_seen: 0,
+            truncated: false,
         }
     }
 
-    fn with_policy(&mut self, queue: &mut EventQueue<Event>, f: impl FnOnce(&mut dyn ControlPolicy, &mut Ctx<'_>)) {
+    fn with_policy(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        f: impl FnOnce(&mut dyn ControlPolicy, &mut Ctx<'_>),
+    ) {
         let mut policy = self.policy.take().expect("policy present");
         {
             let mut ctx = Ctx {
@@ -1327,7 +1358,9 @@ impl Engine {
         // Seed the event streams.
         if !self.state.workload.is_empty() {
             let t = self.state.workload[0].arrival;
-            queue.schedule(t, Event::Arrival(0)).expect("arrival in future");
+            queue
+                .schedule(t, Event::Arrival(0))
+                .expect("arrival in future");
         }
         queue.schedule_now(Event::ControlTick);
         queue
@@ -1337,12 +1370,16 @@ impl Engine {
         let horizon = self.state.horizon;
         let max_events = self.state.config.max_events;
         let (outcome, steps) = flexpipe_sim::run(&mut self, &mut queue, horizon, max_events);
-        debug_assert!(!matches!(outcome, RunOutcome::StepBudgetExhausted), "event budget blown");
         self.events_seen = steps;
+        // The step budget is a first-class watchdog, not an assertion: a
+        // fleet sweep must be able to bound runaway cells and report them
+        // as truncated rather than abort the whole grid.
+        self.truncated = matches!(outcome, RunOutcome::StepBudgetExhausted);
         self.into_report(horizon)
     }
 
     fn into_report(self, horizon: SimTime) -> RunReport {
+        let truncated = self.truncated;
         let st = self.state;
         let span = horizon.as_secs_f64();
         let summary = st.outcomes.summarize(span);
@@ -1373,6 +1410,7 @@ impl Engine {
             warm_loads: st.warm_loads,
             cold_loads: st.cold_loads,
             events: self.events_seen,
+            truncated,
         }
     }
 }
@@ -1408,7 +1446,9 @@ impl World for Engine {
                     .map(|i| i.active_requests)
                     .sum::<u32>()
                     + self.state.gateway.len() as u32;
-                self.state.inflight_timeline.record(now, f64::from(in_system));
+                self.state
+                    .inflight_timeline
+                    .record(now, f64::from(in_system));
                 self.state.expire_host_cache(now);
                 self.state.provisioner.expire_warm(now);
                 self.with_policy(queue, |p, ctx| p.on_tick(ctx));
@@ -1446,10 +1486,20 @@ impl World for Engine {
                     self.with_policy(queue, |p, ctx| p.on_instance_ready(ctx, id));
                 }
             }
-            Event::StageArrive { id, epoch, stage, ub } => {
+            Event::StageArrive {
+                id,
+                epoch,
+                stage,
+                ub,
+            } => {
                 self.state.on_stage_arrive(queue, id, epoch, stage, ub);
             }
-            Event::StageDone { id, epoch, stage, ub } => {
+            Event::StageDone {
+                id,
+                epoch,
+                stage,
+                ub,
+            } => {
                 self.state.on_stage_done(queue, id, epoch, stage, ub);
             }
             Event::PrepareDone { id, epoch } => {

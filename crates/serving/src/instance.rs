@@ -184,8 +184,10 @@ impl Instance {
 
     /// Whether the instance can admit another request right now.
     pub fn can_admit(&self) -> bool {
-        matches!(self.state, InstanceState::Serving | InstanceState::Preparing)
-            && !self.admit_hold
+        matches!(
+            self.state,
+            InstanceState::Serving | InstanceState::Preparing
+        ) && !self.admit_hold
             && self.active_requests < self.batch_cap
     }
 

@@ -21,7 +21,9 @@ pub mod report;
 
 pub use config::EngineConfig;
 pub use engine::{Ctx, Engine, EngineState, Event, Scenario};
-pub use instance::{Instance, InstanceId, InstanceSnapshot, InstanceState, MicroBatch, Phase, UbatchId};
+pub use instance::{
+    Instance, InstanceId, InstanceSnapshot, InstanceState, MicroBatch, Phase, UbatchId,
+};
 pub use policy::{ActionError, ControlPolicy, Placement, RefactorPlan, StageAssign};
 pub use queueing::{optimal_depth_heuristic, predict, GgsParams, GgsPrediction};
 pub use report::RunReport;

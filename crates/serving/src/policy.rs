@@ -86,7 +86,12 @@ impl std::error::Error for ActionError {}
 /// All methods are invoked by the engine with a [`Ctx`] exposing state
 /// queries and actions. Default implementations do nothing, so minimal
 /// policies (e.g. a static pipeline) only override [`ControlPolicy::init`].
-pub trait ControlPolicy {
+///
+/// Policies are `Send` so a boxed policy (and the engine holding it) can
+/// move into a worker thread — the fleet runner executes scenario grids on
+/// a thread pool. Policies are plain decision state, so this costs
+/// implementors nothing.
+pub trait ControlPolicy: Send {
     /// Short name used in experiment output.
     fn name(&self) -> &'static str;
 

@@ -70,7 +70,8 @@ pub fn predict(p: &GgsParams) -> Option<GgsPrediction> {
         * (p.cv_arrival * p.cv_arrival + p.cv_service * p.cv_service)
         / 2.0;
     // Per-stage congestion: λ_i = λ (every request visits every stage).
-    let congestion_one = p.arrival_rate / (p.stage_service_rate * (p.stage_service_rate - p.arrival_rate));
+    let congestion_one =
+        p.arrival_rate / (p.stage_service_rate * (p.stage_service_rate - p.arrival_rate));
     let congestion_secs = f64::from(s) * congestion_one;
     Some(GgsPrediction {
         pipe_secs,
@@ -83,7 +84,12 @@ pub fn predict(p: &GgsParams) -> Option<GgsPrediction> {
 ///
 /// Returns the suggested stage count within `[min_stages, max_stages]`,
 /// scaling from `base_stages` at CV = 1.
-pub fn optimal_depth_heuristic(cv_arrival: f64, base_stages: u32, min_stages: u32, max_stages: u32) -> u32 {
+pub fn optimal_depth_heuristic(
+    cv_arrival: f64,
+    base_stages: u32,
+    min_stages: u32,
+    max_stages: u32,
+) -> u32 {
     let scale = cv_arrival.max(0.25).sqrt();
     let s = (f64::from(base_stages) * scale).round() as u32;
     s.clamp(min_stages, max_stages)
@@ -117,7 +123,11 @@ mod tests {
         let mut p = base(4, 1.0);
         p.arrival_rate = 45.0; // beyond the per-stage service rate
         assert!(predict(&p).is_none());
-        assert!(predict(&GgsParams { stages: 0, ..base(4, 1.0) }).is_none());
+        assert!(predict(&GgsParams {
+            stages: 0,
+            ..base(4, 1.0)
+        })
+        .is_none());
     }
 
     #[test]

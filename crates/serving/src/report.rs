@@ -42,6 +42,9 @@ pub struct RunReport {
     pub cold_loads: u32,
     /// Events processed.
     pub events: u64,
+    /// Whether the run hit its event step budget and was cut short (the
+    /// fleet watchdog records such cells instead of aborting the grid).
+    pub truncated: bool,
 }
 
 impl RunReport {

@@ -8,8 +8,7 @@ use flexpipe_cluster::{BackgroundProfile, ClusterSpec, TierConfig};
 use flexpipe_model::{zoo, CostModel};
 use flexpipe_partition::{GranularityLattice, PartitionParams, Partitioner};
 use flexpipe_serving::{
-    ControlPolicy, Ctx, Engine, EngineConfig, InstanceId, Placement, RefactorPlan, Scenario,
-    StageAssign,
+    ControlPolicy, Ctx, Engine, EngineConfig, Placement, RefactorPlan, Scenario, StageAssign,
 };
 use flexpipe_sim::{SimDuration, SimTime};
 use flexpipe_workload::{ArrivalSpec, LengthProfile, WorkloadSpec};
@@ -98,7 +97,9 @@ impl ControlPolicy for RefactorOnce {
             .collect();
         for i in 0..new_ranges.len() {
             if i < inst.stages as usize {
-                assignments.push(StageAssign::Reuse { old_index: i as u32 });
+                assignments.push(StageAssign::Reuse {
+                    old_index: i as u32,
+                });
             } else {
                 assignments.push(StageAssign::Fresh {
                     gpu: fresh_pool.remove(0),
@@ -180,7 +181,11 @@ fn static_policy_serves_all_requests() {
         .outcomes
         .latency_digest_in(SimTime::from_secs(30), SimTime::from_secs(90));
     assert!(steady.count() > 50);
-    assert!(steady.quantile(0.99) < 2.0, "steady p99 {}", steady.quantile(0.99));
+    assert!(
+        steady.quantile(0.99) < 2.0,
+        "steady p99 {}",
+        steady.quantile(0.99)
+    );
     assert!(report.events > 1000);
 }
 
@@ -194,7 +199,10 @@ fn deeper_pipelines_cost_latency_at_low_load() {
             sc,
             graph.clone(),
             lattice.clone(),
-            Box::new(StaticPolicy { stages, replicas: 1 }),
+            Box::new(StaticPolicy {
+                stages,
+                replicas: 1,
+            }),
         )
         .run();
         assert!(report.completion_rate() > 0.95, "stages {stages}");
@@ -228,7 +236,11 @@ fn inflight_refactor_preserves_service() {
     )
     .run();
     assert_eq!(report.refactors, 1, "exactly one refactor");
-    assert!(report.completion_rate() > 0.97, "rate {}", report.completion_rate());
+    assert!(
+        report.completion_rate() > 0.97,
+        "rate {}",
+        report.completion_rate()
+    );
     // The pause was 9 ms — total pause accounting must reflect it.
     assert!((report.refactor_pause_secs - 0.009).abs() < 1e-9);
 }
@@ -326,7 +338,11 @@ fn overload_builds_queue_and_violates_slo() {
         report.summary.mean_queue,
         report.summary.mean_execution
     );
-    assert!(report.summary.goodput_rate < 0.9, "goodput {}", report.summary.goodput_rate);
+    assert!(
+        report.summary.goodput_rate < 0.9,
+        "goodput {}",
+        report.summary.goodput_rate
+    );
 }
 
 #[test]
@@ -425,7 +441,11 @@ fn admission_hold_blocks_and_releases() {
         .max_in(SimTime::from_secs(12), SimTime::from_secs(25));
     assert!(held_max > 10.0, "queue never built during hold: {held_max}");
     // ...and everything still completes after release.
-    assert!(report.completion_rate() > 0.97, "{}", report.completion_rate());
+    assert!(
+        report.completion_rate() > 0.97,
+        "{}",
+        report.completion_rate()
+    );
 }
 
 #[test]
@@ -446,7 +466,11 @@ fn long_prompts_are_chunked_and_complete() {
         }),
     )
     .run();
-    assert!(report.completion_rate() > 0.95, "{}", report.completion_rate());
+    assert!(
+        report.completion_rate() > 0.95,
+        "{}",
+        report.completion_rate()
+    );
     // Prefill covers every chunk: it must be several times one chunk pass.
     let mean_prefill = report.summary.mean_prefill;
     assert!(
@@ -489,7 +513,11 @@ fn draining_instance_finishes_active_work_before_release() {
     let sc = scenario(1.0, 6.0, 80.0, 45);
     let report = Engine::new(sc, graph, lattice, Box::new(RetireEarly { done: false })).run();
     // Nothing is dropped by the retirement.
-    assert!(report.completion_rate() > 0.97, "{}", report.completion_rate());
+    assert!(
+        report.completion_rate() > 0.97,
+        "{}",
+        report.completion_rate()
+    );
     // The retired instance's GPUs were released (ledger balances out).
     assert!(report.ledger.mean_allocated(SimTime::from_secs(110)) < 4.0);
 }

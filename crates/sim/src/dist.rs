@@ -49,7 +49,9 @@ impl GammaInterarrival {
     /// Builds from a mean inter-arrival time in seconds and a target CV.
     pub fn new(mean_secs: f64, cv: f64) -> Result<Self, BadParams> {
         if !(mean_secs.is_finite() && mean_secs > 0.0) {
-            return Err(BadParams(format!("mean_secs must be positive: {mean_secs}")));
+            return Err(BadParams(format!(
+                "mean_secs must be positive: {mean_secs}"
+            )));
         }
         if !(cv.is_finite() && cv > 0.0) {
             return Err(BadParams(format!("cv must be positive: {cv}")));
@@ -217,11 +219,7 @@ mod tests {
                 "mean {} target {mean} (cv {cv})",
                 s.mean
             );
-            assert!(
-                (s.cv() - cv).abs() / cv < 0.05,
-                "cv {} target {cv}",
-                s.cv()
-            );
+            assert!((s.cv() - cv).abs() / cv < 0.05, "cv {} target {cv}", s.cv());
         }
     }
 

@@ -117,11 +117,7 @@ impl CvEstimator {
     /// The observation span is clamped below at one second so the earliest
     /// ticks of a run do not divide a handful of arrivals by microseconds.
     pub fn rate(&self, now: SimTime) -> f64 {
-        let span = self
-            .window
-            .as_secs_f64()
-            .min(now.as_secs_f64())
-            .max(1.0);
+        let span = self.window.as_secs_f64().min(now.as_secs_f64()).max(1.0);
         self.arrivals.len() as f64 / span
     }
 
@@ -240,11 +236,18 @@ mod tests {
         // the Fig. 1 phenomenon motivating runtime adaptation.
         use crate::arrivals::{gen_mmpp, MmppState};
         let states = [
-            MmppState { rate: 2.0, dwell_mean_secs: 300.0 },
-            MmppState { rate: 60.0, dwell_mean_secs: 60.0 },
+            MmppState {
+                rate: 2.0,
+                dwell_mean_secs: 300.0,
+            },
+            MmppState {
+                rate: 60.0,
+                dwell_mean_secs: 60.0,
+            },
         ];
         let arr = gen_mmpp(&states, 40_000.0, &mut SimRng::seed(11));
-        let short = windowed_cv_series(&arr, SimDuration::from_secs(30), SimTime::from_secs(40_000));
+        let short =
+            windowed_cv_series(&arr, SimDuration::from_secs(30), SimTime::from_secs(40_000));
         let long = cv_in_window(&arr, SimTime::ZERO, SimTime::from_secs(40_000));
         let short_mean = {
             let usable: Vec<f64> = short

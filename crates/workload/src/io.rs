@@ -131,7 +131,10 @@ mod tests {
 
     fn sample() -> Workload {
         WorkloadSpec {
-            arrivals: ArrivalSpec::GammaRenewal { rate: 10.0, cv: 2.0 },
+            arrivals: ArrivalSpec::GammaRenewal {
+                rate: 10.0,
+                cv: 2.0,
+            },
             lengths: LengthProfile::chat(),
             slo: SimDuration::from_secs(5),
             slo_per_output_token: SimDuration::from_millis(100),

@@ -19,7 +19,9 @@ pub mod lengths;
 pub mod request;
 pub mod trace;
 
-pub use arrivals::{gen_gamma_renewal, gen_mmpp, gen_nhpp, gen_poisson, interarrival_cv, MmppState, RateFn};
+pub use arrivals::{
+    gen_gamma_renewal, gen_mmpp, gen_nhpp, gen_poisson, interarrival_cv, MmppState, RateFn,
+};
 pub use builder::{ArrivalSpec, WorkloadSpec};
 pub use cv::{cv_in_window, windowed_cv_series, CvEstimator, CvPoint};
 pub use io::{from_csv, load, save, to_csv, TraceIoError};

@@ -84,11 +84,16 @@ impl SyntheticTrace {
         let mut bursts = Vec::new();
         // Alternate calm/burst with exponential dwell times chosen to hit
         // the target duty cycle.
-        let calm_mean = profile.burst_mean_secs * (1.0 - profile.burst_duty) / profile.burst_duty.max(1e-6);
+        let calm_mean =
+            profile.burst_mean_secs * (1.0 - profile.burst_duty) / profile.burst_duty.max(1e-6);
         let mut t = 0.0;
         let mut bursting = false;
         while t < horizon_secs {
-            let mean = if bursting { profile.burst_mean_secs } else { calm_mean };
+            let mean = if bursting {
+                profile.burst_mean_secs
+            } else {
+                calm_mean
+            };
             let dwell = -mean * rng.f64().max(1e-12).ln();
             let end = (t + dwell).min(horizon_secs);
             if bursting {
@@ -116,9 +121,10 @@ impl SyntheticTrace {
 
     fn bursting_at(&self, t: f64) -> bool {
         // Binary search over sorted intervals.
-        match self.bursts.binary_search_by(|&(s, _)| {
-            s.partial_cmp(&t).expect("burst times are finite")
-        }) {
+        match self
+            .bursts
+            .binary_search_by(|&(s, _)| s.partial_cmp(&t).expect("burst times are finite"))
+        {
             Ok(_) => true,
             Err(0) => false,
             Err(i) => t < self.bursts[i - 1].1,
@@ -242,8 +248,8 @@ mod tests {
         };
         // The two 12 h halves differ (one spans the diurnal trough);
         // Fig. 1 plots the larger swings, so take the max.
-        let long = cv_in_window(&arrivals, SimTime::ZERO, SimTime::from_secs(43_200))
-            .max(cv_in_window(
+        let long =
+            cv_in_window(&arrivals, SimTime::ZERO, SimTime::from_secs(43_200)).max(cv_in_window(
                 &arrivals,
                 SimTime::from_secs(43_200),
                 SimTime::from_secs(86_400),
@@ -256,8 +262,16 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let t1 = SyntheticTrace::generate(TraceProfile::azure_top2_like(), 10_000.0, &mut SimRng::seed(5));
-        let t2 = SyntheticTrace::generate(TraceProfile::azure_top2_like(), 10_000.0, &mut SimRng::seed(5));
+        let t1 = SyntheticTrace::generate(
+            TraceProfile::azure_top2_like(),
+            10_000.0,
+            &mut SimRng::seed(5),
+        );
+        let t2 = SyntheticTrace::generate(
+            TraceProfile::azure_top2_like(),
+            10_000.0,
+            &mut SimRng::seed(5),
+        );
         assert_eq!(t1.bursts, t2.bursts);
         let a1 = t1.arrivals(&mut SimRng::seed(6));
         let a2 = t2.arrivals(&mut SimRng::seed(6));

@@ -1,0 +1,62 @@
+//! Programmatic use of the fleet orchestrator: build a sweep in code, run
+//! it on all cores, print the comparison tables, and gate a what-if
+//! variant against it.
+//!
+//! ```sh
+//! cargo run --release --example fleet_sweep
+//! ```
+
+use flexpipe::fleet::gate::gate;
+use flexpipe::prelude::*;
+use flexpipe::workload::LengthProfile;
+
+fn main() {
+    // A compact grid: burstiness × two rates, FlexPipe vs. two baselines,
+    // on a fragmented 16-GPU slice with testbed-like background tenants.
+    let spec = SweepSpec {
+        name: "example-sweep".into(),
+        model: flexpipe::model::ModelId::Llama2_7B,
+        seed: 42,
+        horizon_secs: 60.0,
+        warmup_secs: 15.0,
+        slo_secs: 2.0,
+        slo_per_output_token_ms: 100.0,
+        background: BackgroundShape::TestbedLike,
+        lengths: LengthProfile::chat(),
+        max_events: 100_000_000,
+        cvs: vec![1.0, 4.0],
+        rates: vec![4.0, 8.0],
+        clusters: vec![ClusterShape::Custom {
+            nodes: 10,
+            total_gpus: 16,
+            servers_per_rack: 5,
+        }],
+        policies: vec![
+            PolicySpec::Paper(SystemId::FlexPipe),
+            PolicySpec::Paper(SystemId::AlpaServe),
+            PolicySpec::Static {
+                stages: 2,
+                replicas: 2,
+            },
+        ],
+    };
+
+    let report = run_sweep(&spec, &RunOptions::default()).expect("sweep runs");
+    println!("{}", report.policy_table().render());
+    println!("{}", report.cell_table().render());
+
+    // Reports serve as regression baselines: rerunning the same spec
+    // reproduces the artifact byte-for-byte, so a self-gate passes.
+    let cfg = GateConfig::default();
+    let rerun = run_sweep(
+        &spec,
+        &RunOptions {
+            threads: 1,
+            quiet: true,
+        },
+    )
+    .expect("rerun");
+    let outcome = gate(&report, &rerun, &cfg);
+    println!("{}", outcome.render(&cfg));
+    assert!(outcome.passed(&cfg), "deterministic rerun must gate-pass");
+}

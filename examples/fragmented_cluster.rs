@@ -19,9 +19,18 @@ fn main() {
 
     let stats = BackgroundTenants::stats(&cluster);
     println!("== fragmentation snapshot (C1-like, 430 nodes / 468 GPUs) ==");
-    println!("GPU subscription rate:     {:.0}% (paper: 216%)", stats.subscription_pct);
-    println!("mean SM utilisation:       {:.1}% (paper: 16.9%)", stats.sm_mean);
-    println!("mean memory utilisation:   {:.1}% (paper: 43.5%)", stats.mem_mean);
+    println!(
+        "GPU subscription rate:     {:.0}% (paper: 216%)",
+        stats.subscription_pct
+    );
+    println!(
+        "mean SM utilisation:       {:.1}% (paper: 16.9%)",
+        stats.sm_mean
+    );
+    println!(
+        "mean memory utilisation:   {:.1}% (paper: 43.5%)",
+        stats.mem_mean
+    );
     println!(
         "P(single GPU >85% free):   {:.1}% (paper: 8.7%)",
         stats.p_single_free * 100.0
@@ -49,7 +58,12 @@ fn main() {
                 }
             }
         }
-        let d = engine.duration(&cluster, Endpoint::Gpu(free[0]), Endpoint::Gpu(free[1]), 1 << 30);
+        let d = engine.duration(
+            &cluster,
+            Endpoint::Gpu(free[0]),
+            Endpoint::Gpu(free[1]),
+            1 << 30,
+        );
         println!("\nsecurable GPUs: {}", free.len());
         println!(
             "securable pairs with NVLink connectivity: {nvlink_pairs}/{pairs} ({:.2}%)",

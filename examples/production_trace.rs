@@ -40,9 +40,8 @@ fn main() {
     let graph = Arc::new(flexpipe::model::zoo::llama2_7b());
     let cost = CostModel::default();
     let partitioner = Partitioner::new(PartitionParams::default(), cost);
-    let lattice = Arc::new(
-        GranularityLattice::build(&partitioner, &graph, 8, &[1, 2, 4, 8], &cost).unwrap(),
-    );
+    let lattice =
+        Arc::new(GranularityLattice::build(&partitioner, &graph, 8, &[1, 2, 4, 8], &cost).unwrap());
     let scenario = Scenario {
         config: EngineConfig::default(),
         cluster: ClusterSpec::paper_testbed(),
@@ -67,14 +66,24 @@ fn main() {
     let report = Engine::new(scenario, graph, lattice, Box::new(policy)).run();
 
     println!("\n== one hour of production-like serving ==");
-    println!("completed:        {}/{}", report.completed(), report.arrived);
-    println!("goodput rate:     {:.1}%", report.summary.goodput_rate * 100.0);
+    println!(
+        "completed:        {}/{}",
+        report.completed(),
+        report.arrived
+    );
+    println!(
+        "goodput rate:     {:.1}%",
+        report.summary.goodput_rate * 100.0
+    );
     println!("mean latency:     {:.2} s", report.summary.mean_latency);
     println!("refactors:        {}", report.refactors);
     println!("spawns:           {}", report.spawns);
     println!("mean GPUs held:   {:.1}", report.mean_gpus_held());
     println!("peak GPUs held:   {}", report.peak_gpus_held());
-    println!("warm-start loads: {:.0}%", report.warm_load_fraction() * 100.0);
+    println!(
+        "warm-start loads: {:.0}%",
+        report.warm_load_fraction() * 100.0
+    );
     println!("mean alloc wait:  {:.2} s", report.mean_alloc_wait_secs);
     println!(
         "\nalways-on pinned: 30% of the {}-GPU peak estimate — elastic capacity follows the trace.",

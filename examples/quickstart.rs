@@ -70,8 +70,15 @@ fn main() {
     // 5. Inspect the outcome.
     println!("\n== run report ==");
     println!("policy:              {}", report.policy);
-    println!("completed:           {}/{}", report.completed(), report.arrived);
-    println!("goodput rate:        {:.1}%", report.summary.goodput_rate * 100.0);
+    println!(
+        "completed:           {}/{}",
+        report.completed(),
+        report.arrived
+    );
+    println!(
+        "goodput rate:        {:.1}%",
+        report.summary.goodput_rate * 100.0
+    );
     println!("mean latency:        {:.2} s", report.summary.mean_latency);
     println!("p99 latency:         {:.2} s", report.summary.p99_latency);
     println!("inflight refactors:  {}", report.refactors);
@@ -81,6 +88,9 @@ fn main() {
     );
     println!("instances spawned:   {}", report.spawns);
     println!("mean GPUs held:      {:.1}", report.mean_gpus_held());
-    println!("warm-start loads:    {:.0}%", report.warm_load_fraction() * 100.0);
+    println!(
+        "warm-start loads:    {:.0}%",
+        report.warm_load_fraction() * 100.0
+    );
     println!("events simulated:    {}", report.events);
 }

@@ -15,7 +15,11 @@
 //! - [`serving`] — the pipelined serving engine and policy interface;
 //! - [`core`] — FlexPipe itself (Eq. 4-13, Algorithm 1);
 //! - [`baselines`] — AlpaServe-, MuxServe-, ServerlessLLM- and Tetris-like
-//!   policies.
+//!   policies;
+//! - [`bench`] — the paper's figure/table harness and system registry;
+//! - [`fleet`] — parallel scenario-fleet orchestration: declarative
+//!   sweeps (CV × rate × cluster × policy), a thread-pool grid runner,
+//!   per-policy comparison reports and a regression gate.
 //!
 //! # Quickstart
 //!
@@ -63,8 +67,10 @@
 //! ```
 
 pub use flexpipe_baselines as baselines;
+pub use flexpipe_bench as bench;
 pub use flexpipe_cluster as cluster;
 pub use flexpipe_core as core;
+pub use flexpipe_fleet as fleet;
 pub use flexpipe_metrics as metrics;
 pub use flexpipe_model as model;
 pub use flexpipe_partition as partition;
@@ -78,6 +84,7 @@ pub mod prelude {
         AlpaServeConfig, AlpaServeLike, MuxServeConfig, MuxServeLike, ServerlessLlmConfig,
         ServerlessLlmLike, StaticPipeline, TetrisConfig, TetrisLike,
     };
+    pub use flexpipe_bench::SystemId;
     pub use flexpipe_cluster::{
         BackgroundProfile, Cluster, ClusterSpec, GpuId, ServerId, TierConfig, TransferEngine,
     };
@@ -85,16 +92,16 @@ pub mod prelude {
         FlexPipeConfig, FlexPipePolicy, GranularityParams, Hrg, HrgParams, MigrationModel,
         ValidityMask,
     };
+    pub use flexpipe_fleet::{
+        run_sweep, BackgroundShape, ClusterShape, FleetReport, GateConfig, PolicySpec, RunOptions,
+        SweepSpec,
+    };
     pub use flexpipe_metrics::{analyze_stalls, Digest, OutcomeLog, StallConfig, Table};
     pub use flexpipe_model::{CostModel, ModelGraph, ModelId, OpRange};
-    pub use flexpipe_partition::{
-        GranularityLattice, Partition, PartitionParams, Partitioner,
-    };
+    pub use flexpipe_partition::{GranularityLattice, Partition, PartitionParams, Partitioner};
     pub use flexpipe_serving::{
         ControlPolicy, Ctx, Engine, EngineConfig, InstanceState, Placement, RunReport, Scenario,
     };
     pub use flexpipe_sim::{SimDuration, SimRng, SimTime};
-    pub use flexpipe_workload::{
-        ArrivalSpec, CvEstimator, LengthProfile, Workload, WorkloadSpec,
-    };
+    pub use flexpipe_workload::{ArrivalSpec, CvEstimator, LengthProfile, Workload, WorkloadSpec};
 }

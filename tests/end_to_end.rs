@@ -9,9 +9,8 @@ fn artifacts() -> (Arc<ModelGraph>, Arc<GranularityLattice>, CostModel) {
     let graph = Arc::new(flexpipe::model::zoo::llama2_7b());
     let cost = CostModel::default();
     let partitioner = Partitioner::new(PartitionParams::default(), cost);
-    let lattice = Arc::new(
-        GranularityLattice::build(&partitioner, &graph, 8, &[1, 2, 4, 8], &cost).unwrap(),
-    );
+    let lattice =
+        Arc::new(GranularityLattice::build(&partitioner, &graph, 8, &[1, 2, 4, 8], &cost).unwrap());
     (graph, lattice, cost)
 }
 
@@ -53,8 +52,18 @@ fn flexpipe() -> Box<dyn ControlPolicy> {
 #[test]
 fn flexpipe_full_stack_smoke() {
     let (graph, lattice, cost) = artifacts();
-    let report = Engine::new(scenario(1.5, 6.0, 120.0, 3, cost), graph, lattice, flexpipe()).run();
-    assert!(report.completion_rate() > 0.95, "rate {}", report.completion_rate());
+    let report = Engine::new(
+        scenario(1.5, 6.0, 120.0, 3, cost),
+        graph,
+        lattice,
+        flexpipe(),
+    )
+    .run();
+    assert!(
+        report.completion_rate() > 0.95,
+        "rate {}",
+        report.completion_rate()
+    );
     assert!(report.summary.goodput_rate > 0.8);
     assert!(report.events > 10_000);
     // The standing fleet exists from t=0 (prewarmed init).
@@ -65,7 +74,13 @@ fn flexpipe_full_stack_smoke() {
 fn whole_stack_is_deterministic() {
     let run = || {
         let (graph, lattice, cost) = artifacts();
-        Engine::new(scenario(3.0, 6.0, 90.0, 9, cost), graph, lattice, flexpipe()).run()
+        Engine::new(
+            scenario(3.0, 6.0, 90.0, 9, cost),
+            graph,
+            lattice,
+            flexpipe(),
+        )
+        .run()
     };
     let a = run();
     let b = run();
@@ -107,8 +122,7 @@ fn all_baselines_serve_the_same_scenario() {
     for policy in policies {
         let name = policy.name();
         let (graph, lattice, cost) = artifacts();
-        let report =
-            Engine::new(scenario(2.0, 6.0, 90.0, 11, cost), graph, lattice, policy).run();
+        let report = Engine::new(scenario(2.0, 6.0, 90.0, 11, cost), graph, lattice, policy).run();
         assert!(
             report.completion_rate() > 0.5,
             "{name} completed only {:.0}%",
@@ -201,12 +215,20 @@ fn survives_hostile_fragmentation() {
     // Under this pressure some requests may wait long, but the system must
     // make real progress and account for every completion consistently.
     assert!(report.completed() > 0);
-    assert!(report.completion_rate() > 0.3, "{}", report.completion_rate());
+    assert!(
+        report.completion_rate() > 0.3,
+        "{}",
+        report.completion_rate()
+    );
     for o in report.outcomes.outcomes() {
         assert!(o.completion >= o.arrival);
-        let parts = o.queue.as_secs_f64() + o.execution.as_secs_f64() + o.communication.as_secs_f64();
+        let parts =
+            o.queue.as_secs_f64() + o.execution.as_secs_f64() + o.communication.as_secs_f64();
         let lat = o.latency().as_secs_f64();
-        assert!(parts <= lat + 1e-6, "breakdown {parts} exceeds latency {lat}");
+        assert!(
+            parts <= lat + 1e-6,
+            "breakdown {parts} exceeds latency {lat}"
+        );
     }
 }
 
@@ -242,7 +264,11 @@ fn survives_capacity_exhaustion() {
     let report = Engine::new(scenario, graph, lattice, flexpipe()).run();
     assert!(report.completed() > 0);
     // The fleet can never exceed the 4 physical GPUs.
-    assert!(report.peak_gpus_held() <= 4, "held {}", report.peak_gpus_held());
+    assert!(
+        report.peak_gpus_held() <= 4,
+        "held {}",
+        report.peak_gpus_held()
+    );
 }
 
 #[test]
@@ -271,7 +297,13 @@ fn trace_replay_reproduces_run() {
         horizon: SimTime::from_secs(90),
         seed: 77,
     };
-    let a = Engine::new(mk_scenario(original), graph.clone(), lattice.clone(), flexpipe()).run();
+    let a = Engine::new(
+        mk_scenario(original),
+        graph.clone(),
+        lattice.clone(),
+        flexpipe(),
+    )
+    .run();
     let b = Engine::new(mk_scenario(replayed), graph, lattice, flexpipe()).run();
     assert_eq!(a.events, b.events);
     assert_eq!(a.completed(), b.completed());

@@ -7,9 +7,9 @@ use flexpipe::cluster::{AllocError, Cluster, ClusterSpec, GpuId, ServerId};
 use flexpipe::core::ValidityMask;
 use flexpipe::model::{validate_partition, zoo, CostModel, OpRange};
 use flexpipe::partition::{GranularityLattice, PartitionParams, Partitioner};
+use flexpipe::sim::SimRng;
 use flexpipe::sim::{EventQueue, SimTime};
 use flexpipe::workload::{gen_gamma_renewal, interarrival_cv};
-use flexpipe::sim::SimRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -83,7 +83,7 @@ proptest! {
                     Err(e) => prop_assert!(false, "unexpected error {e:?}"),
                 }
             }
-            cluster.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            cluster.check_invariants().map_err(TestCaseError::fail)?;
         }
     }
 
@@ -93,7 +93,7 @@ proptest! {
         let mut cluster = Cluster::new(ClusterSpec::paper_testbed());
         for (server, gib) in reqs {
             let _ = cluster.reserve_host(ServerId(server), gib << 30);
-            cluster.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            cluster.check_invariants().map_err(TestCaseError::fail)?;
         }
     }
 

@@ -1,0 +1,161 @@
+//! Minimal, offline-compatible subset of the `rand` crate API.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the tiny slice of `rand` it actually uses: the [`RngCore`] object-safe
+//! generator trait and the blanket [`Rng`] extension trait. Generators
+//! themselves (xoshiro256++ in `flexpipe-sim`) live outside this crate; all
+//! sampling algorithms live in the sibling `rand_distr` stub.
+//!
+//! The API surface intentionally mirrors `rand 0.8` so the workspace can be
+//! pointed back at the real crate without source changes.
+
+#![warn(missing_docs)]
+
+/// The core trait every random number generator implements.
+///
+/// Mirrors `rand::RngCore` (0.8): 32-bit and 64-bit output plus byte-slice
+/// filling. Implementors only need these three; everything else layers on
+/// top via [`Rng`].
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Convenience extension methods over [`RngCore`], blanket-implemented for
+/// every generator (mirroring `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform `f64` in `[0, 1)` using the standard 53-bit conversion.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped into `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire-style rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn gen_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_below(0) is meaningless");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Placeholder namespace mirroring `rand::rngs`.
+    //!
+    //! The real crate's `SmallRng` is intentionally *not* provided: its
+    //! algorithm is unstable across releases, which is exactly why the
+    //! simulator pins its own xoshiro256++ implementation.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // Weyl sequence through a finalizer: crude but uniform enough
+            // for the trait-level tests below.
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Counter(1);
+        for _ in 0..10_000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_unbiased_enough() {
+        let mut r = Counter(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[r.gen_below(4) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 40_000.0 - 0.25).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut r = Counter(3);
+        let dynr: &mut dyn RngCore = &mut r;
+        let _ = dynr.next_u32();
+        let mut buf = [0u8; 5];
+        dynr.fill_bytes(&mut buf);
+    }
+}

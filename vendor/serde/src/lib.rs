@@ -1,0 +1,563 @@
+//! Minimal, offline-compatible `serde` facade.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! a compact serialization framework under the `serde` name. It keeps the
+//! parts of the real API the workspace relies on — the `Serialize` /
+//! `Deserialize` trait names, `#[derive(Serialize, Deserialize)]`, and the
+//! `#[serde(skip)]` field attribute — while replacing serde's
+//! visitor-driven data model with a simple owned [`Value`] tree.
+//!
+//! Design points that matter to the experiments built on top:
+//!
+//! - **Deterministic output.** [`Value::Map`] preserves insertion order and
+//!   the impls for `HashMap`/`BTreeMap` sort by key, so a serialized
+//!   artifact is byte-stable across runs and platforms — the property the
+//!   fleet's reproducibility gate depends on.
+//! - **Lossless integers.** `u64`/`i64` stay integral end-to-end instead of
+//!   routing through `f64`.
+//! - **Swap-back compatibility.** Types annotate themselves exactly as they
+//!   would for real serde, so restoring the crates.io dependency is a
+//!   manifest change, not a source change.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, ordered tree of serialized data (the data model every
+/// [`Serialize`]/[`Deserialize`] impl converts through).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (negative integral numbers).
+    Int(i64),
+    /// An unsigned integer (non-negative integral numbers).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (insertion order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A one-word description of the value's kind (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Error produced when a [`Value`] does not match the shape a
+/// [`Deserialize`] impl expects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X for T, found Y" construction helper.
+    pub fn expected(what: &str, ty: &str, found: &Value) -> DeError {
+        DeError(format!("expected {what} for {ty}, found {}", found.kind()))
+    }
+
+    /// Missing-field error.
+    pub fn missing(ty: &str, field: &str) -> DeError {
+        DeError(format!("missing field `{field}` of {ty}"))
+    }
+
+    /// Wraps the error with the location it occurred at.
+    pub fn in_field(self, loc: &str) -> DeError {
+        DeError(format!("{loc}: {}", self.0))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can convert themselves into a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from the value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Map-entry lookup used by generated code.
+pub fn value_get<'a>(m: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    m.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x: u64 = match v {
+                    Value::UInt(x) => *x,
+                    Value::Int(x) if *x >= 0 => *x as u64,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                        *f as u64
+                    }
+                    other => return Err(DeError::expected("unsigned integer", stringify!($t), other)),
+                };
+                <$t>::try_from(x).map_err(|_| {
+                    DeError(format!("{x} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 {
+                    Value::UInt(x as u64)
+                } else {
+                    Value::Int(x)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let x: i64 = match v {
+                    Value::Int(x) => *x,
+                    Value::UInt(x) if *x <= i64::MAX as u64 => *x as i64,
+                    Value::Float(f)
+                        if f.fract() == 0.0
+                            && *f >= i64::MIN as f64
+                            && *f <= i64::MAX as f64 =>
+                    {
+                        *f as i64
+                    }
+                    other => return Err(DeError::expected("integer", stringify!($t), other)),
+                };
+                <$t>::try_from(x).map_err(|_| {
+                    DeError(format!("{x} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = f64::from(*self);
+                if x.is_finite() {
+                    Value::Float(x)
+                } else {
+                    // JSON has no NaN/Inf; mirror serde_json's `null`.
+                    Value::Null
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(x) => Ok(*x as $t),
+                    Value::UInt(x) => Ok(*x as $t),
+                    // Round-trip of non-finite floats (serialized as null).
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("number", stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", "char", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(xs) => xs.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", "Vec", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let xs = v
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "array", v))?;
+        if xs.len() != N {
+            return Err(DeError(format!(
+                "expected {N} elements, found {}",
+                xs.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, x) in out.iter_mut().zip(xs) {
+            *slot = T::from_value(x)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let xs = v
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("sequence", "tuple", v))?;
+                let want = [$($i,)+].len();
+                if xs.len() != want {
+                    return Err(DeError(format!(
+                        "expected {want}-tuple, found {} elements",
+                        xs.len()
+                    )));
+                }
+                Ok(($($t::from_value(&xs[$i])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Key conversion for string-keyed map serialization.
+pub trait MapKey: Sized {
+    /// Renders the key as a JSON object key.
+    fn to_key(&self) -> String;
+
+    /// Parses the key back.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_map_key_num {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| {
+                    DeError(format!("bad {} map key: {s:?}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_map_key_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_map {
+    ($name:ident, $($bound:tt)+) => {
+        impl<K: MapKey + Ord + Clone, V: Serialize> Serialize for std::collections::$name<K, V> {
+            fn to_value(&self) -> Value {
+                // Sorted by key: hash iteration order must never leak into
+                // serialized artifacts (byte-stable output is a contract).
+                let mut entries: Vec<(&K, &V)> = self.iter().collect();
+                entries.sort_by(|a, b| a.0.cmp(b.0));
+                Value::Map(
+                    entries
+                        .into_iter()
+                        .map(|(k, v)| (k.to_key(), v.to_value()))
+                        .collect(),
+                )
+            }
+        }
+
+        impl<K: MapKey + $($bound)+, V: Deserialize> Deserialize
+            for std::collections::$name<K, V>
+        {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let m = v
+                    .as_map()
+                    .ok_or_else(|| DeError::expected("map", stringify!($name), v))?;
+                m.iter()
+                    .map(|(k, x)| Ok((K::from_key(k)?, V::from_value(x)?)))
+                    .collect()
+            }
+        }
+    };
+}
+
+impl_map!(HashMap, Ord + std::hash::Hash + Eq);
+impl_map!(BTreeMap, Ord);
+
+macro_rules! impl_set {
+    ($name:ident, $($bound:tt)+) => {
+        impl<T: Serialize + Ord + Clone> Serialize for std::collections::$name<T> {
+            fn to_value(&self) -> Value {
+                let mut xs: Vec<&T> = self.iter().collect();
+                xs.sort();
+                Value::Seq(xs.into_iter().map(Serialize::to_value).collect())
+            }
+        }
+
+        impl<T: Deserialize + $($bound)+> Deserialize for std::collections::$name<T> {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(xs) => xs.iter().map(T::from_value).collect(),
+                    other => Err(DeError::expected("sequence", stringify!($name), other)),
+                }
+            }
+        }
+    };
+}
+
+impl_set!(HashSet, std::hash::Hash + Eq);
+impl_set!(BTreeSet, Ord);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(f64::from_value(&f64::NAN.to_value()).unwrap().is_nan());
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        let v = vec![(1u64, 2.5f64), (3, 4.5)];
+        let got: Vec<(u64, f64)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(got, v);
+
+        let arr = [1.0f64, 2.0, 3.0, 4.0];
+        let got: [f64; 4] = Deserialize::from_value(&arr.to_value()).unwrap();
+        assert_eq!(got, arr);
+
+        let opt: Option<u32> = None;
+        assert_eq!(opt.to_value(), Value::Null);
+        let got: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(30u32, 3.0f64);
+        m.insert(10, 1.0);
+        m.insert(20, 2.0);
+        let v = m.to_value();
+        let keys: Vec<&str> = v
+            .as_map()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["10", "20", "30"]);
+        let back: std::collections::HashMap<u32, f64> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn range_errors_are_caught() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(bool::from_value(&Value::UInt(1)).is_err());
+    }
+}

@@ -1,0 +1,443 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! `serde` facade.
+//!
+//! Implemented directly against `proc_macro` — the offline build
+//! environment has neither `syn` nor `quote` — so the input is parsed with
+//! a small hand-rolled token walker and the output is assembled as source
+//! text. The supported shape is exactly what this workspace uses:
+//!
+//! - structs with named fields, tuple structs (newtype-transparent when
+//!   single-field), unit structs;
+//! - enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation);
+//! - the `#[serde(skip)]` field attribute (omit on serialize, fill with
+//!   `Default::default()` on deserialize);
+//! - no generic parameters (none of the workspace's serialized types are
+//!   generic; deriving on a generic type fails with a clear message).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a named-field struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// The field layout of a struct or an enum variant.
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple fields; the payload is the field count.
+    Tuple(usize),
+    Unit,
+}
+
+/// A parsed derive input.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+/// Returns whether an attribute token group (the `[...]` after `#`) is
+/// `serde(skip)` (or a `serde(...)` list containing `skip`).
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut iter = group.stream().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes leading attributes from `iter`, reporting whether any was
+/// `#[serde(skip)]`.
+fn eat_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if attr_is_serde_skip(&g) {
+                            skip = true;
+                        }
+                    }
+                    other => panic!("expected [...] after # in attribute, got {other:?}"),
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consumes an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn eat_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes tokens of a type (or expression) until a top-level `,`,
+/// tracking `<...>` nesting so generic-argument commas don't terminate.
+fn eat_until_comma(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle: i32 = 0;
+    while let Some(t) = iter.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        iter.next();
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies and struct
+/// variants).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = eat_attrs(&mut iter);
+        eat_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        eat_until_comma(&mut iter);
+        // Consume the separating comma, if present.
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    while iter.peek().is_some() {
+        eat_attrs(&mut iter);
+        eat_vis(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        eat_until_comma(&mut iter);
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        count += 1;
+    }
+    count
+}
+
+/// Parses the variant list of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        eat_attrs(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                iter.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                iter.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional explicit discriminant, then the comma.
+        eat_until_comma(&mut iter);
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == ',' {
+                iter.next();
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+/// Parses a full derive input (struct or enum item).
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    // Item-level attributes and visibility.
+    eat_attrs(&mut iter);
+    eat_vis(&mut iter);
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize): generic type `{name}` is not supported by the vendored serde facade");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        kw => panic!("derive target must be a struct or enum, got `{kw}`"),
+    };
+    Input { name, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let mut s = String::from(
+                "let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "m.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(m)");
+            s
+        }
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(x0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut fm: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fs.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "fm.push((\"{0}\".to_string(), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {inner} ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(fm))]) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_named_field_reads(ty: &str, fields: &[Field], map_var: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{0}: match ::serde::value_get({map_var}, \"{0}\") {{\n\
+                 ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x).map_err(|e| e.in_field(\"{ty}.{0}\"))?,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(::serde::DeError::missing(\"{ty}\", \"{0}\")),\n\
+                 }},\n",
+                f.name
+            ));
+        }
+    }
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let reads = gen_named_field_reads(name, fields, "m");
+            format!(
+                "let m = v.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{reads}}})"
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v).map_err(|e| e.in_field(\"{name}\"))?))"
+        ),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let reads: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&xs[{i}])?"))
+                .collect();
+            format!(
+                "let xs = v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}\", v))?;\n\
+                 if xs.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError(format!(\"expected {n} elements for {name}, found {{}}\", xs.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                reads.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Kind::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => str_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => map_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner).map_err(|e| e.in_field(\"{name}::{vname}\"))?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let reads: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&xs[{i}])?"))
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let xs = inner.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", \"{name}::{vname}\", inner))?;\n\
+                             if xs.len() != {n} {{ return ::std::result::Result::Err(::serde::DeError(format!(\"expected {n} elements for {name}::{vname}, found {{}}\", xs.len()))); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }},\n",
+                            reads.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let reads =
+                            gen_named_field_reads(&format!("{name}::{vname}"), fs, "fm");
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let fm = inner.as_map().ok_or_else(|| ::serde::DeError::expected(\"map\", \"{name}::{vname}\", inner))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{reads}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {str_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = &m[0];\n\
+                 match tag.as_str() {{\n\
+                 {map_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\"variant\", \"{name}\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Derives `serde::Serialize` (value-tree flavour) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
