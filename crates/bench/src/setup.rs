@@ -130,6 +130,7 @@ pub fn paper_scenario(p: &E2eParams, workload: Workload) -> Scenario {
         tier: TierConfig::default(),
         cost: CostModel::default(),
         workload,
+        disruptions: Default::default(),
         horizon: SimTime::from_secs_f64(p.total_secs()),
         seed: p.seed,
     }

@@ -1,0 +1,253 @@
+//! MTBF-style stochastic disruption generators.
+//!
+//! Public spot markets behave like renewal processes: preemptions arrive
+//! roughly exponentially with a platform-dependent mean time between
+//! failures, capacity returns after a market-dependent delay, and demand
+//! surges ride on top. [`RandomDisruptions`] captures those knobs and
+//! [`RandomDisruptions::realize`] turns them into a concrete
+//! [`DisruptionScript`] from a caller-supplied RNG — in the fleet that RNG
+//! derives from the *cell* seed (which excludes the policy axis), so every
+//! policy sharing a workload coordinate faces the byte-identical
+//! disruption trace.
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_sim::SimRng;
+
+use crate::script::{Disruption, DisruptionEvent, DisruptionScript};
+
+/// Parameters of a stochastic disruption process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomDisruptions {
+    /// Label used in fleet cell ids (keep it short and filesystem-safe).
+    pub label: String,
+    /// Mean time between single-GPU hardware failures, seconds (0 = off).
+    pub gpu_fail_mtbf_secs: f64,
+    /// Mean time between server spot preemptions, seconds (0 = off).
+    pub server_preempt_mtbf_secs: f64,
+    /// Grace window between a preemption notice and the revocation.
+    pub grace_secs: f64,
+    /// Delay until revoked capacity returns to the pool (0 = never).
+    pub restore_delay_secs: f64,
+    /// No disruptions before this time (lets deployments warm up).
+    pub start_secs: f64,
+    /// Per-process hard cap on generated revocation events (watchdog for
+    /// tiny MTBFs; each process gets its own budget so a runaway one
+    /// cannot starve the other).
+    pub max_events: u32,
+}
+
+impl Default for RandomDisruptions {
+    fn default() -> Self {
+        RandomDisruptions {
+            label: "default".into(),
+            gpu_fail_mtbf_secs: 0.0,
+            server_preempt_mtbf_secs: 600.0,
+            grace_secs: 10.0,
+            restore_delay_secs: 120.0,
+            start_secs: 30.0,
+            max_events: 64,
+        }
+    }
+}
+
+/// Samples an exponential inter-arrival with the given mean.
+fn exp_sample(rng: &mut SimRng, mean: f64) -> f64 {
+    // Inverse CDF; (1 - u) keeps ln's argument in (0, 1].
+    -(1.0 - rng.f64()).ln() * mean
+}
+
+impl RandomDisruptions {
+    /// Validates the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("gpu_fail_mtbf_secs", self.gpu_fail_mtbf_secs),
+            ("server_preempt_mtbf_secs", self.server_preempt_mtbf_secs),
+            ("grace_secs", self.grace_secs),
+            ("restore_delay_secs", self.restore_delay_secs),
+            ("start_secs", self.start_secs),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be finite and >= 0"));
+            }
+        }
+        if self.max_events == 0 {
+            return Err("max_events must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Realizes the process into a concrete script over `[start_secs,
+    /// horizon_secs)` for a cluster of `gpus` GPUs and `servers` servers.
+    ///
+    /// Deterministic given the RNG state: the same seed always yields the
+    /// same trace, and the GPU-failure and preemption processes draw from
+    /// independent derived streams so enabling one never perturbs the
+    /// other.
+    pub fn realize(
+        &self,
+        rng: &SimRng,
+        horizon_secs: f64,
+        gpus: u32,
+        servers: u32,
+    ) -> DisruptionScript {
+        let mut events: Vec<DisruptionEvent> = Vec::new();
+
+        if self.gpu_fail_mtbf_secs > 0.0 && gpus > 0 {
+            let mut budget = self.max_events;
+            let mut r = rng.stream_named("gpu-fail");
+            let mut t = self.start_secs + exp_sample(&mut r, self.gpu_fail_mtbf_secs);
+            while t < horizon_secs && budget > 0 {
+                let gpu = r.below(u64::from(gpus)) as u32;
+                events.push(DisruptionEvent {
+                    at_secs: t,
+                    kind: Disruption::GpuFail { gpu },
+                });
+                if self.restore_delay_secs > 0.0 {
+                    events.push(DisruptionEvent {
+                        at_secs: t + self.restore_delay_secs,
+                        kind: Disruption::CapacityReturn {
+                            gpus: vec![gpu],
+                            servers: Vec::new(),
+                        },
+                    });
+                }
+                budget -= 1;
+                t += exp_sample(&mut r, self.gpu_fail_mtbf_secs);
+            }
+        }
+
+        if self.server_preempt_mtbf_secs > 0.0 && servers > 0 {
+            let mut budget = self.max_events;
+            let mut r = rng.stream_named("server-preempt");
+            let mut t = self.start_secs + exp_sample(&mut r, self.server_preempt_mtbf_secs);
+            while t < horizon_secs && budget > 0 {
+                let server = r.below(u64::from(servers)) as u32;
+                events.push(DisruptionEvent {
+                    at_secs: t,
+                    kind: Disruption::ServerPreempt {
+                        server,
+                        grace_secs: self.grace_secs,
+                    },
+                });
+                if self.restore_delay_secs > 0.0 {
+                    events.push(DisruptionEvent {
+                        at_secs: t + self.grace_secs + self.restore_delay_secs,
+                        kind: Disruption::CapacityReturn {
+                            gpus: Vec::new(),
+                            servers: vec![server],
+                        },
+                    });
+                }
+                budget -= 1;
+                t += exp_sample(&mut r, self.server_preempt_mtbf_secs);
+            }
+        }
+
+        DisruptionScript {
+            name: self.label.clone(),
+            events,
+        }
+        .sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> RandomDisruptions {
+        RandomDisruptions {
+            label: "t".into(),
+            gpu_fail_mtbf_secs: 50.0,
+            server_preempt_mtbf_secs: 80.0,
+            grace_secs: 5.0,
+            restore_delay_secs: 30.0,
+            start_secs: 10.0,
+            max_events: 64,
+        }
+    }
+
+    #[test]
+    fn realization_is_deterministic() {
+        let g = gen();
+        let a = g.realize(&SimRng::seed(7), 400.0, 12, 8);
+        let b = g.realize(&SimRng::seed(7), 400.0, 12, 8);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = g.realize(&SimRng::seed(8), 400.0, 12, 8);
+        assert_ne!(a, c, "different seeds must yield different traces");
+    }
+
+    #[test]
+    fn events_respect_start_and_horizon() {
+        let g = gen();
+        let s = g.realize(&SimRng::seed(3), 300.0, 12, 8);
+        s.validate(12, 8).unwrap();
+        for e in &s.events {
+            match e.kind {
+                // Restores may land past the horizon (the engine simply
+                // never fires them); revocations must not.
+                Disruption::CapacityReturn { .. } => assert!(e.at_secs >= g.start_secs),
+                _ => assert!(e.at_secs >= g.start_secs && e.at_secs < 300.0),
+            }
+        }
+        // Sorted by time.
+        assert!(s.events.windows(2).all(|w| w[0].at_secs <= w[1].at_secs));
+    }
+
+    #[test]
+    fn disabled_processes_generate_nothing() {
+        let g = RandomDisruptions {
+            gpu_fail_mtbf_secs: 0.0,
+            server_preempt_mtbf_secs: 0.0,
+            ..gen()
+        };
+        assert!(g.realize(&SimRng::seed(1), 1000.0, 12, 8).is_empty());
+    }
+
+    #[test]
+    fn max_events_caps_tiny_mtbf() {
+        let g = RandomDisruptions {
+            gpu_fail_mtbf_secs: 0.001,
+            server_preempt_mtbf_secs: 0.0,
+            restore_delay_secs: 0.0,
+            max_events: 5,
+            ..gen()
+        };
+        let s = g.realize(&SimRng::seed(1), 1000.0, 12, 8);
+        assert_eq!(s.events.len(), 5);
+    }
+
+    #[test]
+    fn budgets_are_per_process() {
+        // A runaway GPU-failure process must not starve the preemption
+        // process of its event budget.
+        let g = RandomDisruptions {
+            gpu_fail_mtbf_secs: 0.001,
+            server_preempt_mtbf_secs: 100.0,
+            restore_delay_secs: 0.0,
+            max_events: 5,
+            ..gen()
+        };
+        let s = g.realize(&SimRng::seed(1), 1000.0, 12, 8);
+        let preempts = s
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, Disruption::ServerPreempt { .. }))
+            .count();
+        assert!(preempts > 0, "preemption process was starved");
+        assert!(preempts <= 5);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let mut g = gen();
+        g.grace_secs = f64::NAN;
+        assert!(g.validate().is_err());
+        let mut g = gen();
+        g.max_events = 0;
+        assert!(g.validate().is_err());
+        assert!(gen().validate().is_ok());
+    }
+}

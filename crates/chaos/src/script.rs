@@ -1,0 +1,332 @@
+//! The declarative disruption script: timed cluster disruption events.
+//!
+//! Scripts describe *what the platform does to the tenant*: individual GPU
+//! failures (hardware loss, no warning), spot preemptions of whole servers
+//! (with the multi-second grace notice public clouds give), capacity
+//! returning to the pool, and arrival-rate surges. GPU and server targets
+//! are plain indices into the cluster's topology so scripts stay portable
+//! across cluster shapes of compatible size.
+
+use serde::{Deserialize, Serialize};
+
+/// One disruption kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Disruption {
+    /// Hardware failure of one GPU: immediate, no grace.
+    GpuFail {
+        /// Topology index of the failing GPU.
+        gpu: u32,
+    },
+    /// Spot preemption of a whole server: every GPU (and the host-memory
+    /// parameter cache) on it is revoked after the grace window.
+    ServerPreempt {
+        /// Topology index of the preempted server.
+        server: u32,
+        /// Grace between the preemption notice and the revocation.
+        grace_secs: f64,
+    },
+    /// Spot preemption of the `rank`-th *busiest* server — resolved at
+    /// event time by serving-leased bytes (ties break toward the lowest
+    /// server id). Rank 0 always hits the tenant's deployment regardless
+    /// of where a policy placed its stages, which is what an adversarial
+    /// resilience test needs.
+    HotServerPreempt {
+        /// Busyness rank of the victim (0 = busiest).
+        rank: u32,
+        /// Grace between the preemption notice and the revocation.
+        grace_secs: f64,
+    },
+    /// Previously revoked capacity returns to the pool.
+    CapacityReturn {
+        /// GPU indices to restore.
+        gpus: Vec<u32>,
+        /// Server indices to restore (all their GPUs plus host memory).
+        servers: Vec<u32>,
+    },
+    /// Arrival-rate surge: the request rate multiplies by `factor` for
+    /// `duration_secs`. Applied at workload-generation time via
+    /// [`crate::surge::warp_arrivals`]; the serving engine itself sees
+    /// only the densified arrivals.
+    RateSurge {
+        /// Rate multiplier (> 0; > 1 densifies, < 1 thins).
+        factor: f64,
+        /// Surge window length in seconds.
+        duration_secs: f64,
+    },
+}
+
+/// A disruption pinned to a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisruptionEvent {
+    /// When the event fires (notice time for graced preemptions), seconds.
+    pub at_secs: f64,
+    /// What happens.
+    pub kind: Disruption,
+}
+
+/// A named, ordered list of timed disruptions.
+///
+/// The default script is empty (no disruptions), which keeps every
+/// pre-chaos scenario byte-identical to its previous behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DisruptionScript {
+    /// Script name (used in fleet cell labels).
+    pub name: String,
+    /// The events; [`DisruptionScript::sorted`] normalizes the order.
+    pub events: Vec<DisruptionEvent>,
+}
+
+impl Default for DisruptionScript {
+    fn default() -> Self {
+        DisruptionScript {
+            name: "none".into(),
+            events: Vec::new(),
+        }
+    }
+}
+
+/// One rate-surge window extracted from a script.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurgeWindow {
+    /// Window start, seconds.
+    pub start: f64,
+    /// Window end, seconds.
+    pub end: f64,
+    /// Rate multiplier inside the window.
+    pub factor: f64,
+}
+
+impl DisruptionScript {
+    /// Whether the script contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A copy with events sorted by `(time, original index)` — the order
+    /// the engine schedules them in, stable under equal timestamps.
+    pub fn sorted(&self) -> DisruptionScript {
+        let mut indexed: Vec<(usize, DisruptionEvent)> =
+            self.events.iter().cloned().enumerate().collect();
+        indexed.sort_by(|(ia, a), (ib, b)| {
+            a.at_secs
+                .partial_cmp(&b.at_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ia.cmp(ib))
+        });
+        DisruptionScript {
+            name: self.name.clone(),
+            events: indexed.into_iter().map(|(_, e)| e).collect(),
+        }
+    }
+
+    /// The script's rate-surge windows, sorted by start time.
+    pub fn surge_windows(&self) -> Vec<SurgeWindow> {
+        let mut windows: Vec<SurgeWindow> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                Disruption::RateSurge {
+                    factor,
+                    duration_secs,
+                } => Some(SurgeWindow {
+                    start: e.at_secs,
+                    end: e.at_secs + duration_secs,
+                    factor,
+                }),
+                _ => None,
+            })
+            .collect();
+        windows.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());
+        windows
+    }
+
+    /// Validates the script against a cluster of `gpus` GPUs and `servers`
+    /// servers, returning the first problem found.
+    pub fn validate(&self, gpus: u32, servers: u32) -> Result<(), String> {
+        for (i, e) in self.events.iter().enumerate() {
+            if !e.at_secs.is_finite() || e.at_secs < 0.0 {
+                return Err(format!("event {i}: at_secs must be finite and >= 0"));
+            }
+            match &e.kind {
+                Disruption::GpuFail { gpu } => {
+                    if *gpu >= gpus {
+                        return Err(format!("event {i}: gpu {gpu} out of range (< {gpus})"));
+                    }
+                }
+                Disruption::ServerPreempt { server, grace_secs } => {
+                    if *server >= servers {
+                        return Err(format!(
+                            "event {i}: server {server} out of range (< {servers})"
+                        ));
+                    }
+                    if !grace_secs.is_finite() || *grace_secs < 0.0 {
+                        return Err(format!("event {i}: grace must be finite and >= 0"));
+                    }
+                }
+                Disruption::HotServerPreempt { rank, grace_secs } => {
+                    if *rank >= servers {
+                        return Err(format!("event {i}: rank {rank} out of range (< {servers})"));
+                    }
+                    if !grace_secs.is_finite() || *grace_secs < 0.0 {
+                        return Err(format!("event {i}: grace must be finite and >= 0"));
+                    }
+                }
+                Disruption::CapacityReturn {
+                    gpus: gs,
+                    servers: ss,
+                } => {
+                    if let Some(g) = gs.iter().find(|&&g| g >= gpus) {
+                        return Err(format!("event {i}: gpu {g} out of range (< {gpus})"));
+                    }
+                    if let Some(s) = ss.iter().find(|&&s| s >= servers) {
+                        return Err(format!("event {i}: server {s} out of range (< {servers})"));
+                    }
+                }
+                Disruption::RateSurge {
+                    factor,
+                    duration_secs,
+                } => {
+                    if !(factor.is_finite() && *factor > 0.0) {
+                        return Err(format!("event {i}: surge factor must be finite and > 0"));
+                    }
+                    if !(duration_secs.is_finite() && *duration_secs > 0.0) {
+                        return Err(format!("event {i}: surge duration must be finite and > 0"));
+                    }
+                }
+            }
+        }
+        // Overlapping surges would make the warp ambiguous (which factor
+        // applies?); reject rather than silently compose.
+        let windows = self.surge_windows();
+        for pair in windows.windows(2) {
+            if pair[1].start < pair[0].end {
+                return Err(format!(
+                    "rate surges overlap at t={:.3}..{:.3}",
+                    pair[1].start, pair[0].end
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preempt(at: f64) -> DisruptionEvent {
+        DisruptionEvent {
+            at_secs: at,
+            kind: Disruption::ServerPreempt {
+                server: 0,
+                grace_secs: 5.0,
+            },
+        }
+    }
+
+    #[test]
+    fn default_is_empty_and_valid() {
+        let s = DisruptionScript::default();
+        assert!(s.is_empty());
+        assert_eq!(s.name, "none");
+        s.validate(0, 0).unwrap();
+    }
+
+    #[test]
+    fn sorted_orders_by_time_then_index() {
+        let s = DisruptionScript {
+            name: "t".into(),
+            events: vec![
+                preempt(10.0),
+                DisruptionEvent {
+                    at_secs: 5.0,
+                    kind: Disruption::GpuFail { gpu: 1 },
+                },
+                DisruptionEvent {
+                    at_secs: 10.0,
+                    kind: Disruption::GpuFail { gpu: 2 },
+                },
+            ],
+        };
+        let sorted = s.sorted();
+        assert_eq!(sorted.events[0].at_secs, 5.0);
+        // Equal timestamps keep original relative order.
+        assert!(matches!(
+            sorted.events[1].kind,
+            Disruption::ServerPreempt { .. }
+        ));
+        assert!(matches!(sorted.events[2].kind, Disruption::GpuFail { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_targets() {
+        let s = DisruptionScript {
+            name: "bad".into(),
+            events: vec![DisruptionEvent {
+                at_secs: 1.0,
+                kind: Disruption::GpuFail { gpu: 12 },
+            }],
+        };
+        assert!(s.validate(12, 8).is_err());
+        assert!(s.validate(13, 8).is_ok());
+        let s = DisruptionScript {
+            name: "bad".into(),
+            events: vec![preempt(-1.0)],
+        };
+        assert!(s.validate(4, 2).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_overlapping_surges() {
+        let surge = |at: f64, dur: f64| DisruptionEvent {
+            at_secs: at,
+            kind: Disruption::RateSurge {
+                factor: 2.0,
+                duration_secs: dur,
+            },
+        };
+        let s = DisruptionScript {
+            name: "s".into(),
+            events: vec![surge(10.0, 10.0), surge(15.0, 5.0)],
+        };
+        assert!(s.validate(4, 2).is_err());
+        let s = DisruptionScript {
+            name: "s".into(),
+            events: vec![surge(10.0, 5.0), surge(15.0, 5.0)],
+        };
+        assert!(s.validate(4, 2).is_ok());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = DisruptionScript {
+            name: "mixed".into(),
+            events: vec![
+                DisruptionEvent {
+                    at_secs: 3.0,
+                    kind: Disruption::HotServerPreempt {
+                        rank: 0,
+                        grace_secs: 8.0,
+                    },
+                },
+                DisruptionEvent {
+                    at_secs: 6.0,
+                    kind: Disruption::RateSurge {
+                        factor: 3.0,
+                        duration_secs: 4.0,
+                    },
+                },
+                DisruptionEvent {
+                    at_secs: 20.0,
+                    kind: Disruption::CapacityReturn {
+                        gpus: vec![1, 2],
+                        servers: vec![0],
+                    },
+                },
+            ],
+        };
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: DisruptionScript = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,201 @@
+//! Rate-surge application: a piecewise-linear time-warp over arrivals.
+//!
+//! Arrival traces are generated once, up front, by `flexpipe-workload`; a
+//! surge therefore cannot be injected at engine runtime. Instead the
+//! workload is generated over a *virtual* horizon — the real horizon with
+//! every surge window stretched by its factor — and then warped back:
+//! arrivals inside a stretched window compress into the real window,
+//! multiplying local arrival density by exactly the surge factor while the
+//! renewal structure (and the target CV) of the underlying process is
+//! preserved.
+//!
+//! The warp is strictly monotonic, keeps the trace sorted, maps the
+//! virtual horizon onto the real horizon, and is the identity when the
+//! script has no surges — disruption-free cells stay byte-identical.
+
+use flexpipe_sim::SimTime;
+use flexpipe_workload::Workload;
+
+use crate::script::{DisruptionScript, SurgeWindow};
+
+/// One real-time segment with its rate factor (1.0 between windows).
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: f64,
+    end: f64,
+    factor: f64,
+}
+
+/// Splits `[0, horizon]` into contiguous segments by the script's surge
+/// windows (clipped to the horizon).
+fn segments(script: &DisruptionScript, horizon_secs: f64) -> Vec<Segment> {
+    let mut segs = Vec::new();
+    let mut cursor = 0.0;
+    for w in script.surge_windows() {
+        let SurgeWindow { start, end, factor } = w;
+        let start = start.clamp(0.0, horizon_secs);
+        let end = end.clamp(0.0, horizon_secs);
+        if end <= cursor {
+            continue;
+        }
+        if start > cursor {
+            segs.push(Segment {
+                start: cursor,
+                end: start,
+                factor: 1.0,
+            });
+        }
+        segs.push(Segment {
+            start: start.max(cursor),
+            end,
+            factor,
+        });
+        cursor = end;
+    }
+    if cursor < horizon_secs {
+        segs.push(Segment {
+            start: cursor,
+            end: horizon_secs,
+            factor: 1.0,
+        });
+    }
+    segs
+}
+
+/// The virtual horizon a workload must be generated over so that, after
+/// [`warp_arrivals`], it spans exactly `horizon_secs` of real time.
+pub fn virtual_horizon(horizon_secs: f64, script: &DisruptionScript) -> f64 {
+    segments(script, horizon_secs)
+        .iter()
+        .map(|s| (s.end - s.start) * s.factor)
+        .sum()
+}
+
+/// Warps a workload generated over [`virtual_horizon`] seconds back onto
+/// the real `horizon_secs` axis, densifying arrivals inside each surge
+/// window by its factor. No-op for scripts without surges.
+pub fn warp_arrivals(workload: &mut Workload, script: &DisruptionScript, horizon_secs: f64) {
+    let segs = segments(script, horizon_secs);
+    if segs.iter().all(|s| s.factor == 1.0) {
+        return;
+    }
+    // Virtual start offset of each segment.
+    let mut vstarts = Vec::with_capacity(segs.len());
+    let mut v = 0.0;
+    for s in &segs {
+        vstarts.push(v);
+        v += (s.end - s.start) * s.factor;
+    }
+    let total_virtual = v;
+    for req in &mut workload.requests {
+        let vt = req.arrival.as_secs_f64();
+        let real = if vt >= total_virtual {
+            // Numerical tail: extend past the horizon at factor 1.
+            horizon_secs + (vt - total_virtual)
+        } else {
+            // Find the containing segment (few segments; linear scan).
+            let mut idx = 0;
+            for (i, &vs) in vstarts.iter().enumerate() {
+                if vt >= vs {
+                    idx = i;
+                } else {
+                    break;
+                }
+            }
+            let s = segs[idx];
+            s.start + (vt - vstarts[idx]) / s.factor
+        };
+        req.arrival = SimTime::from_secs_f64(real);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{Disruption, DisruptionEvent};
+    use flexpipe_sim::{SimDuration, SimRng};
+    use flexpipe_workload::{ArrivalSpec, LengthProfile, WorkloadSpec};
+
+    fn surge_script(at: f64, dur: f64, factor: f64) -> DisruptionScript {
+        DisruptionScript {
+            name: "surge".into(),
+            events: vec![DisruptionEvent {
+                at_secs: at,
+                kind: Disruption::RateSurge {
+                    factor,
+                    duration_secs: dur,
+                },
+            }],
+        }
+    }
+
+    fn workload(horizon: f64, rate: f64, seed: u64) -> Workload {
+        WorkloadSpec {
+            arrivals: ArrivalSpec::GammaRenewal { rate, cv: 1.0 },
+            lengths: LengthProfile::fixed(64, 4),
+            slo: SimDuration::from_secs(2),
+            slo_per_output_token: SimDuration::ZERO,
+            horizon_secs: horizon,
+        }
+        .generate(&mut SimRng::seed(seed))
+    }
+
+    #[test]
+    fn virtual_horizon_stretches_windows() {
+        let s = surge_script(10.0, 5.0, 3.0);
+        // 100 s real, 5 s of it at 3x: 100 + 5*2 = 110 virtual.
+        assert!((virtual_horizon(100.0, &s) - 110.0).abs() < 1e-9);
+        assert_eq!(virtual_horizon(100.0, &DisruptionScript::default()), 100.0);
+    }
+
+    #[test]
+    fn empty_script_is_identity() {
+        let mut w = workload(60.0, 5.0, 3);
+        let before: Vec<_> = w.requests.iter().map(|r| r.arrival).collect();
+        warp_arrivals(&mut w, &DisruptionScript::default(), 60.0);
+        let after: Vec<_> = w.requests.iter().map(|r| r.arrival).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn warp_densifies_the_window_and_preserves_count_and_order() {
+        let script = surge_script(20.0, 10.0, 4.0);
+        let horizon = 100.0;
+        let vh = virtual_horizon(horizon, &script);
+        let mut w = workload(vh, 5.0, 11);
+        let n = w.requests.len();
+        warp_arrivals(&mut w, &script, horizon);
+        assert_eq!(w.requests.len(), n);
+        // Still sorted.
+        assert!(w.requests.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        // Arrivals inside the window are ~4x the base density.
+        let count_in = |w: &Workload, a: f64, b: f64| {
+            w.requests
+                .iter()
+                .filter(|r| {
+                    let t = r.arrival.as_secs_f64();
+                    t >= a && t < b
+                })
+                .count() as f64
+        };
+        let in_window = count_in(&w, 20.0, 30.0) / 10.0;
+        let outside = count_in(&w, 40.0, 90.0) / 50.0;
+        assert!(
+            in_window > outside * 2.0,
+            "window rate {in_window}/s vs outside {outside}/s"
+        );
+        // The trace still ends near the real horizon.
+        let last = w.requests.last().unwrap().arrival.as_secs_f64();
+        assert!(last <= horizon + 1.0, "last arrival {last}");
+    }
+
+    #[test]
+    fn warp_is_monotonic_across_boundaries() {
+        let script = surge_script(5.0, 5.0, 2.0);
+        let horizon = 20.0;
+        let vh = virtual_horizon(horizon, &script);
+        let mut w = workload(vh, 20.0, 5);
+        warp_arrivals(&mut w, &script, horizon);
+        assert!(w.requests.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+    }
+}

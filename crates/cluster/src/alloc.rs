@@ -139,6 +139,17 @@ impl Provisioner {
         }
     }
 
+    /// Forcibly removes `gpu` from every tier: in-use, warm, and the
+    /// always-on pin list. Used when the platform *revokes* the device
+    /// (spot preemption, hardware failure) — unlike [`Provisioner::release`]
+    /// the GPU does not enter the warm window, because it is no longer
+    /// ours to re-acquire. A later restore re-enters it as cold elastic.
+    pub fn evict(&mut self, gpu: GpuId) {
+        self.in_use.remove(&gpu);
+        self.warm.remove(&gpu);
+        self.always_on.retain(|&g| g != gpu);
+    }
+
     /// Drops warm reservations whose reclaim window has passed.
     pub fn expire_warm(&mut self, now: SimTime) {
         self.warm.retain(|_, &mut expiry| expiry > now);
@@ -260,6 +271,23 @@ mod tests {
         // Re-acquiring is still instant because it is pinned.
         let a = p.acquire(GpuId(0), SimTime::from_secs(2));
         assert_eq!(a.kind, AcquireKind::AlwaysOn);
+    }
+
+    #[test]
+    fn evict_removes_every_tier_membership() {
+        let mut p = provisioner();
+        // Pinned GPU: eviction un-pins it.
+        p.acquire(GpuId(0), SimTime::from_secs(0));
+        p.evict(GpuId(0));
+        assert!(!p.is_in_use(GpuId(0)));
+        let a = p.acquire(GpuId(0), SimTime::from_secs(1));
+        assert_eq!(a.kind, AcquireKind::ColdElastic);
+        // Warm elastic GPU: eviction forfeits the warm window.
+        p.acquire(GpuId(9), SimTime::from_secs(2));
+        p.release(GpuId(9), SimTime::from_secs(3));
+        p.evict(GpuId(9));
+        let a = p.acquire(GpuId(9), SimTime::from_secs(4));
+        assert_eq!(a.kind, AcquireKind::ColdElastic);
     }
 
     #[test]

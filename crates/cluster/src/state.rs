@@ -84,6 +84,11 @@ pub struct Cluster {
     host_used: Vec<u64>,
     leases: HashMap<LeaseId, Lease>,
     next_lease: u64,
+    /// Revoked devices (spot preemption / hardware failure): excluded from
+    /// every capacity query until restored.
+    revoked: Vec<bool>,
+    /// Servers whose host memory tier is revoked (whole-server preemption).
+    revoked_hosts: Vec<bool>,
 }
 
 impl Cluster {
@@ -98,6 +103,8 @@ impl Cluster {
             host_used: vec![0; s],
             leases: HashMap::new(),
             next_lease: 0,
+            revoked: vec![false; n],
+            revoked_hosts: vec![false; s],
         }
     }
 
@@ -116,8 +123,11 @@ impl Cluster {
         self.loads[gpu.0 as usize]
     }
 
-    /// Free device memory on `gpu` in bytes.
+    /// Free device memory on `gpu` in bytes (0 while revoked).
     pub fn free_mem(&self, gpu: GpuId) -> u64 {
+        if self.revoked[gpu.0 as usize] {
+            return 0;
+        }
         let l = self.loads[gpu.0 as usize];
         self.gpu_mem_capacity()
             .saturating_sub(l.bg_mem + l.serving_mem)
@@ -128,8 +138,11 @@ impl Cluster {
         self.free_mem(gpu) as f64 / self.gpu_mem_capacity() as f64
     }
 
-    /// Free host DRAM on `server` in bytes.
+    /// Free host DRAM on `server` in bytes (0 while the host is revoked).
     pub fn free_host_mem(&self, server: ServerId) -> u64 {
+        if self.revoked_hosts[server.0 as usize] {
+            return 0;
+        }
         self.topo
             .host_mem(server)
             .saturating_sub(self.host_used[server.0 as usize])
@@ -141,6 +154,10 @@ impl Cluster {
     /// in a real cluster the scheduler would simply not have admitted the
     /// tenant, and serving leases must never be invalidated retroactively.
     pub fn set_background(&mut self, gpu: GpuId, mem: u64, sm: f64, services: u32) {
+        if self.revoked[gpu.0 as usize] {
+            // A revoked device hosts nobody; churn resumes after restore.
+            return;
+        }
         let cap = self.gpu_mem_capacity();
         let l = &mut self.loads[gpu.0 as usize];
         l.bg_mem = mem.min(cap.saturating_sub(l.serving_mem));
@@ -148,10 +165,11 @@ impl Cluster {
         l.bg_services = services;
     }
 
-    /// Takes a serving lease of `bytes` on `gpu`.
+    /// Takes a serving lease of `bytes` on `gpu`. Revoked devices refuse
+    /// every reservation (their free memory reads 0).
     pub fn reserve_gpu(&mut self, gpu: GpuId, bytes: u64) -> Result<LeaseId, AllocError> {
         let free = self.free_mem(gpu);
-        if bytes > free {
+        if bytes > free || self.revoked[gpu.0 as usize] {
             return Err(AllocError::InsufficientMemory {
                 requested: bytes,
                 free,
@@ -164,10 +182,11 @@ impl Cluster {
         }))
     }
 
-    /// Takes a host-memory lease of `bytes` on `server`.
+    /// Takes a host-memory lease of `bytes` on `server`. Revoked hosts
+    /// refuse every reservation.
     pub fn reserve_host(&mut self, server: ServerId, bytes: u64) -> Result<LeaseId, AllocError> {
         let free = self.free_host_mem(server);
-        if bytes > free {
+        if bytes > free || self.revoked_hosts[server.0 as usize] {
             return Err(AllocError::InsufficientMemory {
                 requested: bytes,
                 free,
@@ -218,19 +237,104 @@ impl Cluster {
         self.leases.len()
     }
 
-    /// Iterates over GPU ids whose free memory is at least `min_free` bytes.
+    /// Iterates over GPU ids whose free memory is at least `min_free`
+    /// bytes; revoked devices are never yielded.
     pub fn gpus_with_free(&self, min_free: u64) -> impl Iterator<Item = GpuId> + '_ {
         self.topo
             .gpus()
             .iter()
             .map(|g| g.id)
-            .filter(move |&g| self.free_mem(g) >= min_free)
+            .filter(move |&g| !self.is_revoked(g) && self.free_mem(g) >= min_free)
+    }
+
+    /// Whether `gpu` is currently revoked.
+    pub fn is_revoked(&self, gpu: GpuId) -> bool {
+        self.revoked[gpu.0 as usize]
+    }
+
+    /// Whether `server`'s host memory tier is currently revoked.
+    pub fn is_host_revoked(&self, server: ServerId) -> bool {
+        self.revoked_hosts[server.0 as usize]
+    }
+
+    /// Currently revoked GPUs, in id order.
+    pub fn revoked_gpus(&self) -> Vec<GpuId> {
+        self.revoked
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r)
+            .map(|(i, _)| GpuId(i as u32))
+            .collect()
+    }
+
+    /// Revokes `gpu`: the device leaves the cluster's usable pool, its
+    /// background occupancy vanishes with it, and every serving lease it
+    /// backs is invalidated. Returns the invalidated lease ids (in id
+    /// order) so the serving layer can reconcile its stage bookkeeping.
+    /// Idempotent: revoking a revoked device returns an empty list.
+    pub fn revoke_gpu(&mut self, gpu: GpuId) -> Vec<LeaseId> {
+        let i = gpu.0 as usize;
+        if self.revoked[i] {
+            return Vec::new();
+        }
+        self.revoked[i] = true;
+        let mut dead: Vec<LeaseId> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.target == LeaseTarget::Gpu(gpu))
+            .map(|(&id, _)| id)
+            .collect();
+        dead.sort_unstable();
+        for id in &dead {
+            self.leases.remove(id);
+        }
+        self.loads[i] = GpuLoad::default();
+        dead
+    }
+
+    /// Revokes `server`'s host memory tier, invalidating every host lease
+    /// on it. Returns the invalidated lease ids in id order. The server's
+    /// GPUs are revoked separately (callers decide the blast radius).
+    pub fn revoke_host(&mut self, server: ServerId) -> Vec<LeaseId> {
+        let i = server.0 as usize;
+        if self.revoked_hosts[i] {
+            return Vec::new();
+        }
+        self.revoked_hosts[i] = true;
+        let mut dead: Vec<LeaseId> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.target == LeaseTarget::Host(server))
+            .map(|(&id, _)| id)
+            .collect();
+        dead.sort_unstable();
+        for id in &dead {
+            self.leases.remove(id);
+        }
+        self.host_used[i] = 0;
+        dead
+    }
+
+    /// Restores a revoked GPU to the usable pool (empty: background
+    /// tenants re-populate on the next churn step). Restoring any GPU of a
+    /// host-revoked server brings the host memory tier back with it.
+    pub fn restore_gpu(&mut self, gpu: GpuId) {
+        let i = gpu.0 as usize;
+        if !self.revoked[i] {
+            return;
+        }
+        self.revoked[i] = false;
+        let server = self.topo.gpu(gpu).server;
+        self.revoked_hosts[server.0 as usize] = false;
     }
 
     /// Verifies the capacity invariant on every device; used by tests.
     pub fn check_invariants(&self) -> Result<(), String> {
         let cap = self.gpu_mem_capacity();
         for (i, l) in self.loads.iter().enumerate() {
+            if self.revoked[i] && (l.bg_mem != 0 || l.serving_mem != 0) {
+                return Err(format!("revoked gpu {i} still carries occupancy"));
+            }
             if l.bg_mem + l.serving_mem > cap {
                 return Err(format!(
                     "gpu {i}: bg {} + serving {} exceeds capacity {cap}",
@@ -249,8 +353,18 @@ impl Cluster {
         let mut per_host = vec![0u64; self.host_used.len()];
         for lease in self.leases.values() {
             match lease.target {
-                LeaseTarget::Gpu(g) => per_gpu[g.0 as usize] += lease.bytes,
-                LeaseTarget::Host(s) => per_host[s.0 as usize] += lease.bytes,
+                LeaseTarget::Gpu(g) => {
+                    if self.revoked[g.0 as usize] {
+                        return Err(format!("lease survives on revoked gpu {}", g.0));
+                    }
+                    per_gpu[g.0 as usize] += lease.bytes;
+                }
+                LeaseTarget::Host(s) => {
+                    if self.revoked_hosts[s.0 as usize] {
+                        return Err(format!("lease survives on revoked host {}", s.0));
+                    }
+                    per_host[s.0 as usize] += lease.bytes;
+                }
             }
         }
         for (i, l) in self.loads.iter().enumerate() {
@@ -337,6 +451,69 @@ mod tests {
         assert_eq!(c.free_host_mem(ServerId(1)), cap);
         c.release(l).unwrap();
         c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn revoke_invalidates_leases_and_blocks_reservation() {
+        let mut c = small();
+        let g = GpuId(1);
+        let l1 = c.reserve_gpu(g, 1024).unwrap();
+        let l2 = c.reserve_gpu(g, 2048).unwrap();
+        c.set_background(g, 4096, 0.4, 2);
+        let dead = c.revoke_gpu(g);
+        assert_eq!(dead, vec![l1, l2]);
+        assert!(c.is_revoked(g));
+        assert_eq!(c.free_mem(g), 0);
+        assert_eq!(c.load(g).bg_mem, 0);
+        assert!(c.reserve_gpu(g, 1).is_err());
+        assert!(c.lease(l1).is_none(), "revoked lease must disappear");
+        assert!(matches!(c.release(l1), Err(AllocError::UnknownLease(_))));
+        // Background churn cannot repopulate a revoked device.
+        c.set_background(g, 4096, 0.4, 2);
+        assert_eq!(c.load(g).bg_mem, 0);
+        c.check_invariants().unwrap();
+        // Idempotent.
+        assert!(c.revoke_gpu(g).is_empty());
+        assert_eq!(c.revoked_gpus(), vec![g]);
+    }
+
+    #[test]
+    fn restore_returns_capacity() {
+        let mut c = small();
+        let g = GpuId(2);
+        c.revoke_gpu(g);
+        c.restore_gpu(g);
+        assert!(!c.is_revoked(g));
+        assert_eq!(c.free_mem(g), c.gpu_mem_capacity());
+        let l = c.reserve_gpu(g, 1024).unwrap();
+        c.release(l).unwrap();
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn host_revocation_drops_cache_leases() {
+        let mut c = small();
+        let s = ServerId(0);
+        let l = c.reserve_host(s, 1 << 30).unwrap();
+        let dead = c.revoke_host(s);
+        assert_eq!(dead, vec![l]);
+        assert!(c.is_host_revoked(s));
+        assert_eq!(c.free_host_mem(s), 0);
+        assert!(c.reserve_host(s, 1).is_err());
+        c.check_invariants().unwrap();
+        // Restoring any GPU of the server brings the host tier back.
+        let g = c.topology().gpus_on(s)[0];
+        c.revoke_gpu(g);
+        c.restore_gpu(g);
+        assert!(!c.is_host_revoked(s));
+        assert!(c.reserve_host(s, 1).is_ok());
+    }
+
+    #[test]
+    fn gpus_with_free_excludes_revoked() {
+        let mut c = small();
+        c.revoke_gpu(GpuId(5));
+        assert!(!c.gpus_with_free(0).any(|g| g == GpuId(5)));
     }
 
     #[test]

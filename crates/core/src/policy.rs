@@ -21,8 +21,8 @@ use serde::{Deserialize, Serialize};
 
 use flexpipe_cluster::GpuId;
 use flexpipe_serving::{
-    ActionError, ControlPolicy, Ctx, InstanceId, InstanceState, Placement, RefactorPlan,
-    StageAssign,
+    ActionError, ControlPolicy, CrippledInstance, Ctx, DisruptionNotice, InstanceId, InstanceState,
+    Placement, RefactorPlan, StageAssign,
 };
 use flexpipe_sim::{SimDuration, SimTime};
 
@@ -168,6 +168,14 @@ impl FlexPipePolicy {
             .copied()
     }
 
+    /// Devices no placement may touch: everything we already hold plus
+    /// everything under an outstanding preemption notice.
+    fn forbidden_gpus(&self, ctx: &Ctx<'_>) -> Vec<GpuId> {
+        let mut forbidden: Vec<GpuId> = ctx.state.gpus_in_use().iter().copied().collect();
+        forbidden.extend(ctx.state.doomed_gpus().iter().map(|&(g, _)| g));
+        forbidden
+    }
+
     fn stage_needs(&self, ctx: &Ctx<'_>, ranges: &[flexpipe_model::OpRange]) -> Vec<StageNeed> {
         ranges
             .iter()
@@ -194,7 +202,7 @@ impl FlexPipePolicy {
             .ranges
             .clone();
         let needs = self.stage_needs(ctx, &ranges);
-        let forbidden: Vec<GpuId> = ctx.state.gpus_in_use().iter().copied().collect();
+        let forbidden = self.forbidden_gpus(ctx);
         let assignment = self
             .hrg
             .place(
@@ -242,7 +250,7 @@ impl FlexPipePolicy {
             Vec::new()
         } else {
             let needs = self.stage_needs(ctx, &fresh_ranges);
-            let forbidden: Vec<GpuId> = ctx.state.gpus_in_use().iter().copied().collect();
+            let forbidden = self.forbidden_gpus(ctx);
             match self.hrg.place(
                 ctx.state.cluster(),
                 ctx.state.graph(),
@@ -315,6 +323,104 @@ impl FlexPipePolicy {
         };
         if ctx.refactor(inst.id, refactor_plan).is_ok() {
             self.last_refactor.insert(inst.id, now);
+        }
+    }
+
+    /// Inflight rescue (§6 under preemption): rebuild `id` at the same
+    /// depth with every doomed/dead stage on a fresh HRG-placed device and
+    /// every healthy stage reused in place. `cached_tokens` prices the KV
+    /// that must move (0 after a revocation already destroyed it). Returns
+    /// whether the refactor was accepted.
+    fn refactor_onto_fresh(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: InstanceId,
+        target_ranges: &[flexpipe_model::OpRange],
+        bad: &dyn Fn(GpuId) -> bool,
+        cached_tokens: u64,
+    ) -> bool {
+        let now = ctx.now();
+        let surviving = ctx.state.stage_placement(id).unwrap_or_default();
+        // Map each target range to a healthy survivor, or mark it fresh.
+        let mut reuse: Vec<Option<u32>> = Vec::with_capacity(target_ranges.len());
+        let mut fresh_ranges = Vec::new();
+        for &r in target_ranges {
+            match surviving.iter().position(|&(sr, sg)| sr == r && !bad(sg)) {
+                Some(i) => reuse.push(Some(i as u32)),
+                None => {
+                    reuse.push(None);
+                    fresh_ranges.push(r);
+                }
+            }
+        }
+        if fresh_ranges.is_empty() {
+            return true; // nothing to move
+        }
+        let (rate, cv, _) = ctx.monitor();
+        let needs = self.stage_needs(ctx, &fresh_ranges);
+        let mut forbidden = self.forbidden_gpus(ctx);
+        forbidden.extend(
+            ctx.state
+                .cluster()
+                .topology()
+                .gpus()
+                .iter()
+                .map(|g| g.id)
+                .filter(|&g| bad(g)),
+        );
+        let Some(assignment) = self.hrg.place(
+            ctx.state.cluster(),
+            ctx.state.graph(),
+            ctx.state.cost(),
+            &self.optimizer,
+            self.cfg.interference_coeff,
+            &needs,
+            &forbidden,
+            cv,
+            now,
+        ) else {
+            return false;
+        };
+        let mut fresh_iter = assignment.gpus.iter();
+        let mut param_load = SimDuration::ZERO;
+        let mut moved_kv_per_token: u64 = 0;
+        let mut assignments = Vec::with_capacity(target_ranges.len());
+        for (slot, &r) in reuse.iter().zip(target_ranges) {
+            match slot {
+                Some(old_index) => assignments.push(StageAssign::Reuse {
+                    old_index: *old_index,
+                }),
+                None => {
+                    let gpu = *fresh_iter.next().expect("one gpu per fresh range");
+                    let load =
+                        ctx.state.load_duration(r, gpu) + ctx.state.provisioning_delay(gpu, now);
+                    param_load = param_load.max(load);
+                    moved_kv_per_token += ctx.state.graph().range_kv_bytes_per_token(r);
+                    assignments.push(StageAssign::Fresh { gpu });
+                }
+            }
+        }
+        let gp = &self.cfg.granularity;
+        let token_rate = rate * gp.mean_output_tokens;
+        let lanes = fresh_ranges.len() as u32;
+        let timing = self.cfg.migration.plan(
+            moved_kv_per_token,
+            cached_tokens,
+            token_rate,
+            param_load,
+            lanes,
+        );
+        let plan = RefactorPlan {
+            new_ranges: target_ranges.to_vec(),
+            assignments,
+            prepare: timing.prepare,
+            pause: timing.pause,
+        };
+        if ctx.refactor(id, plan).is_ok() {
+            self.last_refactor.insert(id, now);
+            true
+        } else {
+            false
         }
     }
 }
@@ -615,6 +721,65 @@ impl ControlPolicy for FlexPipePolicy {
         }
 
         self.decision_secs.push(started.elapsed().as_secs_f64());
+    }
+
+    /// Proactive inflight migration: when the platform announces a
+    /// preemption, move every stage sitting on a doomed device onto fresh
+    /// capacity *during the grace window*, KV and all. If the migration
+    /// beats the deadline the revocation hits idle devices and service
+    /// never degrades — the static baselines, which ignore the notice,
+    /// lose their in-flight work and cold-respawn instead.
+    fn on_revoke_notice(&mut self, ctx: &mut Ctx<'_>, gpus: &[GpuId], _deadline: SimTime) {
+        let doomed: std::collections::HashSet<GpuId> = gpus
+            .iter()
+            .copied()
+            .chain(ctx.state.doomed_gpus().iter().map(|&(g, _)| g))
+            .collect();
+        let gp = &self.cfg.granularity;
+        let per_req_tokens = gp.mean_prompt_tokens + gp.mean_output_tokens / 2.0;
+        let instances = ctx.instances();
+        for inst in instances {
+            if inst.state != InstanceState::Serving {
+                continue;
+            }
+            let Some(placement) = ctx.state.stage_placement(inst.id) else {
+                continue;
+            };
+            if !placement.iter().any(|&(_, g)| doomed.contains(&g)) {
+                continue;
+            }
+            let ranges: Vec<flexpipe_model::OpRange> = placement.iter().map(|&(r, _)| r).collect();
+            let cached = (f64::from(inst.active_requests) * per_req_tokens) as u64;
+            let bad = |g: GpuId| doomed.contains(&g);
+            self.refactor_onto_fresh(ctx, inst.id, &ranges, &bad, cached);
+        }
+    }
+
+    /// Reactive inflight recovery: rebuild each crippled instance at its
+    /// original depth, reusing every surviving stage (parameters stay
+    /// resident — no reload, no respawn) and landing the dead stages on
+    /// fresh HRG-placed devices. Falls back to the cold respawn every
+    /// other system pays only when the cluster cannot place the fresh
+    /// stages.
+    fn on_disruption(&mut self, ctx: &mut Ctx<'_>, notice: &DisruptionNotice) {
+        for c in &notice.crippled {
+            if !self.rebuild_crippled(ctx, c) {
+                flexpipe_serving::cold_respawn_instance(ctx, c);
+            }
+        }
+    }
+}
+
+impl FlexPipePolicy {
+    fn rebuild_crippled(&mut self, ctx: &mut Ctx<'_>, c: &CrippledInstance) -> bool {
+        let Some(level) = ctx.state.lattice().level(c.original_stages) else {
+            return false;
+        };
+        let target_ranges = level.ranges.clone();
+        // The revocation already destroyed the admitted KV (requests were
+        // replayed), so nothing moves in bulk: the pause is metadata-only.
+        let bad = |_: GpuId| false;
+        self.refactor_onto_fresh(ctx, c.id, &target_ranges, &bad, 0)
     }
 }
 

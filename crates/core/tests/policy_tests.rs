@@ -39,6 +39,7 @@ fn run(workload: Workload, horizon: f64, policy: Box<dyn ControlPolicy>, seed: u
         tier: TierConfig::default(),
         cost: CostModel::default(),
         workload,
+        disruptions: Default::default(),
         horizon: SimTime::from_secs_f64(horizon + 40.0),
         seed,
     };

@@ -7,6 +7,9 @@
 //!     --out <report.json>     write the JSON artifact (default: <spec>.report.json)
 //!     --threads <n>           worker threads (default: one per core)
 //!     --quiet                 suppress per-cell progress on stderr
+//!     --gate <baseline.json>  one-shot CI mode: gate the fresh report
+//!                             against a committed baseline after the run
+//!     --tolerance <frac>      gate tolerance when --gate is given
 //! flexpipe-fleet compare <report.json>            render the tables of an artifact
 //! flexpipe-fleet gate <report.json> --baseline <base.json> [options]
 //!     --tolerance <frac>      allowed relative degradation (default 0.02)
@@ -23,7 +26,7 @@ use flexpipe_fleet::{
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet]\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
+        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
     );
     ExitCode::from(1)
 }
@@ -103,6 +106,14 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
         None => 0,
     };
     let quiet = take_flag(&mut args, "--quiet");
+    let gate_baseline = take_flag_value(&mut args, "--gate")?;
+    let tolerance = match take_flag_value(&mut args, "--tolerance")? {
+        Some(t) => t.parse::<f64>().map_err(|_| {
+            eprintln!("--tolerance needs a number (e.g. 0.02)");
+            ExitCode::from(1)
+        })?,
+        None => GateConfig::default().tolerance,
+    };
     let [spec_path] = args.as_slice() else {
         return Err(usage());
     };
@@ -122,6 +133,21 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
     let out_path = out.unwrap_or_else(|| format!("{}.report.json", spec.name));
     write(&out_path, &report.to_json())?;
     eprintln!("wrote report to {out_path}");
+
+    // One-shot CI mode: run-and-gate in a single invocation, exit code
+    // matching the `gate` subcommand (2 on regression).
+    if let Some(baseline_path) = gate_baseline {
+        let cfg = GateConfig {
+            tolerance,
+            ..GateConfig::default()
+        };
+        let baseline = load_report(&baseline_path)?;
+        let outcome = gate(&baseline, &report, &cfg);
+        print!("{}", outcome.render(&cfg));
+        if !outcome.passed(&cfg) {
+            return Ok(ExitCode::from(2));
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 

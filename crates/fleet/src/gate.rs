@@ -247,6 +247,13 @@ mod tests {
             refactor_pause_secs: 0.01,
             mean_gpus_held: 4.0,
             spawns: 2,
+            revocations: 0,
+            requests_replayed: 0,
+            tokens_lost: 0,
+            mean_ttr_secs: 0.0,
+            max_ttr_secs: 0.0,
+            disrupted_completed: 0,
+            disrupted_within_slo: 0,
             events: 10_000,
             truncated: false,
             failed: false,

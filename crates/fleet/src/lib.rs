@@ -41,8 +41,11 @@ pub mod toml_lite;
 
 pub use gate::{gate, GateConfig, GateOutcome, Regression};
 pub use report::{summarize_cell, CellMetrics, CellResult, FleetReport, PolicySummary};
-pub use runner::{run_cell, run_sweep, FleetError, RunOptions};
-pub use spec::{derive_cell_seed, BackgroundShape, Cell, ClusterShape, PolicySpec, SweepSpec};
+pub use runner::{realize_disruptions, run_cell, run_sweep, FleetError, RunOptions};
+pub use spec::{
+    derive_cell_seed, replica_seed, BackgroundShape, Cell, ClusterShape, DisruptionShape,
+    PolicySpec, SweepSpec,
+};
 
 use serde::Deserialize;
 

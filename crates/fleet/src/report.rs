@@ -53,6 +53,21 @@ pub struct CellMetrics {
     pub mean_gpus_held: f64,
     /// Instances spawned over the run.
     pub spawns: u32,
+    /// Capacity-revocation events executed.
+    pub revocations: u32,
+    /// In-flight requests destroyed by revocations and replayed.
+    pub requests_replayed: u32,
+    /// Tokens of work discarded by revocations.
+    pub tokens_lost: u64,
+    /// Mean time-to-recover per revocation, seconds (0 without chaos).
+    pub mean_ttr_secs: f64,
+    /// Worst time-to-recover, seconds.
+    pub max_ttr_secs: f64,
+    /// Completions landing inside a disruption recovery window.
+    pub disrupted_completed: usize,
+    /// Of those, completions still within their SLO (the per-disruption
+    /// SLO-violation window in ratio form).
+    pub disrupted_within_slo: usize,
     /// Simulation events processed.
     pub events: u64,
     /// Whether the cell hit its step budget (watchdog truncation).
@@ -91,10 +106,23 @@ pub struct PolicySummary {
     pub worst_p99_ttft: f64,
     /// Mean p99 TPOT across cells, seconds.
     pub mean_p99_tpot: f64,
+    /// Half-width of the 95% confidence interval on SLO attainment across
+    /// cells (0 with fewer than two cells; meaningful with the `replicas`
+    /// axis).
+    pub slo_attainment_ci95: f64,
+    /// Half-width of the 95% confidence interval on goodput across cells.
+    pub goodput_ci95: f64,
     /// Total refactors across cells.
     pub total_refactors: u32,
     /// Total switchover pause across cells, seconds.
     pub total_refactor_pause_secs: f64,
+    /// Total revocation events faced across cells.
+    pub total_revocations: u32,
+    /// Total requests replayed after revocations.
+    pub total_replays: u32,
+    /// Mean time-to-recover across disrupted cells, seconds (0 when no
+    /// cell saw a disruption).
+    pub mean_ttr_secs: f64,
     /// Mean GPUs held, averaged across cells.
     pub mean_gpus_held: f64,
     /// Cells cut short by the step-budget watchdog.
@@ -117,8 +145,9 @@ pub struct FleetReport {
     pub policies: Vec<PolicySummary>,
 }
 
-/// Current [`FleetReport::version`].
-pub const REPORT_VERSION: u32 = 1;
+/// Current [`FleetReport::version`]. Version 2 added the disruption /
+/// recovery metrics and the replica confidence intervals.
+pub const REPORT_VERSION: u32 = 2;
 
 /// Computes steady-state cell metrics from a raw engine report.
 ///
@@ -142,6 +171,8 @@ pub fn summarize_cell(
     let mut latency = Digest::new();
     let mut completed = 0usize;
     let mut within = 0usize;
+    let mut disrupted_completed = 0usize;
+    let mut disrupted_within = 0usize;
     for o in report.outcomes.outcomes() {
         // Window membership is by *arrival*, matching the offered-load
         // denominator: every measured completion is one of the offered
@@ -152,6 +183,17 @@ pub fn summarize_cell(
         completed += 1;
         if o.within_slo() {
             within += 1;
+        }
+        // Completions landing inside a disruption recovery window measure
+        // the per-disruption SLO-violation window.
+        if report
+            .disruptions
+            .in_disruption_window(o.completion.as_secs_f64())
+        {
+            disrupted_completed += 1;
+            if o.within_slo() {
+                disrupted_within += 1;
+            }
         }
         let lat = o.latency().as_secs_f64();
         let first_token = o.queue.as_secs_f64() + o.prefill.as_secs_f64();
@@ -182,10 +224,29 @@ pub fn summarize_cell(
         refactor_pause_secs: report.refactor_pause_secs,
         mean_gpus_held: report.mean_gpus_held(),
         spawns: report.spawns,
+        revocations: report.disruptions.revocation_events,
+        requests_replayed: report.disruptions.requests_replayed,
+        tokens_lost: report.disruptions.tokens_lost,
+        mean_ttr_secs: report.disruptions.mean_time_to_recover(),
+        max_ttr_secs: report.disruptions.max_time_to_recover(),
+        disrupted_completed,
+        disrupted_within_slo: disrupted_within,
         events: report.events,
         truncated: report.truncated,
         failed: false,
     }
+}
+
+/// Half-width of a 95% confidence interval on the mean of `xs` (normal
+/// approximation, sample standard deviation); 0 below two samples.
+fn ci95(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+    1.96 * (var / n as f64).sqrt()
 }
 
 impl FleetReport {
@@ -210,6 +271,20 @@ impl FleetReport {
                 let mean = |f: &dyn Fn(&CellMetrics) -> f64| -> f64 {
                     mine.iter().map(|c| f(&c.metrics)).sum::<f64>() / n
                 };
+                let slo_samples: Vec<f64> = mine.iter().map(|c| c.metrics.slo_attainment).collect();
+                let goodput_samples: Vec<f64> =
+                    mine.iter().map(|c| c.metrics.goodput_per_sec).collect();
+                let disrupted: Vec<&&CellResult> =
+                    mine.iter().filter(|c| c.metrics.revocations > 0).collect();
+                let mean_ttr_secs = if disrupted.is_empty() {
+                    0.0
+                } else {
+                    disrupted
+                        .iter()
+                        .map(|c| c.metrics.mean_ttr_secs)
+                        .sum::<f64>()
+                        / disrupted.len() as f64
+                };
                 PolicySummary {
                     policy: label,
                     cells: mine.len(),
@@ -222,11 +297,16 @@ impl FleetReport {
                     mean_p99_ttft: mean(&|m| m.p99_ttft),
                     worst_p99_ttft: mine.iter().map(|c| c.metrics.p99_ttft).fold(0.0, f64::max),
                     mean_p99_tpot: mean(&|m| m.p99_tpot),
+                    slo_attainment_ci95: ci95(&slo_samples),
+                    goodput_ci95: ci95(&goodput_samples),
                     total_refactors: mine.iter().map(|c| c.metrics.refactors).sum(),
                     total_refactor_pause_secs: mine
                         .iter()
                         .map(|c| c.metrics.refactor_pause_secs)
                         .sum(),
+                    total_revocations: mine.iter().map(|c| c.metrics.revocations).sum(),
+                    total_replays: mine.iter().map(|c| c.metrics.requests_replayed).sum(),
+                    mean_ttr_secs,
                     mean_gpus_held: mean(&|m| m.mean_gpus_held),
                     truncated_cells: mine.iter().filter(|c| c.metrics.truncated).count(),
                     failed_cells: mine.iter().filter(|c| c.metrics.failed).count(),
@@ -248,9 +328,33 @@ impl FleetReport {
         s
     }
 
-    /// Parses a JSON artifact.
+    /// Parses a JSON artifact. An artifact written by a different format
+    /// version is rejected with the version mismatch named explicitly —
+    /// not an obscure missing-field error — so stale committed baselines
+    /// fail the gate with an actionable message.
     pub fn from_json(s: &str) -> Result<FleetReport, serde_json::Error> {
-        serde_json::from_str(s)
+        let version_of = |s: &str| -> Option<u64> {
+            match serde_json::from_str::<serde::Value>(s).ok()?.get("version") {
+                Some(serde::Value::UInt(v)) => Some(*v),
+                _ => None,
+            }
+        };
+        let mismatch = |version: u64, detail: &str| {
+            serde_json::Error(format!(
+                "report is format version {version}, this build expects {REPORT_VERSION} — \
+                 regenerate the artifact{detail}"
+            ))
+        };
+        match serde_json::from_str::<FleetReport>(s) {
+            Ok(report) if u64::from(report.version) == u64::from(REPORT_VERSION) => Ok(report),
+            Ok(report) => Err(mismatch(u64::from(report.version), "")),
+            Err(e) => match version_of(s) {
+                Some(version) if version != u64::from(REPORT_VERSION) => {
+                    Err(mismatch(version, &format!(" ({e})")))
+                }
+                _ => Err(e),
+            },
+        }
     }
 
     /// The per-cell comparison table.
@@ -271,6 +375,9 @@ impl FleetReport {
                 "p99 TPOT",
                 "p99 lat",
                 "refactors",
+                "revs",
+                "replays",
+                "TTR",
                 "GPUs",
                 "status",
             ],
@@ -291,6 +398,9 @@ impl FleetReport {
                 fmt_secs(m.p99_tpot),
                 fmt_secs(m.p99_latency),
                 m.refactors.to_string(),
+                m.revocations.to_string(),
+                m.requests_replayed.to_string(),
+                fmt_secs(m.mean_ttr_secs),
                 fmt_f(m.mean_gpus_held, 1),
                 if m.failed {
                     "FAIL"
@@ -313,6 +423,7 @@ impl FleetReport {
                 "policy",
                 "cells",
                 "mean SLO att.",
+                "±95%",
                 "worst SLO att.",
                 "mean goodput/s",
                 "mean p99 TTFT",
@@ -320,6 +431,9 @@ impl FleetReport {
                 "mean p99 TPOT",
                 "refactors",
                 "pause total",
+                "revs",
+                "replays",
+                "mean TTR",
                 "mean GPUs",
                 "trunc",
                 "fail",
@@ -330,6 +444,7 @@ impl FleetReport {
                 p.policy.clone(),
                 p.cells.to_string(),
                 fmt_pct(p.mean_slo_attainment),
+                fmt_pct(p.slo_attainment_ci95),
                 fmt_pct(p.worst_slo_attainment),
                 fmt_f(p.mean_goodput_per_sec, 2),
                 fmt_secs(p.mean_p99_ttft),
@@ -337,6 +452,9 @@ impl FleetReport {
                 fmt_secs(p.mean_p99_tpot),
                 p.total_refactors.to_string(),
                 fmt_secs(p.total_refactor_pause_secs),
+                p.total_revocations.to_string(),
+                p.total_replays.to_string(),
+                fmt_secs(p.mean_ttr_secs),
                 fmt_f(p.mean_gpus_held, 1),
                 p.truncated_cells.to_string(),
                 p.failed_cells.to_string(),
@@ -388,6 +506,7 @@ mod tests {
             mean_alloc_wait_secs: 0.1,
             warm_loads: 1,
             cold_loads: 1,
+            disruptions: Default::default(),
             events: 1000,
             truncated: false,
         }
@@ -441,6 +560,20 @@ mod tests {
         assert_eq!(report.policies[0].cells, 8);
         assert!(!report.cell_table().is_empty());
         assert!(!report.policy_table().is_empty());
+    }
+
+    #[test]
+    fn old_format_versions_fail_with_a_version_message() {
+        let spec = SweepSpec::template();
+        let report = FleetReport::assemble(spec, Vec::new());
+        let mut json = report.to_json();
+        // Emulate a v1 artifact: old version number, missing new fields.
+        json = json.replacen("\"version\": 2", "\"version\": 1", 1);
+        let err = FleetReport::from_json(&json).unwrap_err();
+        assert!(
+            err.to_string().contains("format version 1"),
+            "unhelpful error: {err}"
+        );
     }
 
     #[test]

@@ -20,12 +20,13 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use flexpipe_bench::PaperSetup;
+use flexpipe_chaos::{virtual_horizon, warp_arrivals, DisruptionScript};
 use flexpipe_serving::{Engine, EngineConfig, Scenario};
 use flexpipe_sim::{SimDuration, SimRng, SimTime};
 use flexpipe_workload::{ArrivalSpec, WorkloadSpec};
 
 use crate::report::{summarize_cell, CellMetrics, CellResult, FleetReport};
-use crate::spec::{Cell, SweepSpec};
+use crate::spec::{Cell, DisruptionShape, SweepSpec};
 
 /// Runner configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,10 +50,35 @@ impl std::fmt::Display for FleetError {
 
 impl std::error::Error for FleetError {}
 
+/// Realizes a cell's disruption trace. Scripts pass through verbatim;
+/// stochastic generators draw from a stream derived from the cell seed —
+/// which excludes the policy axis — so every policy in the cell group
+/// faces the identical trace.
+pub fn realize_disruptions(spec: &SweepSpec, cell: &Cell) -> DisruptionScript {
+    match &cell.disruption {
+        DisruptionShape::None => DisruptionScript::default(),
+        DisruptionShape::Script(s) => s.clone(),
+        DisruptionShape::Random(gen) => {
+            let cluster = cell.cluster.cluster();
+            gen.realize(
+                &SimRng::seed(cell.seed).stream_named("chaos"),
+                spec.warmup_secs + spec.horizon_secs,
+                cluster.total_gpus(),
+                cluster.servers.len() as u32,
+            )
+        }
+    }
+}
+
 /// Executes one cell to its metrics. Deterministic given (spec, cell).
 pub fn run_cell(spec: &SweepSpec, cell: &Cell, setup: &PaperSetup) -> CellMetrics {
     let warmup = spec.warmup_secs;
-    let workload = WorkloadSpec {
+    let span = warmup + spec.horizon_secs;
+    let script = realize_disruptions(spec, cell);
+    // Rate surges densify arrivals via the chaos time-warp: generate over
+    // the stretched virtual horizon, then map back onto the real axis.
+    // Without surges both steps are identity.
+    let mut workload = WorkloadSpec {
         arrivals: ArrivalSpec::GammaRenewal {
             rate: cell.rate,
             cv: cell.cv,
@@ -60,9 +86,10 @@ pub fn run_cell(spec: &SweepSpec, cell: &Cell, setup: &PaperSetup) -> CellMetric
         lengths: spec.lengths,
         slo: SimDuration::from_secs_f64(spec.slo_secs),
         slo_per_output_token: SimDuration::from_secs_f64(spec.slo_per_output_token_ms / 1e3),
-        horizon_secs: warmup + spec.horizon_secs,
+        horizon_secs: virtual_horizon(span, &script),
     }
     .generate(&mut SimRng::seed(cell.seed));
+    warp_arrivals(&mut workload, &script, span);
 
     let cut = SimTime::from_secs_f64(warmup);
     let offered = workload
@@ -81,8 +108,9 @@ pub fn run_cell(spec: &SweepSpec, cell: &Cell, setup: &PaperSetup) -> CellMetric
         tier: Default::default(),
         cost: setup.cost,
         workload,
+        disruptions: script,
         // Grace window past the horizon so in-flight requests drain.
-        horizon: SimTime::from_secs_f64(warmup + spec.horizon_secs + 30.0),
+        horizon: SimTime::from_secs_f64(span + 30.0),
         seed: cell.seed,
     };
     let policy = cell.policy.build(cell.rate);
@@ -110,6 +138,13 @@ fn failed_cell_metrics() -> CellMetrics {
         refactor_pause_secs: 0.0,
         mean_gpus_held: 0.0,
         spawns: 0,
+        revocations: 0,
+        requests_replayed: 0,
+        tokens_lost: 0,
+        mean_ttr_secs: 0.0,
+        max_ttr_secs: 0.0,
+        disrupted_completed: 0,
+        disrupted_within_slo: 0,
         events: 0,
         truncated: false,
         failed: true,
@@ -124,12 +159,14 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<FleetReport, Fle
     let started = Instant::now();
     if !opts.quiet {
         eprintln!(
-            "fleet `{}`: {} cells ({} cvs x {} rates x {} clusters x {} policies), model {}",
+            "fleet `{}`: {} cells ({} cvs x {} rates x {} clusters x {} disruptions x {} replicas x {} policies), model {}",
             spec.name,
             n,
             spec.cvs.len(),
             spec.rates.len(),
             spec.clusters.len(),
+            spec.disruptions.len(),
+            spec.replicas.max(1),
             spec.policies.len(),
             spec.model.name(),
         );
@@ -251,6 +288,8 @@ mod tests {
                     replicas: 1,
                 },
             ],
+            disruptions: vec![crate::spec::DisruptionShape::None],
+            replicas: 1,
         }
     }
 

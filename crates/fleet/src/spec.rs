@@ -1,22 +1,25 @@
 //! The declarative sweep DSL: what to run, expanded into a deterministic
 //! grid of scenario cells.
 //!
-//! A [`SweepSpec`] names a model, a workload envelope and four sweep axes
-//! — arrival CV × request rate × cluster shape × policy — and expands into
-//! the full cross product via [`SweepSpec::expand`]. Expansion is pure:
-//! the same spec always yields the same cells in the same order, and each
+//! A [`SweepSpec`] names a model, a workload envelope and five sweep axes
+//! — arrival CV × request rate × cluster shape × disruption trace × policy
+//! — optionally fanned into seed-derived replicas, and expands into the
+//! full cross product via [`SweepSpec::expand`]. Expansion is pure: the
+//! same spec always yields the same cells in the same order, and each
 //! cell's root seed is derived by hashing the spec seed with the cell's
-//! *workload-defining* coordinates (CV, rate, cluster — **not** the
-//! policy), so every policy in a cell group faces byte-identical traffic
-//! and background churn. That is what makes per-policy comparisons
-//! apples-to-apples and whole reports reproducible.
+//! *workload-defining* coordinates (CV, rate, cluster, disruption, replica
+//! — **not** the policy), so every policy in a cell group faces
+//! byte-identical traffic, background churn *and disruption trace*. That
+//! is what makes per-policy comparisons apples-to-apples and whole reports
+//! reproducible.
 
 use flexpipe_bench::SystemId;
+use flexpipe_chaos::{DisruptionScript, RandomDisruptions};
 use flexpipe_cluster::{BackgroundProfile, ClusterSpec};
 use flexpipe_model::ModelId;
 use flexpipe_serving::ControlPolicy;
 use flexpipe_workload::LengthProfile;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Cluster shapes a sweep can run on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -138,8 +141,45 @@ impl PolicySpec {
     }
 }
 
-/// A declarative sweep: one model and workload envelope, four grid axes.
+/// A disruption-trace axis entry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DisruptionShape {
+    /// No disruptions (the pre-chaos behaviour, byte-identical results).
+    None,
+    /// An explicit timed script, identical across every cell that names it.
+    Script(DisruptionScript),
+    /// An MTBF-style stochastic process, realized per cell from the cell
+    /// seed — which excludes the policy axis, so every policy in a cell
+    /// group faces the identical realized trace.
+    Random(RandomDisruptions),
+}
+
+/// Label characters that survive into cell ids and file names.
+fn sanitize_label(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+impl DisruptionShape {
+    /// Stable label used in cell ids and seed derivation.
+    pub fn label(&self) -> String {
+        match self {
+            DisruptionShape::None => "none".into(),
+            DisruptionShape::Script(s) => format!("s-{}", sanitize_label(&s.name)),
+            DisruptionShape::Random(r) => format!("m-{}", sanitize_label(&r.label)),
+        }
+    }
+}
+
+/// A declarative sweep: one model and workload envelope, five grid axes
+/// plus an optional per-cell replica fan-out.
+///
+/// `Deserialize` is implemented by hand (not derived) so that the two
+/// post-v1 fields — `disruptions` and `replicas` — default when a spec
+/// file omits them: every pre-chaos spec keeps parsing, and keeps
+/// producing the identical report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SweepSpec {
     /// Sweep name (used in report headers and artifact names).
     pub name: String,
@@ -169,10 +209,18 @@ pub struct SweepSpec {
     pub clusters: Vec<ClusterShape>,
     /// Policy axis.
     pub policies: Vec<PolicySpec>,
+    /// Disruption-trace axis; `[None]` (the default when the field is
+    /// omitted from a spec file) reproduces pre-chaos sweeps exactly.
+    pub disruptions: Vec<DisruptionShape>,
+    /// Seed-derived replicas per cell coordinate (default 1). Replica 0
+    /// keeps the coordinate's base seed, so `replicas = 1` sweeps are
+    /// byte-identical to sweeps that predate the axis; the per-policy
+    /// rollup reports 95% confidence intervals across replicas.
+    pub replicas: u32,
 }
 
-/// One expanded grid cell: a (cv, rate, cluster, policy) coordinate plus
-/// its derived seed.
+/// One expanded grid cell: a (cv, rate, cluster, disruption, replica,
+/// policy) coordinate plus its derived seed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Cell {
     /// Index in expansion order (also the report row order).
@@ -185,21 +233,37 @@ pub struct Cell {
     pub cluster: ClusterShape,
     /// Policy under test.
     pub policy: PolicySpec,
+    /// Disruption trace applied to this cell.
+    pub disruption: DisruptionShape,
+    /// Replica index within the coordinate (0 = the base seed).
+    pub replica: u32,
     /// Derived root seed (identical for all policies sharing a workload
-    /// coordinate, so systems compete on the same traffic).
+    /// coordinate, so systems compete on the same traffic and the same
+    /// disruption trace).
     pub seed: u64,
 }
 
 impl Cell {
     /// Stable human-readable cell id, e.g. `cv2-r20-paper-testbed-FlexPipe`.
+    /// Disruption and replica suffixes only appear when non-default, so
+    /// pre-chaos baselines keep matching by id.
     pub fn id(&self) -> String {
-        format!(
+        let mut id = format!(
             "cv{}-r{}-{}-{}",
             fmt_axis(self.cv),
             fmt_axis(self.rate),
             self.cluster.label(),
             self.policy.label()
-        )
+        );
+        let dlabel = self.disruption.label();
+        if dlabel != "none" {
+            id.push('-');
+            id.push_str(&dlabel);
+        }
+        if self.replica > 0 {
+            id.push_str(&format!("-rep{}", self.replica));
+        }
+        id
     }
 }
 
@@ -222,36 +286,74 @@ fn mix64(mut z: u64) -> u64 {
 }
 
 /// Derives a cell's workload seed from the spec seed and the cell's
-/// workload-defining coordinates (policy excluded deliberately).
-pub fn derive_cell_seed(root: u64, cv: f64, rate: f64, cluster_label: &str) -> u64 {
+/// workload-defining coordinates (policy excluded deliberately). The
+/// disruption label only enters the hash when non-default, so every seed
+/// produced before the disruption axis existed is reproduced exactly.
+pub fn derive_cell_seed(
+    root: u64,
+    cv: f64,
+    rate: f64,
+    cluster_label: &str,
+    disruption_label: &str,
+) -> u64 {
     let mut h = mix64(root ^ 0xF1EE7F1EE7F1EE7);
     h = mix64(h ^ cv.to_bits());
     h = mix64(h ^ rate.to_bits());
     for b in cluster_label.as_bytes() {
         h = mix64(h ^ u64::from(*b));
     }
+    if disruption_label != "none" {
+        for b in disruption_label.as_bytes() {
+            h = mix64(h ^ u64::from(*b));
+        }
+    }
     h
+}
+
+/// Derives the seed of replica `replica` from a coordinate's base seed.
+/// Replica 0 *is* the base seed (backward-compatible single-replica
+/// sweeps); later replicas decorrelate through the mixer.
+pub fn replica_seed(base: u64, replica: u32) -> u64 {
+    if replica == 0 {
+        base
+    } else {
+        mix64(base ^ 0x5EED5EED5EED5EED ^ u64::from(replica))
+    }
 }
 
 impl SweepSpec {
     /// Expands the sweep into its full cell grid, in deterministic order:
-    /// clusters (outer) × cvs × rates × policies (inner). Policies are the
-    /// innermost axis so consecutive cells share a workload coordinate.
+    /// clusters (outer) × disruptions × cvs × rates × replicas × policies
+    /// (inner). Policies are the innermost axis so consecutive cells share
+    /// a workload coordinate — and therefore a seed and disruption trace.
     pub fn expand(&self) -> Vec<Cell> {
         let mut cells = Vec::new();
         for cluster in &self.clusters {
-            for &cv in &self.cvs {
-                for &rate in &self.rates {
-                    let seed = derive_cell_seed(self.seed, cv, rate, &cluster.label());
-                    for policy in &self.policies {
-                        cells.push(Cell {
-                            index: cells.len(),
+            for disruption in &self.disruptions {
+                for &cv in &self.cvs {
+                    for &rate in &self.rates {
+                        let base = derive_cell_seed(
+                            self.seed,
                             cv,
                             rate,
-                            cluster: cluster.clone(),
-                            policy: policy.clone(),
-                            seed,
-                        });
+                            &cluster.label(),
+                            &disruption.label(),
+                        );
+                        for replica in 0..self.replicas.max(1) {
+                            let seed = replica_seed(base, replica);
+                            for policy in &self.policies {
+                                cells.push(Cell {
+                                    index: cells.len(),
+                                    cv,
+                                    rate,
+                                    cluster: cluster.clone(),
+                                    policy: policy.clone(),
+                                    disruption: disruption.clone(),
+                                    replica,
+                                    seed,
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -281,6 +383,41 @@ impl SweepSpec {
         if self.max_events == 0 {
             return Err("max_events watchdog budget must be positive".into());
         }
+        if self.disruptions.is_empty() {
+            return Err("disruptions axis needs at least one entry (use \"None\")".into());
+        }
+        // Labels feed both cell ids and seed derivation; two axis entries
+        // collapsing to one label (e.g. names differing only in
+        // punctuation) would silently alias cells.
+        let mut labels = std::collections::BTreeSet::new();
+        for d in &self.disruptions {
+            if !labels.insert(d.label()) {
+                return Err(format!(
+                    "duplicate disruption label `{}` (names must differ alphanumerically)",
+                    d.label()
+                ));
+            }
+        }
+        if self.replicas == 0 {
+            return Err("replicas must be at least 1".into());
+        }
+        // Disruption targets must be valid on *every* cluster of the sweep
+        // so the same trace stays meaningful across the whole grid.
+        for d in &self.disruptions {
+            match d {
+                DisruptionShape::None => {}
+                DisruptionShape::Script(s) => {
+                    for c in &self.clusters {
+                        let spec = c.cluster();
+                        s.validate(spec.total_gpus(), spec.servers.len() as u32)
+                            .map_err(|e| format!("disruption script `{}`: {e}", s.name))?;
+                    }
+                }
+                DisruptionShape::Random(r) => r
+                    .validate()
+                    .map_err(|e| format!("disruption generator `{}`: {e}", r.label))?,
+            }
+        }
         Ok(())
     }
 
@@ -307,7 +444,51 @@ impl SweepSpec {
                 PolicySpec::Paper(SystemId::AlpaServe),
                 PolicySpec::Paper(SystemId::ServerlessLlm),
             ],
+            disruptions: vec![DisruptionShape::None],
+            replicas: 1,
         }
+    }
+}
+
+/// Required-field lookup for the hand-written [`SweepSpec`] deserializer.
+fn req<T: Deserialize>(m: &[(String, Value)], key: &str) -> Result<T, DeError> {
+    match serde::value_get(m, key) {
+        Some(v) => T::from_value(v).map_err(|e| e.in_field(&format!("SweepSpec.{key}"))),
+        None => Err(DeError::missing("SweepSpec", key)),
+    }
+}
+
+/// Optional-field lookup with a default.
+fn opt<T: Deserialize>(m: &[(String, Value)], key: &str, default: T) -> Result<T, DeError> {
+    match serde::value_get(m, key) {
+        Some(Value::Null) | None => Ok(default),
+        Some(v) => T::from_value(v).map_err(|e| e.in_field(&format!("SweepSpec.{key}"))),
+    }
+}
+
+impl Deserialize for SweepSpec {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "SweepSpec", v))?;
+        Ok(SweepSpec {
+            name: req(m, "name")?,
+            model: req(m, "model")?,
+            seed: req(m, "seed")?,
+            horizon_secs: req(m, "horizon_secs")?,
+            warmup_secs: req(m, "warmup_secs")?,
+            slo_secs: req(m, "slo_secs")?,
+            slo_per_output_token_ms: req(m, "slo_per_output_token_ms")?,
+            background: req(m, "background")?,
+            lengths: req(m, "lengths")?,
+            max_events: req(m, "max_events")?,
+            cvs: req(m, "cvs")?,
+            rates: req(m, "rates")?,
+            clusters: req(m, "clusters")?,
+            policies: req(m, "policies")?,
+            disruptions: opt(m, "disruptions", vec![DisruptionShape::None])?,
+            replicas: opt(m, "replicas", 1)?,
+        })
     }
 }
 
@@ -340,11 +521,137 @@ mod tests {
 
     #[test]
     fn seed_derivation_depends_on_every_coordinate() {
-        let base = derive_cell_seed(1, 2.0, 20.0, "paper-testbed");
-        assert_ne!(base, derive_cell_seed(2, 2.0, 20.0, "paper-testbed"));
-        assert_ne!(base, derive_cell_seed(1, 4.0, 20.0, "paper-testbed"));
-        assert_ne!(base, derive_cell_seed(1, 2.0, 10.0, "paper-testbed"));
-        assert_ne!(base, derive_cell_seed(1, 2.0, 20.0, "alibaba-c1"));
+        let base = derive_cell_seed(1, 2.0, 20.0, "paper-testbed", "none");
+        assert_ne!(
+            base,
+            derive_cell_seed(2, 2.0, 20.0, "paper-testbed", "none")
+        );
+        assert_ne!(
+            base,
+            derive_cell_seed(1, 4.0, 20.0, "paper-testbed", "none")
+        );
+        assert_ne!(
+            base,
+            derive_cell_seed(1, 2.0, 10.0, "paper-testbed", "none")
+        );
+        assert_ne!(base, derive_cell_seed(1, 2.0, 20.0, "alibaba-c1", "none"));
+        assert_ne!(
+            base,
+            derive_cell_seed(1, 2.0, 20.0, "paper-testbed", "s-preempt")
+        );
+    }
+
+    #[test]
+    fn replica_zero_keeps_the_base_seed() {
+        let base = derive_cell_seed(1, 2.0, 20.0, "paper-testbed", "none");
+        assert_eq!(replica_seed(base, 0), base);
+        assert_ne!(replica_seed(base, 1), base);
+        assert_ne!(replica_seed(base, 1), replica_seed(base, 2));
+    }
+
+    #[test]
+    fn replicas_fan_out_and_share_seeds_per_policy() {
+        let mut spec = SweepSpec::template();
+        spec.replicas = 3;
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 4 * 2 * 3 * 3);
+        // Within one replica, policies share the seed...
+        assert_eq!(cells[0].seed, cells[1].seed);
+        // ...across replicas seeds differ...
+        assert_ne!(cells[0].seed, cells[3].seed);
+        // ...and replica 0 matches the unreplicated sweep.
+        let mut single = SweepSpec::template();
+        single.replicas = 1;
+        assert_eq!(single.expand()[0].seed, cells[0].seed);
+        // Ids stay unique.
+        let ids: std::collections::BTreeSet<String> = cells.iter().map(|c| c.id()).collect();
+        assert_eq!(ids.len(), cells.len());
+    }
+
+    #[test]
+    fn disruption_axis_expands_with_stable_labels() {
+        use flexpipe_chaos::{Disruption, DisruptionEvent};
+        let mut spec = SweepSpec::template();
+        spec.disruptions = vec![
+            DisruptionShape::None,
+            DisruptionShape::Script(DisruptionScript {
+                name: "preempt one".into(),
+                events: vec![DisruptionEvent {
+                    at_secs: 30.0,
+                    kind: Disruption::HotServerPreempt {
+                        rank: 0,
+                        grace_secs: 10.0,
+                    },
+                }],
+            }),
+        ];
+        assert!(spec.validate().is_ok());
+        let cells = spec.expand();
+        assert_eq!(cells.len(), 2 * 4 * 2 * 3);
+        // The undisrupted half keeps pre-chaos ids and seeds.
+        assert_eq!(cells[0].id(), "cv0p5-r10-paper-testbed-FlexPipe");
+        let old = derive_cell_seed(spec.seed, 0.5, 10.0, "paper-testbed", "none");
+        assert_eq!(cells[0].seed, old);
+        // The disrupted half is labelled and reseeded.
+        let disrupted = cells
+            .iter()
+            .find(|c| c.disruption != DisruptionShape::None)
+            .unwrap();
+        assert!(disrupted.id().ends_with("-s-preempt-one"));
+        // Policies within a disrupted coordinate still share the seed.
+        let twins: Vec<&Cell> = cells
+            .iter()
+            .filter(|c| c.disruption != DisruptionShape::None && c.cv == 0.5 && c.rate == 10.0)
+            .collect();
+        assert_eq!(twins.len(), 3);
+        assert!(twins.iter().all(|c| c.seed == twins[0].seed));
+    }
+
+    #[test]
+    fn validate_checks_disruption_targets_against_every_cluster() {
+        use flexpipe_chaos::{Disruption, DisruptionEvent};
+        let mut spec = SweepSpec::template();
+        spec.disruptions = vec![DisruptionShape::Script(DisruptionScript {
+            name: "oob".into(),
+            events: vec![DisruptionEvent {
+                at_secs: 1.0,
+                kind: Disruption::GpuFail { gpu: 999 },
+            }],
+        })];
+        assert!(spec.validate().is_err());
+        let mut spec = SweepSpec::template();
+        spec.disruptions.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = SweepSpec::template();
+        spec.replicas = 0;
+        assert!(spec.validate().is_err());
+        // Colliding labels (names differing only in punctuation) refused.
+        let mut spec = SweepSpec::template();
+        let script = |name: &str| {
+            DisruptionShape::Script(DisruptionScript {
+                name: name.into(),
+                events: Vec::new(),
+            })
+        };
+        spec.disruptions = vec![script("hot 1"), script("hot-1")];
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn old_specs_without_new_fields_still_parse() {
+        let spec = SweepSpec::template();
+        let mut json = serde_json::to_string_pretty(&spec).unwrap();
+        // Strip the new fields, emulating a pre-chaos spec file.
+        assert!(json.contains("\"disruptions\""));
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        let serde::Value::Map(m) = v else { panic!() };
+        let m: Vec<(String, serde::Value)> = m
+            .into_iter()
+            .filter(|(k, _)| k != "disruptions" && k != "replicas")
+            .collect();
+        json = serde_json::to_string(&serde::Value::Map(m)).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec, "defaults must reproduce the template");
     }
 
     #[test]

@@ -38,6 +38,8 @@ fn grid_spec() -> SweepSpec {
                 replicas: 1,
             },
         ],
+        disruptions: vec![flexpipe_fleet::DisruptionShape::None],
+        replicas: 1,
     }
 }
 

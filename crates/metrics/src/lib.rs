@@ -11,6 +11,7 @@
 pub mod digest;
 pub mod outcome;
 pub mod p2;
+pub mod recovery;
 pub mod stall;
 pub mod table;
 pub mod timeline;
@@ -19,6 +20,7 @@ pub mod util;
 pub use digest::Digest;
 pub use outcome::{OutcomeLog, OutcomeSummary, RequestOutcome};
 pub use p2::P2Quantile;
+pub use recovery::{DisruptionLedger, DisruptionStats};
 pub use stall::{analyze_stalls, StallConfig, StallEpisode, StallReport};
 pub use table::{fmt_f, fmt_pct, fmt_secs, Table};
 pub use timeline::Timeline;

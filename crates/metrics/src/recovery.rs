@@ -1,0 +1,205 @@
+//! Disruption and recovery accounting.
+//!
+//! When the platform revokes capacity (spot preemption, GPU failure) the
+//! serving engine records what was lost and how long the deployment took
+//! to return to full service. The [`DisruptionLedger`] is the engine-side
+//! accumulator; it finalizes into a serializable [`DisruptionStats`]
+//! carried by every run report, from which the fleet derives per-cell
+//! recovery metrics (time-to-recover, replayed requests, SLO attainment
+//! inside disruption windows).
+
+use serde::{Deserialize, Serialize};
+
+use flexpipe_sim::SimTime;
+
+/// Aggregate disruption outcome of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DisruptionStats {
+    /// Revocation events executed (a multi-GPU preemption counts once).
+    pub revocation_events: u32,
+    /// Individual GPUs revoked across all events.
+    pub gpus_revoked: u32,
+    /// Individual GPUs restored by capacity returns.
+    pub gpus_restored: u32,
+    /// In-flight requests whose progress a revocation destroyed.
+    pub requests_aborted: u32,
+    /// Aborted requests re-enqueued at the gateway for a fresh attempt.
+    pub requests_replayed: u32,
+    /// Tokens of discarded work: prompt tokens that must re-prefill plus
+    /// generated tokens thrown away with their KV.
+    pub tokens_lost: u64,
+    /// Revocations still unrecovered at the horizon (their window closes
+    /// at the horizon, so time-to-recover stays well-defined).
+    pub unrecovered: u32,
+    /// One `(revoked_at, recovered_at)` window per revocation event,
+    /// seconds, in event order.
+    pub recovery_windows: Vec<(f64, f64)>,
+}
+
+impl DisruptionStats {
+    /// Whether any disruption fired during the run.
+    pub fn any(&self) -> bool {
+        self.revocation_events > 0
+    }
+
+    /// Time-to-recover of each closed window, seconds.
+    pub fn recovery_times(&self) -> impl Iterator<Item = f64> + '_ {
+        self.recovery_windows.iter().map(|&(s, e)| (e - s).max(0.0))
+    }
+
+    /// Mean time-to-recover, 0 when no disruption fired.
+    pub fn mean_time_to_recover(&self) -> f64 {
+        let n = self.recovery_windows.len();
+        if n == 0 {
+            return 0.0;
+        }
+        self.recovery_times().sum::<f64>() / n as f64
+    }
+
+    /// Worst time-to-recover, 0 when no disruption fired.
+    pub fn max_time_to_recover(&self) -> f64 {
+        self.recovery_times().fold(0.0, f64::max)
+    }
+
+    /// Whether `t_secs` falls inside any recovery window.
+    pub fn in_disruption_window(&self, t_secs: f64) -> bool {
+        self.recovery_windows
+            .iter()
+            .any(|&(s, e)| t_secs >= s && t_secs <= e)
+    }
+}
+
+/// Engine-side accumulator for disruption accounting.
+///
+/// A revocation *opens* a window; the engine *closes* every open window at
+/// the first instant the deployment is back to full service (no instance
+/// loading, preparing, paused or crippled, and at least one serving).
+/// Overlapping revocations therefore share a recovery point — the fleet
+/// cares about service restoration, not per-event bookkeeping fictions.
+#[derive(Debug, Clone, Default)]
+pub struct DisruptionLedger {
+    open: Vec<SimTime>,
+    stats: DisruptionStats,
+}
+
+impl DisruptionLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one revocation event of `gpus` devices at `now`.
+    pub fn record_revocation(&mut self, now: SimTime, gpus: u32) {
+        self.stats.revocation_events += 1;
+        self.stats.gpus_revoked += gpus;
+        self.open.push(now);
+    }
+
+    /// Records restored capacity.
+    pub fn record_restored(&mut self, gpus: u32) {
+        self.stats.gpus_restored += gpus;
+    }
+
+    /// Records requests whose in-flight progress was destroyed.
+    pub fn record_aborted(&mut self, requests: u32) {
+        self.stats.requests_aborted += requests;
+    }
+
+    /// Records aborted requests re-enqueued for replay.
+    pub fn record_replayed(&mut self, requests: u32) {
+        self.stats.requests_replayed += requests;
+    }
+
+    /// Records tokens of discarded work.
+    pub fn record_tokens_lost(&mut self, tokens: u64) {
+        self.stats.tokens_lost += tokens;
+    }
+
+    /// Whether any revocation is still awaiting recovery.
+    pub fn has_open(&self) -> bool {
+        !self.open.is_empty()
+    }
+
+    /// Closes every open window at `now` (service is fully restored).
+    pub fn close_open(&mut self, now: SimTime) {
+        for t in self.open.drain(..) {
+            self.stats
+                .recovery_windows
+                .push((t.as_secs_f64(), now.as_secs_f64()));
+        }
+    }
+
+    /// Closes windows still open at the horizon, marking them unrecovered.
+    pub fn finalize(&mut self, horizon: SimTime) {
+        self.stats.unrecovered += self.open.len() as u32;
+        self.close_open(horizon);
+    }
+
+    /// Consumes the ledger into its stats.
+    pub fn into_stats(self) -> DisruptionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_open_and_close() {
+        let mut l = DisruptionLedger::new();
+        assert!(!l.has_open());
+        l.record_revocation(SimTime::from_secs(10), 2);
+        assert!(l.has_open());
+        l.close_open(SimTime::from_secs(14));
+        let mut l2 = l.clone();
+        l2.finalize(SimTime::from_secs(100));
+        let s = l2.into_stats();
+        assert_eq!(s.revocation_events, 1);
+        assert_eq!(s.gpus_revoked, 2);
+        assert_eq!(s.unrecovered, 0);
+        assert_eq!(s.recovery_windows, vec![(10.0, 14.0)]);
+        assert!((s.mean_time_to_recover() - 4.0).abs() < 1e-9);
+        assert!((s.max_time_to_recover() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_revocations_share_the_recovery_point() {
+        let mut l = DisruptionLedger::new();
+        l.record_revocation(SimTime::from_secs(5), 1);
+        l.record_revocation(SimTime::from_secs(8), 1);
+        l.close_open(SimTime::from_secs(20));
+        l.finalize(SimTime::from_secs(100));
+        let s = l.into_stats();
+        assert_eq!(s.recovery_windows, vec![(5.0, 20.0), (8.0, 20.0)]);
+        assert!((s.mean_time_to_recover() - 13.5).abs() < 1e-9);
+        assert!(s.in_disruption_window(6.0));
+        assert!(!s.in_disruption_window(21.0));
+    }
+
+    #[test]
+    fn finalize_marks_unrecovered() {
+        let mut l = DisruptionLedger::new();
+        l.record_revocation(SimTime::from_secs(90), 4);
+        l.finalize(SimTime::from_secs(100));
+        let s = l.into_stats();
+        assert_eq!(s.unrecovered, 1);
+        assert_eq!(s.recovery_windows, vec![(90.0, 100.0)]);
+    }
+
+    #[test]
+    fn loss_counters_accumulate() {
+        let mut l = DisruptionLedger::new();
+        l.record_aborted(3);
+        l.record_replayed(3);
+        l.record_tokens_lost(1000);
+        l.record_restored(2);
+        let s = l.into_stats();
+        assert_eq!(s.requests_aborted, 3);
+        assert_eq!(s.requests_replayed, 3);
+        assert_eq!(s.tokens_lost, 1000);
+        assert_eq!(s.gpus_restored, 2);
+        assert!(!s.any());
+        assert_eq!(s.mean_time_to_recover(), 0.0);
+    }
+}

@@ -5,14 +5,15 @@
 //! lifecycle, refactor execution, host-memory parameter cache); decisions
 //! live in [`crate::policy::ControlPolicy`] implementations.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
+use flexpipe_chaos::{Disruption, DisruptionScript};
 use flexpipe_cluster::{
     BackgroundProfile, BackgroundTenants, Cluster, ClusterSpec, Endpoint, GpuId, LeaseId,
     Provisioner, Route, ServerId, TierConfig, TransferEngine,
 };
-use flexpipe_metrics::{OutcomeLog, RequestOutcome, Timeline, UtilizationLedger};
+use flexpipe_metrics::{DisruptionLedger, OutcomeLog, RequestOutcome, Timeline, UtilizationLedger};
 use flexpipe_model::{CostModel, ModelGraph, OpId, OpRange};
 use flexpipe_partition::GranularityLattice;
 use flexpipe_sim::{EventQueue, RunOutcome, SimDuration, SimRng, SimTime, World};
@@ -23,7 +24,10 @@ use crate::instance::{
     Instance, InstanceId, InstanceSnapshot, InstanceState, MicroBatch, Phase, StageRuntime,
     UbatchId,
 };
-use crate::policy::{ActionError, ControlPolicy, Placement, RefactorPlan, StageAssign};
+use crate::policy::{
+    ActionError, ControlPolicy, CrippledInstance, DisruptionNotice, Placement, RefactorPlan,
+    StageAssign,
+};
 use crate::report::RunReport;
 
 /// Events routed through the simulation queue.
@@ -78,6 +82,19 @@ pub enum Event {
         /// Epoch guard.
         epoch: u64,
     },
+    /// A scripted disruption fires (index into the scenario's script).
+    Disruption(u32),
+    /// A preemption's grace expired (or a failure had none): the listed
+    /// devices are revoked *now*.
+    Revoke {
+        /// Devices leaving the cluster.
+        gpus: Vec<GpuId>,
+    },
+    /// Previously revoked capacity returns to the pool.
+    Restore {
+        /// Devices re-entering the cluster.
+        gpus: Vec<GpuId>,
+    },
 }
 
 /// Scenario description bundling everything an engine run needs.
@@ -95,6 +112,10 @@ pub struct Scenario {
     pub cost: CostModel,
     /// The request stream.
     pub workload: Workload,
+    /// Timed cluster disruptions (preemptions, failures, restores). Rate
+    /// surges are a workload-generation concern and are ignored here; use
+    /// [`flexpipe_chaos::warp_arrivals`] on the workload instead.
+    pub disruptions: DisruptionScript,
     /// Simulation horizon.
     pub horizon: SimTime,
     /// Root random seed.
@@ -120,6 +141,11 @@ struct HostCacheEntry {
 struct PendingRefactor {
     plan: RefactorPlan,
     fresh_acquired: Vec<GpuId>,
+    /// Whether the refactor entered from `Crippled` (a post-revocation
+    /// rebuild): the "old topology" is incomplete, so the instance must
+    /// not admit during preparation, and an abort must return it to
+    /// `Crippled` rather than resurrect a partial pipeline as `Serving`.
+    from_crippled: bool,
 }
 
 /// All mutable engine state (separated from the policy for borrow hygiene).
@@ -141,10 +167,13 @@ pub struct EngineState {
     pending_refactors: HashMap<InstanceId, PendingRefactor>,
     host_cache: HashMap<(u32, u32), HostCacheEntry>,
     gpus_in_use: std::collections::HashSet<GpuId>,
+    script: DisruptionScript,
+    pending_revocations: BTreeMap<GpuId, SimTime>,
     next_instance: u64,
     next_ubatch: u64,
     horizon: SimTime,
     // Metrics.
+    disruptions: DisruptionLedger,
     outcomes: OutcomeLog,
     ledger: UtilizationLedger,
     queue_timeline: Timeline,
@@ -230,6 +259,15 @@ impl EngineState {
     /// GPUs currently holding stages of our instances.
     pub fn gpus_in_use(&self) -> &std::collections::HashSet<GpuId> {
         &self.gpus_in_use
+    }
+
+    /// Devices under an outstanding preemption notice, with their
+    /// revocation deadlines. Placement-aware policies exclude these.
+    pub fn doomed_gpus(&self) -> Vec<(GpuId, SimTime)> {
+        self.pending_revocations
+            .iter()
+            .map(|(&g, &t)| (g, t))
+            .collect()
     }
 
     /// Control-plane readiness delay of acquiring `gpu` at `now`.
@@ -516,7 +554,10 @@ impl EngineState {
             .instances
             .get(&id)
             .ok_or(ActionError::BadInstance(id))?;
-        if inst.state != InstanceState::Serving {
+        // Crippled instances refactor too: that is the inflight recovery
+        // path — surviving stages are reused, dead ones land on fresh
+        // devices, and no cold respawn happens.
+        if !matches!(inst.state, InstanceState::Serving | InstanceState::Crippled) {
             return Err(ActionError::BadInstance(id));
         }
         if plan.new_ranges.len() != plan.assignments.len() {
@@ -536,7 +577,10 @@ impl EngineState {
                     }
                 }
                 StageAssign::Fresh { gpu } => {
-                    if self.gpus_in_use.contains(&gpu) || !fresh_seen.insert(gpu) {
+                    if self.gpus_in_use.contains(&gpu)
+                        || self.cluster.is_revoked(gpu)
+                        || !fresh_seen.insert(gpu)
+                    {
                         return Err(ActionError::NoCapacity(format!("gpu {gpu:?} unavailable")));
                     }
                 }
@@ -554,15 +598,25 @@ impl EngineState {
         }
         let epoch = inst.epoch;
         let prepare = plan.prepare;
+        let from_crippled = inst.state == InstanceState::Crippled;
         self.pending_refactors.insert(
             id,
             PendingRefactor {
                 plan,
                 fresh_acquired,
+                from_crippled,
             },
         );
         let inst = self.instances.get_mut(&id).expect("checked above");
         inst.state = InstanceState::Preparing;
+        if from_crippled {
+            // A normal refactor keeps serving on the complete old topology
+            // during preparation; a crippled rebuild has no complete
+            // topology to serve on. Hold admissions until the commit
+            // (which clears the hold) so requests never traverse a
+            // pipeline with missing layers.
+            inst.admit_hold = true;
+        }
         queue
             .schedule(now + prepare, Event::PrepareDone { id, epoch })
             .expect("future");
@@ -630,17 +684,30 @@ impl EngineState {
         }
         if batch_cap < (inst.active_requests / 2).max(1) {
             // Abort: the new layout cannot hold a useful share of the live
-            // load (background tenants grew under us, or a consolidation
-            // raced an admission burst). Return fresh GPUs and resume the
-            // old topology untouched.
+            // load (background tenants grew under us, a consolidation
+            // raced an admission burst, or a second revocation killed the
+            // rebuild's fresh devices). Return fresh GPUs and resume the
+            // old topology untouched — unless the refactor was a crippled
+            // rebuild, whose "old topology" is incomplete and must stay
+            // Crippled (the policy retries or cold-respawns).
             for gpu in pending.fresh_acquired {
                 self.provisioner.release(gpu, now);
                 self.ledger.record_release(now);
                 self.gpus_in_use.remove(&gpu);
             }
-            let inst = self.instances.get_mut(&id).expect("present");
-            inst.state = InstanceState::Serving;
-            self.resume_instance(queue, id);
+            if pending.from_crippled {
+                // A failed rebuild has no complete topology to fall back
+                // to, and no later hook retries an abort: release the
+                // survivors (their parameters park in the host cache) so
+                // the policy's scaling loop rebuilds capacity through its
+                // normal spawn path instead of stranding the instance —
+                // and its GPUs — in Crippled forever.
+                self.release_instance(now, id);
+            } else {
+                let inst = self.instances.get_mut(&id).expect("present");
+                inst.state = InstanceState::Serving;
+                self.resume_instance(queue, id);
+            }
             return;
         }
 
@@ -725,6 +792,9 @@ impl EngineState {
         epoch: u64,
         stage: u16,
     ) {
+        // Iterative (not recursive): a long run of dissolved micro-batches
+        // — e.g. after a revocation killed them — must not grow the stack
+        // proportionally to the queue length.
         let Some(inst) = self.instances.get_mut(&id) else {
             return;
         };
@@ -735,34 +805,36 @@ impl EngineState {
         if s >= inst.stages.len() || inst.stages[s].busy {
             return;
         }
-        let Some((ub_id, _)) = inst.stages[s].pop_next() else {
+        loop {
+            let Some((ub_id, _)) = inst.stages[s].pop_next() else {
+                return;
+            };
+            let Some(ub) = self.ubatches.get_mut(&ub_id) else {
+                // Dissolved micro-batch: skip and try the next one.
+                continue;
+            };
+            let gpu = inst.stages[s].gpu;
+            let range = inst.stages[s].range;
+            let mult = inst.compute_multiplier;
+            inst.stages[s].busy = true;
+            let base = self.cost.stage_compute(&self.graph, range, ub.pass_tokens);
+            let slowdown = 1.0 + self.config.interference_coeff * self.cluster.load(gpu).bg_sm;
+            let dur = base.mul_f64(slowdown * mult);
+            ub.pass_compute_secs += dur.as_secs_f64();
+            self.ledger.record_busy(gpu.0, dur);
+            queue
+                .schedule_after(
+                    dur,
+                    Event::StageDone {
+                        id,
+                        epoch,
+                        stage,
+                        ub: ub_id,
+                    },
+                )
+                .expect("future");
             return;
-        };
-        let Some(ub) = self.ubatches.get_mut(&ub_id) else {
-            // Dissolved micro-batch: skip and try the next one.
-            self.try_start_stage(queue, id, epoch, stage);
-            return;
-        };
-        let gpu = inst.stages[s].gpu;
-        let range = inst.stages[s].range;
-        let mult = inst.compute_multiplier;
-        inst.stages[s].busy = true;
-        let base = self.cost.stage_compute(&self.graph, range, ub.pass_tokens);
-        let slowdown = 1.0 + self.config.interference_coeff * self.cluster.load(gpu).bg_sm;
-        let dur = base.mul_f64(slowdown * mult);
-        ub.pass_compute_secs += dur.as_secs_f64();
-        self.ledger.record_busy(gpu.0, dur);
-        queue
-            .schedule_after(
-                dur,
-                Event::StageDone {
-                    id,
-                    epoch,
-                    stage,
-                    ub: ub_id,
-                },
-            )
-            .expect("future");
+        }
     }
 
     fn on_stage_arrive(
@@ -1178,6 +1250,296 @@ impl EngineState {
             inst.admit_hold = hold;
         }
     }
+
+    /// Resolves the `rank`-th busiest server by serving-leased bytes
+    /// (ties toward the lowest id), skipping fully revoked servers.
+    fn hottest_server(&self, rank: u32) -> Option<ServerId> {
+        let topo = self.cluster.topology();
+        let mut servers: Vec<(u64, ServerId)> = (0..topo.server_count() as u32)
+            .map(ServerId)
+            .filter(|&s| topo.gpus_on(s).iter().any(|&g| !self.cluster.is_revoked(g)))
+            .map(|s| {
+                let bytes: u64 = topo
+                    .gpus_on(s)
+                    .iter()
+                    .map(|&g| self.cluster.load(g).serving_mem)
+                    .sum();
+                (bytes, s)
+            })
+            .collect();
+        servers.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        servers.get(rank as usize).map(|&(_, s)| s)
+    }
+
+    /// Executes a capacity revocation: invalidates cluster state, evicts
+    /// the devices from the provisioner, kills in-flight micro-batches on
+    /// dead stages (epoch-guarded, so their stale events no-op) and
+    /// replays the destroyed requests at the gateway front. Returns the
+    /// notice handed to the policy.
+    fn apply_revocation(
+        &mut self,
+        queue: &mut EventQueue<Event>,
+        gpus: &[GpuId],
+    ) -> DisruptionNotice {
+        let now = queue.now();
+        let mut revoked: Vec<GpuId> = Vec::new();
+        for &g in gpus {
+            if self.cluster.is_revoked(g) {
+                continue;
+            }
+            self.cluster.revoke_gpu(g);
+            revoked.push(g);
+            if self.gpus_in_use.remove(&g) {
+                self.ledger.record_release(now);
+            }
+            self.provisioner.evict(g);
+            self.pending_revocations.remove(&g);
+        }
+        if revoked.is_empty() {
+            return DisruptionNotice {
+                revoked_gpus: revoked,
+                crippled: Vec::new(),
+            };
+        }
+
+        // A fully revoked server takes its host-memory parameter cache
+        // down with it.
+        let dead_servers: BTreeSet<ServerId> = revoked
+            .iter()
+            .map(|&g| self.cluster.topology().gpu(g).server)
+            .filter(|&s| {
+                self.cluster
+                    .topology()
+                    .gpus_on(s)
+                    .iter()
+                    .all(|&g| self.cluster.is_revoked(g))
+            })
+            .collect();
+        for &s in &dead_servers {
+            self.cluster.revoke_host(s);
+        }
+        self.host_cache
+            .retain(|_, e| !dead_servers.contains(&e.server));
+
+        // A pending refactor whose *plan* targets a revoked device is
+        // void — even on instances that are not wounded. Cancel it
+        // outright: leaving the stale `Fresh` assignment in place would
+        // let a capacity *restore* before PauseDone commit a stage onto a
+        // device nobody tracks as in use. Remaining fresh acquisitions
+        // return to the pool (revoked ones were already evicted above).
+        let cancelled: Vec<InstanceId> = self
+            .pending_refactors
+            .iter()
+            .filter(|(_, p)| {
+                p.plan
+                    .assignments
+                    .iter()
+                    .any(|a| matches!(a, StageAssign::Fresh { gpu } if revoked.contains(gpu)))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in cancelled {
+            let pending = self.pending_refactors.remove(&id).expect("listed above");
+            for g in pending.fresh_acquired {
+                if revoked.contains(&g) {
+                    continue;
+                }
+                self.provisioner.release(g, now);
+                if self.gpus_in_use.remove(&g) {
+                    self.ledger.record_release(now);
+                }
+            }
+            let Some(inst) = self.instances.get_mut(&id) else {
+                continue;
+            };
+            if inst.stages.iter().any(|s| revoked.contains(&s.gpu)) {
+                // The instance itself is wounded too: the wound loop
+                // below owns its state transition.
+                continue;
+            }
+            if pending.from_crippled {
+                // A cancelled rebuild leaves no complete topology and no
+                // retry hook: release the survivors so the policy's
+                // scaling loop replaces the capacity.
+                self.release_instance(now, id);
+            } else {
+                // The complete old topology kept serving during
+                // preparation; resume it. The already-scheduled
+                // PrepareDone/PauseDone events no-op (state mismatch /
+                // missing pending entry).
+                inst.state = InstanceState::Serving;
+                self.resume_instance(queue, id);
+                self.launch_decode(queue, id);
+            }
+        }
+
+        // Wound every instance with a stage on a revoked device.
+        let wounded: Vec<InstanceId> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| i.stages.iter().any(|s| revoked.contains(&s.gpu)))
+            .map(|(&id, _)| id)
+            .collect();
+        let mut crippled = Vec::new();
+        for id in wounded {
+            // A refactor in flight toward a now-dead device is void: its
+            // fresh acquisitions return to the pool.
+            if let Some(pending) = self.pending_refactors.remove(&id) {
+                for g in pending.fresh_acquired {
+                    self.provisioner.release(g, now);
+                    if self.gpus_in_use.remove(&g) {
+                        self.ledger.record_release(now);
+                    }
+                }
+            }
+            let inst = self.instances.get_mut(&id).expect("listed above");
+            inst.epoch += 1; // stale StageArrive/StageDone/Prepare/Pause events drop
+            let original = inst.stages.len() as u32;
+            let prior_state = inst.state;
+
+            // Collect the requests whose progress dies with the stages:
+            // everything admitted to this instance (KV spans all stages,
+            // losing one loses the layers it held).
+            let mut rids: Vec<RequestId> = inst.decode_ready.drain(..).collect();
+            let mut lost: u64 = 0;
+            for ub_id in std::mem::take(&mut inst.ubatches) {
+                if let Some(ub) = self.ubatches.remove(&ub_id) {
+                    if ub.phase == Phase::Prefill {
+                        // Prompt tokens already prefilled by earlier chunks.
+                        let total: u64 = ub
+                            .members
+                            .iter()
+                            .map(|r| u64::from(self.reqs[r.0 as usize].req.prompt_tokens))
+                            .sum();
+                        lost += total.saturating_sub(ub.prefill_remaining + ub.pass_tokens);
+                    }
+                    rids.extend(ub.members);
+                }
+            }
+            rids.sort_unstable();
+            rids.dedup();
+            for &rid in &rids {
+                let r = &mut self.reqs[rid.0 as usize];
+                if r.prefill_done.is_some() {
+                    lost += u64::from(r.req.prompt_tokens);
+                }
+                lost += u64::from(r.generated);
+                r.generated = 0;
+                r.prefill_done = None;
+                r.admitted = None;
+            }
+            // Replay at the gateway *front*, oldest first: these are the
+            // system's oldest outstanding requests.
+            for &rid in rids.iter().rev() {
+                self.gateway.push_front(rid);
+            }
+            inst.active_requests = 0;
+
+            self.disruptions.record_aborted(rids.len() as u32);
+            self.disruptions.record_replayed(rids.len() as u32);
+            self.disruptions.record_tokens_lost(lost);
+
+            match prior_state {
+                InstanceState::Loading => {
+                    // Parameters never finished loading, so the surviving
+                    // devices hold nothing worth keeping: the spawn is a
+                    // total loss. Release survivors raw — no host-cache
+                    // parking of parameters that were never resident — and
+                    // do not report the instance as crippled (there is
+                    // nothing to rebuild around; the policy's scaling loop
+                    // re-spawns through its normal path).
+                    let inst = self.instances.remove(&id).expect("listed above");
+                    for s in inst.stages {
+                        if revoked.contains(&s.gpu) {
+                            continue;
+                        }
+                        let _ = self.cluster.release(s.lease);
+                        self.provisioner.release(s.gpu, now);
+                        if self.gpus_in_use.remove(&s.gpu) {
+                            self.ledger.record_release(now);
+                        }
+                    }
+                }
+                InstanceState::Draining => {
+                    // The policy already decided to shed this instance;
+                    // the revocation merely finishes the job. Complete the
+                    // retirement (survivors park their parameters) instead
+                    // of resurrecting capacity the policy did not want.
+                    let inst = self.instances.get_mut(&id).expect("listed above");
+                    inst.stages.retain(|s| !revoked.contains(&s.gpu));
+                    self.release_instance(now, id);
+                }
+                _ => {
+                    // Dead stages vanish (their leases were invalidated by
+                    // the cluster); survivors keep devices and parameters
+                    // but clear transient pass state.
+                    let inst = self.instances.get_mut(&id).expect("listed above");
+                    let stages = std::mem::take(&mut inst.stages);
+                    inst.stages = stages
+                        .into_iter()
+                        .filter(|s| !revoked.contains(&s.gpu))
+                        .map(|mut s| {
+                            s.busy = false;
+                            s.input_decode.clear();
+                            s.input_prefill.clear();
+                            s.decode_streak = 0;
+                            s
+                        })
+                        .collect();
+                    inst.state = InstanceState::Crippled;
+                    crippled.push(CrippledInstance {
+                        id,
+                        original_stages: original,
+                        surviving_stages: self.instances[&id].stages.len() as u32,
+                    });
+                }
+            }
+        }
+        self.disruptions
+            .record_revocation(now, revoked.len() as u32);
+        DisruptionNotice {
+            revoked_gpus: revoked,
+            crippled,
+        }
+    }
+
+    /// Restores previously revoked devices to the pool (cold elastic; the
+    /// policy re-acquires them through its normal scaling path).
+    fn restore_capacity(&mut self, gpus: &[GpuId]) {
+        let mut restored = 0u32;
+        for &g in gpus {
+            if self.cluster.is_revoked(g) {
+                self.cluster.restore_gpu(g);
+                restored += 1;
+            }
+        }
+        self.disruptions.record_restored(restored);
+    }
+
+    /// Closes open recovery windows once the deployment is back to full
+    /// service: nothing mid-lifecycle (loading / preparing / paused /
+    /// crippled) and at least one instance serving.
+    fn maybe_close_recoveries(&mut self, now: SimTime) {
+        if !self.disruptions.has_open() {
+            return;
+        }
+        let any_serving = self
+            .instances
+            .values()
+            .any(|i| i.state == InstanceState::Serving);
+        let in_flux = self.instances.values().any(|i| {
+            matches!(
+                i.state,
+                InstanceState::Loading
+                    | InstanceState::Preparing
+                    | InstanceState::Paused
+                    | InstanceState::Crippled
+            )
+        });
+        if any_serving && !in_flux {
+            self.disruptions.close_open(now);
+        }
+    }
 }
 
 /// The engine: state + policy, driving a [`Scenario`] to completion.
@@ -1263,6 +1625,17 @@ impl<'a> Ctx<'a> {
         let now = self.queue.now();
         self.state.prewarm_host_cache(now, range, server)
     }
+
+    /// Devices under an outstanding preemption notice with their
+    /// revocation deadlines (avoid these when placing).
+    pub fn doomed_gpus(&self) -> Vec<(GpuId, SimTime)> {
+        self.state.doomed_gpus()
+    }
+
+    /// Devices currently revoked from the cluster.
+    pub fn revoked_gpus(&self) -> Vec<GpuId> {
+        self.state.cluster().revoked_gpus()
+    }
 }
 
 impl Engine {
@@ -1311,9 +1684,12 @@ impl Engine {
             pending_refactors: HashMap::new(),
             host_cache: HashMap::new(),
             gpus_in_use: std::collections::HashSet::new(),
+            script: scenario.disruptions.sorted(),
+            pending_revocations: BTreeMap::new(),
             next_instance: 0,
             next_ubatch: 0,
             horizon: scenario.horizon,
+            disruptions: DisruptionLedger::new(),
             outcomes: OutcomeLog::new(),
             ledger: UtilizationLedger::new(),
             queue_timeline: Timeline::new(),
@@ -1350,6 +1726,82 @@ impl Engine {
         self.policy = Some(policy);
     }
 
+    /// Fires scripted disruption `idx`.
+    fn on_disruption_event(&mut self, queue: &mut EventQueue<Event>, idx: usize) {
+        let Some(event) = self.state.script.events.get(idx).cloned() else {
+            return;
+        };
+        match event.kind {
+            Disruption::GpuFail { gpu } => {
+                // Hardware loss: no grace, no notice.
+                self.execute_revocation(queue, vec![GpuId(gpu)]);
+            }
+            Disruption::ServerPreempt { server, grace_secs } => {
+                let gpus = self.server_gpus(ServerId(server));
+                self.preempt(queue, gpus, SimDuration::from_secs_f64(grace_secs.max(0.0)));
+            }
+            Disruption::HotServerPreempt { rank, grace_secs } => {
+                let Some(server) = self.state.hottest_server(rank) else {
+                    return;
+                };
+                let gpus = self.server_gpus(server);
+                self.preempt(queue, gpus, SimDuration::from_secs_f64(grace_secs.max(0.0)));
+            }
+            Disruption::CapacityReturn { gpus, servers } => {
+                let mut targets: Vec<GpuId> = gpus.into_iter().map(GpuId).collect();
+                for s in servers {
+                    targets.extend(self.server_gpus(ServerId(s)));
+                }
+                targets.sort_unstable();
+                targets.dedup();
+                // Routed through the queue like revocations, so restores
+                // interleave deterministically with same-instant events.
+                queue.schedule_now(Event::Restore { gpus: targets });
+            }
+            Disruption::RateSurge { .. } => {}
+        }
+    }
+
+    fn server_gpus(&self, server: ServerId) -> Vec<GpuId> {
+        self.state.cluster.topology().gpus_on(server).to_vec()
+    }
+
+    /// Announces a preemption: with grace, the policy gets the notice now
+    /// and the revocation fires at the deadline; without, it fires
+    /// immediately.
+    fn preempt(&mut self, queue: &mut EventQueue<Event>, gpus: Vec<GpuId>, grace: SimDuration) {
+        let gpus: Vec<GpuId> = gpus
+            .into_iter()
+            .filter(|&g| !self.state.cluster.is_revoked(g))
+            .collect();
+        if gpus.is_empty() {
+            return;
+        }
+        if grace == SimDuration::ZERO {
+            self.execute_revocation(queue, gpus);
+            return;
+        }
+        let deadline = queue.now() + grace;
+        for &g in &gpus {
+            self.state.pending_revocations.insert(g, deadline);
+        }
+        queue
+            .schedule(deadline, Event::Revoke { gpus: gpus.clone() })
+            .expect("future");
+        self.with_policy(queue, |p, ctx| p.on_revoke_notice(ctx, &gpus, deadline));
+    }
+
+    /// Revokes capacity now and lets the policy rebuild.
+    fn execute_revocation(&mut self, queue: &mut EventQueue<Event>, gpus: Vec<GpuId>) {
+        let notice = self.state.apply_revocation(queue, &gpus);
+        if notice.revoked_gpus.is_empty() {
+            return;
+        }
+        self.with_policy(queue, |p, ctx| p.on_disruption(ctx, &notice));
+        self.state.drain_gateway(queue);
+        self.state.maybe_close_recoveries(queue.now());
+    }
+
     /// Runs the scenario to its horizon and produces the report.
     pub fn run(mut self) -> RunReport {
         let mut queue: EventQueue<Event> = EventQueue::new();
@@ -1366,6 +1818,19 @@ impl Engine {
         queue
             .schedule_after(self.state.config.churn_step, Event::Churn)
             .expect("future");
+        // Scripted disruptions (already time-sorted). Rate surges are a
+        // workload-generation concern and never enter the queue.
+        for (i, ev) in self.state.script.events.iter().enumerate() {
+            if matches!(ev.kind, Disruption::RateSurge { .. }) {
+                continue;
+            }
+            let at = SimTime::from_secs_f64(ev.at_secs.max(0.0));
+            if at < self.state.horizon {
+                queue
+                    .schedule(at, Event::Disruption(i as u32))
+                    .expect("script starts at or after t=0");
+            }
+        }
 
         let horizon = self.state.horizon;
         let max_events = self.state.config.max_events;
@@ -1380,7 +1845,8 @@ impl Engine {
 
     fn into_report(self, horizon: SimTime) -> RunReport {
         let truncated = self.truncated;
-        let st = self.state;
+        let mut st = self.state;
+        st.disruptions.finalize(horizon);
         let span = horizon.as_secs_f64();
         let summary = st.outcomes.summarize(span);
         let policy_name = self
@@ -1409,6 +1875,7 @@ impl Engine {
             mean_alloc_wait_secs: st.provisioner.mean_wait_secs(),
             warm_loads: st.warm_loads,
             cold_loads: st.cold_loads,
+            disruptions: st.disruptions.into_stats(),
             events: self.events_seen,
             truncated,
         }
@@ -1453,6 +1920,7 @@ impl World for Engine {
                 self.state.provisioner.expire_warm(now);
                 self.with_policy(queue, |p, ctx| p.on_tick(ctx));
                 self.state.drain_gateway(queue);
+                self.state.maybe_close_recoveries(now);
                 let next = now + self.state.config.control_interval;
                 if next < self.state.horizon {
                     queue.schedule(next, Event::ControlTick).expect("future");
@@ -1484,6 +1952,7 @@ impl World for Engine {
                 if ready {
                     self.state.drain_gateway(queue);
                     self.with_policy(queue, |p, ctx| p.on_instance_ready(ctx, id));
+                    self.state.maybe_close_recoveries(queue.now());
                 }
             }
             Event::StageArrive {
@@ -1510,6 +1979,16 @@ impl World for Engine {
                 self.state.resume_instance(queue, id);
                 self.state.launch_decode(queue, id);
                 self.state.drain_gateway(queue);
+                self.state.maybe_close_recoveries(queue.now());
+            }
+            Event::Disruption(idx) => {
+                self.on_disruption_event(queue, idx as usize);
+            }
+            Event::Revoke { gpus } => {
+                self.execute_revocation(queue, gpus);
+            }
+            Event::Restore { gpus } => {
+                self.state.restore_capacity(&gpus);
             }
         }
     }

@@ -123,6 +123,11 @@ pub enum InstanceState {
     Paused,
     /// No longer admitting; draining active requests before release.
     Draining,
+    /// A capacity revocation destroyed one or more stages: the surviving
+    /// stages hold their devices (and warm parameters) but the pipeline
+    /// cannot serve. A policy either refactors the instance back to a full
+    /// topology inflight (FlexPipe) or retires it and cold-respawns.
+    Crippled,
 }
 
 /// A pipeline instance.
@@ -248,6 +253,7 @@ mod tests {
         assert!(!instance(InstanceState::Draining, 4, 0).can_admit());
         assert!(instance(InstanceState::Preparing, 4, 0).can_admit());
         assert!(!instance(InstanceState::Paused, 4, 0).can_admit());
+        assert!(!instance(InstanceState::Crippled, 4, 0).can_admit());
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub use engine::{Ctx, Engine, EngineState, Event, Scenario};
 pub use instance::{
     Instance, InstanceId, InstanceSnapshot, InstanceState, MicroBatch, Phase, UbatchId,
 };
-pub use policy::{ActionError, ControlPolicy, Placement, RefactorPlan, StageAssign};
+pub use policy::{
+    cold_respawn, cold_respawn_instance, ActionError, ControlPolicy, CrippledInstance,
+    DisruptionNotice, Placement, RefactorPlan, StageAssign,
+};
 pub use queueing::{optimal_depth_heuristic, predict, GgsParams, GgsPrediction};
 pub use report::RunReport;

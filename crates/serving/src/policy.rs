@@ -10,7 +10,7 @@
 
 use flexpipe_cluster::GpuId;
 use flexpipe_model::OpRange;
-use flexpipe_sim::SimDuration;
+use flexpipe_sim::{SimDuration, SimTime};
 
 use crate::engine::Ctx;
 use crate::instance::InstanceId;
@@ -81,6 +81,48 @@ impl std::fmt::Display for ActionError {
 
 impl std::error::Error for ActionError {}
 
+/// One instance wounded by a capacity revocation: some (possibly all) of
+/// its stages lost their devices mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrippledInstance {
+    /// The wounded instance (now in `InstanceState::Crippled`).
+    pub id: InstanceId,
+    /// Stage count before the revocation (a lattice level).
+    pub original_stages: u32,
+    /// Stages that kept their devices (their parameters stay resident).
+    pub surviving_stages: u32,
+}
+
+/// What a revocation did to the deployment, handed to
+/// [`ControlPolicy::on_disruption`] right after the engine killed the
+/// in-flight micro-batches on dead stages and replayed their requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisruptionNotice {
+    /// Devices revoked by this event.
+    pub revoked_gpus: Vec<GpuId>,
+    /// Instances wounded by it, in id order.
+    pub crippled: Vec<CrippledInstance>,
+}
+
+/// Cold-respawn recovery for one crippled instance: retire it (returning
+/// surviving devices) and spawn a replacement through the *elastic* path,
+/// paying provisioning and parameter-loading delays. This is what every
+/// static/restart-based system does after losing capacity; FlexPipe
+/// overrides [`ControlPolicy::on_disruption`] to refactor inflight instead.
+pub fn cold_respawn_instance(ctx: &mut Ctx<'_>, crippled: &CrippledInstance) {
+    ctx.retire(crippled.id);
+    // Best effort: a fragmented cluster may refuse; the policy's regular
+    // control loop keeps retrying through its own scaling path.
+    let _ = ctx.spawn(crippled.original_stages.max(1), Placement::FirstFit);
+}
+
+/// Default disruption response: cold-respawn every crippled instance.
+pub fn cold_respawn(ctx: &mut Ctx<'_>, notice: &DisruptionNotice) {
+    for c in &notice.crippled {
+        cold_respawn_instance(ctx, c);
+    }
+}
+
 /// A serving control policy.
 ///
 /// All methods are invoked by the engine with a [`Ctx`] exposing state
@@ -106,6 +148,21 @@ pub trait ControlPolicy: Send {
 
     /// Called when an instance finishes loading and starts serving.
     fn on_instance_ready(&mut self, _ctx: &mut Ctx<'_>, _id: InstanceId) {}
+
+    /// Called when the platform announces a preemption: `gpus` disappear
+    /// at `deadline`. Policies with inflight migration use the grace
+    /// window to move stages off the doomed devices; the default does
+    /// nothing (static systems ignore the notice and eat the revocation).
+    fn on_revoke_notice(&mut self, _ctx: &mut Ctx<'_>, _gpus: &[GpuId], _deadline: SimTime) {}
+
+    /// Called right after a revocation executed. The engine has already
+    /// invalidated leases, killed in-flight micro-batches on dead stages
+    /// and replayed their requests to the gateway; the policy decides how
+    /// to rebuild capacity. Default: [`cold_respawn`] every crippled
+    /// instance (the restart-based baseline behaviour).
+    fn on_disruption(&mut self, ctx: &mut Ctx<'_>, notice: &DisruptionNotice) {
+        cold_respawn(ctx, notice);
+    }
 }
 
 #[cfg(test)]

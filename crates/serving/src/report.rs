@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use flexpipe_metrics::{OutcomeLog, OutcomeSummary, Timeline, UtilizationLedger};
+use flexpipe_metrics::{DisruptionStats, OutcomeLog, OutcomeSummary, Timeline, UtilizationLedger};
 use flexpipe_sim::SimTime;
 
 /// Everything measured during one engine run.
@@ -40,6 +40,9 @@ pub struct RunReport {
     pub warm_loads: u32,
     /// Parameter loads from persistent storage.
     pub cold_loads: u32,
+    /// Capacity-revocation accounting: what was lost and how fast the
+    /// deployment recovered.
+    pub disruptions: DisruptionStats,
     /// Events processed.
     pub events: u64,
     /// Whether the run hit its event step budget and was cut short (the

@@ -133,6 +133,7 @@ fn scenario(cv: f64, rate: f64, horizon_secs: f64, seed: u64) -> Scenario {
         tier: TierConfig::default(),
         cost: CostModel::default(),
         workload,
+        disruptions: Default::default(),
         horizon: SimTime::from_secs_f64(horizon_secs + 30.0),
         seed,
     }
@@ -520,6 +521,480 @@ fn draining_instance_finishes_active_work_before_release() {
     );
     // The retired instance's GPUs were released (ledger balances out).
     assert!(report.ledger.mean_allocated(SimTime::from_secs(110)) < 4.0);
+}
+
+#[test]
+fn hot_server_preempt_cripples_then_default_policy_cold_respawns() {
+    use flexpipe_chaos::{Disruption, DisruptionEvent, DisruptionScript};
+    let (graph, lattice) = llama_artifacts();
+    let mut sc = scenario(1.0, 6.0, 60.0, 9);
+    sc.disruptions = DisruptionScript {
+        name: "preempt".into(),
+        events: vec![DisruptionEvent {
+            at_secs: 30.0,
+            kind: Disruption::HotServerPreempt {
+                rank: 0,
+                grace_secs: 0.0,
+            },
+        }],
+    };
+    let report = Engine::new(
+        sc,
+        graph,
+        lattice,
+        Box::new(StaticPolicy {
+            stages: 2,
+            replicas: 1,
+        }),
+    )
+    .run();
+    let d = &report.disruptions;
+    assert_eq!(d.revocation_events, 1);
+    assert!(d.gpus_revoked >= 1);
+    // The busiest server hosted a stage: in-flight work died and replayed.
+    assert!(d.requests_aborted > 0, "nothing was in flight at t=30");
+    assert_eq!(d.requests_aborted, d.requests_replayed);
+    assert!(d.tokens_lost > 0);
+    // Default recovery is a cold respawn: a second (elastic) spawn.
+    assert_eq!(report.spawns, 2);
+    // Recovery took real time (provisioning + parameter load).
+    assert!(
+        d.mean_time_to_recover() > 0.5,
+        "{}",
+        d.mean_time_to_recover()
+    );
+    assert_eq!(d.unrecovered, 0, "replacement never came up");
+    // Replayed requests complete after the recovery.
+    assert!(
+        report.completion_rate() > 0.95,
+        "completion {}",
+        report.completion_rate()
+    );
+}
+
+#[test]
+fn revoked_capacity_returns_on_capacity_return() {
+    use flexpipe_chaos::{Disruption, DisruptionEvent, DisruptionScript};
+    let (graph, lattice) = llama_artifacts();
+    let mut sc = scenario(1.0, 2.0, 60.0, 10);
+    sc.disruptions = DisruptionScript {
+        name: "fail-restore".into(),
+        events: vec![
+            DisruptionEvent {
+                at_secs: 20.0,
+                kind: Disruption::GpuFail { gpu: 70 },
+            },
+            DisruptionEvent {
+                at_secs: 21.0,
+                kind: Disruption::GpuFail { gpu: 71 },
+            },
+            DisruptionEvent {
+                at_secs: 40.0,
+                kind: Disruption::CapacityReturn {
+                    gpus: vec![70, 71],
+                    servers: Vec::new(),
+                },
+            },
+        ],
+    };
+    let report = Engine::new(
+        sc,
+        graph,
+        lattice,
+        Box::new(StaticPolicy {
+            stages: 2,
+            replicas: 1,
+        }),
+    )
+    .run();
+    let d = &report.disruptions;
+    // GPUs 70/71 are idle corners of the 82-GPU testbed: no instance is
+    // wounded, so the fleet recovers instantly, and both devices return.
+    assert_eq!(d.revocation_events, 2);
+    assert_eq!(d.gpus_revoked, 2);
+    assert_eq!(d.gpus_restored, 2);
+    assert_eq!(d.requests_aborted, 0);
+    assert!(report.completion_rate() > 0.97);
+}
+
+/// Rebuilds any crippled instance inflight: reuse survivors, land the
+/// dead stages on fresh devices, with a visible multi-second prepare.
+struct RebuildOnWound {
+    prepare_secs: u64,
+}
+
+impl ControlPolicy for RebuildOnWound {
+    fn name(&self) -> &'static str {
+        "rebuild-on-wound"
+    }
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        let all: Vec<_> = ctx
+            .state
+            .cluster()
+            .topology()
+            .gpus()
+            .iter()
+            .map(|g| g.id)
+            .collect();
+        ctx.set_always_on(all);
+        ctx.spawn_prewarmed(2, Placement::FirstFit).unwrap();
+    }
+    fn on_disruption(&mut self, ctx: &mut Ctx<'_>, notice: &flexpipe_serving::DisruptionNotice) {
+        for c in &notice.crippled {
+            let survivors = ctx.state.stage_placement(c.id).unwrap_or_default();
+            let new_ranges = ctx
+                .state
+                .lattice()
+                .level(c.original_stages)
+                .expect("level exists")
+                .ranges
+                .clone();
+            let in_use = ctx.state.gpus_in_use().clone();
+            let revoked = ctx.revoked_gpus();
+            let mut pool: Vec<_> = ctx
+                .state
+                .cluster()
+                .topology()
+                .gpus()
+                .iter()
+                .map(|g| g.id)
+                .filter(|g| !in_use.contains(g) && !revoked.contains(g))
+                .collect();
+            let assignments = new_ranges
+                .iter()
+                .map(|&r| match survivors.iter().position(|&(sr, _)| sr == r) {
+                    Some(i) => StageAssign::Reuse {
+                        old_index: i as u32,
+                    },
+                    None => StageAssign::Fresh {
+                        gpu: pool.remove(0),
+                    },
+                })
+                .collect();
+            ctx.refactor(
+                c.id,
+                RefactorPlan {
+                    new_ranges,
+                    assignments,
+                    prepare: SimDuration::from_secs(self.prepare_secs),
+                    pause: SimDuration::from_millis(10),
+                },
+            )
+            .expect("rebuild accepted");
+        }
+    }
+}
+
+#[test]
+fn crippled_rebuild_blocks_admission_until_commit() {
+    use flexpipe_chaos::{Disruption, DisruptionEvent, DisruptionScript};
+    let (graph, lattice) = llama_artifacts();
+    let mut sc = scenario(1.0, 4.0, 60.0, 15);
+    // GPU 0 hosts stage 0 of the only instance; it fails at t=20 with no
+    // grace, and the rebuild takes 5 s of preparation.
+    sc.disruptions = DisruptionScript {
+        name: "fail-then-rebuild".into(),
+        events: vec![DisruptionEvent {
+            at_secs: 20.0,
+            kind: Disruption::GpuFail { gpu: 0 },
+        }],
+    };
+    let report = Engine::new(
+        sc,
+        graph,
+        lattice,
+        Box::new(RebuildOnWound { prepare_secs: 5 }),
+    )
+    .run();
+    assert_eq!(report.disruptions.revocation_events, 1);
+    assert_eq!(report.refactors, 1);
+    assert_eq!(report.spawns, 1, "rebuild must not respawn");
+    // A half-pipeline must not serve: nothing completes between the
+    // revocation and the rebuild's commit (~t=25).
+    let premature = report
+        .outcomes
+        .outcomes()
+        .iter()
+        .filter(|o| {
+            let t = o.completion.as_secs_f64();
+            t > 20.0 && t < 24.9
+        })
+        .count();
+    assert_eq!(
+        premature, 0,
+        "{premature} requests served by an incomplete pipeline"
+    );
+    // Afterwards service resumes and the backlog drains.
+    assert!(
+        report.completion_rate() > 0.97,
+        "{}",
+        report.completion_rate()
+    );
+    // Time-to-recover is the rebuild duration.
+    let ttr = report.disruptions.mean_time_to_recover();
+    assert!((4.5..6.0).contains(&ttr), "ttr {ttr}");
+}
+
+#[test]
+fn failed_crippled_rebuild_never_resurrects_a_partial_pipeline() {
+    use flexpipe_chaos::{Disruption, DisruptionEvent, DisruptionScript};
+    let (graph, lattice) = llama_artifacts();
+    let mut sc = scenario(1.0, 2.0, 50.0, 16);
+    // GPU 0 dies at t=20, crippling the instance; the rebuild targets the
+    // first free device (GPU 2), which dies mid-prepare at t=22. That
+    // voids the rebuild's plan, so the engine cancels it and releases the
+    // instance (this policy never retries) — under no circumstance may a
+    // pipeline with missing layers come back as Serving.
+    sc.disruptions = DisruptionScript {
+        name: "double-fail".into(),
+        events: vec![
+            DisruptionEvent {
+                at_secs: 20.0,
+                kind: Disruption::GpuFail { gpu: 0 },
+            },
+            DisruptionEvent {
+                at_secs: 22.0,
+                kind: Disruption::GpuFail { gpu: 2 },
+            },
+        ],
+    };
+    let report = Engine::new(
+        sc,
+        graph,
+        lattice,
+        Box::new(RebuildOnWound { prepare_secs: 5 }),
+    )
+    .run();
+    assert_eq!(report.disruptions.revocation_events, 2);
+    // No complete pipeline ever returns: nothing may complete after the
+    // first revocation.
+    let resurrected = report
+        .outcomes
+        .outcomes()
+        .iter()
+        .filter(|o| o.completion.as_secs_f64() > 20.5)
+        .count();
+    assert_eq!(
+        resurrected, 0,
+        "{resurrected} requests served by a resurrected partial pipeline"
+    );
+    // Both recovery windows stay open to the horizon.
+    assert_eq!(report.disruptions.unrecovered, 2);
+}
+
+#[test]
+fn wounding_a_loading_instance_releases_it_instead_of_crippling() {
+    use flexpipe_chaos::{Disruption, DisruptionEvent, DisruptionScript};
+    let (graph, lattice) = llama_artifacts();
+    let mut sc = scenario(1.0, 2.0, 40.0, 13);
+    // StaticPolicy spawns elastically at t=0: parameters stream from
+    // storage for several seconds, so the instance is still Loading when
+    // one of its devices (best-fit picks GPU 0 first) fails at t=2.
+    sc.disruptions = DisruptionScript {
+        name: "fail-during-load".into(),
+        events: vec![DisruptionEvent {
+            at_secs: 2.0,
+            kind: Disruption::GpuFail { gpu: 0 },
+        }],
+    };
+    let report = Engine::new(
+        sc,
+        graph,
+        lattice,
+        Box::new(StaticPolicy {
+            stages: 2,
+            replicas: 1,
+        }),
+    )
+    .run();
+    let d = &report.disruptions;
+    assert_eq!(d.revocation_events, 1);
+    // Nothing was admitted yet, so nothing aborts; and a half-loaded
+    // instance must not be "rebuilt" into existence — it is a total loss
+    // (the default policy never respawns, so no second spawn appears).
+    assert_eq!(d.requests_aborted, 0);
+    assert_eq!(report.spawns, 1);
+    // The surviving device was released: by the end nothing is held.
+    assert!(
+        report.ledger.mean_allocated(SimTime::from_secs(70)) < 1.0,
+        "held {}",
+        report.ledger.mean_allocated(SimTime::from_secs(70))
+    );
+}
+
+#[test]
+fn wounding_a_draining_instance_finishes_the_retirement() {
+    use flexpipe_chaos::{Disruption, DisruptionEvent, DisruptionScript};
+
+    struct RetireThenWatch {
+        done: bool,
+    }
+    impl ControlPolicy for RetireThenWatch {
+        fn name(&self) -> &'static str {
+            "retire-then-watch"
+        }
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            let all: Vec<_> = ctx
+                .state
+                .cluster()
+                .topology()
+                .gpus()
+                .iter()
+                .map(|g| g.id)
+                .collect();
+            ctx.set_always_on(all);
+            ctx.spawn_prewarmed(2, Placement::FirstFit).unwrap();
+            ctx.spawn_prewarmed(2, Placement::FirstFit).unwrap();
+        }
+        fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+            if !self.done && ctx.now() >= SimTime::from_secs(20) {
+                let id = ctx.instances()[0].id;
+                ctx.retire(id);
+                self.done = true;
+            }
+        }
+    }
+
+    let (graph, lattice) = llama_artifacts();
+    let mut sc = scenario(1.0, 6.0, 60.0, 14);
+    // GPU 0 hosts a stage of the first (retired-at-20s) instance; it
+    // fails a moment into the drain. The revocation must *finish* the
+    // retirement — not resurrect capacity the policy just shed via the
+    // default cold-respawn path.
+    sc.disruptions = DisruptionScript {
+        name: "fail-during-drain".into(),
+        events: vec![DisruptionEvent {
+            at_secs: 20.2,
+            kind: Disruption::GpuFail { gpu: 0 },
+        }],
+    };
+    let report = Engine::new(
+        sc,
+        graph,
+        lattice,
+        Box::new(RetireThenWatch { done: false }),
+    )
+    .run();
+    assert_eq!(report.disruptions.revocation_events, 1);
+    assert_eq!(
+        report.spawns, 2,
+        "a draining instance must not be respawned"
+    );
+    // Requests caught mid-drain replay on the surviving instance.
+    assert!(
+        report.completion_rate() > 0.97,
+        "{}",
+        report.completion_rate()
+    );
+}
+
+#[test]
+fn graced_preemption_gives_policies_a_migration_window() {
+    use flexpipe_chaos::{Disruption, DisruptionEvent, DisruptionScript};
+    use flexpipe_cluster::GpuId;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc as StdArc;
+
+    // A policy that migrates off doomed devices during the grace window
+    // by refactoring to the same depth on fresh GPUs.
+    struct Migrator {
+        noticed: StdArc<AtomicBool>,
+    }
+    impl ControlPolicy for Migrator {
+        fn name(&self) -> &'static str {
+            "migrator"
+        }
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            let all: Vec<_> = ctx
+                .state
+                .cluster()
+                .topology()
+                .gpus()
+                .iter()
+                .map(|g| g.id)
+                .collect();
+            ctx.set_always_on(all);
+            ctx.spawn_prewarmed(2, Placement::FirstFit).unwrap();
+        }
+        fn on_revoke_notice(&mut self, ctx: &mut Ctx<'_>, gpus: &[GpuId], _deadline: SimTime) {
+            self.noticed.store(true, Ordering::SeqCst);
+            let doomed: Vec<GpuId> = gpus.to_vec();
+            let insts = ctx.instances();
+            for inst in insts {
+                let Some(placement) = ctx.state.stage_placement(inst.id) else {
+                    continue;
+                };
+                if !placement.iter().any(|(_, g)| doomed.contains(g)) {
+                    continue;
+                }
+                let in_use = ctx.state.gpus_in_use().clone();
+                let mut fresh: Vec<GpuId> = ctx
+                    .state
+                    .cluster()
+                    .topology()
+                    .gpus()
+                    .iter()
+                    .map(|g| g.id)
+                    .filter(|g| !in_use.contains(g) && !doomed.contains(g))
+                    .collect();
+                let mut assignments = Vec::new();
+                let mut new_ranges = Vec::new();
+                for (i, &(range, gpu)) in placement.iter().enumerate() {
+                    new_ranges.push(range);
+                    if doomed.contains(&gpu) {
+                        assignments.push(StageAssign::Fresh {
+                            gpu: fresh.remove(0),
+                        });
+                    } else {
+                        assignments.push(StageAssign::Reuse {
+                            old_index: i as u32,
+                        });
+                    }
+                }
+                let plan = RefactorPlan {
+                    new_ranges,
+                    assignments,
+                    prepare: SimDuration::from_secs(3),
+                    pause: SimDuration::from_millis(20),
+                };
+                ctx.refactor(inst.id, plan).expect("rescue refactor");
+            }
+        }
+    }
+
+    let (graph, lattice) = llama_artifacts();
+    let mut sc = scenario(1.0, 4.0, 60.0, 12);
+    sc.disruptions = DisruptionScript {
+        name: "graced".into(),
+        events: vec![DisruptionEvent {
+            at_secs: 25.0,
+            kind: Disruption::HotServerPreempt {
+                rank: 0,
+                grace_secs: 10.0,
+            },
+        }],
+    };
+    let noticed = StdArc::new(AtomicBool::new(false));
+    let report = Engine::new(
+        sc,
+        graph,
+        lattice,
+        Box::new(Migrator {
+            noticed: noticed.clone(),
+        }),
+    )
+    .run();
+    assert!(noticed.load(Ordering::SeqCst), "notice never delivered");
+    let d = &report.disruptions;
+    assert_eq!(d.revocation_events, 1);
+    // The migration finished inside the grace window: nothing was in
+    // flight on the dead server, so no request was aborted and recovery
+    // is instantaneous.
+    assert_eq!(d.requests_aborted, 0, "migration failed to beat the grace");
+    assert!(d.mean_time_to_recover() < 1e-9);
+    assert_eq!(report.refactors, 1);
+    assert_eq!(report.spawns, 1, "no respawn needed");
+    assert!(report.completion_rate() > 0.97);
 }
 
 #[test]

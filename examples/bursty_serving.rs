@@ -31,6 +31,7 @@ fn run_policy(
         tier: TierConfig::default(),
         cost,
         workload,
+        disruptions: Default::default(),
         horizon: SimTime::from_secs(270),
         seed: 7,
     };

@@ -1,0 +1,88 @@
+//! Chaos demo: preempt the busiest server mid-run and watch FlexPipe
+//! refactor inflight while a static pipeline cold-respawns.
+//!
+//! ```sh
+//! cargo run --release --example chaos_preemption
+//! ```
+
+use std::sync::Arc;
+
+use flexpipe::prelude::*;
+
+fn scenario(script: DisruptionScript) -> Scenario {
+    let workload = WorkloadSpec {
+        arrivals: ArrivalSpec::GammaRenewal { rate: 4.0, cv: 1.0 },
+        lengths: LengthProfile::fixed(128, 128),
+        slo: SimDuration::from_secs(2),
+        slo_per_output_token: SimDuration::from_millis(100),
+        horizon_secs: 60.0,
+    }
+    .generate(&mut SimRng::seed(7));
+    Scenario {
+        config: EngineConfig::default(),
+        cluster: ClusterSpec::heterogeneous("demo-8n-12g", 8, 12, 4),
+        background: BackgroundProfile::none(),
+        tier: TierConfig::default(),
+        cost: CostModel::default(),
+        workload,
+        disruptions: script,
+        horizon: SimTime::from_secs(90),
+        seed: 7,
+    }
+}
+
+fn main() {
+    // The platform preempts the busiest server at t = 20 s with a 15 s
+    // grace notice — the spot-market pattern (HydraServe/ParaServe).
+    let script = DisruptionScript {
+        name: "spot-preempt".into(),
+        events: vec![DisruptionEvent {
+            at_secs: 20.0,
+            kind: Disruption::HotServerPreempt {
+                rank: 0,
+                grace_secs: 15.0,
+            },
+        }],
+    };
+
+    let graph = Arc::new(flexpipe::model::zoo::llama2_7b());
+    let cost = CostModel::default();
+    let partitioner = Partitioner::new(PartitionParams::default(), cost);
+    let lattice = Arc::new(
+        GranularityLattice::build(&partitioner, &graph, 8, &[1, 2, 4, 8], &cost)
+            .expect("llama fits every level"),
+    );
+
+    let policies: Vec<(&str, Box<dyn ControlPolicy>)> = vec![
+        ("FlexPipe", SystemId::FlexPipe.policy(4.0)),
+        ("Static 2-stage", Box::new(StaticPipeline::new(2, 1))),
+    ];
+    println!("hot-server preemption at t=20s, grace 15s, 12-GPU cluster\n");
+    for (label, policy) in policies {
+        let report = Engine::new(
+            scenario(script.clone()),
+            graph.clone(),
+            lattice.clone(),
+            policy,
+        )
+        .run();
+        let d = &report.disruptions;
+        println!(
+            "{label:>14}: revocations {}, gpus lost {}, requests replayed {}, tokens lost {}, \
+             spawns {}, refactors {}, time-to-recover {:.2}s, goodput {:.1}%",
+            d.revocation_events,
+            d.gpus_revoked,
+            d.requests_replayed,
+            d.tokens_lost,
+            report.spawns,
+            report.refactors,
+            d.mean_time_to_recover(),
+            report.summary.goodput_rate * 100.0,
+        );
+    }
+    println!(
+        "\nFlexPipe uses the grace window to migrate stages off the doomed \
+         server inflight;\nthe static pipeline ignores the notice, loses its \
+         in-flight work and cold-respawns."
+    );
+}

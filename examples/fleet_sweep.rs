@@ -39,6 +39,8 @@ fn main() {
                 replicas: 2,
             },
         ],
+        disruptions: vec![DisruptionShape::None],
+        replicas: 1,
     };
 
     let report = run_sweep(&spec, &RunOptions::default()).expect("sweep runs");

@@ -49,6 +49,7 @@ fn main() {
         tier: TierConfig::default(),
         cost,
         workload,
+        disruptions: Default::default(),
         horizon: SimTime::from_secs(3660),
         seed: 23,
     };

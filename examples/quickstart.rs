@@ -50,6 +50,7 @@ fn main() {
         tier: TierConfig::default(),
         cost,
         workload,
+        disruptions: Default::default(),
         horizon: SimTime::from_secs(220),
         seed: 42,
     };

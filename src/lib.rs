@@ -52,6 +52,7 @@
 //!     tier: TierConfig::default(),
 //!     cost,
 //!     workload,
+//!     disruptions: Default::default(),
 //!     horizon: SimTime::from_secs(90),
 //!     seed: 42,
 //! };
@@ -68,6 +69,7 @@
 
 pub use flexpipe_baselines as baselines;
 pub use flexpipe_bench as bench;
+pub use flexpipe_chaos as chaos;
 pub use flexpipe_cluster as cluster;
 pub use flexpipe_core as core;
 pub use flexpipe_fleet as fleet;
@@ -85,6 +87,7 @@ pub mod prelude {
         ServerlessLlmLike, StaticPipeline, TetrisConfig, TetrisLike,
     };
     pub use flexpipe_bench::SystemId;
+    pub use flexpipe_chaos::{Disruption, DisruptionEvent, DisruptionScript, RandomDisruptions};
     pub use flexpipe_cluster::{
         BackgroundProfile, Cluster, ClusterSpec, GpuId, ServerId, TierConfig, TransferEngine,
     };
@@ -93,8 +96,8 @@ pub mod prelude {
         ValidityMask,
     };
     pub use flexpipe_fleet::{
-        run_sweep, BackgroundShape, ClusterShape, FleetReport, GateConfig, PolicySpec, RunOptions,
-        SweepSpec,
+        run_sweep, BackgroundShape, ClusterShape, DisruptionShape, FleetReport, GateConfig,
+        PolicySpec, RunOptions, SweepSpec,
     };
     pub use flexpipe_metrics::{analyze_stalls, Digest, OutcomeLog, StallConfig, Table};
     pub use flexpipe_model::{CostModel, ModelGraph, ModelId, OpRange};

@@ -30,6 +30,7 @@ fn scenario(cv: f64, rate: f64, horizon: f64, seed: u64, cost: CostModel) -> Sce
         tier: TierConfig::default(),
         cost,
         workload,
+        disruptions: Default::default(),
         horizon: SimTime::from_secs_f64(horizon + 30.0),
         seed,
     }
@@ -171,6 +172,7 @@ fn cv_shift_triggers_refactor_through_facade() {
         tier: TierConfig::default(),
         cost,
         workload: calm,
+        disruptions: Default::default(),
         horizon: SimTime::from_secs(250),
         seed: 5,
     };
@@ -208,6 +210,7 @@ fn survives_hostile_fragmentation() {
         tier: TierConfig::default(),
         cost,
         workload,
+        disruptions: Default::default(),
         horizon: SimTime::from_secs(160),
         seed: 71,
     };
@@ -258,6 +261,7 @@ fn survives_capacity_exhaustion() {
         tier: TierConfig::default(),
         cost,
         workload,
+        disruptions: Default::default(),
         horizon: SimTime::from_secs(160),
         seed: 73,
     };
@@ -294,6 +298,7 @@ fn trace_replay_reproduces_run() {
         tier: TierConfig::default(),
         cost,
         workload: w,
+        disruptions: Default::default(),
         horizon: SimTime::from_secs(90),
         seed: 77,
     };
