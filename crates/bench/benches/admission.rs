@@ -1,0 +1,31 @@
+//! The gateway admission path in isolation: the indexed fast path vs the
+//! retained naive reference scan, across fleet sizes.
+//!
+//! Each measurement drives `flexpipe_serving::churn` — 10k admission
+//! decisions with deterministic completion/hold churn — so the numbers
+//! isolate selection cost from the event loop. Expected shape: naive
+//! grows linearly with the instance count, indexed logarithmically;
+//! they cross within noise at tiny fleets and separate by an order of
+//! magnitude from a few hundred instances up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use flexpipe_serving::{churn, AdmissionMode};
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission");
+    const OPS: usize = 10_000;
+    for n in [16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, &n| {
+            b.iter(|| black_box(churn(n, OPS, AdmissionMode::Indexed)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            b.iter(|| black_box(churn(n, OPS, AdmissionMode::NaiveScan)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Table 2 calibration, promoted from a compile-only figure binary into
+//! an asserted integration test (mirroring the Fig. 8 goodput-ordering
+//! promotion): the cost model's per-granularity metrics for OPT-66B at
+//! sequence length 4096 must stay inside a tolerance band of the paper's
+//! profiled values.
+//!
+//! Paper reference rows (stages, load s, compute ms, comm ms, max batch):
+//! (4, 47.14, 69.94, 6.3, 128), (8, 13.05, 36.63, 14.7, 256),
+//! (16, 9.19, 18.67, 31.5, 512), (32, 5.43, 9.67, 65.1, 1024).
+//!
+//! Bands are metric-specific: compute and communication are calibrated
+//! tightly (≤ 5% per row); the memory-bound max batch runs above paper
+//! (our KV accounting is slightly leaner) within 35%; cold-storage load
+//! time is the model's weak spot at 8 stages (the paper's measured
+//! checkpoint layout is not linear in the partition size), so load is
+//! banded on the *mean* error plus a loose per-row cap — and on the 4→32
+//! load-elasticity ratio that drives the paper's fast-scaling argument.
+
+use flexpipe_bench::PaperSetup;
+use flexpipe_cluster::{LinkSpec, Route, TransferEngine};
+use flexpipe_model::OpId;
+
+const GIB: u64 = 1 << 30;
+
+/// (stages, load s, compute ms, comm ms, max batch) from the paper.
+const PAPER: [(u32, f64, f64, f64, u32); 4] = [
+    (4, 47.14, 69.94, 6.3, 128),
+    (8, 13.05, 36.63, 14.7, 256),
+    (16, 9.19, 18.67, 31.5, 512),
+    (32, 5.43, 9.67, 65.1, 1024),
+];
+
+struct Row {
+    stages: u32,
+    load_s: f64,
+    compute_ms: f64,
+    comm_ms: f64,
+    batch: u32,
+}
+
+/// Reproduces the table2 binary's computation exactly.
+fn computed_rows(setup: &PaperSetup) -> Vec<Row> {
+    let graph = &setup.graph;
+    let cost = &setup.cost;
+    let transfer = TransferEngine::new(LinkSpec::default());
+    PAPER
+        .iter()
+        .map(|&(stages, ..)| {
+            let level = setup.lattice.level(stages).expect("lattice level");
+            let mid = level.ranges[level.ranges.len() / 2];
+            let load_s = cost.stage_load(graph, mid, 0.7e9).as_secs_f64();
+            let compute_ms = cost.stage_compute(graph, mid, 4096).as_millis_f64();
+            let hop_tokens = 1280u64;
+            let comm_ms: f64 = level.ranges[..level.ranges.len() - 1]
+                .iter()
+                .map(|r| {
+                    let bytes = cost.hop_bytes(graph, OpId(r.end - 1), hop_tokens);
+                    transfer.duration_on(Route::Rdma, bytes).as_millis_f64()
+                })
+                .sum();
+            let batch = level
+                .ranges
+                .iter()
+                .map(|&r| cost.max_batch(graph, r, 80 * GIB))
+                .min()
+                .unwrap_or(0);
+            Row {
+                stages,
+                load_s,
+                compute_ms,
+                comm_ms,
+                batch,
+            }
+        })
+        .collect()
+}
+
+fn rel_err(ours: f64, paper: f64) -> f64 {
+    (ours - paper).abs() / paper
+}
+
+#[test]
+fn table2_calibration_error_stays_within_tolerance() {
+    let setup = PaperSetup::opt66b();
+    let rows = computed_rows(&setup);
+
+    let mut load_errs = Vec::new();
+    let mut batch_errs = Vec::new();
+    for (row, &(stages, p_load, p_compute, p_comm, p_batch)) in rows.iter().zip(&PAPER) {
+        assert_eq!(row.stages, stages);
+        let e_compute = rel_err(row.compute_ms, p_compute);
+        let e_comm = rel_err(row.comm_ms, p_comm);
+        let e_load = rel_err(row.load_s, p_load);
+        let e_batch = rel_err(f64::from(row.batch), f64::from(p_batch));
+        eprintln!(
+            "table2 @ {stages:2} stages: load {:.2}s ({p_load}, {:.0}%), compute {:.2}ms \
+             ({p_compute}, {:.0}%), comm {:.1}ms ({p_comm}, {:.0}%), batch {} ({p_batch}, {:.0}%)",
+            row.load_s,
+            e_load * 100.0,
+            row.compute_ms,
+            e_compute * 100.0,
+            row.comm_ms,
+            e_comm * 100.0,
+            row.batch,
+            e_batch * 100.0,
+        );
+        assert!(
+            e_compute <= 0.05,
+            "compute at {stages} stages off by {:.1}%",
+            e_compute * 100.0
+        );
+        assert!(
+            e_comm <= 0.05,
+            "comm at {stages} stages off by {:.1}%",
+            e_comm * 100.0
+        );
+        assert!(
+            e_batch <= 0.35,
+            "max batch at {stages} stages off by {:.1}%",
+            e_batch * 100.0
+        );
+        assert!(
+            e_load <= 0.85,
+            "load at {stages} stages off by {:.1}%",
+            e_load * 100.0
+        );
+        load_errs.push(e_load);
+        batch_errs.push(e_batch);
+    }
+    let mean_load = load_errs.iter().sum::<f64>() / load_errs.len() as f64;
+    let mean_batch = batch_errs.iter().sum::<f64>() / batch_errs.len() as f64;
+    assert!(
+        mean_load <= 0.35,
+        "mean load calibration error {:.1}% beyond band",
+        mean_load * 100.0
+    );
+    assert!(
+        mean_batch <= 0.20,
+        "mean max-batch calibration error {:.1}% beyond band",
+        mean_batch * 100.0
+    );
+}
+
+#[test]
+fn table2_shape_holds_across_granularities() {
+    let setup = PaperSetup::opt66b();
+    let rows = computed_rows(&setup);
+    for w in rows.windows(2) {
+        // Finer pipelines: smaller per-stage loads and computes, more
+        // total hop communication, larger memory-bound batches.
+        assert!(w[1].load_s < w[0].load_s, "load not shrinking");
+        assert!(w[1].compute_ms < w[0].compute_ms, "compute not shrinking");
+        assert!(w[1].comm_ms > w[0].comm_ms, "comm not growing");
+        assert!(w[1].batch > w[0].batch, "batch not growing");
+    }
+
+    // The fast-scaling headline: loading a 32-stage slice is ~8.7x faster
+    // than a 4-stage slice (interior stages; the figure the paper's
+    // elasticity argument leans on). Our calibrated ratio is 8.0x.
+    let cost = &setup.cost;
+    let l4 = cost
+        .stage_load(
+            &setup.graph,
+            setup.lattice.level(4).unwrap().ranges[2],
+            0.7e9,
+        )
+        .as_secs_f64();
+    let l32 = cost
+        .stage_load(
+            &setup.graph,
+            setup.lattice.level(32).unwrap().ranges[16],
+            0.7e9,
+        )
+        .as_secs_f64();
+    let ratio = l4 / l32;
+    assert!(
+        (6.5..=10.5).contains(&ratio),
+        "load elasticity ratio {ratio:.1}x outside [6.5, 10.5] (paper: 8.7x)"
+    );
+}

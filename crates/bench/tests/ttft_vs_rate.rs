@@ -1,0 +1,64 @@
+//! TTFT-vs-rate monotonicity, promoted from compile-only figure debt into
+//! an asserted integration test: on a *fixed* deployment, time-to-first-
+//! token (queue + prefill — everything before the first output token)
+//! must grow monotonically with the offered rate, and the saturated
+//! endpoint must sit far above the uncongested one. This is the queueing
+//! backbone behind Fig. 3/Fig. 8's degradation curves: a static 4-stage
+//! OPT-66B pipeline absorbs 10 QPS, strains at 20, and convoys at 40.
+//!
+//! Bounded sim window: 60 s measured + 15 s warmup per rate, three rates.
+
+use flexpipe_bench::setup::{paper_workload, run_with_workload};
+use flexpipe_bench::systems::static_pipeline;
+use flexpipe_bench::{E2eParams, PaperSetup};
+use flexpipe_metrics::Digest;
+use flexpipe_sim::SimTime;
+
+/// Median TTFT over requests arriving in the measured window, seconds.
+fn p50_ttft(setup: &PaperSetup, rate: f64) -> f64 {
+    let p = E2eParams {
+        cv: 1.0,
+        rate,
+        horizon_secs: 60.0,
+        warmup_secs: 15.0,
+        seed: 42,
+    };
+    let workload = paper_workload(&p);
+    let report = run_with_workload(setup, &p, workload, static_pipeline(4, 1));
+    let cut = SimTime::from_secs_f64(p.warmup_secs);
+    let mut d = Digest::new();
+    for o in report.outcomes.outcomes() {
+        if o.arrival >= cut {
+            d.record(o.queue.as_secs_f64() + o.prefill.as_secs_f64());
+        }
+    }
+    assert!(d.count() > 100, "too few completions at rate {rate}");
+    d.quantile(0.5)
+}
+
+#[test]
+fn ttft_grows_monotonically_with_rate_on_a_static_pipeline() {
+    let setup = PaperSetup::opt66b();
+    let rates = [10.0, 20.0, 40.0];
+    let ttfts: Vec<f64> = rates.iter().map(|&r| p50_ttft(&setup, r)).collect();
+    eprintln!(
+        "static 4-stage p50 TTFT: {:.3}s @ 10 QPS, {:.3}s @ 20 QPS, {:.3}s @ 40 QPS",
+        ttfts[0], ttfts[1], ttfts[2]
+    );
+    // Monotone in rate (5% slack absorbs batching discretisation).
+    for w in ttfts.windows(2) {
+        assert!(
+            w[1] >= w[0] * 0.95,
+            "TTFT fell as rate grew: {:.3}s -> {:.3}s",
+            w[0],
+            w[1]
+        );
+    }
+    // The saturated endpoint is not mere noise above the uncongested one.
+    assert!(
+        ttfts[2] > ttfts[0] * 1.5,
+        "saturation should dominate TTFT: {:.3}s vs {:.3}s",
+        ttfts[2],
+        ttfts[0]
+    );
+}

@@ -7,9 +7,17 @@
 //!     --out <report.json>     write the JSON artifact (default: <spec>.report.json)
 //!     --threads <n>           worker threads (default: one per core)
 //!     --quiet                 suppress per-cell progress on stderr
+//!     --admission <mode>      `indexed` (default) or `naive` — byte-identical
+//!                             reports, different wall-clock
 //!     --gate <baseline.json>  one-shot CI mode: gate the fresh report
 //!                             against a committed baseline after the run
 //!     --tolerance <frac>      gate tolerance when --gate is given
+//! flexpipe-fleet bench init [bench.json]          write the engine-tunable bench template
+//! flexpipe-fleet bench <bench.json> [options]     sweep engine tunables × rates
+//!     --out <report.json>     write the byte-stable artifact (wall-clock excluded)
+//!     --threads <n>           worker threads (use 1 for clean A/B timing)
+//!     --rates <a,b,..>        override the spec's rate axis (CI smoke: --rates 100)
+//!     --quiet                 suppress per-cell progress on stderr
 //! flexpipe-fleet compare <report.json>            render the tables of an artifact
 //! flexpipe-fleet gate <report.json> --baseline <base.json> [options]
 //!     --tolerance <frac>      allowed relative degradation (default 0.02)
@@ -21,12 +29,14 @@
 use std::process::ExitCode;
 
 use flexpipe_fleet::{
-    gate::gate, parse_spec, run_sweep, FleetReport, GateConfig, RunOptions, SweepSpec,
+    gate::gate, parse_spec, run_bench, run_sweep, BenchSpec, FleetReport, GateConfig, RunOptions,
+    SweepSpec,
 };
+use flexpipe_serving::AdmissionMode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
+        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.json> [--out report.json] [--threads N] [--rates 100,200] [--quiet]\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
     );
     ExitCode::from(1)
 }
@@ -78,6 +88,17 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
+/// Pulls `--admission indexed|naive` out of the argument list.
+fn parse_admission(args: &mut Vec<String>) -> Result<AdmissionMode, ExitCode> {
+    match take_flag_value(args, "--admission")? {
+        None => Ok(AdmissionMode::default()),
+        Some(v) => AdmissionMode::parse(&v).ok_or_else(|| {
+            eprintln!("--admission must be `indexed` or `naive`, got `{v}`");
+            ExitCode::from(1)
+        }),
+    }
+}
+
 fn cmd_init(args: Vec<String>) -> Result<ExitCode, ExitCode> {
     let path = args
         .first()
@@ -106,6 +127,7 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
         None => 0,
     };
     let quiet = take_flag(&mut args, "--quiet");
+    let admission = parse_admission(&mut args)?;
     let gate_baseline = take_flag_value(&mut args, "--gate")?;
     let tolerance = match take_flag_value(&mut args, "--tolerance")? {
         Some(t) => t.parse::<f64>().map_err(|_| {
@@ -122,7 +144,15 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
         eprintln!("{e}");
         ExitCode::from(1)
     })?;
-    let report = run_sweep(&spec, &RunOptions { threads, quiet }).map_err(|e| {
+    let report = run_sweep(
+        &spec,
+        &RunOptions {
+            threads,
+            quiet,
+            admission,
+        },
+    )
+    .map_err(|e| {
         eprintln!("{e}");
         ExitCode::from(1)
     })?;
@@ -147,6 +177,87 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
         if !outcome.passed(&cfg) {
             return Ok(ExitCode::from(2));
         }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
+    // `bench init [path]`: write the engine-tunable template.
+    if args.first().map(String::as_str) == Some("init") {
+        let path = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "bench.json".to_string());
+        let spec = BenchSpec::template();
+        let json = serde_json::to_string_pretty(&spec).map_err(|e| {
+            eprintln!("template serialization failed: {e}");
+            ExitCode::from(1)
+        })?;
+        write(&path, &format!("{json}\n"))?;
+        eprintln!(
+            "wrote template bench ({} cells) to {path}",
+            spec.expand().len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let out = take_flag_value(&mut args, "--out")?;
+    let threads = match take_flag_value(&mut args, "--threads")? {
+        Some(t) => t.parse::<usize>().map_err(|_| {
+            eprintln!("--threads needs an integer");
+            ExitCode::from(1)
+        })?,
+        None => 0,
+    };
+    let quiet = take_flag(&mut args, "--quiet");
+    let rates = take_flag_value(&mut args, "--rates")?;
+    let [spec_path] = args.as_slice() else {
+        return Err(usage());
+    };
+
+    let mut spec: BenchSpec = serde_json::from_str(&read(spec_path)?).map_err(|e| {
+        eprintln!("cannot parse bench spec {spec_path}: {e}");
+        ExitCode::from(1)
+    })?;
+    if let Some(rates) = rates {
+        let parsed: Result<Vec<f64>, _> = rates.split(',').map(str::parse::<f64>).collect();
+        spec.rates = parsed.map_err(|_| {
+            eprintln!("--rates needs a comma-separated number list (e.g. 100,200)");
+            ExitCode::from(1)
+        })?;
+    }
+
+    let (report, timings) = run_bench(
+        &spec,
+        &RunOptions {
+            threads,
+            quiet,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::from(1)
+    })?;
+
+    println!("{}", report.table(&timings).render());
+    if let Some(t) = report.speedup_table(&timings) {
+        println!("{}", t.render());
+    }
+    // Write the artifact before judging mode agreement: on a mismatch —
+    // an engine bug by definition — the per-cell metrics in the artifact
+    // are exactly the evidence needed to debug it.
+    let out_path = out.unwrap_or_else(|| format!("{}.report.json", spec.name));
+    write(&out_path, &report.to_json())?;
+    eprintln!("wrote bench report to {out_path} (wall-clock excluded: artifact is byte-stable)");
+
+    let mismatches = report.mode_mismatches();
+    if !mismatches.is_empty() {
+        eprintln!(
+            "ERROR: admission modes disagreed on simulation metrics at: {}",
+            mismatches.join(", ")
+        );
+        return Ok(ExitCode::from(2));
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -203,6 +314,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "init" => cmd_init(args),
         "run" => cmd_run(args),
+        "bench" => cmd_bench(args),
         "compare" => cmd_compare(args),
         "gate" => cmd_gate(args),
         "--help" | "-h" | "help" => return usage(),

@@ -7,6 +7,11 @@
 //!
 //! - SLO attainment and goodput may not *drop* by more than the tolerance;
 //! - p99 TTFT and p99 latency may not *grow* by more than the tolerance;
+//! - on cells that faced disruptions in both reports, the recovery
+//!   metrics may not regress: mean time-to-recover may not grow beyond
+//!   the tolerance (past an absolute jitter floor), and the replayed
+//!   request count may not grow beyond the tolerance (past one request
+//!   of slack — replay counts are small integers);
 //! - a cell newly hitting its step budget (truncation) is always a
 //!   failure.
 //!
@@ -28,6 +33,10 @@ pub struct GateConfig {
     /// Absolute floor below which latency growth is ignored, seconds
     /// (sub-millisecond p99 jitter should not fail anyone).
     pub latency_floor_secs: f64,
+    /// Absolute floor below which mean time-to-recover growth is ignored,
+    /// seconds (recovery windows close on discrete engine events; small
+    /// absolute shifts are quantisation, not regression).
+    pub ttr_floor_secs: f64,
     /// Whether a changed cell grid (cells added/removed) fails the gate.
     pub strict_cells: bool,
 }
@@ -37,6 +46,7 @@ impl Default for GateConfig {
         GateConfig {
             tolerance: 0.02,
             latency_floor_secs: 0.005,
+            ttr_floor_secs: 0.5,
             strict_cells: false,
         }
     }
@@ -186,6 +196,37 @@ pub fn gate(baseline: &FleetReport, candidate: &FleetReport, cfg: &GateConfig) -
                 });
             }
         }
+        // Recovery metrics, on cells that faced disruptions in both
+        // reports (a changed disruption axis is a grid change, not a
+        // regression). Mean TTR growth is a slower rebuild; replay growth
+        // means revocations destroyed more in-flight work.
+        if b.revocations > 0 && c.revocations > 0 {
+            let ttr_grew = rel_increase(b.mean_ttr_secs, c.mean_ttr_secs);
+            if ttr_grew > cfg.tolerance && (c.mean_ttr_secs - b.mean_ttr_secs) > cfg.ttr_floor_secs
+            {
+                regressions.push(Regression {
+                    cell: id.clone(),
+                    metric: "mean_ttr_secs".into(),
+                    baseline: b.mean_ttr_secs,
+                    candidate: c.mean_ttr_secs,
+                    degradation: ttr_grew,
+                });
+            }
+            let (breplay, creplay) = (
+                f64::from(b.requests_replayed),
+                f64::from(c.requests_replayed),
+            );
+            let replay_grew = rel_increase(breplay, creplay);
+            if replay_grew > cfg.tolerance && creplay - breplay > 1.0 {
+                regressions.push(Regression {
+                    cell: id.clone(),
+                    metric: "requests_replayed".into(),
+                    baseline: breplay,
+                    candidate: creplay,
+                    degradation: replay_grew,
+                });
+            }
+        }
         // Fresh truncation is always a failure: the cell no longer
         // finishes within its step budget.
         if c.truncated && !b.truncated {
@@ -321,6 +362,67 @@ mod tests {
         let out = gate(&base, &cand, &cfg);
         assert!(!out.passed(&cfg));
         assert!(out.regressions.iter().any(|r| r.metric == "truncated"));
+    }
+
+    fn chaos_report(slo: f64, ttr: f64, replays: u32) -> FleetReport {
+        let mut r = report_with(slo, 1.0);
+        for c in &mut r.cells {
+            c.metrics.revocations = 2;
+            c.metrics.mean_ttr_secs = ttr;
+            c.metrics.requests_replayed = replays;
+        }
+        r
+    }
+
+    #[test]
+    fn worsened_mean_ttr_fails() {
+        let cfg = GateConfig::default();
+        let base = chaos_report(0.9, 10.0, 4);
+        let worse = chaos_report(0.9, 14.0, 4);
+        let out = gate(&base, &worse, &cfg);
+        assert!(!out.passed(&cfg));
+        assert!(out.regressions.iter().any(|r| r.metric == "mean_ttr_secs"));
+        // Improvement and identity both pass.
+        assert!(gate(&base, &chaos_report(0.9, 6.0, 4), &cfg).passed(&cfg));
+        assert!(gate(&base, &base, &cfg).passed(&cfg));
+    }
+
+    #[test]
+    fn ttr_jitter_under_the_floor_is_tolerated() {
+        let cfg = GateConfig::default();
+        let base = chaos_report(0.9, 2.0, 4);
+        // +15% relative but only +0.3 s absolute: under the floor.
+        let cand = chaos_report(0.9, 2.3, 4);
+        assert!(gate(&base, &cand, &cfg).passed(&cfg));
+    }
+
+    #[test]
+    fn replay_growth_fails_but_one_request_of_slack_passes() {
+        let cfg = GateConfig::default();
+        let base = chaos_report(0.9, 10.0, 4);
+        assert!(gate(&base, &chaos_report(0.9, 10.0, 5), &cfg).passed(&cfg));
+        let out = gate(&base, &chaos_report(0.9, 10.0, 9), &cfg);
+        assert!(!out.passed(&cfg));
+        assert!(out
+            .regressions
+            .iter()
+            .any(|r| r.metric == "requests_replayed"));
+    }
+
+    #[test]
+    fn recovery_metrics_ignore_undisrupted_cells() {
+        let cfg = GateConfig::default();
+        // Baseline saw no revocations: TTR/replays are not comparable.
+        let base = report_with(0.9, 1.0);
+        let cand = chaos_report(0.9, 50.0, 100);
+        let out = gate(&base, &cand, &cfg);
+        assert!(
+            !out.regressions
+                .iter()
+                .any(|r| r.metric == "mean_ttr_secs" || r.metric == "requests_replayed"),
+            "{:?}",
+            out.regressions
+        );
     }
 
     #[test]

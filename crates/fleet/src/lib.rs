@@ -17,11 +17,16 @@
 //! - [`report`] — steady-state aggregation (TTFT/TPOT percentiles, SLO
 //!   attainment, goodput, refactor pauses) into per-cell and per-policy
 //!   tables plus a byte-stable JSON artifact;
-//! - [`gate`] — regression detection against a committed baseline report;
+//! - [`gate`] — regression detection against a committed baseline report
+//!   (quality metrics plus chaos recovery: mean TTR, replay counts);
+//! - [`bench`] — engine-tunable sweeps (`fleet bench`): ubatch size ×
+//!   prefill caps × admission batch × rates up to 10× the paper's 20 QPS,
+//!   with wall-clock throughput columns and indexed-vs-naive admission
+//!   A/B timing;
 //! - [`toml_lite`] — the offline TOML-subset reader.
 //!
 //! The `flexpipe-fleet` binary wraps it all into `init` / `run` /
-//! `compare` / `gate` subcommands.
+//! `bench` / `compare` / `gate` subcommands.
 //!
 //! # Determinism contract
 //!
@@ -33,15 +38,22 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod gate;
 pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod toml_lite;
 
+pub use bench::{
+    derive_bench_seed, run_bench, run_bench_cell, BenchCell, BenchCellResult, BenchReport,
+    BenchSpec, BenchTiming,
+};
 pub use gate::{gate, GateConfig, GateOutcome, Regression};
 pub use report::{summarize_cell, CellMetrics, CellResult, FleetReport, PolicySummary};
-pub use runner::{realize_disruptions, run_cell, run_sweep, FleetError, RunOptions};
+pub use runner::{
+    realize_disruptions, run_cell, run_cell_in_mode, run_sweep, FleetError, RunOptions,
+};
 pub use spec::{
     derive_cell_seed, replica_seed, BackgroundShape, Cell, ClusterShape, DisruptionShape,
     PolicySpec, SweepSpec,

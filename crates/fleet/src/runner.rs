@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use flexpipe_bench::PaperSetup;
 use flexpipe_chaos::{virtual_horizon, warp_arrivals, DisruptionScript};
-use flexpipe_serving::{Engine, EngineConfig, Scenario};
+use flexpipe_serving::{AdmissionMode, Engine, EngineConfig, Scenario};
 use flexpipe_sim::{SimDuration, SimRng, SimTime};
 use flexpipe_workload::{ArrivalSpec, WorkloadSpec};
 
@@ -36,6 +36,11 @@ pub struct RunOptions {
     pub threads: usize,
     /// Suppress per-cell progress lines on stderr.
     pub quiet: bool,
+    /// Gateway admission strategy for every engine run. Both modes
+    /// produce byte-identical reports (the index is a pure optimization);
+    /// [`AdmissionMode::NaiveScan`] exists for equivalence checks and
+    /// A/B timing.
+    pub admission: AdmissionMode,
 }
 
 /// A failed sweep.
@@ -70,8 +75,21 @@ pub fn realize_disruptions(spec: &SweepSpec, cell: &Cell) -> DisruptionScript {
     }
 }
 
-/// Executes one cell to its metrics. Deterministic given (spec, cell).
+/// Executes one cell to its metrics with the default (indexed) admission
+/// path. Deterministic given (spec, cell).
 pub fn run_cell(spec: &SweepSpec, cell: &Cell, setup: &PaperSetup) -> CellMetrics {
+    run_cell_in_mode(spec, cell, setup, AdmissionMode::default())
+}
+
+/// Executes one cell under an explicit admission mode. The mode never
+/// changes the metrics — only wall-clock — which the equivalence tests
+/// assert report-byte for report-byte.
+pub fn run_cell_in_mode(
+    spec: &SweepSpec,
+    cell: &Cell,
+    setup: &PaperSetup,
+    admission: AdmissionMode,
+) -> CellMetrics {
     let warmup = spec.warmup_secs;
     let span = warmup + spec.horizon_secs;
     let script = realize_disruptions(spec, cell);
@@ -101,6 +119,7 @@ pub fn run_cell(spec: &SweepSpec, cell: &Cell, setup: &PaperSetup) -> CellMetric
     let scenario = Scenario {
         config: EngineConfig {
             max_events: spec.max_events,
+            admission,
             ..EngineConfig::default()
         },
         cluster: cell.cluster.cluster(),
@@ -121,7 +140,7 @@ pub fn run_cell(spec: &SweepSpec, cell: &Cell, setup: &PaperSetup) -> CellMetric
 /// Metrics recorded for a cell whose engine run panicked: all-zero, with
 /// `failed` set so tables, rollups and gates flag it distinctly from
 /// step-budget truncation.
-fn failed_cell_metrics() -> CellMetrics {
+pub(crate) fn failed_cell_metrics() -> CellMetrics {
     CellMetrics {
         offered: 0,
         completed: 0,
@@ -197,8 +216,9 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<FleetReport, Fle
                 }
                 let cell = &cells[i];
                 let cell_started = Instant::now();
-                let metrics = match catch_unwind(AssertUnwindSafe(|| run_cell(spec, cell, &setup)))
-                {
+                let metrics = match catch_unwind(AssertUnwindSafe(|| {
+                    run_cell_in_mode(spec, cell, &setup, opts.admission)
+                })) {
                     Ok(m) => m,
                     Err(_) => {
                         eprintln!("fleet cell {} PANICKED; recorded as failed", cell.id());
@@ -320,6 +340,7 @@ mod tests {
             &RunOptions {
                 threads: 4,
                 quiet: true,
+                ..Default::default()
             },
         )
         .unwrap();

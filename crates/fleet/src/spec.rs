@@ -269,7 +269,7 @@ impl Cell {
 
 /// Axis value formatting that is filesystem- and label-safe (no `.` for
 /// integral values, `p` for the decimal point otherwise).
-fn fmt_axis(x: f64) -> String {
+pub(crate) fn fmt_axis(x: f64) -> String {
     if x == x.trunc() {
         format!("{}", x as i64)
     } else {
@@ -278,7 +278,7 @@ fn fmt_axis(x: f64) -> String {
 }
 
 /// SplitMix64 finalizer used for seed derivation.
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);

@@ -175,6 +175,7 @@ fn disrupted_sweeps_are_byte_identical_across_thread_counts() {
     let quiet = |threads| RunOptions {
         threads,
         quiet: true,
+        ..Default::default()
     };
     let parallel = run_sweep(&spec, &quiet(4)).unwrap().to_json();
     let serial = run_sweep(&spec, &quiet(1)).unwrap().to_json();

@@ -124,6 +124,73 @@ fn init_run_compare_gate_pipeline() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The gate covers recovery metrics: a candidate whose mean
+/// time-to-recover worsened against the baseline exits 2.
+#[test]
+fn gate_catches_recovery_regressions_from_the_cli() {
+    let dir = tmp_dir("recovery-gate");
+    let spec_path = dir.join("sweep.json");
+    let report_path = dir.join("report.json");
+    std::fs::write(&spec_path, small_spec_json()).unwrap();
+    let out = bin()
+        .arg("run")
+        .arg(&spec_path)
+        .arg("--out")
+        .arg(&report_path)
+        .arg("--quiet")
+        .output()
+        .expect("run sweep");
+    assert!(out.status.success());
+
+    // Stamp disruption outcomes onto the report to form a chaos baseline,
+    // then worsen the candidate's recovery metrics.
+    let report = std::fs::read_to_string(&report_path).unwrap();
+    let mut baseline = flexpipe_fleet::FleetReport::from_json(&report).unwrap();
+    for cell in &mut baseline.cells {
+        cell.metrics.revocations = 2;
+        cell.metrics.mean_ttr_secs = 8.0;
+        cell.metrics.requests_replayed = 3;
+    }
+    let mut candidate = baseline.clone();
+    for cell in &mut candidate.cells {
+        cell.metrics.mean_ttr_secs = 20.0;
+        cell.metrics.requests_replayed = 9;
+    }
+    let baseline_path = dir.join("chaos-baseline.json");
+    let candidate_path = dir.join("chaos-candidate.json");
+    std::fs::write(&baseline_path, baseline.to_json()).unwrap();
+    std::fs::write(&candidate_path, candidate.to_json()).unwrap();
+
+    let out = bin()
+        .arg("gate")
+        .arg(&candidate_path)
+        .arg("--baseline")
+        .arg(&baseline_path)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "worsened recovery metrics must exit 2: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mean_ttr_secs"), "{stdout}");
+    assert!(stdout.contains("requests_replayed"), "{stdout}");
+
+    // The unmodified chaos baseline still self-gates clean.
+    let out = bin()
+        .arg("gate")
+        .arg(&baseline_path)
+        .arg("--baseline")
+        .arg(&baseline_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "chaos self-gate must pass");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn run_gate_is_a_one_shot_ci_mode() {
     let dir = tmp_dir("run-gate");

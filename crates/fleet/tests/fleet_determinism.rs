@@ -49,6 +49,7 @@ fn rerun_is_byte_identical_across_thread_counts() {
     let quiet = |threads| RunOptions {
         threads,
         quiet: true,
+        ..Default::default()
     };
     let first = run_sweep(&spec, &quiet(4)).unwrap().to_json();
     let second = run_sweep(&spec, &quiet(4)).unwrap().to_json();
@@ -68,6 +69,7 @@ fn grid_actually_serves_and_covers_both_policies() {
         &RunOptions {
             threads: 4,
             quiet: true,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -103,6 +105,7 @@ fn gate_passes_self_and_fails_injected_regression() {
         &RunOptions {
             threads: 4,
             quiet: true,
+            ..Default::default()
         },
     )
     .unwrap();

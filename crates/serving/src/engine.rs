@@ -19,6 +19,7 @@ use flexpipe_partition::GranularityLattice;
 use flexpipe_sim::{EventQueue, RunOutcome, SimDuration, SimRng, SimTime, World};
 use flexpipe_workload::{CvEstimator, Request, RequestId, Workload};
 
+use crate::admission::{AdmissionIndex, AdmissionMode};
 use crate::config::EngineConfig;
 use crate::instance::{
     Instance, InstanceId, InstanceSnapshot, InstanceState, MicroBatch, Phase, StageRuntime,
@@ -163,6 +164,12 @@ pub struct EngineState {
     gateway: VecDeque<RequestId>,
     reqs: Vec<ReqRuntime>,
     instances: BTreeMap<InstanceId, Instance>,
+    /// Incrementally maintained index over admissible instances (the
+    /// high-rate fast path). Every mutation of an instance's state,
+    /// capacity, live-request count or admit hold re-keys it via
+    /// [`EngineState::reindex`]; [`EngineState::drain_gateway`] selects
+    /// from it in O(log instances) instead of rescanning.
+    admission: AdmissionIndex,
     ubatches: HashMap<UbatchId, MicroBatch>,
     pending_refactors: HashMap<InstanceId, PendingRefactor>,
     host_cache: HashMap<(u32, u32), HostCacheEntry>,
@@ -216,6 +223,36 @@ impl EngineState {
     /// Snapshots of all instances.
     pub fn snapshots(&self) -> Vec<InstanceSnapshot> {
         self.instances.values().map(|i| i.snapshot()).collect()
+    }
+
+    /// Re-keys `id` in the admission index from its current state (or
+    /// removes it when gone / not admissible). Must be called after every
+    /// mutation that can change `Instance::admit_key` — state changes,
+    /// `active_requests`, `batch_cap`, `admit_hold`, removal.
+    fn reindex(&mut self, id: InstanceId) {
+        let key = self.instances.get(&id).and_then(Instance::admit_key);
+        self.admission.apply(id, key);
+    }
+
+    /// Debug-build invariant: the index holds exactly the admissible
+    /// instances under their current keys. Catches any mutation site that
+    /// forgot to [`EngineState::reindex`] the moment admission runs, in
+    /// every test (the test profile keeps debug assertions on).
+    #[cfg(debug_assertions)]
+    fn debug_validate_admission_index(&self) {
+        let expected: Vec<(InstanceId, u64)> = self
+            .instances
+            .values()
+            .filter_map(|i| i.admit_key().map(|k| (i.id, k)))
+            .collect();
+        let mut indexed: Vec<(InstanceId, u64)> = self.admission.entries().collect();
+        indexed.sort_by_key(|&(id, _)| id);
+        let mut want = expected;
+        want.sort_by_key(|&(id, _)| id);
+        debug_assert_eq!(
+            indexed, want,
+            "admission index diverged from instance state"
+        );
     }
 
     fn new_instance_id(&mut self) -> InstanceId {
@@ -463,6 +500,7 @@ impl EngineState {
                 epoch: 0,
             },
         );
+        self.reindex(id);
         self.spawns += 1;
         if !prewarmed {
             self.init_latencies
@@ -483,7 +521,9 @@ impl EngineState {
             return;
         }
         inst.state = InstanceState::Draining;
-        if inst.active_requests == 0 {
+        let empty = inst.active_requests == 0;
+        self.reindex(id);
+        if empty {
             self.release_instance(queue.now(), id);
         }
     }
@@ -492,6 +532,7 @@ impl EngineState {
         let Some(inst) = self.instances.remove(&id) else {
             return;
         };
+        self.admission.apply(id, None);
         for stage in inst.stages {
             self.release_stage_device(now, stage.gpu, stage.lease, stage.range);
         }
@@ -617,6 +658,7 @@ impl EngineState {
             // pipeline with missing layers.
             inst.admit_hold = true;
         }
+        self.reindex(id);
         queue
             .schedule(now + prepare, Event::PrepareDone { id, epoch })
             .expect("future");
@@ -631,6 +673,7 @@ impl EngineState {
             return;
         }
         inst.state = InstanceState::Paused;
+        self.reindex(id);
         let pause = self
             .pending_refactors
             .get(&id)
@@ -706,6 +749,7 @@ impl EngineState {
             } else {
                 let inst = self.instances.get_mut(&id).expect("present");
                 inst.state = InstanceState::Serving;
+                self.reindex(id);
                 self.resume_instance(queue, id);
             }
             return;
@@ -754,12 +798,13 @@ impl EngineState {
         inst.admit_hold = false;
         inst.epoch += 1;
         let new_epoch = inst.epoch;
+        let ubs = inst.ubatches.clone();
+        self.reindex(id);
         self.refactors += 1;
 
         // Relaunch live micro-batches at stage 0 of the new topology; their
         // KV caches were kept consistent by the §6.3 protocol, so decode
         // continues from the current token positions.
-        let ubs = inst.ubatches.clone();
         for ub_id in ubs {
             if let Some(ub) = self.ubatches.get_mut(&ub_id) {
                 ub.pass_started = now;
@@ -1135,28 +1180,43 @@ impl EngineState {
         });
         if let Some(inst) = self.instances.get_mut(&inst_id) {
             inst.active_requests = inst.active_requests.saturating_sub(1);
+            self.reindex(inst_id);
         }
     }
 
     /// Admits queued requests to instances with capacity and launches
     /// prefill micro-batches.
+    ///
+    /// Selection is least-loaded-first with id tie-break. The default
+    /// [`AdmissionMode::Indexed`] path reads the incrementally maintained
+    /// [`AdmissionIndex`] — O(log instances) per admission; the retained
+    /// [`AdmissionMode::NaiveScan`] reference rescans every instance per
+    /// request. Both paths pick bit-identical targets (the index keys on
+    /// the load factor's bit pattern), so reports never depend on the
+    /// mode — only wall-clock does.
     pub fn drain_gateway(&mut self, queue: &mut EventQueue<Event>) {
+        #[cfg(debug_assertions)]
+        self.debug_validate_admission_index();
         let now = queue.now();
-        // Per-instance groups formed this round.
-        let mut formed: HashMap<InstanceId, Vec<RequestId>> = HashMap::new();
+        // Per-instance groups formed this round (BTreeMap: launch order
+        // must not depend on hash order).
+        let mut formed: BTreeMap<InstanceId, Vec<RequestId>> = BTreeMap::new();
         while let Some(&rid) = self.gateway.front() {
             // Least-loaded admissible instance.
-            let target = self
-                .instances
-                .values()
-                .filter(|i| i.can_admit())
-                .min_by(|a, b| {
-                    a.load_factor()
-                        .partial_cmp(&b.load_factor())
-                        .unwrap()
-                        .then(a.id.cmp(&b.id))
-                })
-                .map(|i| i.id);
+            let target = match self.config.admission {
+                AdmissionMode::Indexed => self.admission.best(),
+                AdmissionMode::NaiveScan => self
+                    .instances
+                    .values()
+                    .filter(|i| i.can_admit())
+                    .min_by(|a, b| {
+                        a.load_factor()
+                            .partial_cmp(&b.load_factor())
+                            .unwrap()
+                            .then(a.id.cmp(&b.id))
+                    })
+                    .map(|i| i.id),
+            };
             let Some(target) = target else {
                 break;
             };
@@ -1165,6 +1225,7 @@ impl EngineState {
             r.admitted = Some(now);
             let inst = self.instances.get_mut(&target).expect("selected above");
             inst.active_requests += 1;
+            self.reindex(target);
             formed.entry(target).or_default().push(rid);
         }
         // Launch prefill micro-batches per instance, respecting the
@@ -1248,6 +1309,7 @@ impl EngineState {
     pub fn set_admit_hold(&mut self, id: InstanceId, hold: bool) {
         if let Some(inst) = self.instances.get_mut(&id) {
             inst.admit_hold = hold;
+            self.reindex(id);
         }
     }
 
@@ -1368,6 +1430,7 @@ impl EngineState {
                 // PrepareDone/PauseDone events no-op (state mismatch /
                 // missing pending entry).
                 inst.state = InstanceState::Serving;
+                self.reindex(id);
                 self.resume_instance(queue, id);
                 self.launch_decode(queue, id);
             }
@@ -1494,6 +1557,9 @@ impl EngineState {
                     });
                 }
             }
+            // Every arm above changed admissibility (active_requests
+            // cleared, state moved or the instance vanished): re-key.
+            self.reindex(id);
         }
         self.disruptions
             .record_revocation(now, revoked.len() as u32);
@@ -1680,6 +1746,7 @@ impl Engine {
             gateway: VecDeque::new(),
             reqs,
             instances: BTreeMap::new(),
+            admission: AdmissionIndex::new(),
             ubatches: HashMap::new(),
             pending_refactors: HashMap::new(),
             host_cache: HashMap::new(),
@@ -1950,6 +2017,7 @@ impl World for Engine {
                     }
                 };
                 if ready {
+                    self.state.reindex(id);
                     self.state.drain_gateway(queue);
                     self.with_policy(queue, |p, ctx| p.on_instance_ready(ctx, id));
                     self.state.maybe_close_recoveries(queue.now());

@@ -201,6 +201,18 @@ impl Instance {
         self.batch_cap.saturating_sub(self.active_requests)
     }
 
+    /// Admission-index key: the load factor's bit pattern when the
+    /// instance can admit, `None` otherwise. Non-negative f64 bits order
+    /// exactly like the values, so the index's `(key, id)` ordering
+    /// reproduces the naive `(load_factor, id)` scan bit for bit.
+    pub fn admit_key(&self) -> Option<u64> {
+        if self.can_admit() {
+            Some(self.load_factor().to_bits())
+        } else {
+            None
+        }
+    }
+
     /// Load factor (admitted / capacity).
     pub fn load_factor(&self) -> f64 {
         if self.batch_cap == 0 {
@@ -254,6 +266,16 @@ mod tests {
         assert!(instance(InstanceState::Preparing, 4, 0).can_admit());
         assert!(!instance(InstanceState::Paused, 4, 0).can_admit());
         assert!(!instance(InstanceState::Crippled, 4, 0).can_admit());
+    }
+
+    #[test]
+    fn admit_key_tracks_admissibility() {
+        assert_eq!(
+            instance(InstanceState::Serving, 8, 2).admit_key(),
+            Some(0.25f64.to_bits())
+        );
+        assert_eq!(instance(InstanceState::Serving, 4, 4).admit_key(), None);
+        assert_eq!(instance(InstanceState::Paused, 4, 0).admit_key(), None);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod config;
 pub mod engine;
 pub mod instance;
@@ -19,6 +20,7 @@ pub mod policy;
 pub mod queueing;
 pub mod report;
 
+pub use admission::{churn, AdmissionIndex, AdmissionMode};
 pub use config::EngineConfig;
 pub use engine::{Ctx, Engine, EngineState, Event, Scenario};
 pub use instance::{

@@ -55,6 +55,7 @@ fn main() {
         &RunOptions {
             threads: 1,
             quiet: true,
+            ..Default::default()
         },
     )
     .expect("rerun");
