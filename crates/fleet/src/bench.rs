@@ -22,8 +22,6 @@
 //! [`BenchReport::mode_mismatches`] verifies.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use flexpipe_bench::PaperSetup;
@@ -36,7 +34,9 @@ use flexpipe_workload::{ArrivalSpec, LengthProfile, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
 use crate::report::{summarize_cell, CellMetrics};
-use crate::runner::{effective_threads, failed_cell_metrics, FleetError, RunOptions};
+use crate::runner::{
+    effective_threads, failed_cell_metrics, parallel_indexed, FleetError, RunOptions,
+};
 use crate::spec::{fmt_axis, mix64, BackgroundShape, ClusterShape, PolicySpec};
 
 /// A declarative engine-tunable bench: one model, cluster, policy and
@@ -161,6 +161,40 @@ impl BenchSpec {
             }
         }
         cells
+    }
+
+    /// The canonical semantic content of one bench cell, for the campaign
+    /// cache ([`crate::cache::cell_key`]). Mirrors
+    /// [`crate::spec::SweepSpec::cell_semantics`]: `name` and `max_events`
+    /// are excluded (cosmetic / watchdog), the axis vectors are captured
+    /// by the cell coordinate, and — unlike sweeps — the admission mode
+    /// *is* included, because bench cells are the A/B rows whose identity
+    /// the mode defines (the modes' metric agreement stays an explicit
+    /// [`BenchReport::mode_mismatches`] check, never a cache aliasing).
+    pub fn cell_semantics(&self, cell: &BenchCell) -> serde::Value {
+        let field = |k: &str, v: serde::Value| (k.to_string(), v);
+        serde::Value::Map(vec![
+            field("experiment", serde::Value::Str("bench".into())),
+            field("model", self.model.to_value()),
+            field("horizon_secs", self.horizon_secs.to_value()),
+            field("warmup_secs", self.warmup_secs.to_value()),
+            field("slo_secs", self.slo_secs.to_value()),
+            field(
+                "slo_per_output_token_ms",
+                self.slo_per_output_token_ms.to_value(),
+            ),
+            field("background", self.background.to_value()),
+            field("lengths", self.lengths.to_value()),
+            field("cv", self.cv.to_value()),
+            field("cluster", self.cluster.to_value()),
+            field("policy", self.policy.to_value()),
+            field("rate", cell.rate.to_value()),
+            field("ubatch_size", cell.ubatch_size.to_value()),
+            field("prefill_token_cap", cell.prefill_token_cap.to_value()),
+            field("admission_batch", cell.admission_batch.to_value()),
+            field("admission", cell.admission.to_value()),
+            field("seed", cell.seed.to_value()),
+        ])
     }
 
     /// Validates axis sanity.
@@ -518,49 +552,33 @@ pub fn run_bench(
     }
     let setup = PaperSetup::for_model(spec.model);
     let threads = effective_threads(opts.threads, n);
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<(CellMetrics, f64)>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let cell = &cells[i];
-                // Panic containment, as in the sweep runner: one
-                // pathological tunable combination reports as FAIL
-                // instead of tearing down the grid.
-                let out =
-                    match catch_unwind(AssertUnwindSafe(|| run_bench_cell(spec, cell, &setup))) {
-                        Ok(out) => out,
-                        Err(_) => {
-                            eprintln!("bench cell {} PANICKED; recorded as failed", cell.id());
-                            (failed_cell_metrics(), 0.0)
-                        }
-                    };
-                if !opts.quiet {
-                    eprintln!(
-                        "bench {} done in {:.1}s ({} events{})",
-                        cell.id(),
-                        out.1,
-                        out.0.events,
-                        if out.0.truncated { ", TRUNCATED" } else { "" },
-                    );
-                }
-                *slots[i].lock().expect("result slot") = Some(out);
-            });
+    let outcomes = parallel_indexed(n, threads, |i| {
+        let cell = &cells[i];
+        // Panic containment, as in the sweep runner: one pathological
+        // tunable combination reports as FAIL instead of tearing down
+        // the grid.
+        let out = match catch_unwind(AssertUnwindSafe(|| run_bench_cell(spec, cell, &setup))) {
+            Ok(out) => out,
+            Err(_) => {
+                eprintln!("bench cell {} PANICKED; recorded as failed", cell.id());
+                (failed_cell_metrics(), 0.0)
+            }
+        };
+        if !opts.quiet {
+            eprintln!(
+                "bench {} done in {:.1}s ({} events{})",
+                cell.id(),
+                out.1,
+                out.0.events,
+                if out.0.truncated { ", TRUNCATED" } else { "" },
+            );
         }
+        out
     });
 
     let mut results = Vec::with_capacity(n);
     let mut timings = Vec::with_capacity(n);
-    for (cell, slot) in cells.into_iter().zip(slots) {
-        let (metrics, wall_secs) = slot
-            .into_inner()
-            .expect("slot lock")
-            .expect("every cell executed");
+    for (cell, (metrics, wall_secs)) in cells.into_iter().zip(outcomes) {
         timings.push(BenchTiming {
             index: cell.index,
             wall_secs,

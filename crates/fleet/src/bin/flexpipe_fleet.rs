@@ -18,25 +18,44 @@
 //!     --threads <n>           worker threads (use 1 for clean A/B timing)
 //!     --rates <a,b,..>        override the spec's rate axis (CI smoke: --rates 100)
 //!     --quiet                 suppress per-cell progress on stderr
+//! flexpipe-fleet campaign init [campaign.json]    write the CI campaign template
+//! flexpipe-fleet campaign <campaign.(json|toml)> [options]
+//!     --out-dir <dir>         artifact directory (default <name>.campaign):
+//!                             one <spec>.report.json per entry + campaign.json
+//!     --cache <dir>           override the spec's cache directory
+//!     --no-cache              compute every cell, touch no cache
+//!     --threads <n>           worker threads (default: one per core)
+//!     --quiet                 suppress per-cell progress on stderr
+//!     --admission <mode>      `indexed` (default) or `naive`
+//!     --assert-warm           exit 2 unless every cell was a cache hit
+//!     --gate <dir>            gate each sweep artifact against the same-named
+//!                             report in <dir>; exit 2 on any regression
+//!     --tolerance <frac>      gate tolerance when --gate is given
+//! flexpipe-fleet cache stats <dir>                cache entry / size / age summary
+//! flexpipe-fleet cache gc <dir> --max-age <dur>   drop entries older than e.g. 7d
+//! flexpipe-fleet fingerprint                      print the cell-cache salt
 //! flexpipe-fleet compare <report.json>            render the tables of an artifact
 //! flexpipe-fleet gate <report.json> --baseline <base.json> [options]
 //!     --tolerance <frac>      allowed relative degradation (default 0.02)
 //!     --strict-cells          grid changes fail the gate
 //! ```
 //!
-//! Exit codes: 0 success / gate pass, 1 usage or I/O error, 2 gate fail.
+//! Exit codes: 0 success / gate pass, 1 usage or I/O error, 2 gate /
+//! `--assert-warm` / bench-mode-mismatch fail.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use flexpipe_fleet::{
-    gate::gate, parse_spec, run_bench, run_sweep, BenchSpec, FleetReport, GateConfig, RunOptions,
-    SweepSpec,
+    cache_salt, gate::gate, parse_bench, parse_campaign, parse_spec, run_bench, run_campaign,
+    run_sweep, BenchSpec, CampaignOptions, CampaignSpec, CellCache, FleetReport, GateConfig,
+    RunOptions, SpecReport, SweepSpec,
 };
 use flexpipe_serving::AdmissionMode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.json> [--out report.json] [--threads N] [--rates 100,200] [--quiet]\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
+        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.(json|toml)> [--out report.json] [--threads N] [--rates 100,200] [--quiet]\n  flexpipe-fleet campaign init [campaign.json]\n  flexpipe-fleet campaign <campaign.(json|toml)> [--out-dir DIR] [--cache DIR | --no-cache] [--threads N] [--quiet] [--admission indexed|naive] [--assert-warm] [--gate DIR [--tolerance 0.02]]\n  flexpipe-fleet cache stats <dir>\n  flexpipe-fleet cache gc <dir> --max-age <90s|15m|12h|7d>\n  flexpipe-fleet fingerprint\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
     );
     ExitCode::from(1)
 }
@@ -215,7 +234,7 @@ fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
         return Err(usage());
     };
 
-    let mut spec: BenchSpec = serde_json::from_str(&read(spec_path)?).map_err(|e| {
+    let mut spec: BenchSpec = parse_bench(spec_path, &read(spec_path)?).map_err(|e| {
         eprintln!("cannot parse bench spec {spec_path}: {e}");
         ExitCode::from(1)
     })?;
@@ -260,6 +279,217 @@ fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
         return Ok(ExitCode::from(2));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_campaign(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
+    // `campaign init [path]`: write the CI campaign template.
+    if args.first().map(String::as_str) == Some("init") {
+        let path = args
+            .get(1)
+            .cloned()
+            .unwrap_or_else(|| "campaign.json".to_string());
+        let spec = CampaignSpec::template();
+        let json = serde_json::to_string_pretty(&spec).map_err(|e| {
+            eprintln!("template serialization failed: {e}");
+            ExitCode::from(1)
+        })?;
+        write(&path, &format!("{json}\n"))?;
+        eprintln!(
+            "wrote template campaign ({} entries) to {path}",
+            spec.entries.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let out_dir = take_flag_value(&mut args, "--out-dir")?;
+    let cache_override = take_flag_value(&mut args, "--cache")?;
+    let no_cache = take_flag(&mut args, "--no-cache");
+    let threads = match take_flag_value(&mut args, "--threads")? {
+        Some(t) => t.parse::<usize>().map_err(|_| {
+            eprintln!("--threads needs an integer");
+            ExitCode::from(1)
+        })?,
+        None => 0,
+    };
+    let quiet = take_flag(&mut args, "--quiet");
+    let admission = parse_admission(&mut args)?;
+    let assert_warm = take_flag(&mut args, "--assert-warm");
+    let gate_dir = take_flag_value(&mut args, "--gate")?;
+    let tolerance = match take_flag_value(&mut args, "--tolerance")? {
+        Some(t) => t.parse::<f64>().map_err(|_| {
+            eprintln!("--tolerance needs a number (e.g. 0.02)");
+            ExitCode::from(1)
+        })?,
+        None => GateConfig::default().tolerance,
+    };
+    if no_cache && cache_override.is_some() {
+        eprintln!("--no-cache and --cache are mutually exclusive");
+        return Err(ExitCode::from(1));
+    }
+    let [spec_path] = args.as_slice() else {
+        return Err(usage());
+    };
+
+    let spec = parse_campaign(spec_path, &read(spec_path)?).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::from(1)
+    })?;
+    // Entry paths and the spec's cache_dir resolve relative to the
+    // campaign file, so `fleet campaign specs/campaign-ci.json` behaves
+    // identically from any working directory.
+    let base_dir = Path::new(spec_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or(Path::new("."))
+        .to_path_buf();
+    let cache_dir = if no_cache {
+        None
+    } else {
+        Some(match cache_override {
+            Some(dir) => PathBuf::from(dir),
+            None => base_dir.join(&spec.cache_dir),
+        })
+    };
+    let cache_enabled = cache_dir.is_some();
+
+    let result = run_campaign(
+        &spec,
+        &base_dir,
+        &CampaignOptions {
+            run: RunOptions {
+                threads,
+                quiet,
+                admission,
+            },
+            cache_dir,
+        },
+    )
+    .map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::from(1)
+    })?;
+
+    for report in &result.reports {
+        match report {
+            SpecReport::Sweep(r) => println!("{}", r.policy_table().render()),
+            SpecReport::Bench(r) => println!("{}", r.table(&[]).render()),
+        }
+    }
+    println!("{}", result.stats.render(cache_enabled));
+
+    let out_dir = out_dir.unwrap_or_else(|| format!("{}.campaign", spec.name));
+    let written = result.write(Path::new(&out_dir)).map_err(|e| {
+        eprintln!("cannot write campaign artifacts to {out_dir}: {e}");
+        ExitCode::from(1)
+    })?;
+    eprintln!("wrote {} artifacts to {out_dir}", written.len());
+
+    // Failure checks, in escalating order of specificity; all exit 2.
+    let mut failed = false;
+    for (entry, report) in result.manifest.entries.iter().zip(&result.reports) {
+        if let SpecReport::Bench(r) = report {
+            let mismatches = r.mode_mismatches();
+            if !mismatches.is_empty() {
+                eprintln!(
+                    "ERROR: `{}` admission modes disagreed on simulation metrics at: {}",
+                    entry.name,
+                    mismatches.join(", ")
+                );
+                failed = true;
+            }
+        }
+    }
+    if assert_warm && result.stats.misses > 0 {
+        eprintln!(
+            "ERROR: --assert-warm, but {} of {} cells missed the cache",
+            result.stats.misses, result.stats.cells
+        );
+        failed = true;
+    }
+    if let Some(dir) = gate_dir {
+        let cfg = GateConfig {
+            tolerance,
+            ..GateConfig::default()
+        };
+        for (entry, report) in result.manifest.entries.iter().zip(&result.reports) {
+            if let SpecReport::Sweep(candidate) = report {
+                let baseline = load_report(&format!("{dir}/{}", entry.report))?;
+                let outcome = gate(&baseline, candidate, &cfg);
+                print!("[{}] {}", entry.name, outcome.render(&cfg));
+                if !outcome.passed(&cfg) {
+                    failed = true;
+                }
+            }
+        }
+    }
+    Ok(if failed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_cache(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
+    if args.is_empty() {
+        return Err(usage());
+    }
+    let verb = args.remove(0);
+    match verb.as_str() {
+        "stats" => {
+            let [dir] = args.as_slice() else {
+                return Err(usage());
+            };
+            let cache = CellCache::open(Path::new(dir)).map_err(|e| {
+                eprintln!("cannot open cache {dir}: {e}");
+                ExitCode::from(1)
+            })?;
+            let s = cache.stats().map_err(|e| {
+                eprintln!("cannot scan cache {dir}: {e}");
+                ExitCode::from(1)
+            })?;
+            println!(
+                "cache {dir}: {} entries ({} sweep, {} bench), {} stale-salt, {} foreign, {} bytes",
+                s.entries, s.sweep_cells, s.bench_cells, s.stale_salt, s.foreign, s.bytes
+            );
+            println!(
+                "ages: oldest {}s, newest {}s; salt {}",
+                s.oldest_secs,
+                s.newest_secs,
+                cache_salt()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "gc" => {
+            let Some(max_age) = take_flag_value(&mut args, "--max-age")? else {
+                eprintln!("cache gc requires --max-age <duration> (e.g. 7d)");
+                return Err(ExitCode::from(1));
+            };
+            let max_age = flexpipe_fleet::cache::parse_duration(&max_age).map_err(|e| {
+                eprintln!("{e}");
+                ExitCode::from(1)
+            })?;
+            let [dir] = args.as_slice() else {
+                return Err(usage());
+            };
+            let cache = CellCache::open(Path::new(dir)).map_err(|e| {
+                eprintln!("cannot open cache {dir}: {e}");
+                ExitCode::from(1)
+            })?;
+            let out = cache.gc(max_age).map_err(|e| {
+                eprintln!("cache gc failed in {dir}: {e}");
+                ExitCode::from(1)
+            })?;
+            println!(
+                "cache {dir}: removed {} entries ({} bytes), kept {}",
+                out.removed, out.bytes_freed, out.kept
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => {
+            eprintln!("unknown cache verb `{other}` (expected stats or gc)");
+            Err(usage())
+        }
+    }
 }
 
 fn cmd_compare(args: Vec<String>) -> Result<ExitCode, ExitCode> {
@@ -315,6 +545,12 @@ fn main() -> ExitCode {
         "init" => cmd_init(args),
         "run" => cmd_run(args),
         "bench" => cmd_bench(args),
+        "campaign" => cmd_campaign(args),
+        "cache" => cmd_cache(args),
+        "fingerprint" => {
+            println!("{}", cache_salt());
+            Ok(ExitCode::SUCCESS)
+        }
         "compare" => cmd_compare(args),
         "gate" => cmd_gate(args),
         "--help" | "-h" | "help" => return usage(),

@@ -1,0 +1,499 @@
+//! The content-addressed per-cell artifact cache behind `fleet campaign`.
+//!
+//! Every campaign cell persists its [`CellMetrics`] under a key derived
+//! from three things:
+//!
+//! 1. the **canonicalized semantic content** of the cell — the spec fields
+//!    and cell coordinates that can change the cell's metrics, and nothing
+//!    that cannot ([`SweepSpec::cell_semantics`] /
+//!    [`BenchSpec::cell_semantics`]). Canonicalization sorts map keys
+//!    recursively and serializes through the typed spec structs, so JSON
+//!    key order, TOML-lite formatting, comments and numeric spelling
+//!    (`120` vs `120.0`) all hash identically while any semantically
+//!    meaningful edit re-keys exactly the dirty cells;
+//! 2. the **cell id**, folded in via the semantics' seed/coordinates (two
+//!    cells with identical semantics *are* the same experiment — sharing
+//!    the entry is correct, not a collision);
+//! 3. the **engine fingerprint salt** ([`cache_salt`]):
+//!    `flexpipe_serving::engine_fingerprint()` plus the fleet's report and
+//!    cache format versions, so engine-semantics bumps, metric-definition
+//!    changes and cache-layout changes each invalidate the whole cache.
+//!
+//! Layout: `<dir>/<key[0..2]>/<key>.json`, one JSON [`CacheEntry`] per
+//! cell. Entries are written atomically (temp file + rename), so a killed
+//! run never leaves a torn entry and a resumed run either sees a complete
+//! result or recomputes. Truncated and panicked cells are **never**
+//! cached — an interrupted (step-budget-truncated) cell must be
+//! recomputed, which is what makes kill-and-resume byte-identical to an
+//! uninterrupted run.
+//!
+//! Nothing wall-clock enters entry *contents*; `stats` / `gc` age entries
+//! by file mtime, which stays outside every byte-compared artifact.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::report::{CellMetrics, REPORT_VERSION};
+
+/// Cache on-disk format version; bump on entry-layout changes.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// The salt folded into every cell key: engine semantics fingerprint +
+/// the fleet's metric (report) and cache format versions.
+pub fn cache_salt() -> String {
+    format!(
+        "{}|report-v{REPORT_VERSION}|cache-v{CACHE_FORMAT_VERSION}",
+        flexpipe_serving::engine_fingerprint()
+    )
+}
+
+/// Recursively sorts map keys, leaving sequence order (which is
+/// semantic: axis order defines cell order) untouched.
+pub fn canonicalize(v: &Value) -> Value {
+    match v {
+        Value::Map(m) => {
+            let mut entries: Vec<(String, Value)> = m
+                .iter()
+                .map(|(k, x)| (k.clone(), canonicalize(x)))
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Map(entries)
+        }
+        Value::Seq(xs) => Value::Seq(xs.iter().map(canonicalize).collect()),
+        other => other.clone(),
+    }
+}
+
+/// The canonical compact JSON of a value (sorted keys, deterministic
+/// float formatting) — the byte string cell keys hash.
+pub fn canonical_json(v: &Value) -> String {
+    serde_json::to_string(&canonicalize(v)).expect("canonical serialization")
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv64(offset: u64, bytes: &[u8]) -> u64 {
+    let mut h = offset;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// 128-bit content key (32 hex chars) of `semantics` under [`cache_salt`]:
+/// two independent FNV-1a streams over `salt \0 canonical-json`.
+pub fn cell_key(semantics: &Value) -> String {
+    let mut bytes = cache_salt().into_bytes();
+    bytes.push(0);
+    bytes.extend_from_slice(canonical_json(semantics).as_bytes());
+    let h1 = fnv64(0xCBF2_9CE4_8422_2325, &bytes);
+    let h2 = fnv64(0x6C62_272E_07BB_0142, &bytes);
+    format!("{h1:016x}{h2:016x}")
+}
+
+/// One persisted cell result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// On-disk format version ([`CACHE_FORMAT_VERSION`]).
+    pub version: u32,
+    /// The full content key (also the file stem; verified on load).
+    pub key: String,
+    /// The salt the key was derived under (diagnostic; the key already
+    /// commits to it).
+    pub salt: String,
+    /// Experiment kind: `sweep` or `bench`.
+    pub kind: String,
+    /// Human-readable cell id of the first producer (diagnostic only —
+    /// identical semantics under different ids legitimately share).
+    pub id: String,
+    /// The cached deterministic metrics.
+    pub metrics: CellMetrics,
+}
+
+/// Aggregate cache statistics (`fleet cache stats`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CacheStats {
+    /// Readable, well-formed entries.
+    pub entries: usize,
+    /// Of those, sweep cells.
+    pub sweep_cells: usize,
+    /// Of those, bench cells.
+    pub bench_cells: usize,
+    /// Entries whose salt differs from this build's (stale: unreachable
+    /// until `gc` removes them).
+    pub stale_salt: usize,
+    /// Files that failed to parse as entries.
+    pub foreign: usize,
+    /// Total bytes across all files considered.
+    pub bytes: u64,
+    /// Age of the oldest entry, seconds (0 when empty).
+    pub oldest_secs: u64,
+    /// Age of the newest entry, seconds (0 when empty).
+    pub newest_secs: u64,
+}
+
+/// Result of a `gc` pass.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GcOutcome {
+    /// Entries removed.
+    pub removed: usize,
+    /// Entries kept.
+    pub kept: usize,
+    /// Bytes freed.
+    pub bytes_freed: u64,
+}
+
+/// Tie-breaker for concurrent same-key writers' temp file names.
+static STORE_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// A content-addressed cell cache rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct CellCache {
+    dir: PathBuf,
+}
+
+impl CellCache {
+    /// Opens (creating if needed) a cache at `dir`.
+    pub fn open(dir: &Path) -> io::Result<CellCache> {
+        std::fs::create_dir_all(dir)?;
+        Ok(CellCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The cache root.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        let shard = key.get(0..2).unwrap_or("xx");
+        self.dir.join(shard).join(format!("{key}.json"))
+    }
+
+    /// Loads the metrics cached under `key`, if a complete, matching
+    /// entry exists that is replayable under the caller's current step
+    /// budget. Any mismatch (version, key, truncated/failed payload,
+    /// parse error) reads as a miss — the cache is purely an accelerator
+    /// and must never change results.
+    ///
+    /// The budget check is what keeps `max_events`' exclusion from cell
+    /// keys sound in *both* directions: a cached cell replays only when
+    /// it demonstrably fits the current budget (`events < max_events`),
+    /// so lowering a spec's budget below what a cell needed recomputes
+    /// the cell (which now truncates) instead of replaying a result the
+    /// engine could no longer produce. Strict `<` is deliberate: a run
+    /// that consumed exactly the budget is indistinguishable from a
+    /// truncated one without re-running.
+    pub fn load(&self, key: &str, max_events: u64) -> Option<CellMetrics> {
+        let text = std::fs::read_to_string(self.path_of(key)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        if entry.version != CACHE_FORMAT_VERSION
+            || entry.key != key
+            || entry.metrics.truncated
+            || entry.metrics.failed
+            || entry.metrics.events >= max_events
+        {
+            return None;
+        }
+        Some(entry.metrics)
+    }
+
+    /// Persists `metrics` under `key`, atomically. Truncated and failed
+    /// cells are refused (returns `false`): an incomplete result must be
+    /// recomputed on resume, never replayed.
+    pub fn store(
+        &self,
+        key: &str,
+        kind: &str,
+        id: &str,
+        metrics: &CellMetrics,
+    ) -> io::Result<bool> {
+        if metrics.truncated || metrics.failed {
+            return Ok(false);
+        }
+        let entry = CacheEntry {
+            version: CACHE_FORMAT_VERSION,
+            key: key.to_string(),
+            salt: cache_salt(),
+            kind: kind.to_string(),
+            id: id.to_string(),
+            metrics: metrics.clone(),
+        };
+        let mut json = serde_json::to_string_pretty(&entry).expect("entry serializes");
+        json.push('\n');
+        let path = self.path_of(key);
+        let shard = path.parent().expect("sharded path");
+        std::fs::create_dir_all(shard)?;
+        let tmp = shard.join(format!(
+            ".tmp-{key}-{}-{}",
+            std::process::id(),
+            STORE_NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &json)?;
+        // Rename is atomic within a filesystem: concurrent same-key
+        // writers race benignly (identical bytes), and a kill mid-write
+        // leaves only a temp file that the next gc sweeps up.
+        std::fs::rename(&tmp, &path)?;
+        Ok(true)
+    }
+
+    /// Every entry file currently in the cache (sorted for determinism).
+    fn entry_files(&self) -> io::Result<Vec<PathBuf>> {
+        let mut files = Vec::new();
+        for shard in std::fs::read_dir(&self.dir)? {
+            let shard = shard?.path();
+            if !shard.is_dir() {
+                continue;
+            }
+            for f in std::fs::read_dir(&shard)? {
+                files.push(f?.path());
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    /// Walks the cache and aggregates [`CacheStats`].
+    pub fn stats(&self) -> io::Result<CacheStats> {
+        let now = SystemTime::now();
+        let salt = cache_salt();
+        let mut s = CacheStats::default();
+        let mut oldest: Option<u64> = None;
+        let mut newest: Option<u64> = None;
+        for path in self.entry_files()? {
+            let meta = std::fs::metadata(&path)?;
+            s.bytes += meta.len();
+            let parsed = std::fs::read_to_string(&path)
+                .ok()
+                .and_then(|t| serde_json::from_str::<CacheEntry>(&t).ok());
+            let Some(entry) = parsed else {
+                s.foreign += 1;
+                continue;
+            };
+            s.entries += 1;
+            match entry.kind.as_str() {
+                "sweep" => s.sweep_cells += 1,
+                "bench" => s.bench_cells += 1,
+                _ => {}
+            }
+            if entry.salt != salt {
+                s.stale_salt += 1;
+            }
+            let age = meta
+                .modified()
+                .ok()
+                .and_then(|m| now.duration_since(m).ok())
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            oldest = Some(oldest.map_or(age, |o| o.max(age)));
+            newest = Some(newest.map_or(age, |n| n.min(age)));
+        }
+        s.oldest_secs = oldest.unwrap_or(0);
+        s.newest_secs = newest.unwrap_or(0);
+        Ok(s)
+    }
+
+    /// Removes every file older than `max_age` (by mtime), including
+    /// foreign files and orphaned temp files, then prunes empty shards.
+    pub fn gc(&self, max_age: Duration) -> io::Result<GcOutcome> {
+        let now = SystemTime::now();
+        let mut out = GcOutcome::default();
+        for path in self.entry_files()? {
+            let meta = std::fs::metadata(&path)?;
+            let age = meta
+                .modified()
+                .ok()
+                .and_then(|m| now.duration_since(m).ok())
+                .unwrap_or(Duration::ZERO);
+            if age >= max_age {
+                std::fs::remove_file(&path)?;
+                out.removed += 1;
+                out.bytes_freed += meta.len();
+            } else {
+                out.kept += 1;
+            }
+        }
+        for shard in std::fs::read_dir(&self.dir)? {
+            let shard = shard?.path();
+            if shard.is_dir() && std::fs::read_dir(&shard)?.next().is_none() {
+                std::fs::remove_dir(&shard)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Parses a human duration: bare seconds or `s`/`m`/`h`/`d` suffixed
+/// (`0`, `90s`, `15m`, `12h`, `7d`).
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, mult) = match s.as_bytes().last() {
+        Some(b's') => (&s[..s.len() - 1], 1.0),
+        Some(b'm') => (&s[..s.len() - 1], 60.0),
+        Some(b'h') => (&s[..s.len() - 1], 3600.0),
+        Some(b'd') => (&s[..s.len() - 1], 86_400.0),
+        _ => (s, 1.0),
+    };
+    let x: f64 = num
+        .parse()
+        .map_err(|_| format!("bad duration `{s}` (expected e.g. 90s, 15m, 12h, 7d)"))?;
+    if !(x.is_finite() && x >= 0.0) {
+        return Err(format!("bad duration `{s}` (must be non-negative)"));
+    }
+    // try_: an astronomically large value must stay an Err, not a panic.
+    Duration::try_from_secs_f64(x * mult).map_err(|_| format!("bad duration `{s}` (out of range)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_metrics() -> CellMetrics {
+        let mut m = crate::runner::failed_cell_metrics();
+        m.failed = false;
+        m.offered = 10;
+        m.completed = 9;
+        m.within_slo = 8;
+        m.slo_attainment = 0.8;
+        m.goodput_per_sec = 1.25;
+        m.p99_ttft = 0.75;
+        m.events = 1234;
+        m
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("flexpipe-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn canonicalization_sorts_maps_but_keeps_seq_order() {
+        let a = serde_json::parse_value(r#"{"b": 1, "a": [2, 1], "c": {"y": 1, "x": 2}}"#).unwrap();
+        let b = serde_json::parse_value(r#"{"c": {"x": 2, "y": 1}, "a": [2, 1], "b": 1}"#).unwrap();
+        assert_eq!(canonical_json(&a), canonical_json(&b));
+        assert_eq!(cell_key(&a), cell_key(&b));
+        // Sequence order is semantic and must not collapse.
+        let c = serde_json::parse_value(r#"{"a": [1, 2], "b": 1, "c": {"x": 2, "y": 1}}"#).unwrap();
+        assert_ne!(cell_key(&a), cell_key(&c));
+    }
+
+    #[test]
+    fn numeric_spelling_hashes_identically_after_typed_round_trip() {
+        // Raw `120` vs `120.0` differ as Values, but keys are computed
+        // from typed structs, whose f64 fields serialize uniformly.
+        #[derive(Serialize, Deserialize)]
+        struct S {
+            x: f64,
+        }
+        let a: S = serde_json::from_str(r#"{"x": 120}"#).unwrap();
+        let b: S = serde_json::from_str(r#"{"x": 120.0}"#).unwrap();
+        assert_eq!(cell_key(&a.to_value()), cell_key(&b.to_value()));
+    }
+
+    #[test]
+    fn keys_commit_to_the_salt() {
+        let v = serde_json::parse_value(r#"{"a": 1}"#).unwrap();
+        let key = cell_key(&v);
+        assert_eq!(key.len(), 32);
+        assert!(key.chars().all(|c| c.is_ascii_hexdigit()));
+        assert!(cache_salt().contains("engine-v"));
+        assert!(cache_salt().contains(&format!("report-v{REPORT_VERSION}")));
+    }
+
+    #[test]
+    fn store_load_round_trips_and_refuses_incomplete_cells() {
+        let dir = tmp("roundtrip");
+        let cache = CellCache::open(&dir).unwrap();
+        let m = tiny_metrics();
+        assert!(cache.load("0123", u64::MAX).is_none());
+        assert!(cache.store("0123", "sweep", "cell-a", &m).unwrap());
+        assert_eq!(cache.load("0123", u64::MAX), Some(m.clone()));
+        // A different key misses even if the shard exists.
+        assert!(cache.load("0124", u64::MAX).is_none());
+        // Truncated / failed results are never persisted.
+        let mut t = m.clone();
+        t.truncated = true;
+        assert!(!cache.store("0999", "sweep", "cell-b", &t).unwrap());
+        assert!(cache.load("0999", u64::MAX).is_none());
+        let mut f = m;
+        f.failed = true;
+        assert!(!cache.store("0998", "sweep", "cell-c", &f).unwrap());
+        assert!(cache.load("0998", u64::MAX).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_only_replay_under_budgets_they_fit() {
+        let dir = tmp("budget");
+        let cache = CellCache::open(&dir).unwrap();
+        let m = tiny_metrics(); // events = 1234
+        cache.store("b001", "sweep", "cell", &m).unwrap();
+        // A budget the cached run demonstrably fits: hit.
+        assert_eq!(cache.load("b001", 2000), Some(m));
+        // A budget at or below the cached event count: the cell would
+        // truncate (or is ambiguous) under the current spec — recompute.
+        assert!(cache.load("b001", 1234).is_none());
+        assert!(cache.load("b001", 1000).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let dir = tmp("corrupt");
+        let cache = CellCache::open(&dir).unwrap();
+        let m = tiny_metrics();
+        cache.store("abcd", "sweep", "cell", &m).unwrap();
+        let path = dir.join("ab").join("abcd.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(cache.load("abcd", u64::MAX).is_none());
+        // Key mismatch inside the entry (moved file) is a miss too.
+        cache.store("abce", "sweep", "cell", &m).unwrap();
+        std::fs::rename(dir.join("ab").join("abce.json"), &path).unwrap();
+        assert!(cache.load("abcd", u64::MAX).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_and_gc_bound_the_cache() {
+        let dir = tmp("gc");
+        let cache = CellCache::open(&dir).unwrap();
+        let m = tiny_metrics();
+        cache.store("aa11", "sweep", "s", &m).unwrap();
+        cache.store("bb22", "bench", "b", &m).unwrap();
+        std::fs::write(dir.join("aa").join("junk.txt"), "x").unwrap();
+        let s = cache.stats().unwrap();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.sweep_cells, 1);
+        assert_eq!(s.bench_cells, 1);
+        assert_eq!(s.foreign, 1);
+        assert!(s.bytes > 0);
+        // Nothing is older than a day: gc keeps everything.
+        let kept = cache.gc(Duration::from_secs(86_400)).unwrap();
+        assert_eq!(kept.removed, 0);
+        assert_eq!(kept.kept, 3);
+        // Age 0 removes everything and prunes shards.
+        let swept = cache.gc(Duration::ZERO).unwrap();
+        assert_eq!(swept.removed, 3);
+        assert!(swept.bytes_freed > 0);
+        assert_eq!(cache.stats().unwrap().entries, 0);
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(parse_duration("0").unwrap(), Duration::ZERO);
+        assert_eq!(parse_duration("90s").unwrap(), Duration::from_secs(90));
+        assert_eq!(parse_duration("15m").unwrap(), Duration::from_secs(900));
+        assert_eq!(parse_duration("2h").unwrap(), Duration::from_secs(7200));
+        assert_eq!(parse_duration("7d").unwrap(), Duration::from_secs(604_800));
+        assert!(parse_duration("-1s").is_err());
+        assert!(parse_duration("week").is_err());
+    }
+}

@@ -23,10 +23,18 @@
 //!   prefill caps × admission batch × rates up to 10× the paper's 20 QPS,
 //!   with wall-clock throughput columns and indexed-vs-naive admission
 //!   A/B timing;
+//! - [`campaign`] — resumable multi-spec campaigns (`fleet campaign`):
+//!   sweep + bench spec lists over one shared worker pool, with every
+//!   cell persisted in the content-addressed cache;
+//! - [`cache`] — the per-cell artifact cache: keys hash each cell's
+//!   canonicalized semantics under the engine-fingerprint salt, entries
+//!   write atomically, truncated cells never persist (the resume
+//!   mechanism), `stats`/`gc` bound the directory;
 //! - [`toml_lite`] — the offline TOML-subset reader.
 //!
 //! The `flexpipe-fleet` binary wraps it all into `init` / `run` /
-//! `bench` / `compare` / `gate` subcommands.
+//! `bench` / `campaign` / `cache` / `fingerprint` / `compare` / `gate`
+//! subcommands.
 //!
 //! # Determinism contract
 //!
@@ -39,6 +47,8 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cache;
+pub mod campaign;
 pub mod gate;
 pub mod report;
 pub mod runner;
@@ -48,6 +58,11 @@ pub mod toml_lite;
 pub use bench::{
     derive_bench_seed, run_bench, run_bench_cell, BenchCell, BenchCellResult, BenchReport,
     BenchSpec, BenchTiming,
+};
+pub use cache::{cache_salt, canonical_json, canonicalize, cell_key, CacheStats, CellCache};
+pub use campaign::{
+    load_entries, run_campaign, CampaignEntry, CampaignManifest, CampaignOptions, CampaignResult,
+    CampaignSpec, CampaignStats, EntryKind, SpecReport,
 };
 pub use gate::{gate, GateConfig, GateOutcome, Regression};
 pub use report::{summarize_cell, CellMetrics, CellResult, FleetReport, PolicySummary};
@@ -64,11 +79,25 @@ use serde::Deserialize;
 /// Loads a [`SweepSpec`] from JSON or TOML text, deciding by `path`'s
 /// extension (`.toml` → TOML subset, anything else → JSON).
 pub fn parse_spec(path: &str, text: &str) -> Result<SweepSpec, FleetError> {
+    parse_by_extension(path, text, "spec")
+}
+
+/// Loads a [`BenchSpec`] from JSON or TOML text, by extension.
+pub fn parse_bench(path: &str, text: &str) -> Result<BenchSpec, FleetError> {
+    parse_by_extension(path, text, "bench spec")
+}
+
+/// Loads a [`CampaignSpec`] from JSON or TOML text, by extension.
+pub fn parse_campaign(path: &str, text: &str) -> Result<CampaignSpec, FleetError> {
+    parse_by_extension(path, text, "campaign spec")
+}
+
+fn parse_by_extension<T: Deserialize>(path: &str, text: &str, what: &str) -> Result<T, FleetError> {
     if path.ends_with(".toml") {
         let value = toml_lite::parse(text).map_err(|e| FleetError(e.to_string()))?;
-        SweepSpec::from_value(&value).map_err(|e| FleetError(format!("spec: {e}")))
+        T::from_value(&value).map_err(|e| FleetError(format!("{what}: {e}")))
     } else {
-        serde_json::from_str(text).map_err(|e| FleetError(format!("spec: {e}")))
+        serde_json::from_str(text).map_err(|e| FleetError(format!("{what}: {e}")))
     }
 }
 
@@ -114,5 +143,55 @@ mod tests {
         assert!(parse_spec("x.json", "{").is_err());
         assert!(parse_spec("x.toml", "= broken").is_err());
         assert!(parse_spec("x.json", "{}").is_err());
+        assert!(parse_bench("x.json", "{}").is_err());
+        assert!(parse_campaign("x.json", "{}").is_err());
+    }
+
+    #[test]
+    fn campaign_specs_parse_from_json_and_toml() {
+        let spec = CampaignSpec::template();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        assert_eq!(parse_campaign("c.json", &json).unwrap(), spec);
+        let toml = r#"
+            name = "campaign-ci"
+            cache_dir = ".fleet-cache"
+            entries = [{ kind = "Sweep", path = "cv-rate-sensitivity.json" }, { kind = "Sweep", path = "disruption-recovery.json" }, { kind = "Bench", path = "engine-bench.json" }]
+        "#;
+        assert_eq!(parse_campaign("c.toml", toml).unwrap(), spec);
+    }
+
+    #[test]
+    fn bench_specs_parse_from_toml_too() {
+        let spec = BenchSpec::template();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        assert_eq!(parse_bench("b.json", &json).unwrap(), spec);
+
+        let toml = r#"
+            name = "engine-bench"
+            model = "Opt66B"
+            seed = 42
+            horizon_secs = 45.0
+            warmup_secs = 10.0
+            slo_secs = 2.0
+            slo_per_output_token_ms = 100.0
+            background = "TestbedLike"
+            max_events = 200000000
+            cv = 4.0
+            cluster = "PaperTestbed"
+            policy = { Paper = "FlexPipe" }
+            rates = [20.0, 50.0, 100.0, 200.0]
+            ubatch_sizes = [64, 128]
+            prefill_token_caps = [512, 1024]
+            admission_batches = [8, 16]
+            admission = ["Indexed"]
+
+            [lengths]
+            prompt_median = 1024.0
+            prompt_sigma = 0.9
+            prompt_range = [16, 8192]
+            output_mean = 64.0
+            output_range = [1, 1024]
+        "#;
+        assert_eq!(parse_bench("b.toml", toml).unwrap(), spec);
     }
 }

@@ -170,6 +170,43 @@ pub(crate) fn failed_cell_metrics() -> CellMetrics {
     }
 }
 
+/// Runs `n` index-addressed jobs on a pool of `threads` workers and
+/// returns the results in index order. The shared backbone of
+/// [`run_sweep`], [`crate::bench::run_bench`] and
+/// [`crate::campaign::run_campaign`]: workers pull the next unclaimed
+/// index from an atomic cursor and write into pre-assigned slots, so
+/// thread interleaving can never reorder (or drop) results. `f` is
+/// responsible for its own panic containment.
+pub(crate) fn parallel_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every job executed")
+        })
+        .collect()
+}
+
 /// Runs the full sweep, in parallel, and assembles the report.
 pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<FleetReport, FleetError> {
     spec.validate().map_err(FleetError)?;
@@ -203,53 +240,36 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<FleetReport, Fle
     }
 
     let threads = effective_threads(opts.threads, n);
-    let cursor = AtomicUsize::new(0);
     let finished = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<CellMetrics>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let cell = &cells[i];
-                let cell_started = Instant::now();
-                let metrics = match catch_unwind(AssertUnwindSafe(|| {
-                    run_cell_in_mode(spec, cell, &setup, opts.admission)
-                })) {
-                    Ok(m) => m,
-                    Err(_) => {
-                        eprintln!("fleet cell {} PANICKED; recorded as failed", cell.id());
-                        failed_cell_metrics()
-                    }
-                };
-                let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
-                if !opts.quiet {
-                    eprintln!(
-                        "fleet [{done}/{n}] {} done in {:.1}s (SLO att. {:.1}%{})",
-                        cell.id(),
-                        cell_started.elapsed().as_secs_f64(),
-                        metrics.slo_attainment * 100.0,
-                        if metrics.truncated { ", TRUNCATED" } else { "" },
-                    );
-                }
-                *slots[i].lock().expect("result slot") = Some(metrics);
-            });
+    let metrics = parallel_indexed(n, threads, |i| {
+        let cell = &cells[i];
+        let cell_started = Instant::now();
+        let metrics = match catch_unwind(AssertUnwindSafe(|| {
+            run_cell_in_mode(spec, cell, &setup, opts.admission)
+        })) {
+            Ok(m) => m,
+            Err(_) => {
+                eprintln!("fleet cell {} PANICKED; recorded as failed", cell.id());
+                failed_cell_metrics()
+            }
+        };
+        let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
+        if !opts.quiet {
+            eprintln!(
+                "fleet [{done}/{n}] {} done in {:.1}s (SLO att. {:.1}%{})",
+                cell.id(),
+                cell_started.elapsed().as_secs_f64(),
+                metrics.slo_attainment * 100.0,
+                if metrics.truncated { ", TRUNCATED" } else { "" },
+            );
         }
+        metrics
     });
 
     let results: Vec<CellResult> = cells
         .into_iter()
-        .zip(slots)
-        .map(|(cell, slot)| CellResult {
-            cell,
-            metrics: slot
-                .into_inner()
-                .expect("slot lock")
-                .expect("every cell executed"),
-        })
+        .zip(metrics)
+        .map(|(cell, metrics)| CellResult { cell, metrics })
         .collect();
     if !opts.quiet {
         eprintln!(
@@ -311,6 +331,15 @@ mod tests {
             disruptions: vec![crate::spec::DisruptionShape::None],
             replicas: 1,
         }
+    }
+
+    #[test]
+    fn parallel_indexed_preserves_order_at_any_thread_count() {
+        let want: Vec<usize> = (0..100).map(|i| i * 2).collect();
+        for threads in [1, 4, 64] {
+            assert_eq!(parallel_indexed(100, threads, |i| i * 2), want);
+        }
+        assert!(parallel_indexed(0, 4, |i| i).is_empty());
     }
 
     #[test]

@@ -361,6 +361,49 @@ impl SweepSpec {
         cells
     }
 
+    /// The canonical semantic content of one expanded cell: every spec
+    /// field and cell coordinate that can change the cell's metrics, and
+    /// nothing that cannot. This is what the campaign cache hashes into
+    /// the cell's content key ([`crate::cache::cell_key`]).
+    ///
+    /// Deliberately excluded:
+    ///
+    /// - `name` — cosmetic (renaming a sweep must keep its cache warm);
+    /// - `max_events` — a watchdog, not a parameter: a cell that finishes
+    ///   under one budget finishes identically under any larger one, and
+    ///   truncated cells are never cached. This is the resume mechanism —
+    ///   a budget-killed campaign re-run recomputes exactly the cells the
+    ///   budget cut short. (Lowered budgets are handled at replay time
+    ///   instead: [`crate::cache::CellCache::load`] refuses entries whose
+    ///   event count no longer fits the current budget);
+    /// - the axis vectors and `replicas` — the cell coordinate plus its
+    ///   derived `seed` capture them (so appending an axis value dirties
+    ///   only the new cells);
+    /// - the admission mode — proven byte-identical across modes by the
+    ///   equivalence suites.
+    pub fn cell_semantics(&self, cell: &Cell) -> serde::Value {
+        let field = |k: &str, v: serde::Value| (k.to_string(), v);
+        serde::Value::Map(vec![
+            field("experiment", serde::Value::Str("sweep".into())),
+            field("model", self.model.to_value()),
+            field("horizon_secs", self.horizon_secs.to_value()),
+            field("warmup_secs", self.warmup_secs.to_value()),
+            field("slo_secs", self.slo_secs.to_value()),
+            field(
+                "slo_per_output_token_ms",
+                self.slo_per_output_token_ms.to_value(),
+            ),
+            field("background", self.background.to_value()),
+            field("lengths", self.lengths.to_value()),
+            field("cv", cell.cv.to_value()),
+            field("rate", cell.rate.to_value()),
+            field("cluster", cell.cluster.to_value()),
+            field("policy", cell.policy.to_value()),
+            field("disruption", cell.disruption.to_value()),
+            field("seed", cell.seed.to_value()),
+        ])
+    }
+
     /// Validates axis sanity, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {

@@ -19,6 +19,7 @@ pub mod instance;
 pub mod policy;
 pub mod queueing;
 pub mod report;
+pub mod version;
 
 pub use admission::{churn, AdmissionIndex, AdmissionMode};
 pub use config::EngineConfig;
@@ -32,3 +33,4 @@ pub use policy::{
 };
 pub use queueing::{optimal_depth_heuristic, predict, GgsParams, GgsPrediction};
 pub use report::RunReport;
+pub use version::{engine_fingerprint, ENGINE_SEMANTICS_VERSION};
