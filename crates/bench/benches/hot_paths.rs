@@ -1,0 +1,54 @@
+//! PR 5's incremental hot paths in isolation: the per-instance
+//! decode-slot tracker vs the micro-batch recount, and the cluster's
+//! server-load ranking vs the rebuild-and-sort reference, across fleet
+//! sizes (the admission twin lives in `admission.rs`).
+//!
+//! Each measurement drives the deterministic churn harnesses from
+//! `flexpipe_serving::engine::indexes`, so the numbers isolate the
+//! query cost from the event loop. Expected shape: both naive paths grow
+//! linearly (the server one with servers × GPUs), both indexed paths
+//! stay flat / logarithmic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use flexpipe_serving::{decode_slot_churn, server_load_churn, EngineMode};
+
+fn bench_decode_slots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode-slot");
+    const OPS: usize = 10_000;
+    for n in [16usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, &n| {
+            b.iter(|| black_box(decode_slot_churn(n, OPS, EngineMode::Indexed)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, &n| {
+            b.iter(|| black_box(decode_slot_churn(n, OPS, EngineMode::NaiveScan)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_server_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hottest-server");
+    const OPS: usize = 1_000;
+    for servers in [16usize, 128, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("indexed", servers),
+            &servers,
+            |b, &servers| {
+                b.iter(|| black_box(server_load_churn(servers, OPS, EngineMode::Indexed)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", servers),
+            &servers,
+            |b, &servers| {
+                b.iter(|| black_box(server_load_churn(servers, OPS, EngineMode::NaiveScan)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode_slots, bench_server_load);
+criterion_main!(benches);

@@ -46,7 +46,9 @@ pub enum Disruption {
     /// Arrival-rate surge: the request rate multiplies by `factor` for
     /// `duration_secs`. Applied at workload-generation time via
     /// [`crate::surge::warp_arrivals`]; the serving engine itself sees
-    /// only the densified arrivals.
+    /// only the densified arrivals. Overlapping surge windows compose
+    /// multiplicatively (two 2× surges covering the same instant make
+    /// that instant 4×).
     RateSurge {
         /// Rate multiplier (> 0; > 1 densifies, < 1 thins).
         factor: f64,
@@ -195,17 +197,13 @@ impl DisruptionScript {
                 }
             }
         }
-        // Overlapping surges would make the warp ambiguous (which factor
-        // applies?); reject rather than silently compose.
-        let windows = self.surge_windows();
-        for pair in windows.windows(2) {
-            if pair[1].start < pair[0].end {
-                return Err(format!(
-                    "rate surges overlap at t={:.3}..{:.3}",
-                    pair[1].start, pair[0].end
-                ));
-            }
-        }
+        // Overlapping surge windows are legal: the warp composes their
+        // factors multiplicatively over the overlap (see
+        // [`crate::surge`]). An earlier revision rejected overlap because
+        // the warp silently truncated the second window; with the
+        // boundary-sweep composition there is nothing ambiguous left to
+        // reject — per-event sanity (finite, positive factor and
+        // duration) above is the whole contract.
         Ok(())
     }
 }
@@ -277,24 +275,33 @@ mod tests {
     }
 
     #[test]
-    fn validate_rejects_overlapping_surges() {
-        let surge = |at: f64, dur: f64| DisruptionEvent {
+    fn validate_accepts_overlapping_surges_and_rejects_degenerate_ones() {
+        let surge = |at: f64, dur: f64, factor: f64| DisruptionEvent {
             at_secs: at,
             kind: Disruption::RateSurge {
-                factor: 2.0,
+                factor,
                 duration_secs: dur,
             },
         };
+        // Overlap is well-defined (multiplicative composition) and legal.
         let s = DisruptionScript {
             name: "s".into(),
-            events: vec![surge(10.0, 10.0), surge(15.0, 5.0)],
-        };
-        assert!(s.validate(4, 2).is_err());
-        let s = DisruptionScript {
-            name: "s".into(),
-            events: vec![surge(10.0, 5.0), surge(15.0, 5.0)],
+            events: vec![surge(10.0, 10.0, 2.0), surge(15.0, 5.0, 3.0)],
         };
         assert!(s.validate(4, 2).is_ok());
+        // Per-event sanity still holds the line.
+        for bad in [
+            surge(10.0, 5.0, 0.0),
+            surge(10.0, 5.0, f64::INFINITY),
+            surge(10.0, 0.0, 2.0),
+            surge(10.0, f64::NAN, 2.0),
+        ] {
+            let s = DisruptionScript {
+                name: "bad".into(),
+                events: vec![bad],
+            };
+            assert!(s.validate(4, 2).is_err());
+        }
     }
 
     #[test]

@@ -28,33 +28,50 @@ struct Segment {
 
 /// Splits `[0, horizon]` into contiguous segments by the script's surge
 /// windows (clipped to the horizon).
+///
+/// Overlapping windows compose *multiplicatively*: two independent surge
+/// processes both doubling the rate over the same interval yield 4× there
+/// — the only composition consistent with each window's own "multiply the
+/// rate by `factor`" contract. (An earlier revision silently truncated
+/// the second window to start where the first ended, quietly under-
+/// driving overlapped scripts; the boundary sweep below makes any window
+/// arrangement well-defined.)
 fn segments(script: &DisruptionScript, horizon_secs: f64) -> Vec<Segment> {
-    let mut segs = Vec::new();
-    let mut cursor = 0.0;
-    for w in script.surge_windows() {
-        let SurgeWindow { start, end, factor } = w;
-        let start = start.clamp(0.0, horizon_secs);
-        let end = end.clamp(0.0, horizon_secs);
-        if end <= cursor {
+    let windows: Vec<SurgeWindow> = script
+        .surge_windows()
+        .into_iter()
+        .map(|w| SurgeWindow {
+            start: w.start.clamp(0.0, horizon_secs),
+            end: w.end.clamp(0.0, horizon_secs),
+            factor: w.factor,
+        })
+        .filter(|w| w.end > w.start)
+        .collect();
+    // Boundary sweep: every window edge starts a new segment whose factor
+    // is the product of the windows covering it.
+    let mut cuts: Vec<f64> = vec![0.0, horizon_secs];
+    for w in &windows {
+        cuts.push(w.start);
+        cuts.push(w.end);
+    }
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite cuts"));
+    cuts.dedup();
+    let mut segs = Vec::with_capacity(cuts.len());
+    for pair in cuts.windows(2) {
+        let (start, end) = (pair[0], pair[1]);
+        if end <= start {
             continue;
         }
-        if start > cursor {
-            segs.push(Segment {
-                start: cursor,
-                end: start,
-                factor: 1.0,
-            });
-        }
-        segs.push(Segment {
-            start: start.max(cursor),
-            end,
-            factor,
-        });
-        cursor = end;
+        let factor: f64 = windows
+            .iter()
+            .filter(|w| w.start <= start && end <= w.end)
+            .map(|w| w.factor)
+            .product();
+        segs.push(Segment { start, end, factor });
     }
-    if cursor < horizon_secs {
+    if segs.is_empty() {
         segs.push(Segment {
-            start: cursor,
+            start: 0.0,
             end: horizon_secs,
             factor: 1.0,
         });
@@ -187,6 +204,68 @@ mod tests {
         // The trace still ends near the real horizon.
         let last = w.requests.last().unwrap().arrival.as_secs_f64();
         assert!(last <= horizon + 1.0, "last arrival {last}");
+    }
+
+    #[test]
+    fn overlapping_surges_compose_multiplicatively() {
+        // 2x over [10, 30) and 3x over [20, 40): the overlap [20, 30)
+        // runs at 6x. Virtual horizon:
+        // 10·1 + 10·2 + 10·6 + 10·3 + 60·1 = 180.
+        let script = DisruptionScript {
+            name: "overlap".into(),
+            events: vec![
+                DisruptionEvent {
+                    at_secs: 10.0,
+                    kind: Disruption::RateSurge {
+                        factor: 2.0,
+                        duration_secs: 20.0,
+                    },
+                },
+                DisruptionEvent {
+                    at_secs: 20.0,
+                    kind: Disruption::RateSurge {
+                        factor: 3.0,
+                        duration_secs: 20.0,
+                    },
+                },
+            ],
+        };
+        let horizon = 100.0;
+        assert!((virtual_horizon(horizon, &script) - 180.0).abs() < 1e-9);
+
+        let vh = virtual_horizon(horizon, &script);
+        let mut w = workload(vh, 20.0, 17);
+        let n = w.requests.len();
+        warp_arrivals(&mut w, &script, horizon);
+        assert_eq!(w.requests.len(), n);
+        assert!(w.requests.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        let rate_in = |w: &Workload, a: f64, b: f64| {
+            w.requests
+                .iter()
+                .filter(|r| {
+                    let t = r.arrival.as_secs_f64();
+                    t >= a && t < b
+                })
+                .count() as f64
+                / (b - a)
+        };
+        let base = rate_in(&w, 50.0, 100.0);
+        let double = rate_in(&w, 10.0, 20.0);
+        let sixfold = rate_in(&w, 20.0, 30.0);
+        // The overlap region is denser than either single window and near
+        // the product; generous bands keep the renewal noise out.
+        assert!(
+            double > 1.4 * base && double < 2.8 * base,
+            "2x window rate {double}/s vs base {base}/s"
+        );
+        assert!(
+            sixfold > 4.0 * base,
+            "6x overlap rate {sixfold}/s vs base {base}/s"
+        );
+        assert!(
+            sixfold > 1.8 * double,
+            "overlap must out-pace the 2x window"
+        );
     }
 
     #[test]

@@ -21,12 +21,14 @@
 
 pub mod alloc;
 pub mod fragmentation;
+pub mod load_index;
 pub mod state;
 pub mod topology;
 pub mod transfer;
 
 pub use alloc::{first_fit, AcquireKind, Acquisition, Provisioner, TierConfig};
 pub use fragmentation::{BackgroundProfile, BackgroundTenants, FragmentationStats};
+pub use load_index::ServerLoadIndex;
 pub use state::{AllocError, Cluster, GpuLoad, Lease, LeaseId, LeaseTarget};
 pub use topology::{
     ClusterSpec, GpuId, GpuInfo, GpuSpec, LinkSpec, RackId, ServerId, ServerSpec, Topology,

@@ -1,0 +1,169 @@
+//! Incrementally maintained server-load ordering.
+//!
+//! The serving engine's hot-server queries (adversarial preemption
+//! targeting, placement heuristics) rank servers by *serving-leased
+//! bytes*. The reference implementation rebuilds and sorts the full server
+//! list per query — O(servers × GPUs) + a sort — which is fine at the
+//! paper's 42 servers but not at the ROADMAP's 1000-server tier. The
+//! [`ServerLoadIndex`] keeps an ordered set keyed on
+//! `(Reverse(serving bytes), server id)`, updated by the [`crate::Cluster`]
+//! on every serving-lease change (reserve, release, revoke, restore), so
+//! the `rank`-th busiest server resolves in O(rank + log servers).
+//!
+//! Ordering contract: the naive reference sorts by bytes *descending* with
+//! ties toward the lowest server id, and includes exactly the servers that
+//! still have at least one non-revoked GPU. `Reverse(bytes)` ascending is
+//! bytes descending; the id tie-break is the tuple's second field; and
+//! membership tracks a per-server alive-GPU count — so the index
+//! reproduces the naive ranking bit for bit, which is what makes the
+//! indexed path a pure optimization.
+
+use std::cmp::Reverse;
+use std::collections::BTreeSet;
+
+use crate::topology::ServerId;
+
+/// Ordered index over servers by serving-leased bytes (descending, ties
+/// toward the lowest id), excluding servers with no usable GPU.
+#[derive(Debug, Clone, Default)]
+pub struct ServerLoadIndex {
+    /// `(Reverse(serving bytes), server)` — in-order iteration yields the
+    /// busiest-first ranking the naive sort produces.
+    set: BTreeSet<(Reverse<u64>, ServerId)>,
+    /// Serving-leased bytes per server (the current index key).
+    bytes: Vec<u64>,
+    /// Non-revoked GPUs per server; a server is indexed iff this is > 0.
+    alive_gpus: Vec<u32>,
+}
+
+impl ServerLoadIndex {
+    /// Builds the index for servers with the given (all-alive) GPU counts
+    /// and zero serving load.
+    pub fn new(gpus_per_server: &[u32]) -> Self {
+        let mut idx = ServerLoadIndex {
+            set: BTreeSet::new(),
+            bytes: vec![0; gpus_per_server.len()],
+            alive_gpus: gpus_per_server.to_vec(),
+        };
+        for (s, &alive) in gpus_per_server.iter().enumerate() {
+            if alive > 0 {
+                idx.set.insert((Reverse(0), ServerId(s as u32)));
+            }
+        }
+        idx
+    }
+
+    fn rekey(&mut self, server: ServerId, old_bytes: u64) {
+        let s = server.0 as usize;
+        if self.alive_gpus[s] > 0 {
+            self.set.remove(&(Reverse(old_bytes), server));
+            self.set.insert((Reverse(self.bytes[s]), server));
+        }
+    }
+
+    /// A serving lease of `bytes` landed on `server`.
+    pub fn on_reserve(&mut self, server: ServerId, bytes: u64) {
+        let old = self.bytes[server.0 as usize];
+        self.bytes[server.0 as usize] = old + bytes;
+        self.rekey(server, old);
+    }
+
+    /// A serving lease of `bytes` left `server` (release or revocation).
+    pub fn on_release(&mut self, server: ServerId, bytes: u64) {
+        let old = self.bytes[server.0 as usize];
+        debug_assert!(old >= bytes, "releasing more than the server holds");
+        self.bytes[server.0 as usize] = old.saturating_sub(bytes);
+        self.rekey(server, old);
+    }
+
+    /// One of `server`'s GPUs was revoked; `lease_bytes` of serving leases
+    /// died with it. A server whose last GPU leaves drops out of the
+    /// ranking entirely (the naive scan skips fully revoked servers).
+    pub fn on_gpu_revoked(&mut self, server: ServerId, lease_bytes: u64) {
+        let s = server.0 as usize;
+        let old = self.bytes[s];
+        self.bytes[s] = old.saturating_sub(lease_bytes);
+        debug_assert!(self.alive_gpus[s] > 0, "revoking a GPU of a dead server");
+        self.alive_gpus[s] = self.alive_gpus[s].saturating_sub(1);
+        if self.alive_gpus[s] == 0 {
+            self.set.remove(&(Reverse(old), server));
+        } else {
+            self.rekey(server, old);
+        }
+    }
+
+    /// One of `server`'s GPUs was restored; a server coming back from
+    /// fully-revoked re-enters the ranking (with the zero load revocation
+    /// left it at).
+    pub fn on_gpu_restored(&mut self, server: ServerId) {
+        let s = server.0 as usize;
+        self.alive_gpus[s] += 1;
+        if self.alive_gpus[s] == 1 {
+            self.set.insert((Reverse(self.bytes[s]), server));
+        }
+    }
+
+    /// The `rank`-th busiest server (0 = busiest), exactly matching the
+    /// naive rebuild-and-sort reference.
+    pub fn nth_hottest(&self, rank: u32) -> Option<ServerId> {
+        self.set.iter().nth(rank as usize).map(|&(_, s)| s)
+    }
+
+    /// Serving-leased bytes currently attributed to `server`.
+    pub fn server_bytes(&self, server: ServerId) -> u64 {
+        self.bytes[server.0 as usize]
+    }
+
+    /// Number of ranked (not fully revoked) servers.
+    pub fn ranked_len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// The full busiest-first ranking (test and validation support).
+    pub fn ranking(&self) -> impl Iterator<Item = (ServerId, u64)> + '_ {
+        self.set.iter().map(|&(Reverse(b), s)| (s, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_by_bytes_desc_with_low_id_ties() {
+        let mut idx = ServerLoadIndex::new(&[2, 2, 2, 2]);
+        idx.on_reserve(ServerId(2), 100);
+        idx.on_reserve(ServerId(1), 300);
+        idx.on_reserve(ServerId(3), 100);
+        assert_eq!(idx.nth_hottest(0), Some(ServerId(1)));
+        // 100-byte tie breaks toward the lower id.
+        assert_eq!(idx.nth_hottest(1), Some(ServerId(2)));
+        assert_eq!(idx.nth_hottest(2), Some(ServerId(3)));
+        assert_eq!(idx.nth_hottest(3), Some(ServerId(0)));
+        assert_eq!(idx.nth_hottest(4), None);
+    }
+
+    #[test]
+    fn release_and_revoke_rekey_and_drop_servers() {
+        let mut idx = ServerLoadIndex::new(&[1, 2]);
+        idx.on_reserve(ServerId(0), 500);
+        idx.on_reserve(ServerId(1), 200);
+        idx.on_release(ServerId(0), 400);
+        assert_eq!(idx.nth_hottest(0), Some(ServerId(1)));
+        assert_eq!(idx.server_bytes(ServerId(0)), 100);
+        // Server 0's only GPU dies: its leases vanish and it leaves the
+        // ranking entirely.
+        idx.on_gpu_revoked(ServerId(0), 100);
+        assert_eq!(idx.ranked_len(), 1);
+        assert_eq!(idx.nth_hottest(1), None);
+        // Restore re-enters it at zero load.
+        idx.on_gpu_restored(ServerId(0));
+        assert_eq!(idx.ranked_len(), 2);
+        assert_eq!(idx.nth_hottest(1), Some(ServerId(0)));
+        assert_eq!(idx.server_bytes(ServerId(0)), 0);
+        // A multi-GPU server losing one GPU keeps its surviving load.
+        idx.on_gpu_revoked(ServerId(1), 50);
+        assert_eq!(idx.server_bytes(ServerId(1)), 150);
+        assert_eq!(idx.nth_hottest(0), Some(ServerId(1)));
+    }
+}

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::load_index::ServerLoadIndex;
 use crate::topology::{ClusterSpec, GpuId, ServerId, Topology};
 
 /// Identifier of a memory lease on a GPU or host.
@@ -89,6 +90,10 @@ pub struct Cluster {
     revoked: Vec<bool>,
     /// Servers whose host memory tier is revoked (whole-server preemption).
     revoked_hosts: Vec<bool>,
+    /// Busiest-first server ranking by serving-leased bytes, maintained on
+    /// every serving-lease change and GPU revoke/restore (the load-change
+    /// hook behind the serving engine's indexed `hottest_server`).
+    server_index: ServerLoadIndex,
 }
 
 impl Cluster {
@@ -97,6 +102,9 @@ impl Cluster {
         let topo = Topology::new(spec);
         let n = topo.gpu_count();
         let s = topo.server_count();
+        let gpus_per_server: Vec<u32> = (0..s as u32)
+            .map(|i| topo.gpus_on(ServerId(i)).len() as u32)
+            .collect();
         Cluster {
             topo,
             loads: vec![GpuLoad::default(); n],
@@ -105,6 +113,7 @@ impl Cluster {
             next_lease: 0,
             revoked: vec![false; n],
             revoked_hosts: vec![false; s],
+            server_index: ServerLoadIndex::new(&gpus_per_server),
         }
     }
 
@@ -176,6 +185,8 @@ impl Cluster {
             });
         }
         self.loads[gpu.0 as usize].serving_mem += bytes;
+        self.server_index
+            .on_reserve(self.topo.gpu(gpu).server, bytes);
         Ok(self.record(Lease {
             target: LeaseTarget::Gpu(gpu),
             bytes,
@@ -217,6 +228,8 @@ impl Cluster {
                 let l = &mut self.loads[gpu.0 as usize];
                 debug_assert!(l.serving_mem >= lease.bytes);
                 l.serving_mem = l.serving_mem.saturating_sub(lease.bytes);
+                self.server_index
+                    .on_release(self.topo.gpu(gpu).server, lease.bytes);
             }
             LeaseTarget::Host(server) => {
                 let used = &mut self.host_used[server.0 as usize];
@@ -288,6 +301,10 @@ impl Cluster {
         for id in &dead {
             self.leases.remove(id);
         }
+        // The GPU's invalidated serving bytes leave the server ranking with
+        // it; the last GPU of a server takes the server out entirely.
+        self.server_index
+            .on_gpu_revoked(self.topo.gpu(gpu).server, self.loads[i].serving_mem);
         self.loads[i] = GpuLoad::default();
         dead
     }
@@ -326,6 +343,21 @@ impl Cluster {
         self.revoked[i] = false;
         let server = self.topo.gpu(gpu).server;
         self.revoked_hosts[server.0 as usize] = false;
+        self.server_index.on_gpu_restored(server);
+    }
+
+    /// Serving-leased bytes currently held across `server`'s GPUs
+    /// (incrementally maintained; equals summing `load(g).serving_mem`).
+    pub fn server_serving_bytes(&self, server: ServerId) -> u64 {
+        self.server_index.server_bytes(server)
+    }
+
+    /// The `rank`-th busiest server by serving-leased bytes (0 = busiest,
+    /// ties toward the lowest id), skipping fully revoked servers — the
+    /// indexed equivalent of rebuilding and sorting the server list, in
+    /// O(rank + log servers) per query.
+    pub fn nth_hottest_server(&self, rank: u32) -> Option<ServerId> {
+        self.server_index.nth_hottest(rank)
     }
 
     /// Verifies the capacity invariant on every device; used by tests.
@@ -379,6 +411,32 @@ impl Cluster {
             if per_host[s] != used {
                 return Err(format!("server {s}: ledger {} != used {used}", per_host[s]));
             }
+        }
+        // The server-load index must mirror a fresh rebuild: per-server
+        // byte totals, membership (≥1 non-revoked GPU) and the
+        // busiest-first order itself.
+        let mut want: Vec<(ServerId, u64)> = Vec::new();
+        for s in 0..self.topo.server_count() as u32 {
+            let server = ServerId(s);
+            let gpus = self.topo.gpus_on(server);
+            let bytes: u64 = gpus
+                .iter()
+                .map(|&g| self.loads[g.0 as usize].serving_mem)
+                .sum();
+            if self.server_index.server_bytes(server) != bytes {
+                return Err(format!(
+                    "server {s}: load index holds {} bytes, GPUs sum to {bytes}",
+                    self.server_index.server_bytes(server)
+                ));
+            }
+            if gpus.iter().any(|&g| !self.revoked[g.0 as usize]) {
+                want.push((server, bytes));
+            }
+        }
+        want.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let got: Vec<(ServerId, u64)> = self.server_index.ranking().collect();
+        if got != want {
+            return Err(format!("server ranking diverged: {got:?} vs {want:?}"));
         }
         Ok(())
     }
@@ -507,6 +565,41 @@ mod tests {
         c.restore_gpu(g);
         assert!(!c.is_host_revoked(s));
         assert!(c.reserve_host(s, 1).is_ok());
+    }
+
+    #[test]
+    fn hottest_server_ranking_tracks_leases_and_revocations() {
+        let mut c = small();
+        // Server 1 busiest, then server 0; ties (2 vs 3 at zero) break low.
+        let g0 = c.topology().gpus_on(ServerId(0))[0];
+        let g1 = c.topology().gpus_on(ServerId(1))[0];
+        let l0 = c.reserve_gpu(g0, 1 << 20).unwrap();
+        c.reserve_gpu(g1, 4 << 20).unwrap();
+        assert_eq!(c.nth_hottest_server(0), Some(ServerId(1)));
+        assert_eq!(c.nth_hottest_server(1), Some(ServerId(0)));
+        assert_eq!(c.nth_hottest_server(2), Some(ServerId(2)));
+        assert_eq!(c.server_serving_bytes(ServerId(1)), 4 << 20);
+        c.check_invariants().unwrap();
+        // Releasing server 0's lease drops it into the zero-load tie.
+        c.release(l0).unwrap();
+        assert_eq!(c.nth_hottest_server(1), Some(ServerId(0)));
+        c.check_invariants().unwrap();
+        // Fully revoking the busiest server removes it from the ranking.
+        for g in c.topology().gpus_on(ServerId(1)).to_vec() {
+            c.revoke_gpu(g);
+        }
+        assert_eq!(c.nth_hottest_server(0), Some(ServerId(0)));
+        assert!((0..42)
+            .filter_map(|r| c.nth_hottest_server(r))
+            .all(|s| s != ServerId(1)));
+        c.check_invariants().unwrap();
+        // Restoring one GPU re-enters the server at zero load.
+        c.restore_gpu(c.topology().gpus_on(ServerId(1))[0]);
+        assert_eq!(c.server_serving_bytes(ServerId(1)), 0);
+        assert!((0..42)
+            .filter_map(|r| c.nth_hottest_server(r))
+            .any(|s| s == ServerId(1)));
+        c.check_invariants().unwrap();
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!     --out <report.json>     write the byte-stable artifact (wall-clock excluded)
 //!     --threads <n>           worker threads (use 1 for clean A/B timing)
 //!     --rates <a,b,..>        override the spec's rate axis (CI smoke: --rates 100)
+//!     --hot-paths             also run the engine-free hot-path microbench
+//!                             (admission / decode-slot / hottest-server at
+//!                             1500 instances/servers): speedup table + exit 2
+//!                             if any index diverges from its naive reference
 //!     --quiet                 suppress per-cell progress on stderr
 //! flexpipe-fleet campaign init [campaign.json]    write the CI campaign template
 //! flexpipe-fleet campaign <campaign.(json|toml)> [options]
@@ -32,7 +36,10 @@
 //!                             report in <dir>; exit 2 on any regression
 //!     --tolerance <frac>      gate tolerance when --gate is given
 //! flexpipe-fleet cache stats <dir>                cache entry / size / age summary
-//! flexpipe-fleet cache gc <dir> --max-age <dur>   drop entries older than e.g. 7d
+//! flexpipe-fleet cache gc <dir> [--max-age <dur>] [--max-bytes <N>]
+//!                                                 drop entries older than e.g. 7d
+//!                                                 and/or LRU-evict (oldest first)
+//!                                                 down to a total size cap
 //! flexpipe-fleet fingerprint                      print the cell-cache salt
 //! flexpipe-fleet compare <report.json>            render the tables of an artifact
 //! flexpipe-fleet gate <report.json> --baseline <base.json> [options]
@@ -55,7 +62,7 @@ use flexpipe_serving::AdmissionMode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.(json|toml)> [--out report.json] [--threads N] [--rates 100,200] [--quiet]\n  flexpipe-fleet campaign init [campaign.json]\n  flexpipe-fleet campaign <campaign.(json|toml)> [--out-dir DIR] [--cache DIR | --no-cache] [--threads N] [--quiet] [--admission indexed|naive] [--assert-warm] [--gate DIR [--tolerance 0.02]]\n  flexpipe-fleet cache stats <dir>\n  flexpipe-fleet cache gc <dir> --max-age <90s|15m|12h|7d>\n  flexpipe-fleet fingerprint\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
+        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.(json|toml)> [--out report.json] [--threads N] [--rates 100,200] [--hot-paths] [--quiet]\n  flexpipe-fleet campaign init [campaign.json]\n  flexpipe-fleet campaign <campaign.(json|toml)> [--out-dir DIR] [--cache DIR | --no-cache] [--threads N] [--quiet] [--admission indexed|naive] [--assert-warm] [--gate DIR [--tolerance 0.02]]\n  flexpipe-fleet cache stats <dir>\n  flexpipe-fleet cache gc <dir> [--max-age <90s|15m|12h|7d>] [--max-bytes <N>]\n  flexpipe-fleet fingerprint\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
     );
     ExitCode::from(1)
 }
@@ -230,6 +237,7 @@ fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
     };
     let quiet = take_flag(&mut args, "--quiet");
     let rates = take_flag_value(&mut args, "--rates")?;
+    let hot_paths = take_flag(&mut args, "--hot-paths");
     let [spec_path] = args.as_slice() else {
         return Err(usage());
     };
@@ -277,6 +285,20 @@ fn cmd_bench(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
             mismatches.join(", ")
         );
         return Ok(ExitCode::from(2));
+    }
+
+    // The engine-free hot-path microbench: each incremental structure vs
+    // its retained naive scan at fleet scale (1500 instances/servers —
+    // the ≥1000 tier the acceptance bar measures). Wall-clock only; the
+    // decision checksums must be identical, or the "pure optimization"
+    // contract is broken and we exit 2 like a mode mismatch.
+    if hot_paths {
+        let rows = flexpipe_fleet::hot_path_speedups(1500, 120_000);
+        println!("{}", flexpipe_fleet::hot_path_table(&rows).render());
+        if rows.iter().any(|r| !r.identical) {
+            eprintln!("ERROR: a hot-path index diverged from its naive reference scan");
+            return Ok(ExitCode::from(2));
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -460,14 +482,26 @@ fn cmd_cache(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
             Ok(ExitCode::SUCCESS)
         }
         "gc" => {
-            let Some(max_age) = take_flag_value(&mut args, "--max-age")? else {
-                eprintln!("cache gc requires --max-age <duration> (e.g. 7d)");
-                return Err(ExitCode::from(1));
+            let max_age = match take_flag_value(&mut args, "--max-age")? {
+                Some(v) => Some(flexpipe_fleet::cache::parse_duration(&v).map_err(|e| {
+                    eprintln!("{e}");
+                    ExitCode::from(1)
+                })?),
+                None => None,
             };
-            let max_age = flexpipe_fleet::cache::parse_duration(&max_age).map_err(|e| {
-                eprintln!("{e}");
-                ExitCode::from(1)
-            })?;
+            let max_bytes = match take_flag_value(&mut args, "--max-bytes")? {
+                Some(v) => Some(v.parse::<u64>().map_err(|_| {
+                    eprintln!("--max-bytes needs a byte count (e.g. 104857600)");
+                    ExitCode::from(1)
+                })?),
+                None => None,
+            };
+            if max_age.is_none() && max_bytes.is_none() {
+                eprintln!(
+                    "cache gc requires --max-age <duration> (e.g. 7d) and/or --max-bytes <N>"
+                );
+                return Err(ExitCode::from(1));
+            }
             let [dir] = args.as_slice() else {
                 return Err(usage());
             };
@@ -475,7 +509,7 @@ fn cmd_cache(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
                 eprintln!("cannot open cache {dir}: {e}");
                 ExitCode::from(1)
             })?;
-            let out = cache.gc(max_age).map_err(|e| {
+            let out = cache.gc_bounded(max_age, max_bytes).map_err(|e| {
                 eprintln!("cache gc failed in {dir}: {e}");
                 ExitCode::from(1)
             })?;

@@ -302,8 +302,29 @@ impl CellCache {
     /// Removes every file older than `max_age` (by mtime), including
     /// foreign files and orphaned temp files, then prunes empty shards.
     pub fn gc(&self, max_age: Duration) -> io::Result<GcOutcome> {
+        self.gc_bounded(Some(max_age), None)
+    }
+
+    /// LRU size cap: evicts oldest-mtime files first until the cache's
+    /// total size fits under `max_bytes`, then prunes empty shards. The
+    /// newest entries always survive (unless a single entry alone exceeds
+    /// the cap).
+    pub fn gc_max_bytes(&self, max_bytes: u64) -> io::Result<GcOutcome> {
+        self.gc_bounded(None, Some(max_bytes))
+    }
+
+    /// Combined gc pass: the age bound (if any) applies first, then the
+    /// size cap (if any) evicts oldest-first among the survivors. Ties on
+    /// mtime break by path, so the pass is deterministic.
+    pub fn gc_bounded(
+        &self,
+        max_age: Option<Duration>,
+        max_bytes: Option<u64>,
+    ) -> io::Result<GcOutcome> {
         let now = SystemTime::now();
         let mut out = GcOutcome::default();
+        // (age, path, size) of every file, oldest first.
+        let mut files: Vec<(Duration, PathBuf, u64)> = Vec::new();
         for path in self.entry_files()? {
             let meta = std::fs::metadata(&path)?;
             let age = meta
@@ -311,10 +332,18 @@ impl CellCache {
                 .ok()
                 .and_then(|m| now.duration_since(m).ok())
                 .unwrap_or(Duration::ZERO);
-            if age >= max_age {
+            files.push((age, path, meta.len()));
+        }
+        files.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut total: u64 = files.iter().map(|f| f.2).sum();
+        for (age, path, size) in files {
+            let too_old = max_age.is_some_and(|cap| age >= cap);
+            let too_big = max_bytes.is_some_and(|cap| total > cap);
+            if too_old || too_big {
                 std::fs::remove_file(&path)?;
                 out.removed += 1;
-                out.bytes_freed += meta.len();
+                out.bytes_freed += size;
+                total -= size;
             } else {
                 out.kept += 1;
             }
@@ -482,6 +511,46 @@ mod tests {
         assert_eq!(swept.removed, 3);
         assert!(swept.bytes_freed > 0);
         assert_eq!(cache.stats().unwrap().entries, 0);
+        assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_max_bytes_evicts_oldest_first_and_newest_survive() {
+        let dir = tmp("lru");
+        let cache = CellCache::open(&dir).unwrap();
+        let m = tiny_metrics();
+        let keys = ["aa01", "bb02", "cc03", "dd04"];
+        for (i, key) in keys.iter().enumerate() {
+            cache.store(key, "sweep", &format!("cell-{i}"), &m).unwrap();
+            // Strictly increasing mtimes, robust to coarse clocks.
+            let when = SystemTime::now() - Duration::from_secs(60 * (keys.len() - i) as u64);
+            let f = std::fs::File::options()
+                .write(true)
+                .open(dir.join(&key[0..2]).join(format!("{key}.json")))
+                .unwrap();
+            f.set_modified(when).unwrap();
+        }
+        let entry_bytes = std::fs::metadata(dir.join("aa").join("aa01.json"))
+            .unwrap()
+            .len();
+        // Cap to roughly two entries: the two oldest go, the two newest
+        // stay readable.
+        let out = cache.gc_max_bytes(2 * entry_bytes + 1).unwrap();
+        assert_eq!(out.removed, 2);
+        assert_eq!(out.kept, 2);
+        assert_eq!(out.bytes_freed, 2 * entry_bytes);
+        assert!(cache.load("aa01", u64::MAX).is_none());
+        assert!(cache.load("bb02", u64::MAX).is_none());
+        assert!(cache.load("cc03", u64::MAX).is_some());
+        assert!(cache.load("dd04", u64::MAX).is_some());
+        // A generous cap is a no-op.
+        let out = cache.gc_max_bytes(u64::MAX).unwrap();
+        assert_eq!(out.removed, 0);
+        assert_eq!(out.kept, 2);
+        // Combined pass: age bound and size cap together clear the rest.
+        let out = cache.gc_bounded(Some(Duration::ZERO), Some(0)).unwrap();
+        assert_eq!(out.removed, 2);
         assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -56,8 +56,8 @@ pub mod spec;
 pub mod toml_lite;
 
 pub use bench::{
-    derive_bench_seed, run_bench, run_bench_cell, BenchCell, BenchCellResult, BenchReport,
-    BenchSpec, BenchTiming,
+    derive_bench_seed, hot_path_speedups, hot_path_table, run_bench, run_bench_cell, BenchCell,
+    BenchCellResult, BenchReport, BenchSpec, BenchTiming, HotPathRow,
 };
 pub use cache::{cache_salt, canonical_json, canonicalize, cell_key, CacheStats, CellCache};
 pub use campaign::{

@@ -14,6 +14,9 @@
 //! kernel overlap into one constant so that simulated stage durations land
 //! on the paper's measurements. Only relative shape matters downstream.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
 use flexpipe_sim::SimDuration;
@@ -113,6 +116,119 @@ impl CostModel {
         tokens_each: u32,
     ) -> u64 {
         g.range_kv_bytes_per_token(r) * u64::from(requests) * u64::from(tokens_each)
+    }
+
+    /// An empty memoized Table-2 row cache bound to this cost model's
+    /// constants (see [`MaxBatchTable`]).
+    pub fn max_batch_table(&self) -> MaxBatchTable {
+        MaxBatchTable::new(*self)
+    }
+}
+
+/// One memoized Table-2 row: the per-range constants every memory query
+/// reduces to. `max_batch` and `stage_mem_bytes` are pure arithmetic over
+/// these two numbers; only deriving them walks the operator slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RangeRow {
+    /// Parameter bytes the range must hold resident.
+    param_bytes: u64,
+    /// KV-cache bytes per cached token across the range.
+    kv_bytes_per_token: u64,
+}
+
+/// Memoized Table-2 partition table: caches the per-range profile sums
+/// behind [`CostModel::max_batch`] / [`CostModel::stage_mem_bytes`] so
+/// refactor-time recomputation reuses prior rows instead of re-walking the
+/// operator slice (O(range length) per call → O(1) after first touch).
+///
+/// Purity contract: rows are *derived constants*, so every query returns
+/// bit-identical results to the uncached [`CostModel`] methods — asserted
+/// in debug builds on every lookup. Rows are keyed on the range alone and
+/// stay valid as long as callers query the same graph the rows were
+/// derived from; [`MaxBatchTable::invalidate`] is the explicit reset for
+/// callers that swap graphs (the serving engine never does — graph and
+/// cost model are fixed per scenario).
+///
+/// Interior mutability (a `RefCell` over the row map) keeps the query API
+/// `&self`, matching the uncached methods it shadows; the table is `Send`
+/// (not `Sync`), which is all the fleet's per-engine ownership needs.
+#[derive(Debug)]
+pub struct MaxBatchTable {
+    cost: CostModel,
+    rows: RefCell<HashMap<(u32, u32), RangeRow>>,
+}
+
+impl MaxBatchTable {
+    /// An empty table bound to `cost`'s calibration constants.
+    pub fn new(cost: CostModel) -> Self {
+        MaxBatchTable {
+            cost,
+            rows: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The memoized per-range row, deriving (and caching) it on first
+    /// touch. Debug builds re-derive and compare on every hit, so a stale
+    /// row can never survive a test run silently.
+    fn row(&self, g: &ModelGraph, r: OpRange) -> RangeRow {
+        let key = (r.start, r.end);
+        if let Some(&row) = self.rows.borrow().get(&key) {
+            debug_assert_eq!(
+                row,
+                RangeRow {
+                    param_bytes: g.range_param_bytes(r),
+                    kv_bytes_per_token: g.range_kv_bytes_per_token(r),
+                },
+                "memoized Table-2 row diverged from the graph for {r:?}"
+            );
+            return row;
+        }
+        let row = RangeRow {
+            param_bytes: g.range_param_bytes(r),
+            kv_bytes_per_token: g.range_kv_bytes_per_token(r),
+        };
+        self.rows.borrow_mut().insert(key, row);
+        row
+    }
+
+    /// Memoized [`CostModel::max_batch`]: bit-identical, O(1) after the
+    /// first query of a range.
+    pub fn max_batch(&self, g: &ModelGraph, r: OpRange, gpu_mem: u64) -> u32 {
+        let row = self.row(g, r);
+        let fixed = row.param_bytes + self.cost.runtime_reserve;
+        if fixed >= gpu_mem {
+            return 0;
+        }
+        let kv_per_req = row.kv_bytes_per_token * u64::from(self.cost.kv_token_budget)
+            + self.cost.per_request_workspace;
+        if kv_per_req == 0 {
+            return u32::MAX;
+        }
+        let batch = ((gpu_mem - fixed) / kv_per_req).min(u32::MAX as u64) as u32;
+        debug_assert_eq!(batch, self.cost.max_batch(g, r, gpu_mem));
+        batch
+    }
+
+    /// Memoized [`CostModel::stage_mem_bytes`]: bit-identical, O(1) after
+    /// the first query of a range.
+    pub fn stage_mem_bytes(&self, g: &ModelGraph, r: OpRange, batch: u32) -> u64 {
+        let row = self.row(g, r);
+        let kv_per_req = row.kv_bytes_per_token * u64::from(self.cost.kv_token_budget)
+            + self.cost.per_request_workspace;
+        let bytes = row.param_bytes + self.cost.runtime_reserve + kv_per_req * u64::from(batch);
+        debug_assert_eq!(bytes, self.cost.stage_mem_bytes(g, r, batch));
+        bytes
+    }
+
+    /// Drops every memoized row. Call when the graph the table was queried
+    /// against is replaced; rows rebuild lazily on the next query.
+    pub fn invalidate(&self) {
+        self.rows.borrow_mut().clear();
+    }
+
+    /// Number of memoized rows (diagnostics and tests).
+    pub fn rows_cached(&self) -> usize {
+        self.rows.borrow().len()
     }
 }
 
@@ -239,6 +355,44 @@ mod tests {
         let whole = OpRange::new(0, g.op_count());
         // 123 GiB of parameters cannot fit an 80 GiB device.
         assert_eq!(cm.max_batch(&g, whole, 80 * GIB), 0);
+    }
+
+    #[test]
+    fn max_batch_table_matches_uncached_model_exactly() {
+        let g = zoo::opt_66b();
+        let cm = CostModel::default();
+        let table = cm.max_batch_table();
+        assert_eq!(table.rows_cached(), 0);
+        for stages in [4u32, 8, 16, 32] {
+            for r in even_layer_ranges(&g, stages) {
+                for mem in [GIB, 40 * GIB, 80 * GIB, 81 * GIB] {
+                    assert_eq!(table.max_batch(&g, r, mem), cm.max_batch(&g, r, mem));
+                }
+                for batch in [0u32, 1, 64, 1024] {
+                    assert_eq!(
+                        table.stage_mem_bytes(&g, r, batch),
+                        cm.stage_mem_bytes(&g, r, batch)
+                    );
+                }
+            }
+        }
+        // 4+8+16+32 distinct ranges memoized, each derived exactly once.
+        assert_eq!(table.rows_cached(), 60);
+        // Repeat queries hit the memo (row count stays put) and agree.
+        let r = even_layer_ranges(&g, 8)[3];
+        assert_eq!(
+            table.max_batch(&g, r, 80 * GIB),
+            cm.max_batch(&g, r, 80 * GIB)
+        );
+        assert_eq!(table.rows_cached(), 60);
+        // Explicit invalidation drops the rows; queries still agree.
+        table.invalidate();
+        assert_eq!(table.rows_cached(), 0);
+        assert_eq!(
+            table.max_batch(&g, r, 80 * GIB),
+            cm.max_batch(&g, r, 80 * GIB)
+        );
+        assert_eq!(table.rows_cached(), 1);
     }
 
     #[test]

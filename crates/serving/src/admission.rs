@@ -89,32 +89,46 @@ impl AdmissionIndex {
     }
 }
 
-/// Admission-path selection strategy.
+/// Engine-wide hot-path selection strategy.
+///
+/// Originally the *admission*-path toggle; PR 5 generalized it to govern
+/// every incrementally maintained engine structure — the admission index,
+/// the per-instance decode-slot tracker, the cluster's server-load ranking
+/// and the memoized Table-2 partition table (see
+/// [`crate::engine::indexes`]). The serialized variant names (and the
+/// `admission` field carrying the mode in
+/// [`crate::config::EngineConfig`]) are unchanged, so spec files and the
+/// engine fingerprint are unaffected. Both modes produce byte-identical
+/// reports — the mode changes wall-clock only.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum AdmissionMode {
-    /// The indexed fast path (default): O(log instances) per admission.
+pub enum EngineMode {
+    /// The indexed fast paths (default): O(log n) / O(1) per event.
     #[default]
     Indexed,
-    /// The retained naive reference scan: O(instances) per admission.
-    /// Kept for equivalence tests, the admission microbenchmark and
-    /// `fleet bench` A/B sweeps — reports must be byte-identical.
+    /// The retained naive reference scans. Kept for equivalence tests,
+    /// the hot-path microbenchmarks and `fleet bench` A/B sweeps —
+    /// reports must be byte-identical.
     NaiveScan,
 }
 
-impl AdmissionMode {
+/// Backward-compatible name for [`EngineMode`] from when the toggle only
+/// covered admission.
+pub type AdmissionMode = EngineMode;
+
+impl EngineMode {
     /// Stable lowercase label (bench cell ids, CLI flags).
     pub fn label(self) -> &'static str {
         match self {
-            AdmissionMode::Indexed => "indexed",
-            AdmissionMode::NaiveScan => "naive",
+            EngineMode::Indexed => "indexed",
+            EngineMode::NaiveScan => "naive",
         }
     }
 
     /// Parses a CLI label.
-    pub fn parse(s: &str) -> Option<AdmissionMode> {
+    pub fn parse(s: &str) -> Option<EngineMode> {
         match s {
-            "indexed" => Some(AdmissionMode::Indexed),
-            "naive" => Some(AdmissionMode::NaiveScan),
+            "indexed" => Some(EngineMode::Indexed),
+            "naive" => Some(EngineMode::NaiveScan),
             _ => None,
         }
     }
@@ -165,15 +179,9 @@ pub fn churn(n: usize, ops: usize, mode: AdmissionMode) -> u64 {
             index.apply(InstanceId(i as u64), s.key());
         }
     }
-    // SplitMix64: deterministic, dependency-free pattern driver.
+    // SplitMix64: deterministic, dependency-free pattern driver (shared
+    // with the engine's other churn harnesses).
     let mut state = 0x5EEDu64.wrapping_add(n as u64);
-    let mut next = move || {
-        state = state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    };
 
     let mut checksum = 0u64;
     let touch = |slots: &mut [Slot], index: &mut AdmissionIndex, i: usize| {
@@ -206,13 +214,13 @@ pub fn churn(n: usize, ops: usize, mode: AdmissionMode) -> u64 {
         }
         // Deterministic churn: completions free capacity, occasional
         // holds/releases move slots in and out of the admissible set.
-        let r = next();
+        let r = crate::engine::indexes::splitmix(&mut state);
         let j = (r % n as u64) as usize;
         if op % 2 == 0 && slots[j].active > 0 {
             slots[j].active -= 1;
             touch(&mut slots, &mut index, j);
         }
-        if r % 17 == 0 {
+        if r.is_multiple_of(17) {
             slots[j].admissible = !slots[j].admissible;
             touch(&mut slots, &mut index, j);
         }

@@ -18,6 +18,8 @@ use flexpipe_model::OpRange;
 use flexpipe_sim::SimTime;
 use flexpipe_workload::RequestId;
 
+use crate::engine::indexes::DecodeSlotTracker;
+
 /// Identifier of a pipeline instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct InstanceId(pub u64);
@@ -148,6 +150,11 @@ pub struct Instance {
     /// Requests that finished a pass and await the next decode launch —
     /// the continuous-batching pool that coalesces small batches.
     pub decode_ready: VecDeque<RequestId>,
+    /// Incremental count of in-flight decode micro-batches (O(1) decode
+    /// dispatch instead of rescanning `ubatches`); maintained on launch /
+    /// dissolve / revocation kill, validated against the naive recount in
+    /// debug builds on every launch decision.
+    pub decode_slots: DecodeSlotTracker,
     /// Policy-requested admission hold (e.g. draining toward a
     /// consolidation whose target capacity is below the live load).
     pub admit_hold: bool,
@@ -249,6 +256,7 @@ mod tests {
             active_requests: active,
             ubatches: Vec::new(),
             decode_ready: VecDeque::new(),
+            decode_slots: DecodeSlotTracker::new(),
             admit_hold: false,
             compute_multiplier: 1.0,
             spawned_at: SimTime::ZERO,

@@ -21,8 +21,9 @@ pub mod queueing;
 pub mod report;
 pub mod version;
 
-pub use admission::{churn, AdmissionIndex, AdmissionMode};
+pub use admission::{churn, AdmissionIndex, AdmissionMode, EngineMode};
 pub use config::EngineConfig;
+pub use engine::indexes::{decode_slot_churn, server_load_churn, DecodeSlotTracker};
 pub use engine::{Ctx, Engine, EngineState, Event, Scenario};
 pub use instance::{
     Instance, InstanceId, InstanceSnapshot, InstanceState, MicroBatch, Phase, UbatchId,

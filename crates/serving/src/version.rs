@@ -95,6 +95,18 @@ mod tests {
         assert!(a.starts_with(&format!("engine-v{ENGINE_SEMANTICS_VERSION}-")));
     }
 
+    /// The fingerprint pinned to its exact committed value: the live test
+    /// of the content-address contract. A *pure* refactor or optimization
+    /// (PR 5's engine split and index work, for instance) must leave this
+    /// string — and therefore every warm campaign cache — untouched. If
+    /// this test fails, either a config default silently moved (find it)
+    /// or engine semantics genuinely changed (bump
+    /// [`ENGINE_SEMANTICS_VERSION`] and re-pin).
+    #[test]
+    fn fingerprint_matches_the_committed_value() {
+        assert_eq!(engine_fingerprint(), "engine-v1-eed038b42aeaa8e3");
+    }
+
     #[test]
     fn fingerprint_tracks_config_defaults() {
         // A retuned default must move the hash component: emulate one by

@@ -1,0 +1,94 @@
+//! PR 5's two new incremental hot paths, held to the same two contracts
+//! the admission index established (`admission_fast_path.rs`):
+//!
+//! 1. **Equivalence** — the decode-slot tracker and the server-load
+//!    ranking make bit-identical decisions to their retained naive
+//!    reference scans under randomized churn (launches, dissolutions,
+//!    revocation kills; lease churn, GPU revoke/restore).
+//! 2. **Speed** — at the ≥1000-instance/server tier the indexed paths
+//!    beat the naive scans by a wide margin; ≥2× *combined* is asserted
+//!    (deliberately generous so a loaded CI machine cannot flake it,
+//!    while a silent revert to the linear scans still fails).
+
+use std::time::Instant;
+
+use flexpipe_serving::{decode_slot_churn, server_load_churn, EngineMode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The decode-slot tracker agrees with the micro-batch-list recount
+    /// decision-for-decision across random fleet sizes and op counts.
+    #[test]
+    fn decode_slot_tracker_matches_recount_under_random_churn(
+        n in 1usize..96,
+        ops in 1usize..4000,
+    ) {
+        prop_assert_eq!(
+            decode_slot_churn(n, ops, EngineMode::Indexed),
+            decode_slot_churn(n, ops, EngineMode::NaiveScan),
+            "decode-slot divergence at n={}, ops={}", n, ops
+        );
+    }
+
+    /// The cluster's server-load ranking agrees with the rebuild-and-sort
+    /// reference across random cluster sizes and op counts.
+    #[test]
+    fn server_load_index_matches_rebuild_under_random_churn(
+        servers in 1usize..48,
+        ops in 1usize..1500,
+    ) {
+        prop_assert_eq!(
+            server_load_churn(servers, ops, EngineMode::Indexed),
+            server_load_churn(servers, ops, EngineMode::NaiveScan),
+            "server-load divergence at servers={}, ops={}", servers, ops
+        );
+    }
+}
+
+#[test]
+fn indexed_hot_paths_outpace_naive_scans_at_fleet_scale() {
+    // 1500 instances/servers — the ≥1000 tier of the acceptance bar. The
+    // server harness runs fewer ops because its naive pass is
+    // O(servers × GPUs) *per query* and would otherwise dominate the
+    // suite's runtime.
+    const N: usize = 1500;
+    const SLOT_OPS: usize = 120_000;
+    const LOAD_OPS: usize = 6_000;
+
+    // Warm both paths once (allocator effects) and pin equivalence.
+    assert_eq!(
+        decode_slot_churn(N, SLOT_OPS / 10, EngineMode::Indexed),
+        decode_slot_churn(N, SLOT_OPS / 10, EngineMode::NaiveScan),
+        "decode-slot warmup divergence"
+    );
+    assert_eq!(
+        server_load_churn(N, LOAD_OPS / 10, EngineMode::Indexed),
+        server_load_churn(N, LOAD_OPS / 10, EngineMode::NaiveScan),
+        "server-load warmup divergence"
+    );
+
+    let t = Instant::now();
+    let slot_i = decode_slot_churn(N, SLOT_OPS, EngineMode::Indexed);
+    let load_i = server_load_churn(N, LOAD_OPS, EngineMode::Indexed);
+    let indexed_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let slot_n = decode_slot_churn(N, SLOT_OPS, EngineMode::NaiveScan);
+    let load_n = server_load_churn(N, LOAD_OPS, EngineMode::NaiveScan);
+    let naive_secs = t.elapsed().as_secs_f64();
+
+    assert_eq!(slot_i, slot_n, "decode-slot paths must decide identically");
+    assert_eq!(load_i, load_n, "server-load paths must rank identically");
+    eprintln!(
+        "hot paths at {N} instances/servers: indexed {indexed_secs:.3}s, \
+         naive {naive_secs:.3}s ({:.1}x combined)",
+        naive_secs / indexed_secs
+    );
+    assert!(
+        naive_secs > 2.0 * indexed_secs,
+        "indexed decode-slot + hottest-server should be measurably faster \
+         combined: indexed {indexed_secs:.3}s vs naive {naive_secs:.3}s"
+    );
+}
