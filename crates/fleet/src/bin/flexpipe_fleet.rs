@@ -12,6 +12,8 @@
 //!     --gate <baseline.json>  one-shot CI mode: gate the fresh report
 //!                             against a committed baseline after the run
 //!     --tolerance <frac>      gate tolerance when --gate is given
+//!     --verbose               structured per-cell start/finish lines on
+//!                             stderr (wall ms, truncation flag)
 //! flexpipe-fleet bench init [bench.json]          write the engine-tunable bench template
 //! flexpipe-fleet bench <bench.json> [options]     sweep engine tunables × rates
 //!     --out <report.json>     write the byte-stable artifact (wall-clock excluded)
@@ -35,6 +37,21 @@
 //!     --gate <dir>            gate each sweep artifact against the same-named
 //!                             report in <dir>; exit 2 on any regression
 //!     --tolerance <frac>      gate tolerance when --gate is given
+//!     --verbose               per-cell start/finish lines with cache
+//!                             hit/miss and wall ms on stderr
+//! flexpipe-fleet trace record <spec.(json|toml)> [options]
+//!     --cell <id>             cell to trace (default: the grid's first cell)
+//!     --mode off|ring[:N]|full  recorder mode (default full)
+//!     --out <trace.jsonl>     trace file (default <cell-id>.trace.jsonl);
+//!                             virtual-time stamped, byte-stable across
+//!                             thread counts and admission modes
+//!     --admission <mode>      `indexed` (default) or `naive`
+//! flexpipe-fleet trace summarize <trace.jsonl>    per-kind counts + occupancy table
+//! flexpipe-fleet trace diff <a.jsonl> <b.jsonl>   structured first-divergence
+//!                                                 report; exit 0 identical, 2 diverged
+//! flexpipe-fleet trace profile [--instances N]    engine dispatch self-time table
+//!                                                 (default 1500 instances), incl.
+//!                                                 the policy.on_tick row
 //! flexpipe-fleet cache stats <dir>                cache entry / size / age summary
 //! flexpipe-fleet cache gc <dir> [--max-age <dur>] [--max-bytes <N>]
 //!                                                 drop entries older than e.g. 7d
@@ -54,15 +71,16 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use flexpipe_fleet::{
-    cache_salt, gate::gate, parse_bench, parse_campaign, parse_spec, run_bench, run_campaign,
-    run_sweep, BenchSpec, CampaignOptions, CampaignSpec, CellCache, FleetReport, GateConfig,
-    RunOptions, SpecReport, SweepSpec,
+    cache_salt, find_cell, gate::gate, parse_bench, parse_campaign, parse_spec, profile_on_tick,
+    record_cell_trace, run_bench, run_campaign, run_sweep, BenchSpec, CampaignOptions,
+    CampaignSpec, CellCache, FleetReport, GateConfig, RunOptions, SpecReport, SweepSpec,
 };
-use flexpipe_serving::AdmissionMode;
+use flexpipe_obs::{first_divergence, parse_jsonl, TraceSummary};
+use flexpipe_serving::{AdmissionMode, TraceMode};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.(json|toml)> [--out report.json] [--threads N] [--rates 100,200] [--hot-paths] [--quiet]\n  flexpipe-fleet campaign init [campaign.json]\n  flexpipe-fleet campaign <campaign.(json|toml)> [--out-dir DIR] [--cache DIR | --no-cache] [--threads N] [--quiet] [--admission indexed|naive] [--assert-warm] [--gate DIR [--tolerance 0.02]]\n  flexpipe-fleet cache stats <dir>\n  flexpipe-fleet cache gc <dir> [--max-age <90s|15m|12h|7d>] [--max-bytes <N>]\n  flexpipe-fleet fingerprint\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
+        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.(json|toml)> [--out report.json] [--threads N] [--rates 100,200] [--hot-paths] [--quiet]\n  flexpipe-fleet campaign init [campaign.json]\n  flexpipe-fleet campaign <campaign.(json|toml)> [--out-dir DIR] [--cache DIR | --no-cache] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--assert-warm] [--gate DIR [--tolerance 0.02]]\n  flexpipe-fleet trace record <spec.(json|toml)> [--cell ID] [--mode off|ring[:N]|full] [--out trace.jsonl] [--admission indexed|naive]\n  flexpipe-fleet trace summarize <trace.jsonl>\n  flexpipe-fleet trace diff <a.jsonl> <b.jsonl>\n  flexpipe-fleet trace profile [--instances N]\n  flexpipe-fleet cache stats <dir>\n  flexpipe-fleet cache gc <dir> [--max-age <90s|15m|12h|7d>] [--max-bytes <N>]\n  flexpipe-fleet fingerprint\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
     );
     ExitCode::from(1)
 }
@@ -153,6 +171,7 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
         None => 0,
     };
     let quiet = take_flag(&mut args, "--quiet");
+    let verbose = take_flag(&mut args, "--verbose");
     let admission = parse_admission(&mut args)?;
     let gate_baseline = take_flag_value(&mut args, "--gate")?;
     let tolerance = match take_flag_value(&mut args, "--tolerance")? {
@@ -176,6 +195,7 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
             threads,
             quiet,
             admission,
+            verbose,
         },
     )
     .map_err(|e| {
@@ -334,6 +354,7 @@ fn cmd_campaign(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
         None => 0,
     };
     let quiet = take_flag(&mut args, "--quiet");
+    let verbose = take_flag(&mut args, "--verbose");
     let admission = parse_admission(&mut args)?;
     let assert_warm = take_flag(&mut args, "--assert-warm");
     let gate_dir = take_flag_value(&mut args, "--gate")?;
@@ -382,6 +403,7 @@ fn cmd_campaign(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
                 threads,
                 quiet,
                 admission,
+                verbose,
             },
             cache_dir,
         },
@@ -449,6 +471,133 @@ fn cmd_campaign(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
+    if args.is_empty() {
+        return Err(usage());
+    }
+    let verb = args.remove(0);
+    match verb.as_str() {
+        "record" => {
+            let cell_id = take_flag_value(&mut args, "--cell")?;
+            let mode = match take_flag_value(&mut args, "--mode")? {
+                None => TraceMode::Full,
+                Some(v) => TraceMode::parse(&v).ok_or_else(|| {
+                    eprintln!("--mode must be off, ring, ring:<n> or full, got `{v}`");
+                    ExitCode::from(1)
+                })?,
+            };
+            let out = take_flag_value(&mut args, "--out")?;
+            let admission = parse_admission(&mut args)?;
+            let [spec_path] = args.as_slice() else {
+                return Err(usage());
+            };
+            let spec = parse_spec(spec_path, &read(spec_path)?).map_err(|e| {
+                eprintln!("{e}");
+                ExitCode::from(1)
+            })?;
+            spec.validate().map_err(|e| {
+                eprintln!("{spec_path}: {e}");
+                ExitCode::from(1)
+            })?;
+            let cell = match &cell_id {
+                Some(id) => find_cell(&spec, id).ok_or_else(|| {
+                    eprintln!("no cell `{id}` in {spec_path}; the grid has:");
+                    for c in spec.expand() {
+                        eprintln!("  {}", c.id());
+                    }
+                    ExitCode::from(1)
+                })?,
+                None => spec.expand().remove(0),
+            };
+            let (metrics, observed) = record_cell_trace(&spec, &cell, admission, mode);
+            let out_path = out.unwrap_or_else(|| format!("{}.trace.jsonl", cell.id()));
+            write(&out_path, &observed.trace.to_jsonl())?;
+            eprintln!(
+                "cell {}: {} events seen, {} retained, {} evicted (mode {mode}); wrote {out_path}",
+                cell.id(),
+                observed.trace.total_seen(),
+                observed.trace.len(),
+                observed.trace.evicted(),
+            );
+            eprintln!(
+                "cell metrics unchanged by tracing: {} completed, SLO att. {:.1}%{}",
+                metrics.completed,
+                metrics.slo_attainment * 100.0,
+                if metrics.truncated { ", TRUNCATED" } else { "" },
+            );
+            println!(
+                "{}",
+                observed.trace.registry().table("events by kind").render()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "summarize" => {
+            let [path] = args.as_slice() else {
+                return Err(usage());
+            };
+            let records = parse_jsonl(&read(path)?).map_err(|e| {
+                eprintln!("cannot parse trace {path}: {e}");
+                ExitCode::from(1)
+            })?;
+            println!("{}", TraceSummary::from_records(&records).render(path));
+            Ok(ExitCode::SUCCESS)
+        }
+        "diff" => {
+            let [a, b] = args.as_slice() else {
+                return Err(usage());
+            };
+            let left = read(a)?;
+            let right = read(b)?;
+            match first_divergence(&left, &right) {
+                None => {
+                    println!("traces identical ({} records)", left.lines().count());
+                    Ok(ExitCode::SUCCESS)
+                }
+                Some(d) => {
+                    print!("{}", d.render(a, b));
+                    Ok(ExitCode::from(2))
+                }
+            }
+        }
+        "profile" => {
+            let instances = match take_flag_value(&mut args, "--instances")? {
+                Some(v) => v.parse::<u32>().map_err(|_| {
+                    eprintln!("--instances needs an integer");
+                    ExitCode::from(1)
+                })?,
+                None => 1500,
+            };
+            if !args.is_empty() {
+                return Err(usage());
+            }
+            eprintln!("profiling engine dispatch at {instances} single-stage instances...");
+            let (metrics, observed) = profile_on_tick(instances);
+            println!(
+                "{}",
+                observed
+                    .profiler
+                    .table(&format!(
+                        "engine dispatch self-time (wall) at {instances} instances"
+                    ))
+                    .render()
+            );
+            eprintln!(
+                "policy.on_tick: {} calls, {:.2} ms total (wall-clock; never enters artifacts)",
+                observed.profiler.calls("policy.on_tick"),
+                observed.profiler.total_secs("policy.on_tick") * 1e3,
+            );
+            if metrics.truncated {
+                eprintln!("warning: profile run hit its step budget");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => {
+            eprintln!("unknown trace verb `{other}` (expected record, summarize, diff or profile)");
+            Err(usage())
+        }
+    }
 }
 
 fn cmd_cache(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
@@ -580,6 +729,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(args),
         "bench" => cmd_bench(args),
         "campaign" => cmd_campaign(args),
+        "trace" => cmd_trace(args),
         "cache" => cmd_cache(args),
         "fingerprint" => {
             println!("{}", cache_salt());

@@ -251,6 +251,46 @@ impl CampaignStats {
     }
 }
 
+/// Wall-clock + cache-status record for one campaign cell. Lives in the
+/// `campaign.timing.json` sidecar next to the manifest — deliberately
+/// **outside** every content-keyed / byte-compared artifact, mirroring how
+/// bench wall-clock timings ride beside (never inside) bench reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellTiming {
+    /// Owning spec's name.
+    pub entry: String,
+    /// Human-readable cell id.
+    pub id: String,
+    /// Whether the cell was served from the cache.
+    pub cache_hit: bool,
+    /// Wall time for the cell job (lookup + compute + store), in ms.
+    pub wall_ms: f64,
+    /// Whether the cell hit its step budget.
+    pub truncated: bool,
+}
+
+/// The non-deterministic timing sidecar of a campaign run
+/// (`campaign.timing.json`): per-cell wall time and cache status.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignTiming {
+    /// Per-cell rows, in flat job order.
+    pub cells: Vec<CellTiming>,
+    /// Whole-campaign wall time in ms.
+    pub total_ms: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl CampaignTiming {
+    /// The sidecar JSON. Not byte-stable across runs (wall clock) — never
+    /// `cmp` this file.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("timing serializes");
+        s.push('\n');
+        s
+    }
+}
+
 /// One assembled per-entry artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpecReport {
@@ -341,11 +381,15 @@ pub struct CampaignResult {
     pub reports: Vec<SpecReport>,
     /// Cache counters (never byte-compared).
     pub stats: CampaignStats,
+    /// Per-cell wall-clock sidecar (never byte-compared).
+    pub timing: CampaignTiming,
 }
 
 impl CampaignResult {
     /// Writes every artifact into `dir` (`<spec-name>.report.json` per
-    /// entry plus `campaign.json`), returning the written paths.
+    /// entry, `campaign.json`, and the `campaign.timing.json` wall-clock
+    /// sidecar), returning the written paths. Only the timing sidecar is
+    /// run-dependent; everything else is byte-stable.
     pub fn write(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
         std::fs::create_dir_all(dir)?;
         let mut written = Vec::new();
@@ -356,6 +400,9 @@ impl CampaignResult {
         }
         let path = dir.join("campaign.json");
         std::fs::write(&path, self.manifest.to_json())?;
+        written.push(path);
+        let path = dir.join("campaign.timing.json");
+        std::fs::write(&path, self.timing.to_json())?;
         written.push(path);
         Ok(written)
     }
@@ -426,7 +473,7 @@ pub fn run_campaign(
 
     let threads = effective_threads(opts.run.threads, n);
     let finished = AtomicUsize::new(0);
-    let outcomes: Vec<(CellMetrics, bool, bool)> = parallel_indexed(n, threads, |i| {
+    let outcomes: Vec<(CellMetrics, bool, bool, f64)> = parallel_indexed(n, threads, |i| {
         let (ei, ci) = jobs[i];
         let entry = &entries[ei];
         let key = &keys[ei][ci];
@@ -434,16 +481,28 @@ pub fn run_campaign(
             LoadedSpec::Sweep(s, cells) => ("sweep", cells[ci].id(), s.max_events),
             LoadedSpec::Bench(s, cells) => ("bench", cells[ci].id(), s.max_events),
         };
+        let job_started = Instant::now();
+        if opts.run.verbose && !opts.run.quiet {
+            eprintln!("campaign cell={}:{id} event=start", entry.name());
+        }
         // Budget-aware hit: only replay entries that demonstrably fit
         // the current step budget (see [`CellCache::load`]).
         if let Some(metrics) = cache.as_ref().and_then(|c| c.load(key, budget)) {
+            let wall_ms = job_started.elapsed().as_secs_f64() * 1e3;
             let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
             if !opts.run.quiet {
+                if opts.run.verbose {
+                    eprintln!(
+                        "campaign cell={}:{id} event=finish cache=hit wall_ms={wall_ms:.1} \
+                         truncated={}",
+                        entry.name(),
+                        metrics.truncated,
+                    );
+                }
                 eprintln!("campaign [{done}/{n}] {}:{id} HIT {key}", entry.name());
             }
-            return (metrics, true, false);
+            return (metrics, true, false, wall_ms);
         }
-        let cell_started = Instant::now();
         let setup = setups
             .iter()
             .find(|(m, _)| *m == entry.model())
@@ -471,12 +530,21 @@ pub fn run_campaign(
             }),
             None => false,
         };
+        let wall_ms = job_started.elapsed().as_secs_f64() * 1e3;
         let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
         if !opts.run.quiet {
+            if opts.run.verbose {
+                eprintln!(
+                    "campaign cell={}:{id} event=finish cache=miss wall_ms={wall_ms:.1} \
+                     truncated={}",
+                    entry.name(),
+                    metrics.truncated,
+                );
+            }
             eprintln!(
                 "campaign [{done}/{n}] {}:{id} done in {:.1}s{}",
                 entry.name(),
-                cell_started.elapsed().as_secs_f64(),
+                job_started.elapsed().as_secs_f64(),
                 if metrics.truncated {
                     ", TRUNCATED (not cached)"
                 } else {
@@ -484,22 +552,38 @@ pub fn run_campaign(
                 },
             );
         }
-        (metrics, false, stored)
+        (metrics, false, stored, wall_ms)
     });
 
     let stats = CampaignStats {
         cells: n,
-        hits: outcomes.iter().filter(|(_, hit, _)| *hit).count(),
-        misses: outcomes.iter().filter(|(_, hit, _)| !*hit).count(),
-        stored: outcomes.iter().filter(|(_, _, s)| *s).count(),
+        hits: outcomes.iter().filter(|(_, hit, _, _)| *hit).count(),
+        misses: outcomes.iter().filter(|(_, hit, _, _)| !*hit).count(),
+        stored: outcomes.iter().filter(|(_, _, s, _)| *s).count(),
     };
+
+    // The wall-clock sidecar rows, in flat job order.
+    let timing_cells: Vec<CellTiming> = jobs
+        .iter()
+        .zip(&outcomes)
+        .map(|(&(ei, ci), (m, hit, _, wall_ms))| CellTiming {
+            entry: entries[ei].name().to_string(),
+            id: match &entries[ei] {
+                LoadedSpec::Sweep(_, cells) => cells[ci].id(),
+                LoadedSpec::Bench(_, cells) => cells[ci].id(),
+            },
+            cache_hit: *hit,
+            wall_ms: *wall_ms,
+            truncated: m.truncated,
+        })
+        .collect();
 
     // Split the flat results back into per-entry artifacts.
     let mut metrics_by_entry: Vec<Vec<CellMetrics>> = entries
         .iter()
         .map(|e| Vec::with_capacity(e.cells()))
         .collect();
-    for ((ei, _), (m, _, _)) in jobs.into_iter().zip(outcomes) {
+    for ((ei, _), (m, _, _, _)) in jobs.into_iter().zip(outcomes) {
         metrics_by_entry[ei].push(m);
     }
 
@@ -572,6 +656,11 @@ pub fn run_campaign(
         },
         reports,
         stats,
+        timing: CampaignTiming {
+            cells: timing_cells,
+            total_ms: started.elapsed().as_secs_f64() * 1e3,
+            threads,
+        },
     })
 }
 
@@ -840,9 +929,16 @@ mod tests {
         let result = run_campaign(&spec, &dir, &opts(&dir, 2)).unwrap();
         let out = dir.join("out");
         let written = result.write(&out).unwrap();
-        assert_eq!(written.len(), 3);
+        assert_eq!(written.len(), 4);
         assert!(out.join("tiny-sweep.report.json").is_file());
         assert!(out.join("tiny-bench.report.json").is_file());
+        // The wall-clock sidecar rides beside the manifest, one row per
+        // cell, all misses on a cold run.
+        let timing_text = std::fs::read_to_string(out.join("campaign.timing.json")).unwrap();
+        let timing: CampaignTiming = serde_json::from_str(&timing_text).unwrap();
+        assert_eq!(timing.cells.len(), 3);
+        assert!(timing.cells.iter().all(|c| !c.cache_hit));
+        assert!(timing.cells.iter().all(|c| c.wall_ms >= 0.0));
         let manifest_text = std::fs::read_to_string(out.join("campaign.json")).unwrap();
         let manifest = CampaignManifest::from_json(&manifest_text).unwrap();
         assert_eq!(manifest, result.manifest);

@@ -30,11 +30,15 @@
 //!   canonicalized semantics under the engine-fingerprint salt, entries
 //!   write atomically, truncated cells never persist (the resume
 //!   mechanism), `stats`/`gc` bound the directory;
+//! - [`trace`] — structured engine traces as fleet artifacts
+//!   (`fleet trace`): record a cell's virtual-time JSONL trace,
+//!   summarize or structurally diff trace files, and profile the
+//!   engine's own dispatch self-time at fleet scale;
 //! - [`toml_lite`] — the offline TOML-subset reader.
 //!
 //! The `flexpipe-fleet` binary wraps it all into `init` / `run` /
-//! `bench` / `campaign` / `cache` / `fingerprint` / `compare` / `gate`
-//! subcommands.
+//! `bench` / `campaign` / `cache` / `trace` / `fingerprint` /
+//! `compare` / `gate` subcommands.
 //!
 //! # Determinism contract
 //!
@@ -54,6 +58,7 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod toml_lite;
+pub mod trace;
 
 pub use bench::{
     derive_bench_seed, hot_path_speedups, hot_path_table, run_bench, run_bench_cell, BenchCell,
@@ -62,17 +67,19 @@ pub use bench::{
 pub use cache::{cache_salt, canonical_json, canonicalize, cell_key, CacheStats, CellCache};
 pub use campaign::{
     load_entries, run_campaign, CampaignEntry, CampaignManifest, CampaignOptions, CampaignResult,
-    CampaignSpec, CampaignStats, EntryKind, SpecReport,
+    CampaignSpec, CampaignStats, CampaignTiming, CellTiming, EntryKind, SpecReport,
 };
 pub use gate::{gate, GateConfig, GateOutcome, Regression};
 pub use report::{summarize_cell, CellMetrics, CellResult, FleetReport, PolicySummary};
 pub use runner::{
-    realize_disruptions, run_cell, run_cell_in_mode, run_sweep, FleetError, RunOptions,
+    realize_disruptions, run_cell, run_cell_in_mode, run_cell_observed, run_sweep, FleetError,
+    RunOptions,
 };
 pub use spec::{
     derive_cell_seed, replica_seed, BackgroundShape, Cell, ClusterShape, DisruptionShape,
     PolicySpec, SweepSpec,
 };
+pub use trace::{find_cell, profile_on_tick, profile_spec, record_cell_trace};
 
 use serde::Deserialize;
 

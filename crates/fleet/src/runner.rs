@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use flexpipe_bench::PaperSetup;
 use flexpipe_chaos::{virtual_horizon, warp_arrivals, DisruptionScript};
-use flexpipe_serving::{AdmissionMode, Engine, EngineConfig, Scenario};
+use flexpipe_serving::{AdmissionMode, Engine, EngineConfig, ObservedRun, Scenario, TraceMode};
 use flexpipe_sim::{SimDuration, SimRng, SimTime};
 use flexpipe_workload::{ArrivalSpec, WorkloadSpec};
 
@@ -41,6 +41,10 @@ pub struct RunOptions {
     /// [`AdmissionMode::NaiveScan`] exists for equivalence checks and
     /// A/B timing.
     pub admission: AdmissionMode,
+    /// Structured per-cell progress on stderr: one `start` line and one
+    /// `finish` line (wall ms, truncation flag) per cell. Wall-clock
+    /// detail stays on stderr only — it never enters any artifact.
+    pub verbose: bool,
 }
 
 /// A failed sweep.
@@ -90,6 +94,45 @@ pub fn run_cell_in_mode(
     setup: &PaperSetup,
     admission: AdmissionMode,
 ) -> CellMetrics {
+    let (engine, offered) = build_cell_engine(spec, cell, setup, admission);
+    let report = engine.run();
+    summarize_cell(&report, spec.warmup_secs, spec.horizon_secs, offered)
+}
+
+/// Executes one cell with observability armed: the engine records a
+/// structured trace under `trace` and (optionally) profiles its own event
+/// dispatch. Returns the same deterministic metrics as [`run_cell_in_mode`]
+/// — tracing is observation-only — plus the full [`ObservedRun`].
+pub fn run_cell_observed(
+    spec: &SweepSpec,
+    cell: &Cell,
+    setup: &PaperSetup,
+    admission: AdmissionMode,
+    trace: TraceMode,
+    profile: bool,
+) -> (CellMetrics, ObservedRun) {
+    let (mut engine, offered) = build_cell_engine(spec, cell, setup, admission);
+    engine.set_trace(trace);
+    engine.set_profiler(profile);
+    let observed = engine.run_observed();
+    let metrics = summarize_cell(
+        &observed.report,
+        spec.warmup_secs,
+        spec.horizon_secs,
+        offered,
+    );
+    (metrics, observed)
+}
+
+/// Builds a cell's fully-configured engine plus its offered-load count
+/// (post-warmup arrivals). Shared by the plain and the observed cell
+/// runners so both execute the identical scenario.
+fn build_cell_engine(
+    spec: &SweepSpec,
+    cell: &Cell,
+    setup: &PaperSetup,
+    admission: AdmissionMode,
+) -> (Engine, usize) {
     let warmup = spec.warmup_secs;
     let span = warmup + spec.horizon_secs;
     let script = realize_disruptions(spec, cell);
@@ -133,8 +176,8 @@ pub fn run_cell_in_mode(
         seed: cell.seed,
     };
     let policy = cell.policy.build(cell.rate);
-    let report = Engine::new(scenario, setup.graph.clone(), setup.lattice.clone(), policy).run();
-    summarize_cell(&report, warmup, spec.horizon_secs, offered)
+    let engine = Engine::new(scenario, setup.graph.clone(), setup.lattice.clone(), policy);
+    (engine, offered)
 }
 
 /// Metrics recorded for a cell whose engine run panicked: all-zero, with
@@ -243,6 +286,9 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<FleetReport, Fle
     let finished = AtomicUsize::new(0);
     let metrics = parallel_indexed(n, threads, |i| {
         let cell = &cells[i];
+        if opts.verbose && !opts.quiet {
+            eprintln!("fleet cell={} event=start", cell.id());
+        }
         let cell_started = Instant::now();
         let metrics = match catch_unwind(AssertUnwindSafe(|| {
             run_cell_in_mode(spec, cell, &setup, opts.admission)
@@ -253,6 +299,15 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions) -> Result<FleetReport, Fle
                 failed_cell_metrics()
             }
         };
+        if opts.verbose && !opts.quiet {
+            eprintln!(
+                "fleet cell={} event=finish wall_ms={:.1} truncated={} failed={}",
+                cell.id(),
+                cell_started.elapsed().as_secs_f64() * 1e3,
+                metrics.truncated,
+                metrics.failed,
+            );
+        }
         let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
         if !opts.quiet {
             eprintln!(

@@ -1,0 +1,121 @@
+//! `fleet trace`: structured engine traces as a first-class fleet
+//! artifact — record a cell's trace, summarize a trace file, diff two
+//! traces structurally, and profile the engine's own dispatch self-time.
+//!
+//! Traces are virtual-time-stamped JSONL (see [`flexpipe_obs`]): byte
+//! stable for a given (spec, cell) at any thread count, which makes
+//! `fleet trace diff` a meaningful equivalence check — the seed of the
+//! future trace-equivalence checker subsystem. Profiling is the one
+//! deliberately wall-clock piece and stays outside every artifact,
+//! like bench timings.
+
+use flexpipe_bench::PaperSetup;
+use flexpipe_model::ModelId;
+use flexpipe_serving::{AdmissionMode, ObservedRun, TraceMode};
+use flexpipe_workload::LengthProfile;
+
+use crate::report::CellMetrics;
+use crate::runner::run_cell_observed;
+use crate::spec::{BackgroundShape, Cell, ClusterShape, DisruptionShape, PolicySpec, SweepSpec};
+
+/// Finds the cell of `spec` with the given [`Cell::id`], if any.
+pub fn find_cell(spec: &SweepSpec, id: &str) -> Option<Cell> {
+    spec.expand().into_iter().find(|c| c.id() == id)
+}
+
+/// Runs one cell with the trace recorder armed in `mode`. Metrics are
+/// identical to the untraced run — recording is observation-only.
+pub fn record_cell_trace(
+    spec: &SweepSpec,
+    cell: &Cell,
+    admission: AdmissionMode,
+    mode: TraceMode,
+) -> (CellMetrics, ObservedRun) {
+    let setup = PaperSetup::for_model(spec.model);
+    run_cell_observed(spec, cell, &setup, admission, mode, false)
+}
+
+/// The dispatch-profile scenario: `instances` single-stage Llama2-7B
+/// replicas (the model's lattice has a 1-stage level, so one GPU each)
+/// on a cluster sized with headroom, under light traffic so control
+/// ticks and admission dominate the event mix. This is the fleet-scale
+/// configuration the `policy.on_tick` self-time numbers are quoted at.
+pub fn profile_spec(instances: u32) -> SweepSpec {
+    let total_gpus = instances + 64;
+    SweepSpec {
+        name: format!("ontick-profile-{instances}"),
+        model: ModelId::Llama2_7B,
+        seed: 7,
+        horizon_secs: 10.0,
+        warmup_secs: 2.0,
+        slo_secs: 2.0,
+        slo_per_output_token_ms: 100.0,
+        background: BackgroundShape::Idle,
+        lengths: LengthProfile::fixed(64, 4),
+        max_events: 200_000_000,
+        cvs: vec![2.0],
+        rates: vec![20.0],
+        clusters: vec![ClusterShape::Custom {
+            nodes: total_gpus.div_ceil(8),
+            total_gpus,
+            servers_per_rack: 8,
+        }],
+        policies: vec![PolicySpec::Static {
+            stages: 1,
+            replicas: instances,
+        }],
+        disruptions: vec![DisruptionShape::None],
+        replicas: 1,
+    }
+}
+
+/// Runs the dispatch-profile scenario with the self-time profiler
+/// enabled (trace recorder off: this measures, it doesn't record).
+pub fn profile_on_tick(instances: u32) -> (CellMetrics, ObservedRun) {
+    let spec = profile_spec(instances);
+    let cell = spec.expand().remove(0);
+    let setup = PaperSetup::for_model(spec.model);
+    run_cell_observed(
+        &spec,
+        &cell,
+        &setup,
+        AdmissionMode::default(),
+        TraceMode::Off,
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_spec_validates_and_has_one_cell() {
+        let spec = profile_spec(8);
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.expand().len(), 1);
+    }
+
+    #[test]
+    fn find_cell_matches_ids_exactly() {
+        let spec = profile_spec(8);
+        let cells = spec.expand();
+        let id = cells[0].id();
+        assert_eq!(find_cell(&spec, &id), Some(cells[0].clone()));
+        assert_eq!(find_cell(&spec, "no-such-cell"), None);
+    }
+
+    #[test]
+    fn small_profile_run_reports_on_tick_self_time() {
+        let (metrics, observed) = profile_on_tick(4);
+        assert!(!metrics.truncated);
+        assert!(metrics.completed > 0, "profile scenario must serve traffic");
+        assert!(
+            observed.profiler.calls("policy.on_tick") > 0,
+            "every control tick must hit the profiled policy scope"
+        );
+        assert!(observed.profiler.calls("control_tick") > 0);
+        // The recorder stayed off: measurement, not recording.
+        assert!(observed.trace.is_empty());
+    }
+}

@@ -37,6 +37,7 @@ fn committed_spec_reports_are_byte_identical_across_modes_and_threads() {
         threads,
         quiet: true,
         admission,
+        ..Default::default()
     };
     let indexed_1 = run_sweep(&spec, &opts(1, AdmissionMode::Indexed))
         .unwrap()

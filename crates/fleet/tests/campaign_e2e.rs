@@ -99,6 +99,9 @@ fn run_ok(cmd: &mut Command) -> Output {
     out
 }
 
+/// Reads the deterministic artifact set of a campaign output directory.
+/// The `campaign.timing.json` sidecar is wall-clock by design and is the
+/// one file excluded from byte comparison.
 fn read_dir_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
     let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
         .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
@@ -109,6 +112,7 @@ fn read_dir_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
                 std::fs::read(f.path()).unwrap(),
             )
         })
+        .filter(|(name, _)| name != "campaign.timing.json")
         .collect();
     files.sort();
     files
@@ -173,6 +177,15 @@ fn cold_warm_pipeline_is_all_hits_and_byte_identical() {
     let warm = read_dir_bytes(&dir.join("out-warm"));
     assert_eq!(cold.len(), 3);
     assert_eq!(cold, warm, "cold and warm artifacts diverged");
+
+    // The timing sidecar rides beside them: per-cell wall ms + cache
+    // status, all-miss cold, all-hit warm.
+    for (out, hit) in [("out-cold", false), ("out-warm", true)] {
+        let text = std::fs::read_to_string(dir.join(out).join("campaign.timing.json")).unwrap();
+        let timing: flexpipe_fleet::CampaignTiming = serde_json::from_str(&text).unwrap();
+        assert_eq!(timing.cells.len(), 3, "{out}");
+        assert!(timing.cells.iter().all(|c| c.cache_hit == hit), "{out}");
+    }
 
     // The cached sweep artifact gates clean against the cold baseline.
     let out = run_ok(

@@ -1,0 +1,100 @@
+//! First-divergence comparison between two trace files.
+//!
+//! The determinism contract makes trace equality exact: two runs of the
+//! same scenario must produce byte-identical JSONL. This module is the
+//! seed of the planned schedule-equivalence checker — today it reports
+//! the first line where two traces disagree; later passes will classify
+//! *why* (reordering vs. genuinely different behaviour).
+
+/// The first point where two traces disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// 1-based line number of the first differing line.
+    pub line: usize,
+    /// That line in the left trace (`None` when it ended first).
+    pub left: Option<String>,
+    /// That line in the right trace (`None` when it ended first).
+    pub right: Option<String>,
+}
+
+impl Divergence {
+    /// Renders a structured report of the divergence.
+    pub fn render(&self, left_name: &str, right_name: &str) -> String {
+        let mut out = format!("traces diverge at line {}\n", self.line);
+        match &self.left {
+            Some(l) => out.push_str(&format!("  {left_name}: {l}\n")),
+            None => out.push_str(&format!(
+                "  {left_name}: <ended at line {}>\n",
+                self.line - 1
+            )),
+        }
+        match &self.right {
+            Some(r) => out.push_str(&format!("  {right_name}: {r}\n")),
+            None => out.push_str(&format!(
+                "  {right_name}: <ended at line {}>\n",
+                self.line - 1
+            )),
+        }
+        out
+    }
+}
+
+/// Compares two JSONL traces line by line and returns the first
+/// divergence, or `None` when they are identical. Comparison is textual
+/// (byte equality per line), which under the determinism contract is
+/// also semantic equality.
+pub fn first_divergence(left: &str, right: &str) -> Option<Divergence> {
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut line = 0;
+    loop {
+        line += 1;
+        match (l.next(), r.next()) {
+            (None, None) => return None,
+            (a, b) if a == b => continue,
+            (a, b) => {
+                return Some(Divergence {
+                    line,
+                    left: a.map(str::to_string),
+                    right: b.map(str::to_string),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_do_not_diverge() {
+        let t = "{\"seq\":0}\n{\"seq\":1}\n";
+        assert_eq!(first_divergence(t, t), None);
+        assert_eq!(first_divergence("", ""), None);
+    }
+
+    #[test]
+    fn first_difference_is_reported() {
+        let a = "x\ny\nz\n";
+        let b = "x\nY\nz\n";
+        let d = first_divergence(a, b).unwrap();
+        assert_eq!(d.line, 2);
+        assert_eq!(d.left.as_deref(), Some("y"));
+        assert_eq!(d.right.as_deref(), Some("Y"));
+        let rep = d.render("a.jsonl", "b.jsonl");
+        assert!(rep.contains("line 2"));
+        assert!(rep.contains("a.jsonl: y"));
+    }
+
+    #[test]
+    fn truncation_is_a_divergence() {
+        let a = "x\ny\n";
+        let b = "x\n";
+        let d = first_divergence(a, b).unwrap();
+        assert_eq!(d.line, 2);
+        assert_eq!(d.left.as_deref(), Some("y"));
+        assert_eq!(d.right, None);
+        assert!(d.render("l", "r").contains("<ended at line 1>"));
+    }
+}

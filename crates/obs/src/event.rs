@@ -1,0 +1,248 @@
+//! The trace vocabulary: everything the serving engine can say about a
+//! run, as plain data.
+//!
+//! Ids are raw `u64`s (the engine's `InstanceId`/`RequestId`/`UbatchId`
+//! newtypes unwrapped) and times are seconds of *virtual* time, so a
+//! trace parses without linking the engine and is byte-stable across
+//! machines and thread counts.
+
+use serde::{Deserialize, Serialize};
+
+/// One structured engine event.
+///
+/// The vocabulary covers the three lifecycles the paper's claims are
+/// about: requests (arrival → admit → prefill → decode → complete/abort),
+/// instances (spawn → ready → refactor prepare/pause/commit/abort →
+/// retire/release), and disruption episodes (revoke notice → revocation /
+/// crippling → capacity restore → recovery closed), plus the control
+/// plane's periodic tick and explicit policy actions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A request reached the gateway queue.
+    RequestArrival {
+        /// Request id.
+        req: u64,
+    },
+    /// The gateway admitted a request to an instance's batch.
+    RequestAdmit {
+        /// Request id.
+        req: u64,
+        /// Serving instance.
+        instance: u64,
+    },
+    /// A request's prefill pass completed (first token produced).
+    RequestPrefillDone {
+        /// Request id.
+        req: u64,
+        /// Serving instance.
+        instance: u64,
+    },
+    /// A decode micro-batch launched on an instance.
+    DecodeLaunch {
+        /// The instance.
+        instance: u64,
+        /// Micro-batch id.
+        ubatch: u64,
+        /// Requests in the batch.
+        members: u32,
+    },
+    /// A request finished generating and left the system.
+    RequestComplete {
+        /// Request id.
+        req: u64,
+        /// Instance it completed on.
+        instance: u64,
+        /// Tokens generated.
+        generated: u32,
+    },
+    /// A revocation killed a request's in-flight work; the engine
+    /// replayed it to the gateway front.
+    RequestAbort {
+        /// Request id.
+        req: u64,
+        /// Instance it was aborted on.
+        instance: u64,
+    },
+    /// An instance was created (elastic or prewarmed path).
+    InstanceSpawn {
+        /// New instance id.
+        instance: u64,
+        /// Pipeline stage count.
+        stages: u32,
+        /// Whether it skipped provisioning/loading delays.
+        prewarmed: bool,
+    },
+    /// An instance finished loading and started serving.
+    InstanceReady {
+        /// The instance.
+        instance: u64,
+    },
+    /// An instance was told to drain and retire.
+    InstanceRetire {
+        /// The instance.
+        instance: u64,
+    },
+    /// An instance's devices were released back to the provisioner.
+    InstanceRelease {
+        /// The instance.
+        instance: u64,
+    },
+    /// An inflight refactor started background preparation.
+    RefactorPrepare {
+        /// The instance.
+        instance: u64,
+        /// Stage count before.
+        from_stages: u32,
+        /// Stage count after.
+        to_stages: u32,
+    },
+    /// A refactor's preparation finished; the switchover pause began.
+    RefactorPause {
+        /// The instance.
+        instance: u64,
+    },
+    /// A refactor committed: the new topology is live.
+    RefactorCommit {
+        /// The instance.
+        instance: u64,
+        /// New stage count.
+        stages: u32,
+        /// New instance epoch.
+        epoch: u64,
+    },
+    /// A refactor aborted at switchover (capacity shrank under it).
+    RefactorAbort {
+        /// The instance.
+        instance: u64,
+    },
+    /// The platform announced a preemption with a grace window.
+    RevokeNotice {
+        /// Devices that will be revoked.
+        gpus: u32,
+        /// Revocation deadline, virtual seconds.
+        deadline_secs: f64,
+    },
+    /// A revocation executed: the devices are gone.
+    Revocation {
+        /// Devices revoked.
+        gpus: u32,
+    },
+    /// A revocation wounded an instance mid-flight.
+    InstanceCrippled {
+        /// The instance.
+        instance: u64,
+        /// Stage count before the revocation.
+        original_stages: u32,
+        /// Stages whose devices survived.
+        surviving_stages: u32,
+    },
+    /// Previously revoked capacity returned to the pool.
+    CapacityRestore {
+        /// Devices restored.
+        gpus: u32,
+    },
+    /// The deployment recovered: some instance is serving again and no
+    /// rebuild is in flux, closing the open disruption episode.
+    RecoveryClosed,
+    /// A control-loop tick ran.
+    ControlTick {
+        /// Gateway queue length at the tick.
+        queued: u32,
+        /// Live instance count at the tick.
+        instances: u32,
+    },
+    /// An explicit, named policy decision (e.g. a cold respawn after a
+    /// disruption). Policies emit these through `Ctx::trace`.
+    PolicyAction {
+        /// Action name.
+        action: String,
+        /// Instance the action targets (0 when none).
+        instance: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable kind label, used as the registry/profile key and in
+    /// summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RequestArrival { .. } => "request_arrival",
+            TraceEvent::RequestAdmit { .. } => "request_admit",
+            TraceEvent::RequestPrefillDone { .. } => "request_prefill_done",
+            TraceEvent::DecodeLaunch { .. } => "decode_launch",
+            TraceEvent::RequestComplete { .. } => "request_complete",
+            TraceEvent::RequestAbort { .. } => "request_abort",
+            TraceEvent::InstanceSpawn { .. } => "instance_spawn",
+            TraceEvent::InstanceReady { .. } => "instance_ready",
+            TraceEvent::InstanceRetire { .. } => "instance_retire",
+            TraceEvent::InstanceRelease { .. } => "instance_release",
+            TraceEvent::RefactorPrepare { .. } => "refactor_prepare",
+            TraceEvent::RefactorPause { .. } => "refactor_pause",
+            TraceEvent::RefactorCommit { .. } => "refactor_commit",
+            TraceEvent::RefactorAbort { .. } => "refactor_abort",
+            TraceEvent::RevokeNotice { .. } => "revoke_notice",
+            TraceEvent::Revocation { .. } => "revocation",
+            TraceEvent::InstanceCrippled { .. } => "instance_crippled",
+            TraceEvent::CapacityRestore { .. } => "capacity_restore",
+            TraceEvent::RecoveryClosed => "recovery_closed",
+            TraceEvent::ControlTick { .. } => "control_tick",
+            TraceEvent::PolicyAction { .. } => "policy_action",
+        }
+    }
+}
+
+/// One recorded event: a sequence number (per-run, gap-free in `Full`
+/// mode), a virtual timestamp and the event itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Emission order within the run (0-based).
+    pub seq: u64,
+    /// Virtual time of emission, seconds.
+    pub at: f64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_for_distinct_variants() {
+        let a = TraceEvent::RequestArrival { req: 1 };
+        let b = TraceEvent::RequestComplete {
+            req: 1,
+            instance: 2,
+            generated: 3,
+        };
+        assert_ne!(a.kind(), b.kind());
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let r = TraceRecord {
+            seq: 7,
+            at: 12.5,
+            event: TraceEvent::RefactorCommit {
+                instance: 3,
+                stages: 4,
+                epoch: 2,
+            },
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        let back: TraceRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn unit_variant_round_trips() {
+        let r = TraceRecord {
+            seq: 0,
+            at: 0.0,
+            event: TraceEvent::RecoveryClosed,
+        };
+        let s = serde_json::to_string(&r).unwrap();
+        let back: TraceRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+}

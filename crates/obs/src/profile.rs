@@ -1,0 +1,197 @@
+//! Wall-clock self-time profiler for the engine's dispatch loop.
+//!
+//! Wall times vary run to run, so profiler output must never enter a
+//! cached or byte-compared artifact — it is reported to stderr/stdout
+//! beside them, exactly like the fleet's `BenchTiming`. The engine keeps
+//! the profiler on the `Engine` struct (not `EngineState`) for the same
+//! reason: it is not part of the simulated world.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use flexpipe_metrics::{fmt_f, P2Quantile, Table};
+
+/// Aggregated wall-clock statistics for one named scope.
+#[derive(Debug, Clone)]
+pub struct ScopeStats {
+    /// Times the scope ran.
+    pub calls: u64,
+    /// Total wall time, seconds.
+    pub total_secs: f64,
+    /// Longest single call, seconds.
+    pub max_secs: f64,
+    /// Median call estimator.
+    pub p50: P2Quantile,
+    /// Tail call estimator.
+    pub p99: P2Quantile,
+}
+
+impl ScopeStats {
+    fn new() -> Self {
+        ScopeStats {
+            calls: 0,
+            total_secs: 0.0,
+            max_secs: 0.0,
+            p50: P2Quantile::new(0.5),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+}
+
+/// Scoped wall-clock timer collection.
+///
+/// Disabled by default: [`Profiler::start`] returns `None` and
+/// [`Profiler::stop`] is a no-op, so instrumented code pays one branch
+/// and no clock reads.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    enabled: bool,
+    scopes: BTreeMap<String, ScopeStats>,
+}
+
+impl Profiler {
+    /// A profiler, armed or not.
+    pub fn new(enabled: bool) -> Self {
+        Profiler {
+            enabled,
+            scopes: BTreeMap::new(),
+        }
+    }
+
+    /// Whether timers are armed.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a scope: reads the clock only when enabled.
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a scope opened by [`Profiler::start`], attributing the
+    /// elapsed wall time to `name`.
+    #[inline]
+    pub fn stop(&mut self, name: &str, started: Option<Instant>) {
+        if let Some(t) = started {
+            self.observe(name, t.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Records one observation directly (test seam; also lets callers
+    /// time things the `start`/`stop` pair cannot scope).
+    pub fn observe(&mut self, name: &str, secs: f64) {
+        if !self.enabled {
+            return;
+        }
+        let st = self
+            .scopes
+            .entry(name.to_string())
+            .or_insert_with(ScopeStats::new);
+        st.calls += 1;
+        st.total_secs += secs;
+        if secs > st.max_secs {
+            st.max_secs = secs;
+        }
+        st.p50.observe(secs);
+        st.p99.observe(secs);
+    }
+
+    /// Call count for one scope (0 when never seen).
+    pub fn calls(&self, name: &str) -> u64 {
+        self.scopes.get(name).map_or(0, |s| s.calls)
+    }
+
+    /// Total wall seconds attributed to one scope.
+    pub fn total_secs(&self, name: &str) -> f64 {
+        self.scopes.get(name).map_or(0.0, |s| s.total_secs)
+    }
+
+    /// Iterates scopes in name order.
+    pub fn scopes(&self) -> impl Iterator<Item = (&str, &ScopeStats)> {
+        self.scopes.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether any scope recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.scopes.is_empty()
+    }
+
+    /// Renders the self-time table, heaviest scope first (total wall
+    /// time descending, ties by name).
+    pub fn table(&self, title: &str) -> Table {
+        let mut t = Table::new(
+            title,
+            &[
+                "scope", "calls", "total ms", "mean us", "p50 us", "p99 us", "max us",
+            ],
+        );
+        let mut rows: Vec<(&str, &ScopeStats)> = self.scopes().collect();
+        rows.sort_by(|(na, a), (nb, b)| {
+            b.total_secs
+                .partial_cmp(&a.total_secs)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(na.cmp(nb))
+        });
+        for (name, st) in rows {
+            let mean_us = if st.calls == 0 {
+                0.0
+            } else {
+                st.total_secs / st.calls as f64 * 1e6
+            };
+            t.row(vec![
+                name.to_string(),
+                st.calls.to_string(),
+                fmt_f(st.total_secs * 1e3, 2),
+                fmt_f(mean_us, 1),
+                fmt_f(st.p50.estimate().unwrap_or(0.0) * 1e6, 1),
+                fmt_f(st.p99.estimate().unwrap_or(0.0) * 1e6, 1),
+                fmt_f(st.max_secs * 1e6, 1),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_is_inert() {
+        let mut p = Profiler::default();
+        assert!(!p.enabled());
+        let t = p.start();
+        assert!(t.is_none());
+        p.stop("x", t);
+        p.observe("x", 1.0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn enabled_profiler_aggregates() {
+        let mut p = Profiler::new(true);
+        p.observe("dispatch", 0.002);
+        p.observe("dispatch", 0.004);
+        p.observe("on_tick", 0.001);
+        assert_eq!(p.calls("dispatch"), 2);
+        assert!((p.total_secs("dispatch") - 0.006).abs() < 1e-12);
+        let rendered = p.table("self-time").render();
+        // Heaviest scope leads.
+        assert!(rendered.find("dispatch").unwrap() < rendered.find("on_tick").unwrap());
+    }
+
+    #[test]
+    fn start_stop_measures_something() {
+        let mut p = Profiler::new(true);
+        let t = p.start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        p.stop("work", t);
+        assert_eq!(p.calls("work"), 1);
+        assert!(p.total_secs("work") >= 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The trace recorder: the engine's single emission point.
+
+use std::collections::VecDeque;
+
+use flexpipe_sim::SimTime;
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::registry::EventRegistry;
+
+/// How much of the event stream the recorder retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Record nothing: one branch per hook, no allocation, no registry.
+    Off,
+    /// Keep the most recent `n` records in a ring; the registry still
+    /// counts every event. The flight-recorder mode for long runs.
+    Ring(usize),
+    /// Keep every record (JSONL export, diffing, checking).
+    Full,
+}
+
+impl TraceMode {
+    /// Parses `off` / `ring` / `ring:<n>` / `full` (the `fleet trace`
+    /// CLI syntax). `ring` without a capacity defaults to
+    /// [`TraceMode::DEFAULT_RING`].
+    pub fn parse(s: &str) -> Option<TraceMode> {
+        match s {
+            "off" => Some(TraceMode::Off),
+            "full" => Some(TraceMode::Full),
+            "ring" => Some(TraceMode::Ring(Self::DEFAULT_RING)),
+            _ => {
+                let n = s.strip_prefix("ring:")?.parse().ok()?;
+                Some(TraceMode::Ring(n))
+            }
+        }
+    }
+
+    /// Default ring capacity when `ring` is requested without a size.
+    pub const DEFAULT_RING: usize = 4096;
+}
+
+impl std::fmt::Display for TraceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceMode::Off => write!(f, "off"),
+            TraceMode::Ring(n) => write!(f, "ring:{n}"),
+            TraceMode::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// Structured trace recorder. Owned by the engine state; every hook site
+/// calls [`TraceRecorder::record`], which is a single branch when the
+/// mode is [`TraceMode::Off`].
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    mode: TraceMode,
+    records: VecDeque<TraceRecord>,
+    registry: EventRegistry,
+    next_seq: u64,
+    evicted: u64,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new(TraceMode::Off)
+    }
+}
+
+impl TraceRecorder {
+    /// A recorder in the given mode.
+    pub fn new(mode: TraceMode) -> Self {
+        TraceRecorder {
+            mode,
+            records: VecDeque::new(),
+            registry: EventRegistry::new(),
+            next_seq: 0,
+            evicted: 0,
+        }
+    }
+
+    /// A disabled recorder (the engine default).
+    pub fn off() -> Self {
+        TraceRecorder::new(TraceMode::Off)
+    }
+
+    /// The recorder's mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Whether hooks should bother constructing events.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.mode != TraceMode::Off
+    }
+
+    /// Records one event at virtual time `at`. A no-op in `Off` mode.
+    #[inline]
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.mode == TraceMode::Off {
+            return;
+        }
+        self.push(at.as_secs_f64(), event);
+    }
+
+    fn push(&mut self, at: f64, event: TraceEvent) {
+        self.registry.observe(event.kind(), at);
+        if let TraceMode::Ring(cap) = self.mode {
+            if cap == 0 {
+                self.evicted += 1;
+                self.next_seq += 1;
+                return;
+            }
+            if self.records.len() == cap {
+                self.records.pop_front();
+                self.evicted += 1;
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.push_back(TraceRecord { seq, at, event });
+    }
+
+    /// Retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Retained record count.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted by the ring (0 in `Full` mode).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Total events seen (retained + evicted).
+    pub fn total_seen(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The counter/histogram registry (fed in `Ring` and `Full` modes).
+    pub fn registry(&self) -> &EventRegistry {
+        &self.registry
+    }
+
+    /// Serializes the retained records as JSON Lines, one record per
+    /// line, trailing newline included when non-empty. Virtual time
+    /// only, so the output is byte-stable across machines and thread
+    /// counts.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&serde_json::to_string(r).expect("trace records serialize"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn off_records_nothing() {
+        let mut r = TraceRecorder::off();
+        r.record(at(1.0), TraceEvent::RecoveryClosed);
+        assert!(r.is_empty());
+        assert_eq!(r.total_seen(), 0);
+        assert_eq!(r.registry().total(), 0);
+        assert_eq!(r.to_jsonl(), "");
+    }
+
+    #[test]
+    fn ring_bounds_retention_but_counts_everything() {
+        let mut r = TraceRecorder::new(TraceMode::Ring(2));
+        for i in 0..5 {
+            r.record(at(i as f64), TraceEvent::RequestArrival { req: i });
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.evicted(), 3);
+        assert_eq!(r.total_seen(), 5);
+        assert_eq!(r.registry().count("request_arrival"), 5);
+        // The ring keeps the newest records with their original seqs.
+        let seqs: Vec<u64> = r.records().map(|x| x.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn full_jsonl_round_trips() {
+        let mut r = TraceRecorder::new(TraceMode::Full);
+        r.record(at(0.5), TraceEvent::InstanceReady { instance: 1 });
+        r.record(
+            at(1.5),
+            TraceEvent::RequestAdmit {
+                req: 0,
+                instance: 1,
+            },
+        );
+        let jsonl = r.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        let parsed = crate::summary::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].event.kind(), "request_admit");
+    }
+
+    #[test]
+    fn mode_parse_round_trips() {
+        assert_eq!(TraceMode::parse("off"), Some(TraceMode::Off));
+        assert_eq!(TraceMode::parse("full"), Some(TraceMode::Full));
+        assert_eq!(
+            TraceMode::parse("ring"),
+            Some(TraceMode::Ring(TraceMode::DEFAULT_RING))
+        );
+        assert_eq!(TraceMode::parse("ring:16"), Some(TraceMode::Ring(16)));
+        assert_eq!(TraceMode::parse("bogus"), None);
+        assert_eq!(TraceMode::Ring(16).to_string(), "ring:16");
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-event-kind counters and virtual-time occupancy histograms.
+
+use std::collections::BTreeMap;
+
+use flexpipe_metrics::{fmt_f, P2Quantile, Table};
+
+/// Streaming statistics for one event kind.
+#[derive(Debug, Clone)]
+pub struct KindStats {
+    /// Events of this kind seen.
+    pub count: u64,
+    /// Total virtual time this kind closed (sum of gaps from the
+    /// previous recorded event of any kind).
+    pub occupancy_secs: f64,
+    /// Largest single gap closed, seconds.
+    pub max_gap_secs: f64,
+    /// Median gap estimator.
+    pub gap_p50: P2Quantile,
+    /// Tail gap estimator.
+    pub gap_p99: P2Quantile,
+}
+
+impl KindStats {
+    fn new() -> Self {
+        KindStats {
+            count: 0,
+            occupancy_secs: 0.0,
+            max_gap_secs: 0.0,
+            gap_p50: P2Quantile::new(0.5),
+            gap_p99: P2Quantile::new(0.99),
+        }
+    }
+}
+
+/// Counter/histogram registry over the trace event stream.
+///
+/// An event's "occupancy" is the virtual-time gap it closes: the span
+/// between the previously recorded event (of any kind) and this one.
+/// Summed per kind, the gaps partition the traced span, which is the
+/// cheapest honest answer to "where does simulated time go?" without
+/// instrumenting every handler's interior.
+#[derive(Debug, Clone)]
+pub struct EventRegistry {
+    kinds: BTreeMap<&'static str, KindStats>,
+    last_at: Option<f64>,
+    total: u64,
+}
+
+impl Default for EventRegistry {
+    fn default() -> Self {
+        EventRegistry::new()
+    }
+}
+
+impl EventRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        EventRegistry {
+            kinds: BTreeMap::new(),
+            last_at: None,
+            total: 0,
+        }
+    }
+
+    /// Feeds one event occurrence. `at_secs` must be non-decreasing
+    /// (virtual time from a single run).
+    pub fn observe(&mut self, kind: &'static str, at_secs: f64) {
+        let gap = (at_secs - self.last_at.unwrap_or(at_secs)).max(0.0);
+        self.last_at = Some(at_secs);
+        self.total += 1;
+        let st = self.kinds.entry(kind).or_insert_with(KindStats::new);
+        st.count += 1;
+        st.occupancy_secs += gap;
+        if gap > st.max_gap_secs {
+            st.max_gap_secs = gap;
+        }
+        st.gap_p50.observe(gap);
+        st.gap_p99.observe(gap);
+    }
+
+    /// Total events observed (all kinds).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count for one kind (0 when never seen).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.kinds.get(kind).map_or(0, |s| s.count)
+    }
+
+    /// Iterates kinds in lexicographic (deterministic) order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, &KindStats)> {
+        self.kinds.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Renders the registry as a table: one row per kind, sorted by
+    /// count descending (ties lexicographic — fully deterministic).
+    pub fn table(&self, title: &str) -> Table {
+        let mut t = Table::new(
+            title,
+            &[
+                "event",
+                "count",
+                "occupancy s",
+                "gap p50 s",
+                "gap p99 s",
+                "gap max s",
+            ],
+        );
+        let mut rows: Vec<(&'static str, &KindStats)> = self.kinds().collect();
+        rows.sort_by(|(ka, a), (kb, b)| b.count.cmp(&a.count).then(ka.cmp(kb)));
+        for (kind, st) in rows {
+            t.row(vec![
+                kind.to_string(),
+                st.count.to_string(),
+                fmt_f(st.occupancy_secs, 3),
+                fmt_f(st.gap_p50.estimate().unwrap_or(0.0), 6),
+                fmt_f(st.gap_p99.estimate().unwrap_or(0.0), 6),
+                fmt_f(st.max_gap_secs, 6),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_partitions_the_span() {
+        let mut r = EventRegistry::new();
+        r.observe("a", 0.0);
+        r.observe("b", 2.0);
+        r.observe("a", 5.0);
+        r.observe("b", 5.0);
+        assert_eq!(r.total(), 4);
+        assert_eq!(r.count("a"), 2);
+        let occ: f64 = r.kinds().map(|(_, s)| s.occupancy_secs).sum();
+        // First event closes a zero gap; the rest partition [0, 5].
+        assert!((occ - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_rows_are_count_sorted() {
+        let mut r = EventRegistry::new();
+        for i in 0..5 {
+            r.observe("hot", i as f64);
+        }
+        r.observe("cold", 5.0);
+        let t = r.table("x");
+        let rendered = t.render();
+        let hot = rendered.find("hot").unwrap();
+        let cold = rendered.find("cold").unwrap();
+        assert!(hot < cold);
+    }
+}

@@ -1,0 +1,115 @@
+//! Offline trace consumption: JSONL parsing and run summaries.
+
+use flexpipe_metrics::Table;
+
+use crate::event::TraceRecord;
+use crate::registry::EventRegistry;
+
+/// Parses a JSON Lines trace (as produced by
+/// [`crate::TraceRecorder::to_jsonl`]). Blank lines are ignored; the
+/// error names the offending line (1-based).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e:?}", i + 1))?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Aggregate view of one parsed trace.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Records in the trace.
+    pub records: usize,
+    /// Virtual time of the first record, seconds.
+    pub first_at: f64,
+    /// Virtual time of the last record, seconds.
+    pub last_at: f64,
+    /// Registry recomputed from the records.
+    pub registry: EventRegistry,
+}
+
+impl TraceSummary {
+    /// Summarizes parsed records (assumed time-ordered, as a recorder
+    /// emits them).
+    pub fn from_records(records: &[TraceRecord]) -> TraceSummary {
+        let mut registry = EventRegistry::new();
+        for r in records {
+            registry.observe(r.event.kind(), r.at);
+        }
+        TraceSummary {
+            records: records.len(),
+            first_at: records.first().map_or(0.0, |r| r.at),
+            last_at: records.last().map_or(0.0, |r| r.at),
+            registry,
+        }
+    }
+
+    /// Renders the summary: a header line plus the per-kind table.
+    pub fn render(&self, name: &str) -> String {
+        let mut out = format!(
+            "{name}: {} records spanning [{:.3}s, {:.3}s]\n",
+            self.records, self.first_at, self.last_at
+        );
+        out.push_str(&self.registry.table("events by kind").render());
+        out
+    }
+
+    /// Renders per-kind counts as CSV (kind,count), kinds sorted.
+    pub fn counts_table(&self) -> Table {
+        let mut t = Table::new("event counts", &["event", "count"]);
+        for (kind, st) in self.registry.kinds() {
+            t.row(vec![kind.to_string(), st.count.to_string()]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::recorder::{TraceMode, TraceRecorder};
+    use flexpipe_sim::SimTime;
+
+    #[test]
+    fn summary_matches_live_registry() {
+        let mut rec = TraceRecorder::new(TraceMode::Full);
+        for i in 0..10u64 {
+            rec.record(
+                SimTime::from_secs_f64(i as f64),
+                TraceEvent::RequestArrival { req: i },
+            );
+        }
+        rec.record(
+            SimTime::from_secs_f64(10.0),
+            TraceEvent::RequestComplete {
+                req: 0,
+                instance: 1,
+                generated: 8,
+            },
+        );
+        let parsed = parse_jsonl(&rec.to_jsonl()).unwrap();
+        let s = TraceSummary::from_records(&parsed);
+        assert_eq!(s.records, 11);
+        assert_eq!(s.registry.count("request_arrival"), 11 - 1);
+        assert_eq!(
+            s.registry.count("request_arrival"),
+            rec.registry().count("request_arrival")
+        );
+        assert_eq!(s.last_at, 10.0);
+        assert!(s.render("t").contains("request_arrival"));
+    }
+
+    #[test]
+    fn parse_reports_the_bad_line() {
+        let err = parse_jsonl("{\"seq\":0,\"at\":0.0,\"event\":\"RecoveryClosed\"}\nnot json\n")
+            .unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

@@ -13,6 +13,7 @@ use std::collections::BTreeSet;
 
 use flexpipe_chaos::Disruption;
 use flexpipe_cluster::{GpuId, ServerId};
+use flexpipe_obs::TraceEvent;
 use flexpipe_sim::{EventQueue, SimDuration, SimTime};
 use flexpipe_workload::RequestId;
 
@@ -234,6 +235,15 @@ impl EngineState {
                 self.gateway.push_front(rid);
             }
             inst.active_requests = 0;
+            for &rid in &rids {
+                self.obs.record(
+                    now,
+                    TraceEvent::RequestAbort {
+                        req: rid.0,
+                        instance: id.0,
+                    },
+                );
+            }
 
             self.disruptions.record_aborted(rids.len() as u32);
             self.disruptions.record_replayed(rids.len() as u32);
@@ -287,11 +297,20 @@ impl EngineState {
                         })
                         .collect();
                     inst.state = InstanceState::Crippled;
+                    let surviving = self.instances[&id].stages.len() as u32;
                     crippled.push(CrippledInstance {
                         id,
                         original_stages: original,
-                        surviving_stages: self.instances[&id].stages.len() as u32,
+                        surviving_stages: surviving,
                     });
+                    self.obs.record(
+                        now,
+                        TraceEvent::InstanceCrippled {
+                            instance: id.0,
+                            original_stages: original,
+                            surviving_stages: surviving,
+                        },
+                    );
                 }
             }
             // Every arm above changed admissibility (active_requests
@@ -300,6 +319,12 @@ impl EngineState {
         }
         self.disruptions
             .record_revocation(now, revoked.len() as u32);
+        self.obs.record(
+            now,
+            TraceEvent::Revocation {
+                gpus: revoked.len() as u32,
+            },
+        );
         DisruptionNotice {
             revoked_gpus: revoked,
             crippled,
@@ -307,8 +332,9 @@ impl EngineState {
     }
 
     /// Restores previously revoked devices to the pool (cold elastic; the
-    /// policy re-acquires them through its normal scaling path).
-    pub(super) fn restore_capacity(&mut self, gpus: &[GpuId]) {
+    /// policy re-acquires them through its normal scaling path). Returns
+    /// how many devices actually came back.
+    pub(super) fn restore_capacity(&mut self, gpus: &[GpuId]) -> u32 {
         let mut restored = 0u32;
         for &g in gpus {
             if self.cluster.is_revoked(g) {
@@ -317,6 +343,7 @@ impl EngineState {
             }
         }
         self.disruptions.record_restored(restored);
+        restored
     }
 
     /// Closes open recovery windows once the deployment is back to full
@@ -341,6 +368,7 @@ impl EngineState {
         });
         if any_serving && !in_flux {
             self.disruptions.close_open(now);
+            self.obs.record(now, TraceEvent::RecoveryClosed);
         }
     }
 }
@@ -405,6 +433,13 @@ impl Engine {
         for &g in &gpus {
             self.state.pending_revocations.insert(g, deadline);
         }
+        self.state.obs.record(
+            queue.now(),
+            TraceEvent::RevokeNotice {
+                gpus: gpus.len() as u32,
+                deadline_secs: deadline.as_secs_f64(),
+            },
+        );
         queue
             .schedule(deadline, Event::Revoke { gpus: gpus.clone() })
             .expect("future");

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use flexpipe_cluster::Endpoint;
 use flexpipe_metrics::RequestOutcome;
 use flexpipe_model::OpId;
+use flexpipe_obs::TraceEvent;
 use flexpipe_sim::{EventQueue, SimDuration, SimTime};
 use flexpipe_workload::RequestId;
 
@@ -232,8 +233,14 @@ impl EngineState {
         match ub.phase {
             Phase::Prefill => {
                 for &rid in &ub.members {
-                    let r = &mut self.reqs[rid.0 as usize];
-                    r.prefill_done = Some(now);
+                    self.reqs[rid.0 as usize].prefill_done = Some(now);
+                    self.obs.record(
+                        now,
+                        TraceEvent::RequestPrefillDone {
+                            req: rid.0,
+                            instance: id.0,
+                        },
+                    );
                 }
                 if generative {
                     survivors.append(&mut ub.members);
@@ -365,6 +372,14 @@ impl EngineState {
                     pass_comm_secs: 0.0,
                 },
             );
+            self.obs.record(
+                queue.now(),
+                TraceEvent::DecodeLaunch {
+                    instance: id.0,
+                    ubatch: ub_id.0,
+                    members: tokens as u32,
+                },
+            );
             queue.schedule_now(Event::StageArrive {
                 id,
                 epoch,
@@ -380,6 +395,7 @@ impl EngineState {
             return;
         }
         r.done = true;
+        let generated = r.generated;
         let admitted = r.admitted.unwrap_or(r.req.arrival);
         let latency = now.saturating_since(r.req.arrival).as_secs_f64();
         let exec = r.exec_secs.min(latency);
@@ -401,6 +417,14 @@ impl EngineState {
             prompt_tokens: r.req.prompt_tokens,
             output_tokens: r.req.output_tokens,
         });
+        self.obs.record(
+            now,
+            TraceEvent::RequestComplete {
+                req: rid.0,
+                instance: inst_id.0,
+                generated,
+            },
+        );
         if let Some(inst) = self.instances.get_mut(&inst_id) {
             inst.active_requests = inst.active_requests.saturating_sub(1);
             self.reindex(inst_id);
@@ -448,6 +472,13 @@ impl EngineState {
             r.admitted = Some(now);
             let inst = self.instances.get_mut(&target).expect("selected above");
             inst.active_requests += 1;
+            self.obs.record(
+                now,
+                TraceEvent::RequestAdmit {
+                    req: rid.0,
+                    instance: target.0,
+                },
+            );
             self.reindex(target);
             formed.entry(target).or_default().push(rid);
         }

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 
 use flexpipe_cluster::{GpuId, LeaseId, Route, ServerId};
 use flexpipe_model::OpRange;
+use flexpipe_obs::TraceEvent;
 use flexpipe_sim::{EventQueue, SimDuration, SimTime};
 
 use crate::instance::{Instance, InstanceId, InstanceState, StageRuntime};
@@ -256,6 +257,14 @@ impl EngineState {
         );
         self.reindex(id);
         self.spawns += 1;
+        self.obs.record(
+            now,
+            TraceEvent::InstanceSpawn {
+                instance: id.0,
+                stages,
+                prewarmed,
+            },
+        );
         if !prewarmed {
             self.init_latencies
                 .push(ready.saturating_since(now).as_secs_f64());
@@ -276,6 +285,8 @@ impl EngineState {
         }
         inst.state = InstanceState::Draining;
         let empty = inst.active_requests == 0;
+        self.obs
+            .record(queue.now(), TraceEvent::InstanceRetire { instance: id.0 });
         self.reindex(id);
         if empty {
             self.release_instance(queue.now(), id);
@@ -286,6 +297,8 @@ impl EngineState {
         let Some(inst) = self.instances.remove(&id) else {
             return;
         };
+        self.obs
+            .record(now, TraceEvent::InstanceRelease { instance: id.0 });
         self.admission.apply(id, None);
         for stage in inst.stages {
             self.release_stage_device(now, stage.gpu, stage.lease, stage.range);
@@ -400,6 +413,8 @@ impl EngineState {
         let epoch = inst.epoch;
         let prepare = plan.prepare;
         let from_crippled = inst.state == InstanceState::Crippled;
+        let from_stages = inst.stages.len() as u32;
+        let to_stages = plan.new_ranges.len() as u32;
         self.pending_refactors.insert(
             id,
             PendingRefactor {
@@ -419,6 +434,14 @@ impl EngineState {
             inst.admit_hold = true;
         }
         self.reindex(id);
+        self.obs.record(
+            now,
+            TraceEvent::RefactorPrepare {
+                instance: id.0,
+                from_stages,
+                to_stages,
+            },
+        );
         queue
             .schedule(now + prepare, Event::PrepareDone { id, epoch })
             .expect("future");
@@ -438,6 +461,8 @@ impl EngineState {
             return;
         }
         inst.state = InstanceState::Paused;
+        self.obs
+            .record(queue.now(), TraceEvent::RefactorPause { instance: id.0 });
         self.reindex(id);
         let pause = self
             .pending_refactors
@@ -508,6 +533,8 @@ impl EngineState {
                 self.ledger.record_release(now);
                 self.gpus_in_use.remove(&gpu);
             }
+            self.obs
+                .record(now, TraceEvent::RefactorAbort { instance: id.0 });
             if pending.from_crippled {
                 // A failed rebuild has no complete topology to fall back
                 // to, and no later hook retries an abort: release the
@@ -571,6 +598,14 @@ impl EngineState {
         let ubs = inst.ubatches.clone();
         self.reindex(id);
         self.refactors += 1;
+        self.obs.record(
+            now,
+            TraceEvent::RefactorCommit {
+                instance: id.0,
+                stages: plan.new_ranges.len() as u32,
+                epoch: new_epoch,
+            },
+        );
 
         // Relaunch live micro-batches at stage 0 of the new topology; their
         // KV caches were kept consistent by the §6.3 protocol, so decode

@@ -46,6 +46,7 @@ use flexpipe_cluster::{
 };
 use flexpipe_metrics::{DisruptionLedger, OutcomeLog, Timeline, UtilizationLedger};
 use flexpipe_model::{CostModel, MaxBatchTable, ModelGraph, OpRange};
+use flexpipe_obs::{Profiler, TraceEvent, TraceMode, TraceRecorder};
 use flexpipe_partition::GranularityLattice;
 use flexpipe_sim::{EventQueue, RunOutcome, SimRng, SimTime, World};
 use flexpipe_workload::{CvEstimator, Request, RequestId, Workload};
@@ -123,6 +124,26 @@ pub enum Event {
         /// Devices re-entering the cluster.
         gpus: Vec<GpuId>,
     },
+}
+
+impl Event {
+    /// Stable label per variant, used as the profiler's dispatch-scope
+    /// key and in observability summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Arrival(_) => "arrival",
+            Event::ControlTick => "control_tick",
+            Event::Churn => "churn",
+            Event::InstanceReady { .. } => "instance_ready",
+            Event::StageArrive { .. } => "stage_arrive",
+            Event::StageDone { .. } => "stage_done",
+            Event::PrepareDone { .. } => "prepare_done",
+            Event::PauseDone { .. } => "pause_done",
+            Event::Disruption(_) => "disruption",
+            Event::Revoke { .. } => "revoke",
+            Event::Restore { .. } => "restore",
+        }
+    }
 }
 
 /// Scenario description bundling everything an engine run needs.
@@ -224,6 +245,12 @@ pub struct EngineState {
     pub(super) init_latencies: Vec<f64>,
     pub(super) warm_loads: u32,
     pub(super) cold_loads: u32,
+    /// Structured trace recorder. Off by default; hook sites throughout
+    /// the engine call [`TraceRecorder::record`], which is a single
+    /// branch when disabled. The recorder only *observes* state, so the
+    /// report is byte-identical whatever the mode (pinned by the fleet's
+    /// trace-determinism tests).
+    pub(super) obs: TraceRecorder,
 }
 
 impl EngineState {
@@ -352,6 +379,22 @@ pub struct Engine {
     pub(super) policy: Option<Box<dyn ControlPolicy>>,
     pub(super) events_seen: u64,
     pub(super) truncated: bool,
+    /// Wall-clock self-time profiler around event dispatch and
+    /// `ControlPolicy::on_tick`. Lives on the engine, not the state:
+    /// wall time is not part of the simulated world and must never
+    /// enter a cached or byte-compared artifact.
+    pub(super) profiler: Profiler,
+}
+
+/// Everything one observed run produces: the deterministic report plus
+/// the observability side channels (which never feed back into it).
+pub struct ObservedRun {
+    /// The run report — byte-identical to an unobserved run's.
+    pub report: RunReport,
+    /// The trace recorder with its retained records and registry.
+    pub trace: TraceRecorder,
+    /// The wall-clock self-time profiler.
+    pub profiler: Profiler,
 }
 
 /// Policy-facing context: state queries plus actions.
@@ -440,6 +483,15 @@ impl<'a> Ctx<'a> {
     pub fn revoked_gpus(&self) -> Vec<GpuId> {
         self.state.cluster().revoked_gpus()
     }
+
+    /// Emits a policy-originated trace event (a no-op when tracing is
+    /// off). Policies use this to mark named decisions — e.g. a cold
+    /// respawn — so traces show *why* the mechanism moved, not just that
+    /// it did.
+    pub fn trace(&mut self, event: TraceEvent) {
+        let now = self.queue.now();
+        self.state.obs.record(now, event);
+    }
 }
 
 impl Engine {
@@ -507,13 +559,27 @@ impl Engine {
             init_latencies: Vec::new(),
             warm_loads: 0,
             cold_loads: 0,
+            obs: TraceRecorder::off(),
         };
         Engine {
             state,
             policy: Some(policy),
             events_seen: 0,
             truncated: false,
+            profiler: Profiler::default(),
         }
+    }
+
+    /// Arms structured tracing for this run (default: [`TraceMode::Off`]).
+    /// Tracing is observation-only: the report stays byte-identical in
+    /// every mode.
+    pub fn set_trace(&mut self, mode: TraceMode) {
+        self.state.obs = TraceRecorder::new(mode);
+    }
+
+    /// Arms the wall-clock self-time profiler (default: off).
+    pub fn set_profiler(&mut self, enabled: bool) {
+        self.profiler = Profiler::new(enabled);
     }
 
     pub(super) fn with_policy(
@@ -533,7 +599,14 @@ impl Engine {
     }
 
     /// Runs the scenario to its horizon and produces the report.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_observed().report
+    }
+
+    /// Runs the scenario and returns the report together with the trace
+    /// and profiler side channels (see [`Engine::set_trace`] /
+    /// [`Engine::set_profiler`]).
+    pub fn run_observed(mut self) -> ObservedRun {
         let mut queue: EventQueue<Event> = EventQueue::new();
         // Policy initialisation (deploys the initial configuration).
         self.with_policy(&mut queue, |p, ctx| p.init(ctx));
@@ -570,7 +643,14 @@ impl Engine {
         // fleet sweep must be able to bound runaway cells and report them
         // as truncated rather than abort the whole grid.
         self.truncated = matches!(outcome, RunOutcome::StepBudgetExhausted);
-        self.into_report(horizon)
+        let trace = std::mem::take(&mut self.state.obs);
+        let profiler = std::mem::take(&mut self.profiler);
+        let report = self.into_report(horizon);
+        ObservedRun {
+            report,
+            trace,
+            profiler,
+        }
     }
 
     fn into_report(self, horizon: SimTime) -> RunReport {
@@ -616,12 +696,24 @@ impl World for Engine {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        let kind = event.kind();
+        let timer = self.profiler.start();
+        self.dispatch(now, event, queue);
+        self.profiler.stop(kind, timer);
+    }
+}
+
+impl Engine {
+    fn dispatch(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
         match event {
             Event::Arrival(i) => {
                 let i = i as usize;
                 let rid = RequestId(i as u64);
                 self.state.cv_est.record(now);
                 self.state.gateway.push_back(rid);
+                self.state
+                    .obs
+                    .record(now, TraceEvent::RequestArrival { req: rid.0 });
                 if i + 1 < self.state.workload.len() {
                     let t = self.state.workload[i + 1].arrival;
                     queue
@@ -646,9 +738,18 @@ impl World for Engine {
                 self.state
                     .inflight_timeline
                     .record(now, f64::from(in_system));
+                self.state.obs.record(
+                    now,
+                    TraceEvent::ControlTick {
+                        queued: self.state.gateway.len() as u32,
+                        instances: self.state.instances.len() as u32,
+                    },
+                );
                 self.state.expire_host_cache(now);
                 self.state.provisioner.expire_warm(now);
+                let timer = self.profiler.start();
                 self.with_policy(queue, |p, ctx| p.on_tick(ctx));
+                self.profiler.stop("policy.on_tick", timer);
                 self.state.drain_gateway(queue);
                 self.state.maybe_close_recoveries(now);
                 let next = now + self.state.config.control_interval;
@@ -680,6 +781,9 @@ impl World for Engine {
                     }
                 };
                 if ready {
+                    self.state
+                        .obs
+                        .record(now, TraceEvent::InstanceReady { instance: id.0 });
                     self.state.reindex(id);
                     self.state.drain_gateway(queue);
                     self.with_policy(queue, |p, ctx| p.on_instance_ready(ctx, id));
@@ -719,7 +823,12 @@ impl World for Engine {
                 self.execute_revocation(queue, gpus);
             }
             Event::Restore { gpus } => {
-                self.state.restore_capacity(&gpus);
+                let restored = self.state.restore_capacity(&gpus);
+                if restored > 0 {
+                    self.state
+                        .obs
+                        .record(now, TraceEvent::CapacityRestore { gpus: restored });
+                }
             }
         }
     }

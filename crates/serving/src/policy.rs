@@ -10,6 +10,7 @@
 
 use flexpipe_cluster::GpuId;
 use flexpipe_model::OpRange;
+use flexpipe_obs::TraceEvent;
 use flexpipe_sim::{SimDuration, SimTime};
 
 use crate::engine::Ctx;
@@ -110,6 +111,10 @@ pub struct DisruptionNotice {
 /// static/restart-based system does after losing capacity; FlexPipe
 /// overrides [`ControlPolicy::on_disruption`] to refactor inflight instead.
 pub fn cold_respawn_instance(ctx: &mut Ctx<'_>, crippled: &CrippledInstance) {
+    ctx.trace(TraceEvent::PolicyAction {
+        action: "cold_respawn".into(),
+        instance: crippled.id.0,
+    });
     ctx.retire(crippled.id);
     // Best effort: a fragmented cluster may refuse; the policy's regular
     // control loop keeps retrying through its own scaling path.
