@@ -1,0 +1,256 @@
+//! Semantic trace equivalence: per-entity stream comparison with an
+//! entity-anchored first-divergence report.
+
+use flexpipe_obs::TraceRecord;
+
+use crate::model::{normalize, project, Entity};
+
+/// The first semantic divergence between two traces: the entity whose
+/// stream differs, the position in that stream, and the offending event
+/// pair (`None` on a side whose stream ended early).
+#[derive(Debug, Clone)]
+pub struct SemanticDivergence {
+    /// The entity whose per-entity stream differs.
+    pub entity: Entity,
+    /// 0-based index into the entity's stream where it differs.
+    pub index: usize,
+    /// Left record at that position, if the left stream reaches it.
+    pub left: Option<TraceRecord>,
+    /// Right record at that position, if the right stream reaches it.
+    pub right: Option<TraceRecord>,
+}
+
+impl SemanticDivergence {
+    /// The virtual time the divergence is anchored at (the earliest
+    /// timestamp among the offending pair).
+    pub fn at(&self) -> f64 {
+        match (&self.left, &self.right) {
+            (Some(l), Some(r)) => l.at.min(r.at),
+            (Some(l), None) => l.at,
+            (None, Some(r)) => r.at,
+            (None, None) => 0.0,
+        }
+    }
+
+    fn side(r: &Option<TraceRecord>) -> String {
+        match r {
+            Some(rec) => serde_json::to_string(rec).unwrap_or_else(|_| format!("{:?}", rec.event)),
+            None => "<stream ends here>".to_string(),
+        }
+    }
+
+    /// Renders the divergence for humans.
+    pub fn render(&self, left_name: &str, right_name: &str) -> String {
+        format!(
+            "semantic divergence on {} at t={:.6}s (stream position {}):\n  {left_name}: {}\n  {right_name}: {}\n",
+            self.entity,
+            self.at(),
+            self.index,
+            Self::side(&self.left),
+            Self::side(&self.right),
+        )
+    }
+}
+
+/// Outcome of a semantic comparison of two traces.
+#[derive(Debug, Clone)]
+pub struct EquivReport {
+    /// Records in the left trace.
+    pub left_records: usize,
+    /// Records in the right trace.
+    pub right_records: usize,
+    /// Distinct entities across both traces.
+    pub entities: usize,
+    /// The first semantic divergence (smallest virtual time, ties toward
+    /// the smallest entity), or `None` when the traces are equivalent.
+    pub divergence: Option<SemanticDivergence>,
+}
+
+impl EquivReport {
+    /// Whether the traces are semantically equivalent.
+    pub fn equivalent(&self) -> bool {
+        self.divergence.is_none()
+    }
+
+    /// Renders the report for humans.
+    pub fn render(&self, left_name: &str, right_name: &str) -> String {
+        match &self.divergence {
+            None => format!(
+                "traces semantically equivalent: {} entities, {} vs {} records\n",
+                self.entities, self.left_records, self.right_records
+            ),
+            Some(d) => d.render(left_name, right_name),
+        }
+    }
+}
+
+/// Compares two canonical traces for semantic equivalence: normalizes
+/// allocation-order labels ([`normalize`]), projects each side into
+/// per-entity streams and requires the projections to be identical
+/// (events *and* timestamps). Since canonical traces are time-ordered,
+/// this is exactly equality modulo reordering of same-timestamp events on
+/// different entities — the commutation relation in the crate docs.
+/// Divergence records are reported with normalized (per-instance) ubatch
+/// labels.
+pub fn check_equiv(left: &[TraceRecord], right: &[TraceRecord]) -> EquivReport {
+    let left_n = normalize(left);
+    let right_n = normalize(right);
+    let lp = project(&left_n);
+    let rp = project(&right_n);
+    let entities: std::collections::BTreeSet<Entity> =
+        lp.keys().chain(rp.keys()).copied().collect();
+
+    let empty: Vec<&TraceRecord> = Vec::new();
+    let mut best: Option<SemanticDivergence> = None;
+    for &entity in &entities {
+        let ls = lp.get(&entity).unwrap_or(&empty);
+        let rs = rp.get(&entity).unwrap_or(&empty);
+        let n = ls.len().max(rs.len());
+        for i in 0..n {
+            let l = ls.get(i).copied();
+            let r = rs.get(i).copied();
+            let matches = match (l, r) {
+                (Some(l), Some(r)) => l.at == r.at && l.event == r.event,
+                _ => false,
+            };
+            if matches {
+                continue;
+            }
+            let cand = SemanticDivergence {
+                entity,
+                index: i,
+                left: l.cloned(),
+                right: r.cloned(),
+            };
+            let better = match &best {
+                None => true,
+                // Earliest virtual time wins; entity order breaks ties
+                // (BTree iteration already visits entities in order, so
+                // strictly-earlier is the only way to displace).
+                Some(b) => cand.at() < b.at(),
+            };
+            if better {
+                best = Some(cand);
+            }
+            break; // only the first divergence per entity matters
+        }
+    }
+
+    EquivReport {
+        left_records: left.len(),
+        right_records: right.len(),
+        entities: entities.len(),
+        divergence: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpipe_obs::TraceEvent;
+
+    fn rec(seq: u64, at: f64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { seq, at, event }
+    }
+
+    fn base() -> Vec<TraceRecord> {
+        vec![
+            rec(0, 1.0, TraceEvent::RequestArrival { req: 0 }),
+            rec(1, 2.0, TraceEvent::InstanceReady { instance: 1 }),
+            rec(
+                2,
+                2.0,
+                TraceEvent::RequestAdmit {
+                    req: 0,
+                    instance: 1,
+                },
+            ),
+            rec(
+                3,
+                3.0,
+                TraceEvent::RequestComplete {
+                    req: 0,
+                    instance: 1,
+                    generated: 4,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn identical_traces_are_equivalent() {
+        let t = base();
+        let rep = check_equiv(&t, &t);
+        assert!(rep.equivalent());
+        assert_eq!(rep.entities, 2);
+        assert!(rep.render("a", "b").contains("equivalent"));
+    }
+
+    #[test]
+    fn same_time_cross_entity_reorder_is_equivalent() {
+        let t = base();
+        let mut swapped = t.clone();
+        // InstanceReady(instance 1) and RequestAdmit(request 0) share
+        // t=2.0 but live on different entities: swapping them is
+        // schedule noise.
+        swapped.swap(1, 2);
+        assert!(check_equiv(&t, &swapped).equivalent());
+        // The fingerprint ignores seq, so renumbering is also fine.
+        for (i, r) in swapped.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        assert!(check_equiv(&t, &swapped).equivalent());
+    }
+
+    #[test]
+    fn same_entity_reorder_diverges() {
+        let t = vec![
+            rec(0, 2.0, TraceEvent::RefactorPause { instance: 1 }),
+            rec(1, 2.0, TraceEvent::RefactorAbort { instance: 1 }),
+        ];
+        let mut swapped = t.clone();
+        swapped.swap(0, 1);
+        let rep = check_equiv(&t, &swapped);
+        let d = rep.divergence.expect("must diverge");
+        assert_eq!(d.entity, Entity::Instance(1));
+        assert_eq!(d.index, 0);
+        assert_eq!(d.at(), 2.0);
+    }
+
+    #[test]
+    fn payload_mutation_diverges_on_the_right_entity() {
+        let t = base();
+        let mut mutated = t.clone();
+        mutated[3] = rec(
+            3,
+            3.0,
+            TraceEvent::RequestComplete {
+                req: 0,
+                instance: 1,
+                generated: 5,
+            },
+        );
+        let d = check_equiv(&t, &mutated).divergence.expect("diverges");
+        assert_eq!(d.entity, Entity::Request(0));
+        // Index is into the request's own stream: arrival, admit, complete.
+        assert_eq!(d.index, 2);
+        assert!(d.left.is_some() && d.right.is_some());
+        let rendered = d.render("left", "right");
+        assert!(rendered.contains("request 0"), "{rendered}");
+    }
+
+    #[test]
+    fn truncated_side_reports_the_missing_tail() {
+        let t = base();
+        let cut = t[..3].to_vec();
+        let d = check_equiv(&t, &cut).divergence.expect("diverges");
+        assert_eq!(d.entity, Entity::Request(0));
+        assert_eq!(d.index, 2);
+        assert!(d.right.is_none());
+        // Divergence picks the earliest virtual time across entities.
+        let d2 = check_equiv(&t, &t[1..]).divergence.expect("d");
+        assert_eq!(d2.entity, Entity::Request(0));
+        assert_eq!(d2.index, 0);
+        assert_eq!(d2.at(), 1.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Bounded interleaving exploration: systematically permute the orderings
+//! of same-virtual-time event batches of a committed scenario and check
+//! every schedule converges to a semantically equivalent trace and a
+//! byte-identical run report.
+//!
+//! A *schedule* is a finite prefix of tie-break choices: at step `i` the
+//! engine pops the `choices[i]`-th event of the front batch (insertion
+//! order), and index 0 — the canonical order — beyond the prefix. The
+//! frontier is explored breadth-first over prefix length, so the first
+//! divergence found is a **minimal** one, and each child prefix ends in a
+//! non-zero choice (the all-zeros tail is the parent itself), which makes
+//! the enumeration duplicate-free. Persistent-set pruning drops a choice
+//! `c` when the chosen event commutes with everything popped before it in
+//! the same batch (see [`crate::model::independent`]).
+
+use std::collections::VecDeque;
+
+use flexpipe_obs::TraceRecord;
+use flexpipe_serving::ObservedRun;
+use serde::{Deserialize, Serialize};
+
+use crate::equiv::{check_equiv, SemanticDivergence};
+use crate::model::independent;
+use crate::scenarios::CheckScenario;
+
+/// Bounds and switches for one exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Maximum number of schedules to run (canonical one included).
+    pub max_schedules: usize,
+    /// Whether to prune schedules that only permute independent events.
+    pub prune: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_schedules: 256,
+            prune: true,
+        }
+    }
+}
+
+/// A replayable schedule: scenario name plus the tie-break choice prefix.
+/// This is the spec the counterexample printer emits; feed it back through
+/// [`replay`] to reproduce the divergent run exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleSpec {
+    /// Name of the committed scenario ([`CheckScenario::named`]).
+    pub scenario: String,
+    /// Tie-break choices per step; steps beyond the prefix pick 0.
+    pub choices: Vec<u32>,
+}
+
+/// A minimal divergent schedule found by [`explore`].
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The offending schedule, replayable via [`replay`].
+    pub schedule: ScheduleSpec,
+    /// First semantic divergence against the canonical trace, if the
+    /// *trace* diverged (`None` means only the run report differed).
+    pub divergence: Option<SemanticDivergence>,
+    /// Whether the serialized run report differed byte-for-byte.
+    pub reports_differ: bool,
+}
+
+impl Counterexample {
+    /// Renders the counterexample with its replayable spec.
+    pub fn render(&self) -> String {
+        let spec = serde_json::to_string(&self.schedule).expect("schedule specs serialize");
+        let mut out = format!(
+            "schedule divergence in scenario '{}' (minimal prefix of {} choices)\n",
+            self.schedule.scenario,
+            self.schedule.choices.len()
+        );
+        match &self.divergence {
+            Some(d) => out.push_str(&d.render("canonical", "permuted")),
+            None => out.push_str("traces equivalent but run reports differ byte-for-byte\n"),
+        }
+        if self.reports_differ && self.divergence.is_some() {
+            out.push_str("run reports also differ byte-for-byte\n");
+        }
+        out.push_str(&format!("replayable spec: {spec}\n"));
+        out
+    }
+}
+
+/// Outcome of one bounded exploration.
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// Schedules actually run (canonical one included).
+    pub schedules: usize,
+    /// Alternative choices skipped by persistent-set pruning.
+    pub pruned: usize,
+    /// Whether the frontier drained within `max_schedules` (i.e. the
+    /// same-time interleavings were covered exhaustively modulo pruning).
+    pub completed: bool,
+    /// Largest front batch observed past any prefix.
+    pub max_batch: usize,
+    /// The minimal divergent schedule, if any schedule failed to converge.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl ExploreOutcome {
+    /// Whether every explored schedule converged.
+    pub fn converged(&self) -> bool {
+        self.counterexample.is_none()
+    }
+
+    /// Renders the outcome for humans.
+    pub fn render(&self, scenario: &str) -> String {
+        match &self.counterexample {
+            None => format!(
+                "scenario '{scenario}': {} schedule(s) converged{} (pruned {}, max batch {}, {})\n",
+                self.schedules,
+                if self.completed { "" } else { " [bounded]" },
+                self.pruned,
+                self.max_batch,
+                if self.completed {
+                    "frontier exhausted"
+                } else {
+                    "frontier truncated by max-schedules"
+                },
+            ),
+            Some(cx) => cx.render(),
+        }
+    }
+}
+
+/// Runs one schedule: follow `choices` while they last, canonical order
+/// after. Past the prefix, collects the child prefixes to explore next
+/// (one per batch position not excluded by pruning) — each child extends
+/// this prefix with canonical zeros and one trailing non-zero choice, so
+/// every schedule in the tree is generated exactly once.
+fn run_schedule(
+    sc: &CheckScenario,
+    choices: &[u32],
+    prune: bool,
+    pruned: &mut usize,
+    max_batch: &mut usize,
+) -> (ObservedRun, Vec<Vec<u32>>) {
+    let mut eng = sc.stepped();
+    let mut children = Vec::new();
+    let mut step_idx = 0usize;
+    loop {
+        let choice = choices.get(step_idx).copied().unwrap_or(0) as usize;
+        let mut alts: Vec<u32> = Vec::new();
+        if step_idx >= choices.len() {
+            let batch = eng.batch();
+            *max_batch = (*max_batch).max(batch.len());
+            for c in 1..batch.len() {
+                if prune && (0..c).all(|j| independent(batch[j], batch[c])) {
+                    *pruned += 1;
+                    continue;
+                }
+                alts.push(c as u32);
+            }
+        }
+        if eng.step(choice).is_none() {
+            // Terminal: the batch (if any) was never popped, so the
+            // alternatives computed above are not reachable schedules.
+            break;
+        }
+        for c in alts {
+            let mut child = Vec::with_capacity(step_idx + 1);
+            child.extend_from_slice(choices);
+            child.resize(step_idx, 0);
+            child.push(c);
+            children.push(child);
+        }
+        step_idx += 1;
+    }
+    (eng.finish(), children)
+}
+
+/// Replays a schedule spec against its scenario, returning the finished
+/// run. Panics if a choice indexes past its batch (a spec from a
+/// different engine version).
+pub fn replay(sc: &CheckScenario, spec: &ScheduleSpec) -> ObservedRun {
+    assert_eq!(
+        sc.name, spec.scenario,
+        "schedule spec names a different scenario"
+    );
+    let mut pruned = 0;
+    let mut max_batch = 0;
+    run_schedule(sc, &spec.choices, false, &mut pruned, &mut max_batch).0
+}
+
+/// Explores the same-virtual-time interleavings of `sc` breadth-first,
+/// comparing every schedule's trace (semantically) and run report
+/// (byte-for-byte) against the canonical all-zeros schedule. Stops at the
+/// first divergence — minimal by BFS order — or when the frontier drains
+/// or `max_schedules` is hit.
+pub fn explore(sc: &CheckScenario, config: &ExploreConfig) -> ExploreOutcome {
+    let mut pruned = 0usize;
+    let mut max_batch = 0usize;
+
+    let (canon, seed) = run_schedule(sc, &[], config.prune, &mut pruned, &mut max_batch);
+    let canon_records: Vec<TraceRecord> = canon.trace.records().cloned().collect();
+    let canon_report = serde_json::to_string(&canon.report).expect("run reports serialize");
+
+    let mut frontier: VecDeque<Vec<u32>> = seed.into();
+    let mut schedules = 1usize;
+    let mut completed = true;
+    let mut counterexample = None;
+
+    while let Some(prefix) = frontier.pop_front() {
+        if schedules >= config.max_schedules {
+            completed = false;
+            break;
+        }
+        let (run, kids) = run_schedule(sc, &prefix, config.prune, &mut pruned, &mut max_batch);
+        schedules += 1;
+        let records: Vec<TraceRecord> = run.trace.records().cloned().collect();
+        let divergence = check_equiv(&canon_records, &records).divergence;
+        let reports_differ =
+            serde_json::to_string(&run.report).expect("run reports serialize") != canon_report;
+        if divergence.is_some() || reports_differ {
+            counterexample = Some(Counterexample {
+                schedule: ScheduleSpec {
+                    scenario: sc.name.to_string(),
+                    choices: prefix,
+                },
+                divergence,
+                reports_differ,
+            });
+            break;
+        }
+        frontier.extend(kids);
+    }
+
+    ExploreOutcome {
+        schedules,
+        pruned,
+        completed,
+        max_batch,
+        counterexample,
+    }
+}

@@ -1,0 +1,221 @@
+//! The entity model behind semantic equivalence: which entity a trace
+//! event belongs to, per-entity projection, and the static independence
+//! relation the explorer prunes with.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use flexpipe_obs::{TraceEvent, TraceRecord};
+use flexpipe_serving::Event;
+
+/// The entity a trace event belongs to.
+///
+/// Per-entity event order is semantics; cross-entity order at the same
+/// virtual timestamp is schedule noise (see the crate docs for the full
+/// commutation relation). The derived `Ord` makes divergence reporting
+/// deterministic when several entities diverge at the same instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Entity {
+    /// One request's lifecycle (arrival/admit/prefill/complete/abort).
+    Request(u64),
+    /// One instance's lifecycle (spawn/ready/refactor*/decode/retire...).
+    Instance(u64),
+    /// The global disruption-episode stream (notice/revocation/restore/
+    /// recovery-closed). Disruptions touch shared capacity, so their
+    /// relative order is a report-affecting fact, not schedule noise.
+    Disruption,
+    /// The control-tick stream (periodic samples feeding timelines).
+    Control,
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Entity::Request(r) => write!(f, "request {r}"),
+            Entity::Instance(i) => write!(f, "instance {i}"),
+            Entity::Disruption => write!(f, "disruption stream"),
+            Entity::Control => write!(f, "control stream"),
+        }
+    }
+}
+
+/// Maps a trace event to its owning entity.
+///
+/// Events that mention both a request and an instance (admit, prefill,
+/// complete, abort) project onto the *request*: the binding is still
+/// compared — the instance id rides in the payload — but the event sits in
+/// the request's lifecycle stream, which is the order the paper's claim is
+/// about.
+pub fn classify(event: &TraceEvent) -> Entity {
+    match event {
+        TraceEvent::RequestArrival { req }
+        | TraceEvent::RequestAdmit { req, .. }
+        | TraceEvent::RequestPrefillDone { req, .. }
+        | TraceEvent::RequestComplete { req, .. }
+        | TraceEvent::RequestAbort { req, .. } => Entity::Request(*req),
+        TraceEvent::DecodeLaunch { instance, .. }
+        | TraceEvent::InstanceSpawn { instance, .. }
+        | TraceEvent::InstanceReady { instance }
+        | TraceEvent::InstanceRetire { instance }
+        | TraceEvent::InstanceRelease { instance }
+        | TraceEvent::RefactorPrepare { instance, .. }
+        | TraceEvent::RefactorPause { instance }
+        | TraceEvent::RefactorCommit { instance, .. }
+        | TraceEvent::RefactorAbort { instance }
+        | TraceEvent::InstanceCrippled { instance, .. }
+        | TraceEvent::PolicyAction { instance, .. } => Entity::Instance(*instance),
+        TraceEvent::RevokeNotice { .. }
+        | TraceEvent::Revocation { .. }
+        | TraceEvent::CapacityRestore { .. }
+        | TraceEvent::RecoveryClosed => Entity::Disruption,
+        TraceEvent::ControlTick { .. } => Entity::Control,
+    }
+}
+
+/// Projects a canonical (time-ordered) trace into per-entity streams,
+/// preserving each entity's record order.
+pub fn project(records: &[TraceRecord]) -> BTreeMap<Entity, Vec<&TraceRecord>> {
+    let mut out: BTreeMap<Entity, Vec<&TraceRecord>> = BTreeMap::new();
+    for r in records {
+        out.entry(classify(&r.event)).or_default().push(r);
+    }
+    out
+}
+
+/// Rewrites allocation-order labels into canonical per-entity names.
+///
+/// Micro-batch ids come from a single global counter, so two instances
+/// launching decode at the same instant draw ids in pop order — a
+/// schedule artifact exactly like record `seq` numbers, not semantics.
+/// Renumbering each instance's ubatches in order of first appearance
+/// (alpha-renaming) makes the label schedule-invariant while still
+/// catching real divergences (extra, missing or reordered launches, and
+/// changed `members` counts, all stay visible).
+pub fn normalize(records: &[TraceRecord]) -> Vec<TraceRecord> {
+    let mut map: HashMap<(u64, u64), u64> = HashMap::new();
+    let mut next: HashMap<u64, u64> = HashMap::new();
+    records
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            if let TraceEvent::DecodeLaunch {
+                instance, ubatch, ..
+            } = &mut r.event
+            {
+                *ubatch = *map.entry((*instance, *ubatch)).or_insert_with(|| {
+                    let n = next.entry(*instance).or_insert(0);
+                    let v = *n;
+                    *n += 1;
+                    v
+                });
+            }
+            r
+        })
+        .collect()
+}
+
+/// The static independence relation for persistent-set pruning.
+///
+/// Two *queue* events are independent iff both are instance-scoped
+/// handlers on different instances. Only `StageArrive` (enqueue a
+/// micro-batch + try-start, no gateway drain, no policy callback) and
+/// `PrepareDone` (Preparing → Paused flip on one instance) qualify —
+/// every other event kind reaches shared state (the gateway, the
+/// admission index, the cluster pool, the policy) and is conservatively
+/// treated as dependent. Swapping two independent events can never change
+/// any entity's stream, so the explorer skips schedules that only differ
+/// by such a swap.
+pub fn independent(a: &Event, b: &Event) -> bool {
+    fn scoped_instance(e: &Event) -> Option<u64> {
+        match e {
+            Event::StageArrive { id, .. } | Event::PrepareDone { id, .. } => Some(id.0),
+            _ => None,
+        }
+    }
+    match (scoped_instance(a), scoped_instance(b)) {
+        (Some(x), Some(y)) => x != y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexpipe_serving::{InstanceId, UbatchId};
+    use flexpipe_sim::SimTime;
+
+    fn rec(seq: u64, at: f64, event: TraceEvent) -> TraceRecord {
+        let _ = SimTime::from_secs_f64(at);
+        TraceRecord { seq, at, event }
+    }
+
+    #[test]
+    fn classification_covers_the_vocabulary() {
+        assert_eq!(
+            classify(&TraceEvent::RequestAdmit {
+                req: 7,
+                instance: 3
+            }),
+            Entity::Request(7)
+        );
+        assert_eq!(
+            classify(&TraceEvent::RefactorAbort { instance: 3 }),
+            Entity::Instance(3)
+        );
+        assert_eq!(
+            classify(&TraceEvent::Revocation { gpus: 2 }),
+            Entity::Disruption
+        );
+        assert_eq!(
+            classify(&TraceEvent::ControlTick {
+                queued: 0,
+                instances: 1
+            }),
+            Entity::Control
+        );
+    }
+
+    #[test]
+    fn projection_preserves_per_entity_order() {
+        let records = vec![
+            rec(0, 1.0, TraceEvent::RequestArrival { req: 0 }),
+            rec(1, 1.0, TraceEvent::InstanceReady { instance: 5 }),
+            rec(
+                2,
+                2.0,
+                TraceEvent::RequestAdmit {
+                    req: 0,
+                    instance: 5,
+                },
+            ),
+        ];
+        let proj = project(&records);
+        assert_eq!(proj.len(), 2);
+        let req = &proj[&Entity::Request(0)];
+        assert_eq!(req.len(), 2);
+        assert_eq!(req[0].seq, 0);
+        assert_eq!(req[1].seq, 2);
+        assert_eq!(proj[&Entity::Instance(5)].len(), 1);
+    }
+
+    #[test]
+    fn independence_is_instance_scoped_and_conservative() {
+        let sa = |i: u64| Event::StageArrive {
+            id: InstanceId(i),
+            epoch: 0,
+            stage: 0,
+            ub: UbatchId(0),
+        };
+        let pd = |i: u64| Event::PrepareDone {
+            id: InstanceId(i),
+            epoch: 0,
+        };
+        assert!(independent(&sa(0), &sa(1)));
+        assert!(independent(&sa(0), &pd(1)));
+        assert!(!independent(&sa(0), &sa(0)));
+        assert!(!independent(&sa(0), &pd(0)));
+        // Anything global is dependent on everything.
+        assert!(!independent(&sa(0), &Event::ControlTick));
+        assert!(!independent(&Event::Churn, &Event::ControlTick));
+    }
+}

@@ -1,0 +1,195 @@
+//! Integration tests for the schedule-equivalence checker: the stepped
+//! driver's fidelity, the committed scenarios' confluence/divergence
+//! contracts, and the pinned semantic fingerprint backstop.
+
+use flexpipe_check::{
+    check_equiv, explore, replay, semantic_fingerprint, CheckScenario, Entity, ExploreConfig,
+    ScheduleSpec, PINNED_SEMANTIC_FINGERPRINT,
+};
+use flexpipe_obs::{TraceEvent, TraceRecord};
+use flexpipe_serving::ENGINE_SEMANTICS_VERSION;
+
+/// The all-zeros stepped schedule IS `run_observed`: same trace bytes,
+/// same report bytes. This is the property that makes explored schedules
+/// comparable against ordinary runs at all.
+#[test]
+fn stepped_canonical_schedule_matches_run_observed() {
+    for sc in [
+        CheckScenario::three_instance_disruption(),
+        CheckScenario::independent_stages(),
+    ] {
+        let observed = sc.engine().run_observed();
+        let mut stepped = sc.stepped();
+        while stepped.step(0).is_some() {}
+        let stepped_run = stepped.finish();
+        assert_eq!(
+            observed.trace.to_jsonl(),
+            stepped_run.trace.to_jsonl(),
+            "trace drift in {}",
+            sc.name
+        );
+        assert_eq!(
+            serde_json::to_string(&observed.report).unwrap(),
+            serde_json::to_string(&stepped_run.report).unwrap(),
+            "report drift in {}",
+            sc.name
+        );
+    }
+}
+
+/// Exhaustively permute the three-instance scenario's same-instant
+/// batches (admission vs refactor commit vs revocation at t=16): every
+/// schedule must converge.
+#[test]
+fn three_instance_disruption_is_confluent() {
+    let sc = CheckScenario::three_instance_disruption();
+    assert!(!sc.expect_divergence);
+    let out = explore(
+        &sc,
+        &ExploreConfig {
+            max_schedules: 2048,
+            prune: true,
+        },
+    );
+    assert!(
+        out.completed,
+        "frontier must drain: {}",
+        out.render(sc.name)
+    );
+    assert!(out.converged(), "{}", out.render(sc.name));
+    assert!(
+        out.schedules > 100,
+        "expected a real tree, got {}",
+        out.schedules
+    );
+    assert!(out.max_batch >= 3, "the t=16 batch has 3 events");
+}
+
+/// Independent per-instance stage work: exploration converges with and
+/// without pruning, and the persistent-set filter actually fires.
+#[test]
+fn independent_stage_work_prunes_and_converges() {
+    let sc = CheckScenario::independent_stages();
+    let pruned = explore(
+        &sc,
+        &ExploreConfig {
+            max_schedules: 2048,
+            prune: true,
+        },
+    );
+    assert!(
+        pruned.completed && pruned.converged(),
+        "{}",
+        pruned.render(sc.name)
+    );
+    assert!(pruned.pruned > 0, "expected persistent-set pruning to fire");
+
+    let full = explore(
+        &sc,
+        &ExploreConfig {
+            max_schedules: 2048,
+            prune: false,
+        },
+    );
+    assert!(
+        full.completed && full.converged(),
+        "{}",
+        full.render(sc.name)
+    );
+    assert!(
+        full.schedules > pruned.schedules,
+        "pruning must shrink the tree: {} vs {}",
+        full.schedules,
+        pruned.schedules
+    );
+}
+
+/// The committed characterization of the one known non-commuting race:
+/// a refactor's commit instant vs a revocation of its fresh device. The
+/// explorer must find the divergence, anchor it on the instance, and the
+/// emitted schedule must replay to the divergent trace.
+#[test]
+fn abort_revoke_overlap_diverges_on_the_instance() {
+    let sc = CheckScenario::abort_revoke_overlap();
+    assert!(sc.expect_divergence);
+    let out = explore(
+        &sc,
+        &ExploreConfig {
+            max_schedules: 256,
+            prune: true,
+        },
+    );
+    let cx = out.counterexample.expect("the race must be found");
+    let d = cx.divergence.as_ref().expect("trace-level divergence");
+    assert_eq!(d.entity, Entity::Instance(1));
+    assert_eq!(d.at(), 16.0);
+    // Canonical order cancels the refactor (revocation first); the
+    // permuted schedule commits onto the doomed device.
+    assert_eq!(
+        d.left.as_ref().map(|r| &r.event),
+        Some(&TraceEvent::RefactorAbort { instance: 1 })
+    );
+    assert!(matches!(
+        d.right.as_ref().map(|r| &r.event),
+        Some(TraceEvent::RefactorCommit { instance: 1, .. })
+    ));
+    assert!(cx.render().contains("abort-revoke-overlap"));
+
+    // The counterexample is a replayable spec: driving the engine through
+    // it reproduces the exact divergent trace.
+    let divergent = replay(&sc, &cx.schedule);
+    let canonical = replay(
+        &sc,
+        &ScheduleSpec {
+            scenario: sc.name.to_string(),
+            choices: vec![],
+        },
+    );
+    let canon_records: Vec<TraceRecord> = canonical.trace.records().cloned().collect();
+    let div_records: Vec<TraceRecord> = divergent.trace.records().cloned().collect();
+    let rep = check_equiv(&canon_records, &div_records);
+    let replayed = rep.divergence.expect("replay reproduces the divergence");
+    assert_eq!(replayed.entity, d.entity);
+    assert_eq!(replayed.index, d.index);
+}
+
+/// The fingerprint backstop: the probe scenario's canonical trace hashes
+/// to the pinned value. If this fails and you changed engine behavior on
+/// purpose, bump `ENGINE_SEMANTICS_VERSION` and re-pin
+/// `PINNED_SEMANTIC_FINGERPRINT` in the same commit; if you did not
+/// change behavior on purpose, you just found an unintended semantics
+/// drift.
+#[test]
+fn probe_fingerprint_matches_the_pinned_value() {
+    let run = CheckScenario::probe().engine().run_observed();
+    let records: Vec<TraceRecord> = run.trace.records().cloned().collect();
+    assert!(records.len() > 1000, "probe must exercise a real run");
+    let fp = semantic_fingerprint(&records);
+    assert_eq!(
+        fp, PINNED_SEMANTIC_FINGERPRINT,
+        "engine semantics drifted: probe fingerprint moved without a \
+         matching re-pin (and, if behavior changed, an \
+         ENGINE_SEMANTICS_VERSION bump)"
+    );
+    // The pin itself must reference the current semantics version, so a
+    // version bump without a re-pin also fails loudly.
+    assert!(
+        PINNED_SEMANTIC_FINGERPRINT.starts_with(&format!("sem-v{ENGINE_SEMANTICS_VERSION}-")),
+        "ENGINE_SEMANTICS_VERSION bumped without re-pinning \
+         PINNED_SEMANTIC_FINGERPRINT"
+    );
+}
+
+/// Equivalence holds between a run and itself, and the probe's semantic
+/// fingerprint is insensitive to the recorder's seq numbering.
+#[test]
+fn probe_run_is_self_equivalent() {
+    let sc = CheckScenario::probe();
+    let a = sc.engine().run_observed();
+    let b = sc.engine().run_observed();
+    let ra: Vec<TraceRecord> = a.trace.records().cloned().collect();
+    let rb: Vec<TraceRecord> = b.trace.records().cloned().collect();
+    let rep = check_equiv(&ra, &rb);
+    assert!(rep.equivalent(), "{}", rep.render("a", "b"));
+    assert_eq!(semantic_fingerprint(&ra), semantic_fingerprint(&rb));
+}

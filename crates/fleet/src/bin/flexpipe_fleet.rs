@@ -47,11 +47,28 @@
 //!                             thread counts and admission modes
 //!     --admission <mode>      `indexed` (default) or `naive`
 //! flexpipe-fleet trace summarize <trace.jsonl>    per-kind counts + occupancy table
-//! flexpipe-fleet trace diff <a.jsonl> <b.jsonl>   structured first-divergence
-//!                                                 report; exit 0 identical, 2 diverged
+//! flexpipe-fleet trace diff <a.jsonl> <b.jsonl>   semantic first-divergence report
+//!                                                 (per-entity, modulo the commutation
+//!                                                 relation); exit 0 equivalent, 2 diverged
+//!     --textual               compare raw lines instead (the old byte-level diff)
 //! flexpipe-fleet trace profile [--instances N]    engine dispatch self-time table
 //!                                                 (default 1500 instances), incl.
 //!                                                 the policy.on_tick row
+//! flexpipe-fleet check equiv <a.jsonl> <b.jsonl>  semantic trace equivalence; exit 0
+//!                                                 equivalent, 2 with the first per-entity
+//!                                                 divergence otherwise
+//! flexpipe-fleet check explore [options]          bounded interleaving exploration of the
+//!                                                 committed checker scenarios; exit 2 if any
+//!                                                 scenario's verdict contradicts its
+//!                                                 committed expectation
+//!     --scenario <name>       explore one scenario (default: every committed
+//!                             exploration target; the fingerprint probe is
+//!                             fingerprinted, not explored)
+//!     --max-schedules <n>     schedule budget per scenario (default 2048)
+//!     --no-prune              disable persistent-set pruning
+//! flexpipe-fleet check pin                        recompute the probe scenario's semantic
+//!                                                 fingerprint; exit 2 if it drifted from
+//!                                                 the pinned constant
 //! flexpipe-fleet cache stats <dir>                cache entry / size / age summary
 //! flexpipe-fleet cache gc <dir> [--max-age <dur>] [--max-bytes <N>]
 //!                                                 drop entries older than e.g. 7d
@@ -70,17 +87,21 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use flexpipe_check::{
+    check_equiv, explore, semantic_fingerprint, CheckScenario, ExploreConfig,
+    PINNED_SEMANTIC_FINGERPRINT,
+};
 use flexpipe_fleet::{
     cache_salt, find_cell, gate::gate, parse_bench, parse_campaign, parse_spec, profile_on_tick,
     record_cell_trace, run_bench, run_campaign, run_sweep, BenchSpec, CampaignOptions,
     CampaignSpec, CellCache, FleetReport, GateConfig, RunOptions, SpecReport, SweepSpec,
 };
-use flexpipe_obs::{first_divergence, parse_jsonl, TraceSummary};
-use flexpipe_serving::{AdmissionMode, TraceMode};
+use flexpipe_obs::{first_divergence, parse_jsonl, TraceRecord, TraceSummary};
+use flexpipe_serving::{AdmissionMode, TraceMode, ENGINE_SEMANTICS_VERSION};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.(json|toml)> [--out report.json] [--threads N] [--rates 100,200] [--hot-paths] [--quiet]\n  flexpipe-fleet campaign init [campaign.json]\n  flexpipe-fleet campaign <campaign.(json|toml)> [--out-dir DIR] [--cache DIR | --no-cache] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--assert-warm] [--gate DIR [--tolerance 0.02]]\n  flexpipe-fleet trace record <spec.(json|toml)> [--cell ID] [--mode off|ring[:N]|full] [--out trace.jsonl] [--admission indexed|naive]\n  flexpipe-fleet trace summarize <trace.jsonl>\n  flexpipe-fleet trace diff <a.jsonl> <b.jsonl>\n  flexpipe-fleet trace profile [--instances N]\n  flexpipe-fleet cache stats <dir>\n  flexpipe-fleet cache gc <dir> [--max-age <90s|15m|12h|7d>] [--max-bytes <N>]\n  flexpipe-fleet fingerprint\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
+        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.(json|toml)> [--out report.json] [--threads N] [--rates 100,200] [--hot-paths] [--quiet]\n  flexpipe-fleet campaign init [campaign.json]\n  flexpipe-fleet campaign <campaign.(json|toml)> [--out-dir DIR] [--cache DIR | --no-cache] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--assert-warm] [--gate DIR [--tolerance 0.02]]\n  flexpipe-fleet trace record <spec.(json|toml)> [--cell ID] [--mode off|ring[:N]|full] [--out trace.jsonl] [--admission indexed|naive]\n  flexpipe-fleet trace summarize <trace.jsonl>\n  flexpipe-fleet trace diff <a.jsonl> <b.jsonl> [--textual]\n  flexpipe-fleet trace profile [--instances N]\n  flexpipe-fleet check equiv <a.jsonl> <b.jsonl>\n  flexpipe-fleet check explore [--scenario NAME] [--max-schedules N] [--no-prune]\n  flexpipe-fleet check pin\n  flexpipe-fleet cache stats <dir>\n  flexpipe-fleet cache gc <dir> [--max-age <90s|15m|12h|7d>] [--max-bytes <N>]\n  flexpipe-fleet fingerprint\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
     );
     ExitCode::from(1)
 }
@@ -95,6 +116,13 @@ fn read(path: &str) -> Result<String, ExitCode> {
 fn write(path: &str, contents: &str) -> Result<(), ExitCode> {
     std::fs::write(path, contents).map_err(|e| {
         eprintln!("cannot write {path}: {e}");
+        ExitCode::from(1)
+    })
+}
+
+fn load_trace(path: &str) -> Result<Vec<TraceRecord>, ExitCode> {
+    parse_jsonl(&read(path)?).map_err(|e| {
+        eprintln!("cannot parse trace {path}: {e}");
         ExitCode::from(1)
     })
 }
@@ -537,29 +565,41 @@ fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
             let [path] = args.as_slice() else {
                 return Err(usage());
             };
-            let records = parse_jsonl(&read(path)?).map_err(|e| {
-                eprintln!("cannot parse trace {path}: {e}");
-                ExitCode::from(1)
-            })?;
+            let records = load_trace(path)?;
             println!("{}", TraceSummary::from_records(&records).render(path));
             Ok(ExitCode::SUCCESS)
         }
         "diff" => {
+            let textual = take_flag(&mut args, "--textual");
             let [a, b] = args.as_slice() else {
                 return Err(usage());
             };
-            let left = read(a)?;
-            let right = read(b)?;
-            match first_divergence(&left, &right) {
-                None => {
-                    println!("traces identical ({} records)", left.lines().count());
-                    Ok(ExitCode::SUCCESS)
-                }
-                Some(d) => {
-                    print!("{}", d.render(a, b));
-                    Ok(ExitCode::from(2))
-                }
+            if textual {
+                // The pre-checker byte-level comparison: line-exact, no
+                // commutation relation. Useful when the question is "are
+                // these files identical", not "do they mean the same".
+                let left = read(a)?;
+                let right = read(b)?;
+                return match first_divergence(&left, &right) {
+                    None => {
+                        println!("traces identical ({} records)", left.lines().count());
+                        Ok(ExitCode::SUCCESS)
+                    }
+                    Some(d) => {
+                        print!("{}", d.render(a, b));
+                        Ok(ExitCode::from(2))
+                    }
+                };
             }
+            let left = load_trace(a)?;
+            let right = load_trace(b)?;
+            let report = check_equiv(&left, &right);
+            print!("{}", report.render(a, b));
+            Ok(if report.equivalent() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            })
         }
         "profile" => {
             let instances = match take_flag_value(&mut args, "--instances")? {
@@ -595,6 +635,118 @@ fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
         }
         other => {
             eprintln!("unknown trace verb `{other}` (expected record, summarize, diff or profile)");
+            Err(usage())
+        }
+    }
+}
+
+fn cmd_check(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
+    if args.is_empty() {
+        return Err(usage());
+    }
+    let verb = args.remove(0);
+    match verb.as_str() {
+        // Semantic equivalence of two recorded traces: the checker's
+        // commutation relation decides, not byte equality.
+        "equiv" => {
+            let [a, b] = args.as_slice() else {
+                return Err(usage());
+            };
+            let left = load_trace(a)?;
+            let right = load_trace(b)?;
+            let report = check_equiv(&left, &right);
+            print!("{}", report.render(a, b));
+            Ok(if report.equivalent() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            })
+        }
+        // Bounded interleaving exploration over the committed scenarios.
+        // A scenario passes when its verdict matches its committed
+        // expectation: confluent scenarios must converge, and the known
+        // non-commuting race must still be found (losing it would mean
+        // the checker went blind, not that the engine got better).
+        "explore" => {
+            let scenario = take_flag_value(&mut args, "--scenario")?;
+            let max_schedules = match take_flag_value(&mut args, "--max-schedules")? {
+                Some(v) => v.parse::<usize>().map_err(|_| {
+                    eprintln!("--max-schedules needs an integer");
+                    ExitCode::from(1)
+                })?,
+                None => 2048,
+            };
+            let prune = !take_flag(&mut args, "--no-prune");
+            if !args.is_empty() {
+                return Err(usage());
+            }
+            let scenarios = match scenario {
+                Some(name) => vec![CheckScenario::named(&name).ok_or_else(|| {
+                    eprintln!("no checker scenario `{name}`; committed scenarios:");
+                    for sc in CheckScenario::all() {
+                        eprintln!("  {} — {}", sc.name, sc.about);
+                    }
+                    ExitCode::from(1)
+                })?],
+                None => CheckScenario::exploration_targets(),
+            };
+            let cfg = ExploreConfig {
+                max_schedules,
+                prune,
+            };
+            let mut failed = false;
+            for sc in scenarios {
+                let out = explore(&sc, &cfg);
+                print!("{}", out.render(sc.name));
+                if !out.completed {
+                    eprintln!(
+                        "ERROR: `{}` exhausted its schedule budget ({max_schedules}) before \
+                         draining the frontier; raise --max-schedules",
+                        sc.name
+                    );
+                    failed = true;
+                } else if out.converged() == sc.expect_divergence {
+                    eprintln!(
+                        "ERROR: `{}` {}",
+                        sc.name,
+                        if sc.expect_divergence {
+                            "was expected to expose its committed race, but every schedule converged"
+                        } else {
+                            "was expected to be confluent, but a schedule diverged"
+                        }
+                    );
+                    failed = true;
+                }
+            }
+            Ok(if failed {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            })
+        }
+        // The fingerprint backstop: recompute the probe scenario's
+        // semantic fingerprint and compare against the pinned constant.
+        "pin" => {
+            if !args.is_empty() {
+                return Err(usage());
+            }
+            let run = CheckScenario::probe().engine().run_observed();
+            let records: Vec<TraceRecord> = run.trace.records().cloned().collect();
+            let fp = semantic_fingerprint(&records);
+            println!("probe semantic fingerprint: {fp}");
+            println!("pinned:                     {PINNED_SEMANTIC_FINGERPRINT}");
+            if fp != PINNED_SEMANTIC_FINGERPRINT {
+                eprintln!(
+                    "ERROR: engine semantics drifted from the pin; if deliberate, bump \
+                     ENGINE_SEMANTICS_VERSION (currently {ENGINE_SEMANTICS_VERSION}) and re-pin \
+                     PINNED_SEMANTIC_FINGERPRINT in the same commit"
+                );
+                return Ok(ExitCode::from(2));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => {
+            eprintln!("unknown check verb `{other}` (expected equiv, explore or pin)");
             Err(usage())
         }
     }
@@ -730,6 +882,7 @@ fn main() -> ExitCode {
         "bench" => cmd_bench(args),
         "campaign" => cmd_campaign(args),
         "trace" => cmd_trace(args),
+        "check" => cmd_check(args),
         "cache" => cmd_cache(args),
         "fingerprint" => {
             println!("{}", cache_salt());

@@ -93,9 +93,20 @@ impl OutcomeLog {
         self.outcomes.push(outcome);
     }
 
-    /// All outcomes in completion order.
+    /// All outcomes, in completion order until [`OutcomeLog::canonicalize`]
+    /// re-sorts them.
     pub fn outcomes(&self) -> &[RequestOutcome] {
         &self.outcomes
+    }
+
+    /// Re-sorts the log by request id. Completion order is a schedule
+    /// artifact — two requests finishing at the same virtual instant on
+    /// different instances land in pop order — so reports canonicalize
+    /// before serializing: equivalent schedules then produce byte-identical
+    /// outcome lists and identical float-summation order in the summary
+    /// means.
+    pub fn canonicalize(&mut self) {
+        self.outcomes.sort_by_key(|o| o.id);
     }
 
     /// Number of completions.

@@ -40,4 +40,4 @@ pub use event::{TraceEvent, TraceRecord};
 pub use profile::Profiler;
 pub use recorder::{TraceMode, TraceRecorder};
 pub use registry::{EventRegistry, KindStats};
-pub use summary::{parse_jsonl, TraceSummary};
+pub use summary::{parse_jsonl, ParseError, TraceSummary};

@@ -5,17 +5,41 @@ use flexpipe_metrics::Table;
 use crate::event::TraceRecord;
 use crate::registry::EventRegistry;
 
+/// A malformed line in a JSONL trace: which line (1-based) and why.
+///
+/// Traces are routinely truncated in the wild — a killed recording, a
+/// partial download, a ring buffer cut mid-write — so consumers need the
+/// position, not just a message, to decide whether the damage is a
+/// garbage line in the middle or a clean cut at the tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong on that line (serde decode error text).
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// Parses a JSON Lines trace (as produced by
-/// [`crate::TraceRecorder::to_jsonl`]). Blank lines are ignored; the
-/// error names the offending line (1-based).
-pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+/// [`crate::TraceRecorder::to_jsonl`]). Blank lines are ignored; a
+/// malformed or truncated line fails with a [`ParseError`] naming it.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, ParseError> {
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let rec: TraceRecord =
-            serde_json::from_str(line).map_err(|e| format!("line {}: {e:?}", i + 1))?;
+        let rec: TraceRecord = serde_json::from_str(line).map_err(|e| ParseError {
+            line: i + 1,
+            reason: format!("{e:?}"),
+        })?;
         out.push(rec);
     }
     Ok(out)
@@ -110,6 +134,34 @@ mod tests {
     fn parse_reports_the_bad_line() {
         let err = parse_jsonl("{\"seq\":0,\"at\":0.0,\"event\":\"RecoveryClosed\"}\nnot json\n")
             .unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn parse_reports_a_truncated_tail() {
+        // A recording killed mid-write: the last line is cut inside the
+        // event object. The good prefix must not mask the damage.
+        let mut rec = TraceRecorder::new(TraceMode::Full);
+        rec.record(SimTime::from_secs(1), TraceEvent::RequestArrival { req: 0 });
+        rec.record(SimTime::from_secs(2), TraceEvent::RecoveryClosed);
+        let full = rec.to_jsonl();
+        let cut = &full[..full.len() - 12];
+        assert!(!cut.ends_with('\n'), "cut must land mid-line");
+        let err = parse_jsonl(cut).unwrap_err();
+        assert_eq!(err.line, 2, "{err}");
+    }
+
+    #[test]
+    fn parse_reports_a_garbage_line_between_records() {
+        let text = "{\"seq\":0,\"at\":0.0,\"event\":\"RecoveryClosed\"}\n\
+                    {\"seq\":1,\"at\":1.0,\"event\":{\"bogus_kind\":{}}}\n\
+                    {\"seq\":2,\"at\":2.0,\"event\":\"RecoveryClosed\"}\n";
+        let err = parse_jsonl(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(!err.reason.is_empty());
+        // Blank lines are fine and do not shift the numbering.
+        let ok = parse_jsonl("\n{\"seq\":0,\"at\":0.0,\"event\":\"RecoveryClosed\"}\n\n").unwrap();
+        assert_eq!(ok.len(), 1);
     }
 }

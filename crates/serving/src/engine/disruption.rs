@@ -154,6 +154,12 @@ impl EngineState {
                 // below owns its state transition.
                 continue;
             }
+            // The revocation aborted this refactor even though the
+            // instance survives; record the abort so trace consumers (the
+            // schedule-equivalence checker in particular) can see the
+            // cancel-vs-commit race instead of a silent no-op.
+            self.obs
+                .record(now, TraceEvent::RefactorAbort { instance: id.0 });
             if pending.from_crippled {
                 // A cancelled rebuild leaves no complete topology and no
                 // retry hook: release the survivors so the policy's

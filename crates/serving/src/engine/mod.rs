@@ -35,6 +35,9 @@ mod disruption;
 mod exec;
 pub mod indexes;
 mod lifecycle;
+mod stepped;
+
+pub use stepped::SteppedEngine;
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -608,8 +611,20 @@ impl Engine {
     /// [`Engine::set_profiler`]).
     pub fn run_observed(mut self) -> ObservedRun {
         let mut queue: EventQueue<Event> = EventQueue::new();
+        self.prime(&mut queue);
+        let horizon = self.state.horizon;
+        let max_events = self.state.config.max_events;
+        let (outcome, steps) = flexpipe_sim::run(&mut self, &mut queue, horizon, max_events);
+        self.finish_observed(outcome, steps)
+    }
+
+    /// Seeds the event queue and runs policy initialisation — everything
+    /// `run_observed` does before entering the event loop. Shared with the
+    /// step-controllable driver ([`crate::SteppedEngine`]) so both paths
+    /// start from bit-identical state.
+    pub(crate) fn prime(&mut self, queue: &mut EventQueue<Event>) {
         // Policy initialisation (deploys the initial configuration).
-        self.with_policy(&mut queue, |p, ctx| p.init(ctx));
+        self.with_policy(queue, |p, ctx| p.init(ctx));
         // Seed the event streams.
         if !self.state.workload.is_empty() {
             let t = self.state.workload[0].arrival;
@@ -634,10 +649,12 @@ impl Engine {
                     .expect("script starts at or after t=0");
             }
         }
+    }
 
+    /// Folds a finished event loop into the observed-run artifacts — the
+    /// tail of `run_observed`, shared with [`crate::SteppedEngine`].
+    pub(crate) fn finish_observed(mut self, outcome: RunOutcome, steps: u64) -> ObservedRun {
         let horizon = self.state.horizon;
-        let max_events = self.state.config.max_events;
-        let (outcome, steps) = flexpipe_sim::run(&mut self, &mut queue, horizon, max_events);
         self.events_seen = steps;
         // The step budget is a first-class watchdog, not an assertion: a
         // fleet sweep must be able to bound runaway cells and report them
@@ -658,6 +675,9 @@ impl Engine {
         let mut st = self.state;
         st.disruptions.finalize(horizon);
         let span = horizon.as_secs_f64();
+        // Canonical order before summarizing: byte-identical reports across
+        // semantically equivalent schedules (see OutcomeLog::canonicalize).
+        st.outcomes.canonicalize();
         let summary = st.outcomes.summarize(span);
         let policy_name = self
             .policy

@@ -1,0 +1,114 @@
+//! A step-controllable engine driver for schedule exploration.
+//!
+//! [`SteppedEngine`] replicates the [`flexpipe_sim::run`] loop exactly, but
+//! hands control of *same-virtual-time ordering* to the caller: at every
+//! step the caller reads the front batch of events tied at the earliest
+//! firing time and picks which one fires next. Choosing index 0 at every
+//! step reproduces `Engine::run_observed` bit for bit (canonical insertion
+//! order); any other choice explores an alternative schedule of the same
+//! virtual instant. `flexpipe-check` builds its bounded interleaving
+//! exploration on this seam.
+
+use flexpipe_sim::{EventQueue, RunOutcome, World};
+
+use super::{Engine, Event, ObservedRun};
+
+/// Drives an [`Engine`] one event at a time with caller-chosen tie order.
+pub struct SteppedEngine {
+    engine: Engine,
+    queue: EventQueue<Event>,
+    steps: u64,
+    outcome: Option<RunOutcome>,
+}
+
+impl SteppedEngine {
+    /// Primes `engine` (policy init + seed events) without firing anything.
+    pub fn new(mut engine: Engine) -> SteppedEngine {
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        engine.prime(&mut queue);
+        SteppedEngine {
+            engine,
+            queue,
+            steps: 0,
+            outcome: None,
+        }
+    }
+
+    /// The same-virtual-time batch at the queue front, in canonical
+    /// insertion order (index 0 is what the canonical run would fire
+    /// next). Empty once the run has ended.
+    pub fn batch(&self) -> Vec<&Event> {
+        if self.outcome.is_some() {
+            return Vec::new();
+        }
+        self.queue.front_batch()
+    }
+
+    /// Events fired so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The run outcome, once the loop has ended.
+    pub fn outcome(&self) -> Option<RunOutcome> {
+        self.outcome
+    }
+
+    /// Fires the `choice`-th event of the front batch (insertion order)
+    /// and returns its kind, or `None` once the run is over (recording
+    /// the outcome exactly as [`flexpipe_sim::run`] would).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `choice` is out of range for a non-empty front batch;
+    /// exploration drivers must read [`SteppedEngine::batch`] first.
+    pub fn step(&mut self, choice: usize) -> Option<&'static str> {
+        if self.outcome.is_some() {
+            return None;
+        }
+        let horizon = self.engine.state.horizon;
+        if self.steps >= self.engine.state.config.max_events {
+            self.outcome = Some(RunOutcome::StepBudgetExhausted);
+            return None;
+        }
+        match self.queue.peek_time() {
+            Some(t) if t <= horizon => {
+                let (now, event) = self
+                    .queue
+                    .pop_tied(choice)
+                    .expect("schedule choice out of range for the front batch");
+                let kind = event.kind();
+                self.engine.handle(now, event, &mut self.queue);
+                self.steps += 1;
+                Some(kind)
+            }
+            _ => {
+                // Mirror the run loop's terminal `pop_until`: it advances
+                // the clock to the deadline before reporting the outcome.
+                let drained = self.queue.pop_until(horizon);
+                debug_assert!(drained.is_none(), "peeked later than the horizon");
+                self.outcome = Some(if self.queue.is_empty() {
+                    RunOutcome::Drained {
+                        at: self.queue.now(),
+                    }
+                } else {
+                    RunOutcome::DeadlineReached
+                });
+                None
+            }
+        }
+    }
+
+    /// Fires remaining events in canonical order until the run ends.
+    pub fn run_to_end(&mut self) {
+        while self.step(0).is_some() {}
+    }
+
+    /// Finishes the run (canonical order for any remaining events) and
+    /// folds it into the same artifacts `Engine::run_observed` returns.
+    pub fn finish(mut self) -> ObservedRun {
+        self.run_to_end();
+        let outcome = self.outcome.expect("run_to_end sets the outcome");
+        self.engine.finish_observed(outcome, self.steps)
+    }
+}

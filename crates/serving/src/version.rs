@@ -27,7 +27,11 @@ use crate::config::EngineConfig;
 
 /// Manually maintained engine-semantics counter (see the module docs for
 /// the bump rule).
-pub const ENGINE_SEMANTICS_VERSION: u32 = 1;
+///
+/// v2: report outcome lists canonicalize to request-id order before
+/// summarizing (completion order was a schedule artifact; summary means
+/// now sum in id order, which can move cached metrics by float-ULPs).
+pub const ENGINE_SEMANTICS_VERSION: u32 = 2;
 
 /// FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
@@ -104,7 +108,7 @@ mod tests {
     /// [`ENGINE_SEMANTICS_VERSION`] and re-pin).
     #[test]
     fn fingerprint_matches_the_committed_value() {
-        assert_eq!(engine_fingerprint(), "engine-v1-eed038b42aeaa8e3");
+        assert_eq!(engine_fingerprint(), "engine-v2-eed038b42aeaa8e3");
     }
 
     #[test]

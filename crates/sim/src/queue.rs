@@ -184,6 +184,47 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// The events tied at the earliest firing time, in deterministic
+    /// insertion order: index 0 is exactly what [`EventQueue::pop`] would
+    /// fire next. Empty when no events are pending.
+    ///
+    /// This is the schedule-exploration seam: a driver that wants to
+    /// permute same-instant orderings reads the batch here and commits a
+    /// choice with [`EventQueue::pop_tied`].
+    pub fn front_batch(&self) -> Vec<&E> {
+        let Some(t) = self.peek_time() else {
+            return Vec::new();
+        };
+        let mut tied: Vec<&Scheduled<E>> = self.heap.iter().filter(|s| s.at == t).collect();
+        tied.sort_by_key(|s| s.seq);
+        tied.into_iter().map(|s| &s.event).collect()
+    }
+
+    /// Pops the `index`-th event (insertion order) of the front same-time
+    /// batch, advancing the clock to its firing time. `pop_tied(0)` is
+    /// identical to [`EventQueue::pop`]. Events skipped over keep their
+    /// original sequence numbers, so subsequent pops see the rest of the
+    /// batch in unchanged relative order. Returns `None` when the queue is
+    /// empty or `index` is out of range for the front batch (the queue is
+    /// left untouched).
+    pub fn pop_tied(&mut self, index: usize) -> Option<(SimTime, E)> {
+        let t = self.peek_time()?;
+        let mut batch = Vec::new();
+        while self.heap.peek().is_some_and(|s| s.at == t) {
+            batch.push(self.heap.pop().expect("peeked"));
+        }
+        if index >= batch.len() {
+            self.heap.extend(batch);
+            return None;
+        }
+        let chosen = batch.swap_remove(index);
+        self.heap.extend(batch);
+        debug_assert!(chosen.at >= self.now, "event queue time went backwards");
+        self.now = chosen.at;
+        self.popped += 1;
+        Some((chosen.at, chosen.event))
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +302,63 @@ mod tests {
             q.pop_until(SimTime::from_secs(20)),
             Some((SimTime::from_secs(10), 'b'))
         );
+    }
+
+    #[test]
+    fn front_batch_lists_ties_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), 'x').unwrap();
+        q.schedule(SimTime::from_secs(1), 'a').unwrap();
+        q.schedule(SimTime::from_secs(1), 'b').unwrap();
+        q.schedule(SimTime::from_secs(1), 'c').unwrap();
+        assert_eq!(q.front_batch(), vec![&'a', &'b', &'c']);
+        // Reading the batch does not disturb the queue.
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 'a')));
+        let empty: EventQueue<char> = EventQueue::new();
+        assert!(empty.front_batch().is_empty());
+    }
+
+    #[test]
+    fn pop_tied_zero_matches_pop() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for q in [&mut a, &mut b] {
+            q.schedule(SimTime::from_secs(1), 'a').unwrap();
+            q.schedule(SimTime::from_secs(1), 'b').unwrap();
+            q.schedule(SimTime::from_secs(3), 'c').unwrap();
+        }
+        loop {
+            let x = a.pop();
+            let y = b.pop_tied(0);
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+        assert_eq!(a.events_fired(), b.events_fired());
+    }
+
+    #[test]
+    fn pop_tied_permutes_only_the_front_batch() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..4 {
+            q.schedule(t, i).unwrap();
+        }
+        q.schedule(SimTime::from_secs(2), 99).unwrap();
+        // Fire the batch as 2, 0, 3, 1: skipped events keep their order.
+        assert_eq!(q.pop_tied(2), Some((t, 2)));
+        assert_eq!(q.front_batch(), vec![&0, &1, &3]);
+        assert_eq!(q.pop_tied(0), Some((t, 0)));
+        assert_eq!(q.pop_tied(1), Some((t, 3)));
+        assert_eq!(q.pop_tied(0), Some((t, 1)));
+        // The later event is untouched and out-of-range choices are inert.
+        assert_eq!(q.pop_tied(1), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_tied(0), Some((SimTime::from_secs(2), 99)));
+        assert_eq!(q.pop_tied(0), None);
+        assert_eq!(q.events_fired(), 5);
     }
 
     #[test]

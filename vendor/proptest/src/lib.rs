@@ -10,8 +10,11 @@
 //!   primitive integers;
 //! - [`prop_assert!`] / [`prop_assert_eq!`] with formatted messages.
 //!
-//! Unlike real proptest there is no shrinking: a failing case reports its
-//! inputs (every sampled binding is `Debug`-printed) and panics. Case
+//! Failing cases shrink minimally before reporting: the runner greedily
+//! walks [`Strategy::shrink`] candidates (integers toward the range
+//! start, vectors toward fewer/smaller elements) one binding at a time
+//! and panics with the simplest input that still fails. Strategies
+//! without a `shrink` override report the originally sampled input. Case
 //! generation is deterministic per test (seeded from the test's name), so
 //! failures reproduce exactly across runs — which this repo values more
 //! than cross-run case diversity.
@@ -69,6 +72,36 @@ pub trait Strategy {
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Simpler candidates for a failing `value`, most aggressive first.
+    ///
+    /// The `proptest!` runner greedily adopts the first candidate that
+    /// still fails and repeats until no candidate does, so candidates
+    /// should be ordered biggest-jump-first (e.g. range start, then the
+    /// midpoint, then one step down) for binary-search-like descent. The
+    /// default is no candidates, i.e. no shrinking.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Shrink candidates for an integer at distance `v - lo` from its range
+/// start: the start itself, the midpoint, one step down — deduplicated,
+/// most aggressive first (see [`Strategy::shrink`] on ordering).
+fn int_shrink_toward(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v > lo {
+        out.push(lo);
+        let mid = lo + (v - lo) / 2;
+        if mid != lo {
+            out.push(mid);
+        }
+        if v - 1 != lo && v - 1 != lo + (v - lo) / 2 {
+            out.push(v - 1);
+        }
+    }
+    out
 }
 
 macro_rules! impl_int_range_strategy {
@@ -81,6 +114,13 @@ macro_rules! impl_int_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
         }
 
         impl Strategy for RangeInclusive<$t> {
@@ -91,6 +131,13 @@ macro_rules! impl_int_range_strategy {
                 assert!(lo <= hi, "empty range strategy");
                 let span = (hi as i128 - lo as i128 + 1) as u64;
                 (lo as i128 + rng.below(span) as i128) as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
             }
         }
     )*};
@@ -168,6 +215,17 @@ macro_rules! impl_any_int {
 
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value as i128;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0i128, v / 2, if v > 0 { v - 1 } else { v + 1 }];
+                out.dedup();
+                out.retain(|&x| x != v);
+                out.into_iter().map(|x| x as $t).collect()
             }
         }
 
@@ -315,12 +373,41 @@ pub mod collection {
         VecStrategy { element, min, max }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.min + rng.below((self.max - self.min) as u64) as usize;
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Structural candidates first: truncate to the minimum
+            // length, then drop one element at each position.
+            if value.len() > self.min {
+                out.push(value[..self.min].to_vec());
+                for i in 0..value.len() {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    if shorter.len() >= self.min {
+                        out.push(shorter);
+                    }
+                }
+            }
+            // Then element-wise: each position replaced by its own
+            // shrink candidates, one at a time.
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut simpler = value.clone();
+                    simpler[i] = cand;
+                    out.push(simpler);
+                }
+            }
+            out
         }
     }
 
@@ -463,25 +550,75 @@ macro_rules! proptest {
             let config: $crate::ProptestConfig = $cfg;
             let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
             for case in 0..config.cases {
-                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
-                let inputs = format!(
-                    concat!("case {} of {}: ", $(stringify!($arg), " = {:?}, ",)* ""),
-                    case + 1,
-                    config.cases,
-                    $(&$arg),*
-                );
-                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
-                    $body
-                    ::std::result::Result::Ok(())
-                })();
-                if let ::std::result::Result::Err(msg) = outcome {
-                    panic!("proptest case failed [{inputs}]: {msg}");
+                $(let mut $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                // Run the body on owned clones so it may consume its
+                // bindings; the originals stay available for shrinking.
+                let outcome: ::std::result::Result<(), ::std::string::String> = {
+                    $(let $arg = ::std::clone::Clone::clone(&$arg);)*
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                };
+                if let ::std::result::Result::Err(mut msg) = outcome {
+                    // Greedy shrink: adopt the first simpler input that
+                    // still fails, one binding at a time, until no
+                    // candidate fails (or the probe budget runs out).
+                    let mut budget = 1024usize;
+                    let mut improved = true;
+                    while improved && budget > 0 {
+                        improved = false;
+                        $crate::proptest!(
+                            @shrink (msg, improved, budget, $body), ($($arg),*);
+                            $(($arg, $strat))*
+                        );
+                    }
+                    let inputs = format!(
+                        concat!("case {} of {}: ", $(stringify!($arg), " = {:?}, ",)* ""),
+                        case + 1,
+                        config.cases,
+                        $(&$arg),*
+                    );
+                    panic!("proptest case failed (after shrinking) [{inputs}]: {msg}");
                 }
             }
         }
         $crate::proptest!(@cfg ($cfg); $($rest)*);
     };
     (@cfg ($cfg:expr);) => {};
+    // One shrink pass for one binding: try its candidates against the
+    // current values of *all* bindings (the tt-muncher carries the full
+    // list, which a nested `$arg` repetition cannot express).
+    (@shrink ($msg:ident, $improved:ident, $budget:ident, $body:block), ($($all:ident),*); ($arg:ident, $strat:expr) $($rest:tt)*) => {
+        if !$improved {
+            for cand in $crate::Strategy::shrink(&($strat), &$arg) {
+                if $budget == 0 {
+                    break;
+                }
+                $budget -= 1;
+                let prev = ::std::mem::replace(&mut $arg, cand);
+                let outcome: ::std::result::Result<(), ::std::string::String> = {
+                    $(let $all = ::std::clone::Clone::clone(&$all);)*
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                };
+                match outcome {
+                    ::std::result::Result::Err(m) => {
+                        $msg = m;
+                        $improved = true;
+                        break;
+                    }
+                    ::std::result::Result::Ok(()) => {
+                        $arg = prev;
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@shrink ($msg, $improved, $budget, $body), ($($all),*); $($rest)*);
+    };
+    (@shrink ($msg:ident, $improved:ident, $budget:ident, $body:block), ($($all:ident),*);) => {};
     ($($rest:tt)*) => {
         $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
     };
@@ -535,5 +672,49 @@ mod tests {
             prop_assert_eq!(b, b);
             prop_assert_ne!(x, 0);
         }
+    }
+
+    // Deliberately failing properties, run via catch_unwind (note: no
+    // `#[test]` attribute on the generated fns) to observe the shrunk
+    // inputs in the panic message.
+    proptest! {
+        fn int_shrink_probe(x in 0u32..1000) {
+            prop_assert!(x < 10);
+        }
+
+        fn vec_shrink_probe(v in prop::collection::vec(0u32..100, 0..8)) {
+            prop_assert!(v.len() < 3);
+        }
+    }
+
+    fn failure_message(f: fn()) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("probe property must fail");
+        err.downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is the formatted failure")
+    }
+
+    /// `x < 10` over `0..1000` must shrink to exactly the boundary: 10.
+    #[test]
+    fn integer_failures_shrink_to_the_boundary() {
+        let msg = failure_message(int_shrink_probe);
+        assert!(msg.contains("x = 10,"), "{msg}");
+    }
+
+    /// `len < 3` must shrink to the shortest failing vector of the
+    /// simplest elements: `[0, 0, 0]`.
+    #[test]
+    fn vec_failures_shrink_structurally_and_elementwise() {
+        let msg = failure_message(vec_shrink_probe);
+        assert!(msg.contains("v = [0, 0, 0],"), "{msg}");
+    }
+
+    #[test]
+    fn int_shrink_candidates_descend_toward_the_start() {
+        use crate::Strategy;
+        assert_eq!((0u32..1000).shrink(&7), vec![0, 3, 6]);
+        assert_eq!((5u32..=20).shrink(&5), Vec::<u32>::new());
+        assert_eq!((5u32..=20).shrink(&6), vec![5]);
+        assert_eq!((-8i32..9).shrink(&4), vec![-8, -2, 3]);
     }
 }
