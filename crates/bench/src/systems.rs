@@ -82,8 +82,13 @@ impl std::fmt::Display for SystemId {
 /// assumptions.
 pub fn flexpipe_config(rate: f64) -> FlexPipeConfig {
     // Peak GPU estimate mirrors what the static baselines provision for:
-    // peak ≈ 2.5x mean demand at ~4 GPUs per 4-stage replica.
-    let peak_gpus = (((rate * 2.5) / 40.0).ceil() as u32 * 4).clamp(4, 24);
+    // peak ≈ 2.5x mean demand at ~4 GPUs per 4-stage replica. The old
+    // clamp at 24 GPUs / 12 replicas saturated the fleet around 120 QPS
+    // (≈10 req/s per 4-stage replica on this length mix), collapsing SLO
+    // attainment to ~5% at 200 QPS; both ceilings now scale with the
+    // sizing rate.
+    let peak_gpus = (((rate * 2.5) / 40.0).ceil() as u32 * 4).clamp(4, 96);
+    let max_replicas = (((rate * 1.5) / 10.0).ceil() as u32).clamp(12, 32);
     FlexPipeConfig {
         granularity: GranularityParams {
             base_stages: 4,
@@ -93,7 +98,7 @@ pub fn flexpipe_config(rate: f64) -> FlexPipeConfig {
         },
         peak_gpus,
         expected_rate: rate,
-        max_replicas: 12,
+        max_replicas,
         gradient_boost: 1.0,
         headroom: 2.0,
         ..FlexPipeConfig::default()
@@ -122,5 +127,21 @@ mod tests {
     fn peak_gpus_scales_with_rate() {
         assert!(flexpipe_config(40.0).peak_gpus >= flexpipe_config(10.0).peak_gpus);
         assert!(flexpipe_config(20.0).peak_gpus >= 4);
+    }
+
+    #[test]
+    fn high_rate_sizing_is_not_clamped_to_the_low_rate_fleet() {
+        // The 200 QPS saturation bug: sizing used to clamp at 24 GPUs and
+        // 12 replicas regardless of rate, so the policy could never build
+        // the fleet the arrival rate requires.
+        let low = flexpipe_config(20.0);
+        let high = flexpipe_config(200.0);
+        assert!(high.max_replicas > low.max_replicas);
+        assert!(high.peak_gpus > low.peak_gpus);
+        assert!(high.max_replicas >= 30, "200 QPS needs ~20+ replicas");
+        assert!(high.peak_gpus >= 48, "200 QPS needs a real GPU budget");
+        // Low-rate sizing is unchanged by the fix.
+        assert_eq!(low.max_replicas, 12);
+        assert!(low.peak_gpus <= 24);
     }
 }

@@ -31,7 +31,7 @@ fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
 /// canonical run. Update this constant **and** bump
 /// `ENGINE_SEMANTICS_VERSION` together when engine semantics deliberately
 /// change; the pinned test fails on either half being forgotten.
-pub const PINNED_SEMANTIC_FINGERPRINT: &str = "sem-v2-2ff9de76622328e4";
+pub const PINNED_SEMANTIC_FINGERPRINT: &str = "sem-v3-2ff9de76622328e4";
 
 /// Hashes a canonical trace's per-entity projection into a stable
 /// `sem-v{N}-{hash}` fingerprint.

@@ -10,8 +10,8 @@ use flexpipe_model::{zoo, CostModel, ModelGraph};
 use flexpipe_obs::{TraceEvent, TraceMode};
 use flexpipe_partition::{GranularityLattice, PartitionParams, Partitioner};
 use flexpipe_serving::{
-    ControlPolicy, Ctx, Engine, EngineConfig, InstanceState, Placement, RefactorPlan, Scenario,
-    StageAssign, SteppedEngine,
+    ControlPolicy, Ctx, Engine, EngineConfig, InstanceId, InstanceState, Placement, RefactorPlan,
+    Scenario, StageAssign, SteppedEngine,
 };
 use flexpipe_sim::{SimDuration, SimTime};
 use flexpipe_workload::{ArrivalSpec, LengthProfile, Request, RequestId, Workload, WorkloadSpec};
@@ -60,6 +60,7 @@ impl CheckScenario {
             CheckScenario::three_instance_disruption(),
             CheckScenario::independent_stages(),
             CheckScenario::abort_revoke_overlap(),
+            CheckScenario::deferred_policy_decisions(),
         ]
     }
 
@@ -281,16 +282,18 @@ impl CheckScenario {
         }
     }
 
-    /// The trickiest commutation case, committed as a *characterization*
-    /// of a real non-commuting race: a 1→2 refactor's commit point
+    /// The trickiest commutation case: a 1→2 refactor's commit point
     /// (`PauseDone`) lands at the same instant a revocation kills the
-    /// refactor's **fresh** device. Revocation first, and the pending plan
-    /// is cancelled — the instance records a `RefactorAbort` and resumes
-    /// its old single-stage topology unharmed. `PauseDone` first, and the
-    /// instance commits onto the doomed device and is immediately
-    /// crippled (`RefactorCommit` + `InstanceCrippled`). The explorer
-    /// must find this divergence, anchor it on the instance, and emit
-    /// the minimal schedule as a replayable spec.
+    /// refactor's **fresh** device. This used to be the committed
+    /// characterization of a real non-commuting race — `PauseDone` first
+    /// committed onto the doomed device and crippled the instance, while
+    /// revocation first cancelled the plan cleanly. The engine now aborts
+    /// deterministically in both orders (`on_pause_done` refuses to commit
+    /// a `Fresh` stage onto a device that is revoked, past its preemption
+    /// deadline, or named by a zero-grace revocation firing at the same
+    /// instant), so the scenario is a confluence assertion: every
+    /// interleaving must record `RefactorAbort` and resume the old
+    /// single-stage topology unharmed.
     pub fn abort_revoke_overlap() -> CheckScenario {
         let (graph, lattice) = llama_artifacts();
         // A little early traffic exercises the serving path; fractional
@@ -308,7 +311,7 @@ impl CheckScenario {
         CheckScenario {
             name: "abort-revoke-overlap",
             about: "refactor abort racing a revocation of the fresh device, same instance",
-            expect_divergence: true,
+            expect_divergence: false,
             graph,
             lattice,
             scenario: Scenario {
@@ -354,6 +357,58 @@ impl CheckScenario {
                         prepare: 5.0,
                         fired: false,
                     }),
+                })
+            },
+        }
+    }
+
+    /// Policy decisions as choice points: at the t=14 tick the control
+    /// plane defers three same-instant decisions through
+    /// [`Ctx::defer_action`] — retire instance 1, admit-hold instance 2,
+    /// and a trace marker on instance 0. Each pops as its own
+    /// `PolicyAction` queue event, which the independence relation treats
+    /// conservatively, so the explorer permutes the *decisions* (3! = 6
+    /// orders), not just the engine mechanisms underneath them. The
+    /// decisions touch disjoint instances and the gateway is empty at the
+    /// batch, so every order must converge.
+    pub fn deferred_policy_decisions() -> CheckScenario {
+        let (graph, lattice) = llama_artifacts();
+        // Early traffic exercises serving and drains long before t=14, so
+        // the deferred-decision batch is exactly the three actions.
+        let requests = (0..3)
+            .map(|i| Request {
+                id: RequestId(i),
+                arrival: SimTime::from_secs_f64(0.65 + 0.4 * i as f64),
+                prompt_tokens: 64,
+                output_tokens: 8,
+                slo: SimDuration::from_secs(30),
+            })
+            .collect();
+        CheckScenario {
+            name: "deferred-policy-decisions",
+            about: "three same-instant deferred control decisions permuted as choice points",
+            expect_divergence: false,
+            graph,
+            lattice,
+            scenario: Scenario {
+                config: EngineConfig {
+                    control_interval: SimDuration::from_secs(7),
+                    ..EngineConfig::default()
+                },
+                cluster: ClusterSpec::paper_testbed(),
+                background: BackgroundProfile::none(),
+                tier: TierConfig::default(),
+                cost: CostModel::default(),
+                workload: Workload { requests },
+                disruptions: DisruptionScript::default(),
+                horizon: SimTime::from_secs(30),
+                seed: 13,
+            },
+            policy: || {
+                Box::new(DeferredDecisionPolicy {
+                    replicas: 3,
+                    not_before: 13.0,
+                    fired: false,
                 })
             },
         }
@@ -483,6 +538,59 @@ impl ControlPolicy for ScriptedPolicy {
             instance: target.0,
         });
         step.fired = true;
+    }
+}
+
+/// A control plane whose decisions are themselves queue events: one tick
+/// defers three actions through [`Ctx::defer_action`]; each pops back via
+/// `on_action` at the same virtual instant, where the explorer can
+/// permute them against each other.
+struct DeferredDecisionPolicy {
+    replicas: u32,
+    not_before: f64,
+    fired: bool,
+}
+
+impl ControlPolicy for DeferredDecisionPolicy {
+    fn name(&self) -> &'static str {
+        "check-deferred-decisions"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        let all: Vec<_> = ctx
+            .state
+            .cluster()
+            .topology()
+            .gpus()
+            .iter()
+            .map(|g| g.id)
+            .collect();
+        ctx.set_always_on(all);
+        for _ in 0..self.replicas {
+            ctx.spawn_prewarmed(1, Placement::FirstFit)
+                .expect("spawn must succeed on an empty cluster");
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
+        if self.fired || ctx.now().as_secs_f64() < self.not_before {
+            return;
+        }
+        self.fired = true;
+        ctx.defer_action(0);
+        ctx.defer_action(1);
+        ctx.defer_action(2);
+    }
+
+    fn on_action(&mut self, ctx: &mut Ctx<'_>, tag: u32) {
+        match tag {
+            0 => ctx.retire(InstanceId(1)),
+            1 => ctx.set_admit_hold(InstanceId(2), true),
+            _ => ctx.trace(TraceEvent::PolicyAction {
+                action: "deferred-mark".into(),
+                instance: 0,
+            }),
+        }
     }
 }
 

@@ -3,8 +3,8 @@
 //! contracts, and the pinned semantic fingerprint backstop.
 
 use flexpipe_check::{
-    check_equiv, explore, replay, semantic_fingerprint, CheckScenario, Entity, ExploreConfig,
-    ScheduleSpec, PINNED_SEMANTIC_FINGERPRINT,
+    check_equiv, explore, replay, semantic_fingerprint, CheckScenario, ExploreConfig, ScheduleSpec,
+    PINNED_SEMANTIC_FINGERPRINT,
 };
 use flexpipe_obs::{TraceEvent, TraceRecord};
 use flexpipe_serving::ENGINE_SEMANTICS_VERSION;
@@ -104,14 +104,17 @@ fn independent_stage_work_prunes_and_converges() {
     );
 }
 
-/// The committed characterization of the one known non-commuting race:
-/// a refactor's commit instant vs a revocation of its fresh device. The
-/// explorer must find the divergence, anchor it on the instance, and the
-/// emitted schedule must replay to the divergent trace.
+/// The race the checker originally characterized — a refactor's commit
+/// instant vs a revocation of its fresh device — is fixed: `on_pause_done`
+/// now aborts deterministically when a `Fresh` target is doomed at the
+/// commit instant, matching what `apply_revocation` does when it pops
+/// first. Every interleaving must converge, the canonical trace must show
+/// the abort (never a commit for the racing instance), and the explorer
+/// must find zero counterexamples.
 #[test]
-fn abort_revoke_overlap_diverges_on_the_instance() {
+fn abort_revoke_overlap_is_confluent() {
     let sc = CheckScenario::abort_revoke_overlap();
-    assert!(sc.expect_divergence);
+    assert!(!sc.expect_divergence);
     let out = explore(
         &sc,
         &ExploreConfig {
@@ -119,25 +122,16 @@ fn abort_revoke_overlap_diverges_on_the_instance() {
             prune: true,
         },
     );
-    let cx = out.counterexample.expect("the race must be found");
-    let d = cx.divergence.as_ref().expect("trace-level divergence");
-    assert_eq!(d.entity, Entity::Instance(1));
-    assert_eq!(d.at(), 16.0);
-    // Canonical order cancels the refactor (revocation first); the
-    // permuted schedule commits onto the doomed device.
-    assert_eq!(
-        d.left.as_ref().map(|r| &r.event),
-        Some(&TraceEvent::RefactorAbort { instance: 1 })
+    assert!(
+        out.completed,
+        "frontier must drain: {}",
+        out.render(sc.name)
     );
-    assert!(matches!(
-        d.right.as_ref().map(|r| &r.event),
-        Some(TraceEvent::RefactorCommit { instance: 1, .. })
-    ));
-    assert!(cx.render().contains("abort-revoke-overlap"));
+    assert!(out.converged(), "{}", out.render(sc.name));
+    assert!(out.counterexample.is_none());
 
-    // The counterexample is a replayable spec: driving the engine through
-    // it reproduces the exact divergent trace.
-    let divergent = replay(&sc, &cx.schedule);
+    // Whichever order the t=16 batch pops in, the refactor aborts and the
+    // instance keeps its old single-stage topology.
     let canonical = replay(
         &sc,
         &ScheduleSpec {
@@ -145,12 +139,69 @@ fn abort_revoke_overlap_diverges_on_the_instance() {
             choices: vec![],
         },
     );
-    let canon_records: Vec<TraceRecord> = canonical.trace.records().cloned().collect();
-    let div_records: Vec<TraceRecord> = divergent.trace.records().cloned().collect();
-    let rep = check_equiv(&canon_records, &div_records);
-    let replayed = rep.divergence.expect("replay reproduces the divergence");
-    assert_eq!(replayed.entity, d.entity);
-    assert_eq!(replayed.index, d.index);
+    let records: Vec<TraceRecord> = canonical.trace.records().cloned().collect();
+    assert!(
+        records
+            .iter()
+            .any(|r| r.event == TraceEvent::RefactorAbort { instance: 1 }),
+        "canonical run must abort the doomed refactor"
+    );
+    assert!(
+        !records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::RefactorCommit { instance: 1, .. })),
+        "the racing refactor must never commit onto the doomed device"
+    );
+}
+
+/// Policy decisions as choice points: the deferred-decision scenario's
+/// t=14 batch is three `PolicyAction` queue events (retire, admit-hold,
+/// trace marker). The explorer must actually permute them — a real tree,
+/// not a single path — and every order must converge.
+#[test]
+fn deferred_policy_decisions_are_confluent_choice_points() {
+    let sc = CheckScenario::deferred_policy_decisions();
+    assert!(!sc.expect_divergence);
+    let out = explore(
+        &sc,
+        &ExploreConfig {
+            max_schedules: 256,
+            prune: true,
+        },
+    );
+    assert!(
+        out.completed,
+        "frontier must drain: {}",
+        out.render(sc.name)
+    );
+    assert!(out.converged(), "{}", out.render(sc.name));
+    assert!(
+        out.max_batch >= 3,
+        "the three deferred decisions must form one same-instant batch, got {}",
+        out.max_batch
+    );
+    assert!(
+        out.schedules > 1,
+        "deferred decisions must be explored as choice points"
+    );
+
+    // The canonical run carries the decisions' effects: the retire lands
+    // and the marker is recorded.
+    let canonical = replay(
+        &sc,
+        &ScheduleSpec {
+            scenario: sc.name.to_string(),
+            choices: vec![],
+        },
+    );
+    let records: Vec<TraceRecord> = canonical.trace.records().cloned().collect();
+    assert!(records
+        .iter()
+        .any(|r| r.event == TraceEvent::InstanceRetire { instance: 1 }));
+    assert!(records.iter().any(|r| matches!(
+        &r.event,
+        TraceEvent::PolicyAction { action, instance: 0 } if action == "deferred-mark"
+    )));
 }
 
 /// The fingerprint backstop: the probe scenario's canonical trace hashes

@@ -15,14 +15,14 @@
 //! Only 30% of the historical peak GPU count is pinned always-on (§9.6);
 //! everything else flows through the elastic tier with warm-start affinity.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 
 use flexpipe_cluster::GpuId;
 use flexpipe_serving::{
-    ActionError, ControlPolicy, CrippledInstance, Ctx, DisruptionNotice, InstanceId, InstanceState,
-    Placement, RefactorPlan, StageAssign,
+    ActionError, ControlPolicy, CrippledInstance, Ctx, DisruptionNotice, EngineMode, InstanceId,
+    InstanceSnapshot, InstanceState, Placement, RefactorPlan, StageAssign,
 };
 use flexpipe_sim::{SimDuration, SimTime};
 
@@ -100,6 +100,118 @@ impl Default for FlexPipeConfig {
     }
 }
 
+/// Warm-start fleet mirror: an id-keyed copy of every instance snapshot,
+/// maintained from the engine's per-tick dirty-set deltas instead of a
+/// from-scratch fleet walk. Alongside the map it keeps the two aggregates
+/// Algorithm 1 consults every tick (live count, loading count) and the
+/// off-target set the refactor pass iterates, so a calm tick — the common
+/// case — costs O(|dirty|) instead of O(fleet).
+///
+/// Only the [`EngineMode::Indexed`] path maintains it; under
+/// [`EngineMode::NaiveScan`] the policy re-snapshots the whole fleet each
+/// tick, which is the retained reference the debug build cross-validates
+/// against ([`FleetMirror::validate`]).
+#[derive(Debug, Default)]
+struct FleetMirror {
+    instances: BTreeMap<InstanceId, InstanceSnapshot>,
+    /// Replicas in a live state (Serving | Loading | Preparing | Paused).
+    live: u32,
+    /// Replicas still loading parameters.
+    loading: u32,
+    /// Serving instances whose depth differs from `target_stages`, in id
+    /// order — exactly the set the Algorithm-1 refactor pass visits.
+    off_target: BTreeSet<InstanceId>,
+    /// The lattice level `off_target` is maintained against.
+    target_stages: Option<u32>,
+}
+
+impl FleetMirror {
+    fn is_live(state: InstanceState) -> bool {
+        matches!(
+            state,
+            InstanceState::Serving
+                | InstanceState::Loading
+                | InstanceState::Preparing
+                | InstanceState::Paused
+        )
+    }
+
+    /// Folds one tick's dirty-set deltas into the mirror.
+    fn apply(&mut self, deltas: &[(InstanceId, Option<InstanceSnapshot>)]) {
+        for &(id, snap) in deltas {
+            let old = match snap {
+                Some(s) => self.instances.insert(id, s),
+                None => self.instances.remove(&id),
+            };
+            if let Some(o) = old {
+                if Self::is_live(o.state) {
+                    self.live -= 1;
+                }
+                if o.state == InstanceState::Loading {
+                    self.loading -= 1;
+                }
+            }
+            self.off_target.remove(&id);
+            if let Some(s) = snap {
+                if Self::is_live(s.state) {
+                    self.live += 1;
+                }
+                if s.state == InstanceState::Loading {
+                    self.loading += 1;
+                }
+                if s.state == InstanceState::Serving
+                    && self.target_stages.is_some_and(|t| t != s.stages)
+                {
+                    self.off_target.insert(id);
+                }
+            }
+        }
+    }
+
+    /// Points the off-target set at a new lattice level. A full rebuild
+    /// happens only when the Eq. (4) argmax actually moves; on the steady
+    /// ticks in between, `apply` maintains membership incrementally.
+    fn retarget(&mut self, stages: u32) {
+        if self.target_stages == Some(stages) {
+            return;
+        }
+        self.target_stages = Some(stages);
+        self.off_target = self
+            .instances
+            .values()
+            .filter(|i| i.state == InstanceState::Serving && i.stages != stages)
+            .map(|i| i.id)
+            .collect();
+    }
+
+    /// Debug-build cross-validation: the delta-maintained mirror must
+    /// equal a from-scratch fleet snapshot, aggregates included.
+    #[cfg(debug_assertions)]
+    fn validate(&self, ctx: &Ctx<'_>) {
+        let truth = ctx.instances();
+        let mirrored: Vec<InstanceSnapshot> = self.instances.values().copied().collect();
+        assert_eq!(mirrored, truth, "fleet mirror drifted from engine state");
+        let live = truth.iter().filter(|i| Self::is_live(i.state)).count() as u32;
+        let loading = truth
+            .iter()
+            .filter(|i| i.state == InstanceState::Loading)
+            .count() as u32;
+        assert_eq!(
+            (self.live, self.loading),
+            (live, loading),
+            "fleet mirror counters drifted"
+        );
+        if let Some(t) = self.target_stages {
+            let off: BTreeSet<InstanceId> = truth
+                .iter()
+                .filter(|i| i.state == InstanceState::Serving && i.stages != t)
+                .map(|i| i.id)
+                .collect();
+            assert_eq!(self.off_target, off, "fleet mirror off-target set drifted");
+        }
+    }
+}
+
 /// The FlexPipe policy.
 pub struct FlexPipePolicy {
     cfg: FlexPipeConfig,
@@ -108,6 +220,7 @@ pub struct FlexPipePolicy {
     hrg: Hrg,
     last_refactor: HashMap<InstanceId, SimTime>,
     holds: std::collections::HashSet<InstanceId>,
+    mirror: FleetMirror,
     low_demand_ticks: u32,
     pending_target: Option<u32>,
     pending_ticks: u32,
@@ -126,6 +239,7 @@ impl FlexPipePolicy {
             profiles: Vec::new(),
             last_refactor: HashMap::new(),
             holds: std::collections::HashSet::new(),
+            mirror: FleetMirror::default(),
             low_demand_ticks: 0,
             pending_target: None,
             pending_ticks: 0,
@@ -498,6 +612,15 @@ impl ControlPolicy for FlexPipePolicy {
 
     fn on_tick(&mut self, ctx: &mut Ctx<'_>) {
         let started = std::time::Instant::now();
+        // Drain the engine's dirty set unconditionally so deltas never
+        // accumulate across ticks; only the warm-start path consumes them.
+        // The from-scratch reference (NaiveScan) re-snapshots the fleet
+        // below, exactly as before the incremental solver existed.
+        let deltas = ctx.take_dirty();
+        let warm = ctx.mode() == EngineMode::Indexed;
+        if warm {
+            self.mirror.apply(&deltas);
+        }
         let now = ctx.now();
         let (rate, cv, grad) = ctx.monitor();
         let queue = ctx.queue_len();
@@ -520,20 +643,25 @@ impl ControlPolicy for FlexPipePolicy {
             self.pending_ticks >= self.cfg.confirm_ticks && now >= SimTime::ZERO + self.cfg.warmup;
 
         // --- Replica accounting first: refactors are calm-time actions. ---
-        let instances = ctx.instances();
-        let any_loading = instances.iter().any(|i| i.state == InstanceState::Loading);
-        let live = instances
-            .iter()
-            .filter(|i| {
-                matches!(
-                    i.state,
-                    InstanceState::Serving
-                        | InstanceState::Loading
-                        | InstanceState::Preparing
-                        | InstanceState::Paused
-                )
-            })
-            .count() as u32;
+        // Warm path: the counters fall out of the delta fold above; no
+        // fleet walk. Naive path: snapshot everything from scratch.
+        let naive_view: Option<Vec<InstanceSnapshot>> = if warm {
+            #[cfg(debug_assertions)]
+            self.mirror.validate(ctx);
+            None
+        } else {
+            Some(ctx.instances())
+        };
+        let (live, any_loading) = match &naive_view {
+            Some(instances) => (
+                instances
+                    .iter()
+                    .filter(|i| FleetMirror::is_live(i.state))
+                    .count() as u32,
+                instances.iter().any(|i| i.state == InstanceState::Loading),
+            ),
+            None => (self.mirror.live, self.mirror.loading > 0),
+        };
         let drain_target_secs = 15.0;
         let pressure_active = queue > 64;
         let pressure = if pressure_active {
@@ -542,8 +670,21 @@ impl ControlPolicy for FlexPipePolicy {
             0.0
         };
         let effective_rate = rate + pressure;
+        // Rate-adaptive replica cap: `max_replicas` reflects the sizing
+        // rate the config was built for. When observed demand outruns that
+        // sizing (the 200 QPS saturation bug: a cap sized for 20 QPS
+        // starved a 200 QPS arrival stream down to ~5% SLO attainment),
+        // scale the ceiling with the demand ratio instead of pinning the
+        // fleet at the provisioning-time guess — bounded at 4x so a
+        // transient spike cannot commandeer the whole cluster.
+        let cap = if self.cfg.expected_rate > 0.0 && effective_rate > self.cfg.expected_rate {
+            let ratio = (effective_rate / self.cfg.expected_rate).min(4.0);
+            ((f64::from(self.cfg.max_replicas) * ratio).ceil() as u32).max(self.cfg.max_replicas)
+        } else {
+            self.cfg.max_replicas
+        };
         let desired = instances_needed(&target, effective_rate, self.cfg.headroom)
-            .min(self.cfg.max_replicas)
+            .min(cap)
             .max(1);
 
         // Release holds that no longer serve a purpose (target moved, the
@@ -555,11 +696,13 @@ impl ControlPolicy for FlexPipePolicy {
             .iter()
             .copied()
             .filter(|id| {
-                pressure_active
-                    || instances
-                        .iter()
-                        .find(|i| i.id == *id)
-                        .is_none_or(|i| i.stages == target.stages)
+                pressure_active || {
+                    let stages = match &naive_view {
+                        Some(instances) => instances.iter().find(|i| i.id == *id).map(|i| i.stages),
+                        None => self.mirror.instances.get(id).map(|i| i.stages),
+                    };
+                    stages.is_none_or(|s| s == target.stages)
+                }
             })
             .collect();
         for id in stale {
@@ -573,36 +716,61 @@ impl ControlPolicy for FlexPipePolicy {
         // still loading must land first, and backlog pressure means the
         // scaling path — not topology change — is the right tool.
         let calm = !pressure_active && live == desired && !any_loading;
-        for inst in &instances {
-            if !confirmed || !calm {
-                break;
-            }
-            if inst.state != InstanceState::Serving || inst.stages == target.stages {
-                continue;
-            }
-            // A consolidation below the instance's live load cannot commit
-            // (the merged stages could not hold the admitted KV): hold
-            // admissions so the load drains toward the target capacity,
-            // then refactor on a later tick.
-            if target.batch_cap * 3 / 4 < inst.active_requests {
-                ctx.set_admit_hold(inst.id, true);
-                self.holds.insert(inst.id);
-                continue;
-            }
-            let dwell_ok = self
-                .last_refactor
-                .get(&inst.id)
-                .is_none_or(|&t| now.saturating_since(t) >= self.cfg.min_dwell);
-            if !dwell_ok {
-                continue;
-            }
-            let Some(current) = self.level_for_stages(inst.stages) else {
-                continue;
+        if confirmed && calm {
+            // The warm path walks only the maintained off-target set (in id
+            // order, matching the naive snapshot's iteration order); the
+            // naive path filters the full snapshot — same set, same order.
+            // Retargeting happens here, at the set's only consumer, so a
+            // flapping Eq. (4) argmax on non-calm ticks never pays the
+            // rebuild; between consumptions `apply` maintains membership
+            // against the last consumed level.
+            let off_target: Vec<InstanceSnapshot> = match &naive_view {
+                Some(instances) => instances
+                    .iter()
+                    .filter(|i| i.state == InstanceState::Serving && i.stages != target.stages)
+                    .copied()
+                    .collect(),
+                None => {
+                    self.mirror.retarget(target.stages);
+                    self.mirror
+                        .off_target
+                        .iter()
+                        .filter_map(|id| self.mirror.instances.get(id))
+                        .copied()
+                        .collect()
+                }
             };
+            // Eq. (4) scores depend only on the lattice level, never on the
+            // individual instance: score the target once and memoize the
+            // current-level scores across the pass.
             let s_target = score(&target, &self.profiles, &self.cfg.granularity, nu_eff);
-            let s_current = score(&current, &self.profiles, &self.cfg.granularity, nu_eff);
-            if s_target > self.cfg.hysteresis * s_current {
-                self.try_refactor(ctx, inst, &target, rate, cv);
+            let mut s_current_memo: HashMap<u32, f64> = HashMap::new();
+            for inst in &off_target {
+                // A consolidation below the instance's live load cannot
+                // commit (the merged stages could not hold the admitted
+                // KV): hold admissions so the load drains toward the target
+                // capacity, then refactor on a later tick.
+                if target.batch_cap * 3 / 4 < inst.active_requests {
+                    ctx.set_admit_hold(inst.id, true);
+                    self.holds.insert(inst.id);
+                    continue;
+                }
+                let dwell_ok = self
+                    .last_refactor
+                    .get(&inst.id)
+                    .is_none_or(|&t| now.saturating_since(t) >= self.cfg.min_dwell);
+                if !dwell_ok {
+                    continue;
+                }
+                let Some(current) = self.level_for_stages(inst.stages) else {
+                    continue;
+                };
+                let s_current = *s_current_memo.entry(inst.stages).or_insert_with(|| {
+                    score(&current, &self.profiles, &self.cfg.granularity, nu_eff)
+                });
+                if s_target > self.cfg.hysteresis * s_current {
+                    self.try_refactor(ctx, inst, &target, rate, cv);
+                }
             }
         }
 

@@ -53,7 +53,14 @@
 //!     --textual               compare raw lines instead (the old byte-level diff)
 //! flexpipe-fleet trace profile [--instances N]    engine dispatch self-time table
 //!                                                 (default 1500 instances), incl.
-//!                                                 the policy.on_tick row
+//!                                                 the policy.on_tick row, then the
+//!                                                 FlexPipe control-plane comparison:
+//!                                                 on_tick self-time warm-start
+//!                                                 (indexed) vs from-scratch (naive);
+//!                                                 exit 2 if the speedup falls below
+//!                                                 the floor
+//!     --min-speedup <x>       required indexed-vs-naive on_tick speedup
+//!                             (default 2.0)
 //! flexpipe-fleet check equiv <a.jsonl> <b.jsonl>  semantic trace equivalence; exit 0
 //!                                                 equivalent, 2 with the first per-entity
 //!                                                 divergence otherwise
@@ -93,15 +100,16 @@ use flexpipe_check::{
 };
 use flexpipe_fleet::{
     cache_salt, find_cell, gate::gate, parse_bench, parse_campaign, parse_spec, profile_on_tick,
-    record_cell_trace, run_bench, run_campaign, run_sweep, BenchSpec, CampaignOptions,
-    CampaignSpec, CellCache, FleetReport, GateConfig, RunOptions, SpecReport, SweepSpec,
+    profile_on_tick_flexpipe, record_cell_trace, run_bench, run_campaign, run_sweep, BenchSpec,
+    CampaignOptions, CampaignSpec, CellCache, FleetReport, GateConfig, RunOptions, SpecReport,
+    SweepSpec,
 };
 use flexpipe_obs::{first_divergence, parse_jsonl, TraceRecord, TraceSummary};
 use flexpipe_serving::{AdmissionMode, TraceMode, ENGINE_SEMANTICS_VERSION};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.(json|toml)> [--out report.json] [--threads N] [--rates 100,200] [--hot-paths] [--quiet]\n  flexpipe-fleet campaign init [campaign.json]\n  flexpipe-fleet campaign <campaign.(json|toml)> [--out-dir DIR] [--cache DIR | --no-cache] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--assert-warm] [--gate DIR [--tolerance 0.02]]\n  flexpipe-fleet trace record <spec.(json|toml)> [--cell ID] [--mode off|ring[:N]|full] [--out trace.jsonl] [--admission indexed|naive]\n  flexpipe-fleet trace summarize <trace.jsonl>\n  flexpipe-fleet trace diff <a.jsonl> <b.jsonl> [--textual]\n  flexpipe-fleet trace profile [--instances N]\n  flexpipe-fleet check equiv <a.jsonl> <b.jsonl>\n  flexpipe-fleet check explore [--scenario NAME] [--max-schedules N] [--no-prune]\n  flexpipe-fleet check pin\n  flexpipe-fleet cache stats <dir>\n  flexpipe-fleet cache gc <dir> [--max-age <90s|15m|12h|7d>] [--max-bytes <N>]\n  flexpipe-fleet fingerprint\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
+        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.(json|toml)> [--out report.json] [--threads N] [--rates 100,200] [--hot-paths] [--quiet]\n  flexpipe-fleet campaign init [campaign.json]\n  flexpipe-fleet campaign <campaign.(json|toml)> [--out-dir DIR] [--cache DIR | --no-cache] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--assert-warm] [--gate DIR [--tolerance 0.02]]\n  flexpipe-fleet trace record <spec.(json|toml)> [--cell ID] [--mode off|ring[:N]|full] [--out trace.jsonl] [--admission indexed|naive]\n  flexpipe-fleet trace summarize <trace.jsonl>\n  flexpipe-fleet trace diff <a.jsonl> <b.jsonl> [--textual]\n  flexpipe-fleet trace profile [--instances N] [--min-speedup X]\n  flexpipe-fleet check equiv <a.jsonl> <b.jsonl>\n  flexpipe-fleet check explore [--scenario NAME] [--max-schedules N] [--no-prune]\n  flexpipe-fleet check pin\n  flexpipe-fleet cache stats <dir>\n  flexpipe-fleet cache gc <dir> [--max-age <90s|15m|12h|7d>] [--max-bytes <N>]\n  flexpipe-fleet fingerprint\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
     );
     ExitCode::from(1)
 }
@@ -609,6 +617,13 @@ fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
                 })?,
                 None => 1500,
             };
+            let min_speedup = match take_flag_value(&mut args, "--min-speedup")? {
+                Some(v) => v.parse::<f64>().map_err(|_| {
+                    eprintln!("--min-speedup needs a number");
+                    ExitCode::from(1)
+                })?,
+                None => 2.0,
+            };
             if !args.is_empty() {
                 return Err(usage());
             }
@@ -630,6 +645,48 @@ fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
             );
             if metrics.truncated {
                 eprintln!("warning: profile run hit its step budget");
+            }
+            // The control-plane comparison: FlexPipe's Algorithm-1 loop
+            // pinned at a fleet of `instances` replicas, once with the
+            // warm-start mirror (indexed) and once re-snapshotting the
+            // fleet every tick (naive). Both runs produce byte-identical
+            // decisions; only on_tick's wall-clock self-time differs.
+            eprintln!(
+                "profiling FlexPipe on_tick at a pinned {instances}-replica fleet \
+                 (indexed vs naive)..."
+            );
+            let mut secs = [0.0f64; 2];
+            for (i, mode) in [AdmissionMode::Indexed, AdmissionMode::NaiveScan]
+                .into_iter()
+                .enumerate()
+            {
+                let (m, o) = profile_on_tick_flexpipe(instances, mode);
+                secs[i] = o.profiler.total_secs("policy.on_tick");
+                eprintln!(
+                    "  {:>7}: {} on_tick calls, {:.2} ms total self-time",
+                    if mode == AdmissionMode::Indexed {
+                        "indexed"
+                    } else {
+                        "naive"
+                    },
+                    o.profiler.calls("policy.on_tick"),
+                    secs[i] * 1e3,
+                );
+                if m.truncated {
+                    eprintln!("warning: control-plane profile hit its step budget");
+                }
+            }
+            let speedup = secs[1] / secs[0].max(1e-12);
+            println!(
+                "flexpipe on_tick warm-start speedup at {instances} instances: \
+                 {speedup:.2}x (floor {min_speedup:.2}x)"
+            );
+            if speedup < min_speedup {
+                eprintln!(
+                    "ERROR: incremental on_tick speedup {speedup:.2}x below the \
+                     {min_speedup:.2}x floor"
+                );
+                return Ok(ExitCode::from(2));
             }
             Ok(ExitCode::SUCCESS)
         }

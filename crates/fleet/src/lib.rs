@@ -79,7 +79,10 @@ pub use spec::{
     derive_cell_seed, replica_seed, BackgroundShape, Cell, ClusterShape, DisruptionShape,
     PolicySpec, SweepSpec,
 };
-pub use trace::{find_cell, profile_on_tick, profile_spec, record_cell_trace};
+pub use trace::{
+    find_cell, profile_on_tick, profile_on_tick_flexpipe, profile_spec, profile_spec_flexpipe,
+    record_cell_trace,
+};
 
 use serde::Deserialize;
 

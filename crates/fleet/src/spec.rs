@@ -119,6 +119,17 @@ pub enum PolicySpec {
         /// Replica count.
         replicas: u32,
     },
+    /// FlexPipe pinned at a standing fleet of `replicas`: sized as if
+    /// historical demand required exactly that many replicas and with
+    /// scale-in patience disabled, so the full Algorithm-1 control loop
+    /// runs every tick over a fleet that never shrinks. This is the
+    /// control-plane profiling configuration (`fleet trace profile`),
+    /// where `policy.on_tick` self-time at fleet scale is the
+    /// measurement.
+    FlexPipeFleet {
+        /// Standing replica count the policy is pinned at.
+        replicas: u32,
+    },
 }
 
 impl PolicySpec {
@@ -127,6 +138,7 @@ impl PolicySpec {
         match self {
             PolicySpec::Paper(id) => id.name().to_string(),
             PolicySpec::Static { stages, replicas } => format!("Static-{stages}x{replicas}"),
+            PolicySpec::FlexPipeFleet { replicas } => format!("FlexPipeFleet-{replicas}"),
         }
     }
 
@@ -136,6 +148,17 @@ impl PolicySpec {
             PolicySpec::Paper(id) => id.policy(rate),
             PolicySpec::Static { stages, replicas } => {
                 flexpipe_bench::systems::static_pipeline(*stages, *replicas)
+            }
+            PolicySpec::FlexPipeFleet { replicas } => {
+                let mut cfg = flexpipe_bench::systems::flexpipe_config(rate);
+                cfg.max_replicas = *replicas;
+                // A sizing rate far above any offered load pins the
+                // standing fleet at `max_replicas`, and infinite scale-in
+                // patience keeps it there when the monitor (correctly)
+                // reads demand as low.
+                cfg.expected_rate = 1e9;
+                cfg.scale_down_patience = u32::MAX;
+                Box::new(flexpipe_core::FlexPipePolicy::new(cfg))
             }
         }
     }

@@ -85,6 +85,45 @@ pub fn profile_on_tick(instances: u32) -> (CellMetrics, ObservedRun) {
     )
 }
 
+/// The control-plane profile scenario: FlexPipe's real Algorithm-1 loop
+/// pinned at a standing fleet of `instances` replicas (see
+/// [`PolicySpec::FlexPipeFleet`]) under light traffic, so `on_tick`'s
+/// own fleet walk dominates its self-time. Cluster sized for 4-stage
+/// replicas plus headroom.
+pub fn profile_spec_flexpipe(instances: u32) -> SweepSpec {
+    let total_gpus = instances * 4 + 64;
+    SweepSpec {
+        name: format!("flexpipe-ontick-profile-{instances}"),
+        policies: vec![PolicySpec::FlexPipeFleet {
+            replicas: instances,
+        }],
+        clusters: vec![ClusterShape::Custom {
+            nodes: total_gpus.div_ceil(8),
+            total_gpus,
+            servers_per_rack: 8,
+        }],
+        // Long horizon: the measurement is steady-state tick cost, so the
+        // one unavoidable O(fleet) tick right after the initial deployment
+        // must amortize away.
+        horizon_secs: 120.0,
+        ..profile_spec(instances)
+    }
+}
+
+/// Profiles FlexPipe's `on_tick` at fleet scale under an explicit
+/// admission mode — the measurement behind the incremental-solver claim:
+/// `Indexed` applies the engine's dirty-set deltas to a warm mirror,
+/// `NaiveScan` re-snapshots the whole fleet every tick.
+pub fn profile_on_tick_flexpipe(
+    instances: u32,
+    admission: AdmissionMode,
+) -> (CellMetrics, ObservedRun) {
+    let spec = profile_spec_flexpipe(instances);
+    let cell = spec.expand().remove(0);
+    let setup = PaperSetup::for_model(spec.model);
+    run_cell_observed(&spec, &cell, &setup, admission, TraceMode::Off, true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +142,21 @@ mod tests {
         let id = cells[0].id();
         assert_eq!(find_cell(&spec, &id), Some(cells[0].clone()));
         assert_eq!(find_cell(&spec, "no-such-cell"), None);
+    }
+
+    #[test]
+    fn flexpipe_profile_pins_the_fleet_and_profiles_on_tick() {
+        let spec = profile_spec_flexpipe(6);
+        assert!(spec.validate().is_ok());
+        for mode in [AdmissionMode::Indexed, AdmissionMode::NaiveScan] {
+            let (metrics, observed) = profile_on_tick_flexpipe(6, mode);
+            assert!(!metrics.truncated);
+            // The FlexPipeFleet policy holds the standing fleet at exactly
+            // the pinned replica count: nothing retires, nothing re-spawns.
+            assert_eq!(metrics.spawns, 6, "fleet must pin at 6 replicas");
+            assert!(metrics.completed > 0, "profile scenario must serve");
+            assert!(observed.profiler.calls("policy.on_tick") > 0);
+        }
     }
 
     #[test]

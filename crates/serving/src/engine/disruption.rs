@@ -68,6 +68,47 @@ impl EngineState {
         servers.get(rank as usize).map(|&(_, s)| s)
     }
 
+    /// Whether a refactor's fresh target device is doomed at `now`: already
+    /// revoked, past a preemption deadline, or named by a zero-grace
+    /// scripted revocation firing at this same virtual instant (whose
+    /// `Disruption` pop may still be behind us in the same-time batch).
+    ///
+    /// This is what makes the refactor commit commute with a same-instant
+    /// revocation of its fresh device: whichever pops first, the refactor
+    /// aborts — `apply_revocation` cancels it outright, and
+    /// [`EngineState::on_pause_done`] consults this predicate instead of
+    /// committing a stage onto a device that is gone in the same instant.
+    /// (A zero-grace `HotServerPreempt` stays rank-resolved at its own pop
+    /// and is not predicted here; no committed scenario overlaps one with
+    /// a commit instant.)
+    pub(super) fn fresh_target_doomed(&self, now: SimTime, gpu: GpuId) -> bool {
+        if self.cluster.is_revoked(gpu) {
+            return true;
+        }
+        if self
+            .pending_revocations
+            .get(&gpu)
+            .is_some_and(|&deadline| deadline <= now)
+        {
+            return true;
+        }
+        let server = self.cluster.topology().gpu(gpu).server;
+        self.script.events.iter().any(|ev| {
+            let at = SimTime::from_secs_f64(ev.at_secs.max(0.0));
+            if at != now || at >= self.horizon {
+                return false;
+            }
+            match ev.kind {
+                Disruption::GpuFail { gpu: g } => GpuId(g) == gpu,
+                Disruption::ServerPreempt {
+                    server: s,
+                    grace_secs,
+                } => grace_secs <= 0.0 && ServerId(s) == server,
+                _ => false,
+            }
+        })
+    }
+
     /// Executes a capacity revocation: invalidates cluster state, evicts
     /// the devices from the provisioner, kills in-flight micro-batches on
     /// dead stages (epoch-guarded, so their stale events no-op) and

@@ -273,6 +273,8 @@ impl EngineState {
                 inst.decode_slots.dissolved();
             }
             inst.decode_ready.extend(survivors);
+            // Membership changed but the admission key did not.
+            self.mark_policy_dirty(id);
         }
         self.launch_decode(queue, id);
 
@@ -358,6 +360,8 @@ impl EngineState {
             let inst = self.instances.get_mut(&id).expect("checked above");
             inst.ubatches.push(ub_id);
             inst.decode_slots.launched();
+            // Membership changed but the admission key did not.
+            self.mark_policy_dirty(id);
             let tokens = members.len() as u64;
             self.ubatches.insert(
                 ub_id,

@@ -299,7 +299,10 @@ impl EngineState {
         };
         self.obs
             .record(now, TraceEvent::InstanceRelease { instance: id.0 });
-        self.admission.apply(id, None);
+        // The instance is already gone from the map, so this resolves to a
+        // `None` key (dropping it from the admission index) while also
+        // recording the removal in the control plane's dirty set.
+        self.reindex(id);
         for stage in inst.stages {
             self.release_stage_device(now, stage.gpu, stage.lease, stage.range);
         }
@@ -520,14 +523,26 @@ impl EngineState {
             }
             batch_cap = batch_cap.min(self.max_batch_of(r, avail));
         }
-        if batch_cap < (inst.active_requests / 2).max(1) {
-            // Abort: the new layout cannot hold a useful share of the live
-            // load (background tenants grew under us, a consolidation
-            // raced an admission burst, or a second revocation killed the
-            // rebuild's fresh devices). Return fresh GPUs and resume the
-            // old topology untouched — unless the refactor was a crippled
-            // rebuild, whose "old topology" is incomplete and must stay
-            // Crippled (the policy retries or cold-respawns).
+        // A fresh device that is revoked, past its preemption deadline, or
+        // named by a zero-grace scripted revocation firing at this same
+        // virtual instant is doomed: committing onto it would race the
+        // revocation's cancellation of this very refactor, and the
+        // same-time pop order of PauseDone vs the revocation would decide
+        // between RefactorCommit-then-Crippled and RefactorAbort. Abort
+        // deterministically instead — exactly what `apply_revocation` does
+        // when it pops first — so the two orders commute.
+        let fresh_doomed = plan.assignments.iter().any(
+            |a| matches!(*a, StageAssign::Fresh { gpu } if self.fresh_target_doomed(now, gpu)),
+        );
+        if fresh_doomed || batch_cap < (inst.active_requests / 2).max(1) {
+            // Abort: the new layout sits on doomed capacity, or cannot
+            // hold a useful share of the live load (background tenants
+            // grew under us, a consolidation raced an admission burst, or
+            // a second revocation killed the rebuild's fresh devices).
+            // Return fresh GPUs and resume the old topology untouched —
+            // unless the refactor was a crippled rebuild, whose "old
+            // topology" is incomplete and must stay Crippled (the policy
+            // retries or cold-respawns).
             for gpu in pending.fresh_acquired {
                 self.provisioner.release(gpu, now);
                 self.ledger.record_release(now);

@@ -127,6 +127,13 @@ pub enum Event {
         /// Devices re-entering the cluster.
         gpus: Vec<GpuId>,
     },
+    /// A deferred policy decision (scheduled via [`Ctx::defer_action`])
+    /// pops as its own queue event, making control-plane decisions
+    /// first-class schedule choice points for the equivalence checker.
+    PolicyAction {
+        /// Policy-defined discriminator for the deferred decision.
+        tag: u32,
+    },
 }
 
 impl Event {
@@ -145,6 +152,7 @@ impl Event {
             Event::Disruption(_) => "disruption",
             Event::Revoke { .. } => "revoke",
             Event::Restore { .. } => "restore",
+            Event::PolicyAction { .. } => "policy_action",
         }
     }
 }
@@ -227,6 +235,13 @@ pub struct EngineState {
     /// uncached cost model (asserted in debug builds on every hit).
     pub(super) max_batch_memo: MaxBatchTable,
     pub(super) ubatches: HashMap<UbatchId, MicroBatch>,
+    /// Instances whose snapshot-visible state changed since the control
+    /// plane last looked. Every mutation site feeds it (via
+    /// [`EngineState::reindex`] or [`EngineState::mark_policy_dirty`]);
+    /// [`Ctx::take_dirty`] drains it each tick so a warm-start policy can
+    /// update its fleet mirror from deltas instead of re-snapshotting the
+    /// whole fleet.
+    pub(super) policy_dirty: std::collections::BTreeSet<InstanceId>,
     pub(super) pending_refactors: HashMap<InstanceId, PendingRefactor>,
     pub(super) host_cache: HashMap<(u32, u32), HostCacheEntry>,
     pub(super) gpus_in_use: std::collections::HashSet<GpuId>,
@@ -294,6 +309,14 @@ impl EngineState {
     pub(super) fn reindex(&mut self, id: InstanceId) {
         let key = self.instances.get(&id).and_then(Instance::admit_key);
         self.admission.apply(id, key);
+        self.policy_dirty.insert(id);
+    }
+
+    /// Marks `id` dirty for the control plane without touching the
+    /// admission index: for mutations that change an instance's snapshot
+    /// (micro-batch membership) but not its admissibility key.
+    pub(super) fn mark_policy_dirty(&mut self, id: InstanceId) {
+        self.policy_dirty.insert(id);
     }
 
     /// Debug-build invariant: the index holds exactly the admissible
@@ -429,6 +452,27 @@ impl<'a> Ctx<'a> {
         self.state.snapshots()
     }
 
+    /// The engine-wide mode: policies with their own incremental
+    /// structures dispatch on it exactly like the engine's hot paths, so
+    /// one toggle governs every indexed/naive pair in the system.
+    pub fn mode(&self) -> EngineMode {
+        self.state.config.admission
+    }
+
+    /// Drains the dirty set accumulated since the last call: the
+    /// id-sorted list of instances whose snapshot-visible state changed,
+    /// each paired with its current snapshot (`None` = the instance is
+    /// gone). A warm-start control plane applies these deltas to its
+    /// fleet mirror instead of re-snapshotting everything; the naive
+    /// reference drains them too (and ignores them) so the dirty set's
+    /// lifecycle is identical in both modes.
+    pub fn take_dirty(&mut self) -> Vec<(InstanceId, Option<InstanceSnapshot>)> {
+        let ids = std::mem::take(&mut self.state.policy_dirty);
+        ids.into_iter()
+            .map(|id| (id, self.state.instances.get(&id).map(|i| i.snapshot())))
+            .collect()
+    }
+
     /// Spawns an instance through the elastic path (provisioning +
     /// parameter-loading delays apply).
     pub fn spawn(&mut self, stages: u32, placement: Placement) -> Result<InstanceId, ActionError> {
@@ -487,6 +531,17 @@ impl<'a> Ctx<'a> {
         self.state.cluster().revoked_gpus()
     }
 
+    /// Defers a policy decision to its own queue event at the current
+    /// instant. The decision pops back into
+    /// [`ControlPolicy::on_action`](crate::policy::ControlPolicy::on_action)
+    /// with the same tag — after everything else already queued at this
+    /// instant, and as a first-class choice point for the equivalence
+    /// checker, which can permute deferred decisions against the rest of
+    /// the same-instant batch.
+    pub fn defer_action(&mut self, tag: u32) {
+        self.queue.schedule_now(Event::PolicyAction { tag });
+    }
+
     /// Emits a policy-originated trace event (a no-op when tracing is
     /// off). Policies use this to mark named decisions — e.g. a cold
     /// respawn — so traces show *why* the mechanism moved, not just that
@@ -542,6 +597,7 @@ impl Engine {
             admission: AdmissionIndex::new(),
             max_batch_memo: scenario.cost.max_batch_table(),
             ubatches: HashMap::new(),
+            policy_dirty: std::collections::BTreeSet::new(),
             pending_refactors: HashMap::new(),
             host_cache: HashMap::new(),
             gpus_in_use: std::collections::HashSet::new(),
@@ -849,6 +905,11 @@ impl Engine {
                         .obs
                         .record(now, TraceEvent::CapacityRestore { gpus: restored });
                 }
+            }
+            Event::PolicyAction { tag } => {
+                self.with_policy(queue, |p, ctx| p.on_action(ctx, tag));
+                self.state.drain_gateway(queue);
+                self.state.maybe_close_recoveries(now);
             }
         }
     }

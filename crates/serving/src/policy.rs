@@ -154,6 +154,11 @@ pub trait ControlPolicy: Send {
     /// Called when an instance finishes loading and starts serving.
     fn on_instance_ready(&mut self, _ctx: &mut Ctx<'_>, _id: InstanceId) {}
 
+    /// Called when a decision deferred through [`Ctx::defer_action`] pops
+    /// from the event queue. The tag is policy-defined; the default drops
+    /// deferred actions on the floor.
+    fn on_action(&mut self, _ctx: &mut Ctx<'_>, _tag: u32) {}
+
     /// Called when the platform announces a preemption: `gpus` disappear
     /// at `deadline`. Policies with inflight migration use the grace
     /// window to move stages off the doomed devices; the default does

@@ -31,7 +31,14 @@ use crate::config::EngineConfig;
 /// v2: report outcome lists canonicalize to request-id order before
 /// summarizing (completion order was a schedule artifact; summary means
 /// now sum in id order, which can move cached metrics by float-ULPs).
-pub const ENGINE_SEMANTICS_VERSION: u32 = 2;
+///
+/// v3: the characterized-bug fixes. The cost model's cold-storage load
+/// time gained a layout-aware setup + capped-gain term (Table 2
+/// calibration), which moves every non-prewarmed spawn's load duration;
+/// the FlexPipe control plane's replica cap now scales with observed
+/// demand (the 200 QPS saturation fix), changing scale-out decisions at
+/// high rates.
+pub const ENGINE_SEMANTICS_VERSION: u32 = 3;
 
 /// FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
@@ -108,7 +115,7 @@ mod tests {
     /// [`ENGINE_SEMANTICS_VERSION`] and re-pin).
     #[test]
     fn fingerprint_matches_the_committed_value() {
-        assert_eq!(engine_fingerprint(), "engine-v2-eed038b42aeaa8e3");
+        assert_eq!(engine_fingerprint(), "engine-v3-eed038b42aeaa8e3");
     }
 
     #[test]
