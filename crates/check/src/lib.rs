@@ -10,7 +10,7 @@
 //!    streams and compared modulo the commutation relation below,
 //!    producing a structured [`EquivReport`] whose first divergence is
 //!    anchored to an entity and an event pair — not a byte offset.
-//! 2. **Bounded interleaving exploration** ([`explore`]): a driver runs
+//! 2. **Bounded interleaving exploration** ([`fn@explore`]): a driver runs
 //!    small committed scenarios through systematically permuted orderings
 //!    of same-virtual-time event batches (via
 //!    [`flexpipe_serving::SteppedEngine`]), asserting every schedule

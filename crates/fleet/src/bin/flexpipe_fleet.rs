@@ -39,6 +39,31 @@
 //!     --tolerance <frac>      gate tolerance when --gate is given
 //!     --verbose               per-cell start/finish lines with cache
 //!                             hit/miss and wall ms on stderr
+//! flexpipe-fleet campaign assemble <campaign.(json|toml)> [options]
+//!     --cache <dir>           override the spec's cache directory
+//!     --out-dir <dir>         artifact directory (default <name>.campaign);
+//!                             assembles the manifest + reports from the
+//!                             cache alone — no cell is ever computed.
+//!                             Exit 2 naming every missing key when the
+//!                             cache is incomplete: the push-button "did
+//!                             the worker fleet finish?" check
+//! flexpipe-fleet worker <campaign.(json|toml)> [options]
+//!     --cache <dir>           override the spec's cache directory
+//!     --store localdisk|log   backend for a fresh cache dir (an existing
+//!                             dir keeps its detected backend)
+//!     --shard i/n             deterministic shard mode: take exactly the
+//!                             cells whose key hashes to shard i of n
+//!                             (stateless, no coordination)
+//!     --claim-ttl <dur>       claim mode (default): heartbeat TTL after
+//!                             which a peer's claim is presumed dead and
+//!                             reaped (default 60s)
+//!     --worker-id <id>        claim identity (default w<pid>; give each
+//!                             machine a stable unique id)
+//!     --max-cells <n>         stop after computing n cells (chunked
+//!                             draining)
+//!     --threads <n>           worker threads (default: one per core)
+//!     --quiet                 suppress per-cell progress on stderr
+//!     --admission <mode>      `indexed` (default) or `naive`
 //! flexpipe-fleet trace record <spec.(json|toml)> [options]
 //!     --cell <id>             cell to trace (default: the grid's first cell)
 //!     --mode off|ring[:N]|full  recorder mode (default full)
@@ -76,11 +101,15 @@
 //! flexpipe-fleet check pin                        recompute the probe scenario's semantic
 //!                                                 fingerprint; exit 2 if it drifted from
 //!                                                 the pinned constant
-//! flexpipe-fleet cache stats <dir>                cache entry / size / age summary
+//! flexpipe-fleet cache stats <dir> [--claim-ttl <dur>]
+//!                                                 cache entry / claim / size / age
+//!                                                 summary (claims counted separately
+//!                                                 from cell entries)
 //! flexpipe-fleet cache gc <dir> [--max-age <dur>] [--max-bytes <N>]
 //!                                                 drop entries older than e.g. 7d
 //!                                                 and/or LRU-evict (oldest first)
-//!                                                 down to a total size cap
+//!                                                 down to a total size cap; live
+//!                                                 worker claims are never reaped
 //! flexpipe-fleet fingerprint                      print the cell-cache salt
 //! flexpipe-fleet compare <report.json>            render the tables of an artifact
 //! flexpipe-fleet gate <report.json> --baseline <base.json> [options]
@@ -99,17 +128,17 @@ use flexpipe_check::{
     PINNED_SEMANTIC_FINGERPRINT,
 };
 use flexpipe_fleet::{
-    cache_salt, find_cell, gate::gate, parse_bench, parse_campaign, parse_spec, profile_on_tick,
-    profile_on_tick_flexpipe, record_cell_trace, run_bench, run_campaign, run_sweep, BenchSpec,
-    CampaignOptions, CampaignSpec, CellCache, FleetReport, GateConfig, RunOptions, SpecReport,
-    SweepSpec,
+    assemble_campaign, cache_salt, find_cell, gate::gate, parse_bench, parse_campaign, parse_spec,
+    profile_on_tick, profile_on_tick_flexpipe, record_cell_trace, run_bench, run_campaign,
+    run_sweep, run_worker, AssembleOutcome, BenchSpec, CampaignOptions, CampaignSpec, CellCache,
+    FleetReport, GateConfig, RunOptions, SpecReport, StoreKind, SweepSpec, WorkerOptions,
 };
 use flexpipe_obs::{first_divergence, parse_jsonl, TraceRecord, TraceSummary};
 use flexpipe_serving::{AdmissionMode, TraceMode, ENGINE_SEMANTICS_VERSION};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.(json|toml)> [--out report.json] [--threads N] [--rates 100,200] [--hot-paths] [--quiet]\n  flexpipe-fleet campaign init [campaign.json]\n  flexpipe-fleet campaign <campaign.(json|toml)> [--out-dir DIR] [--cache DIR | --no-cache] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--assert-warm] [--gate DIR [--tolerance 0.02]]\n  flexpipe-fleet trace record <spec.(json|toml)> [--cell ID] [--mode off|ring[:N]|full] [--out trace.jsonl] [--admission indexed|naive]\n  flexpipe-fleet trace summarize <trace.jsonl>\n  flexpipe-fleet trace diff <a.jsonl> <b.jsonl> [--textual]\n  flexpipe-fleet trace profile [--instances N] [--min-speedup X]\n  flexpipe-fleet check equiv <a.jsonl> <b.jsonl>\n  flexpipe-fleet check explore [--scenario NAME] [--max-schedules N] [--no-prune]\n  flexpipe-fleet check pin\n  flexpipe-fleet cache stats <dir>\n  flexpipe-fleet cache gc <dir> [--max-age <90s|15m|12h|7d>] [--max-bytes <N>]\n  flexpipe-fleet fingerprint\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
+        "usage:\n  flexpipe-fleet init [spec.json]\n  flexpipe-fleet run <spec.(json|toml)> [--out report.json] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--gate baseline.json [--tolerance 0.02]]\n  flexpipe-fleet bench init [bench.json]\n  flexpipe-fleet bench <bench.(json|toml)> [--out report.json] [--threads N] [--rates 100,200] [--hot-paths] [--quiet]\n  flexpipe-fleet campaign init [campaign.json]\n  flexpipe-fleet campaign <campaign.(json|toml)> [--out-dir DIR] [--cache DIR | --no-cache] [--store localdisk|log] [--threads N] [--quiet] [--verbose] [--admission indexed|naive] [--assert-warm] [--gate DIR [--tolerance 0.02]]\n  flexpipe-fleet campaign assemble <campaign.(json|toml)> [--cache DIR] [--out-dir DIR]\n  flexpipe-fleet worker <campaign.(json|toml)> [--cache DIR] [--store localdisk|log] [--shard i/n | --claim-ttl DUR] [--worker-id ID] [--max-cells N] [--threads N] [--quiet] [--admission indexed|naive]\n  flexpipe-fleet trace record <spec.(json|toml)> [--cell ID] [--mode off|ring[:N]|full] [--out trace.jsonl] [--admission indexed|naive]\n  flexpipe-fleet trace summarize <trace.jsonl>\n  flexpipe-fleet trace diff <a.jsonl> <b.jsonl> [--textual]\n  flexpipe-fleet trace profile [--instances N] [--min-speedup X]\n  flexpipe-fleet check equiv <a.jsonl> <b.jsonl>\n  flexpipe-fleet check explore [--scenario NAME] [--max-schedules N] [--no-prune]\n  flexpipe-fleet check pin\n  flexpipe-fleet cache stats <dir> [--claim-ttl DUR]\n  flexpipe-fleet cache gc <dir> [--max-age <90s|15m|12h|7d>] [--max-bytes <N>]\n  flexpipe-fleet fingerprint\n  flexpipe-fleet compare <report.json>\n  flexpipe-fleet gate <report.json> --baseline <baseline.json> [--tolerance 0.02] [--strict-cells]"
     );
     ExitCode::from(1)
 }
@@ -177,6 +206,34 @@ fn parse_admission(args: &mut Vec<String>) -> Result<AdmissionMode, ExitCode> {
             ExitCode::from(1)
         }),
     }
+}
+
+/// Pulls `--store localdisk|log` out of the argument list.
+fn parse_store(args: &mut Vec<String>) -> Result<Option<StoreKind>, ExitCode> {
+    match take_flag_value(args, "--store")? {
+        None => Ok(None),
+        Some(v) => StoreKind::parse(&v).map(Some).ok_or_else(|| {
+            eprintln!("--store must be `localdisk` or `log`, got `{v}`");
+            ExitCode::from(1)
+        }),
+    }
+}
+
+/// Parses a campaign file and resolves its base directory (entry paths
+/// and the spec's `cache_dir` resolve relative to the campaign file, so
+/// every campaign-shaped subcommand behaves identically from any working
+/// directory).
+fn load_campaign(spec_path: &str) -> Result<(CampaignSpec, PathBuf), ExitCode> {
+    let spec = parse_campaign(spec_path, &read(spec_path)?).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::from(1)
+    })?;
+    let base_dir = Path::new(spec_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or(Path::new("."))
+        .to_path_buf();
+    Ok((spec, base_dir))
 }
 
 fn cmd_init(args: Vec<String>) -> Result<ExitCode, ExitCode> {
@@ -379,9 +436,16 @@ fn cmd_campaign(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    // `campaign assemble <campaign>`: cache-only artifact assembly.
+    if args.first().map(String::as_str) == Some("assemble") {
+        args.remove(0);
+        return cmd_campaign_assemble(args);
+    }
+
     let out_dir = take_flag_value(&mut args, "--out-dir")?;
     let cache_override = take_flag_value(&mut args, "--cache")?;
     let no_cache = take_flag(&mut args, "--no-cache");
+    let store = parse_store(&mut args)?;
     let threads = match take_flag_value(&mut args, "--threads")? {
         Some(t) => t.parse::<usize>().map_err(|_| {
             eprintln!("--threads needs an integer");
@@ -409,18 +473,7 @@ fn cmd_campaign(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
         return Err(usage());
     };
 
-    let spec = parse_campaign(spec_path, &read(spec_path)?).map_err(|e| {
-        eprintln!("{e}");
-        ExitCode::from(1)
-    })?;
-    // Entry paths and the spec's cache_dir resolve relative to the
-    // campaign file, so `fleet campaign specs/campaign-ci.json` behaves
-    // identically from any working directory.
-    let base_dir = Path::new(spec_path)
-        .parent()
-        .filter(|p| !p.as_os_str().is_empty())
-        .unwrap_or(Path::new("."))
-        .to_path_buf();
+    let (spec, base_dir) = load_campaign(spec_path)?;
     let cache_dir = if no_cache {
         None
     } else {
@@ -442,6 +495,7 @@ fn cmd_campaign(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
                 verbose,
             },
             cache_dir,
+            store,
         },
     )
     .map_err(|e| {
@@ -507,6 +561,131 @@ fn cmd_campaign(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// `fleet campaign assemble`: build the full artifact set from the cache
+/// alone. Exit 2 naming every missing key when the cache is incomplete.
+fn cmd_campaign_assemble(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
+    let out_dir = take_flag_value(&mut args, "--out-dir")?;
+    let cache_override = take_flag_value(&mut args, "--cache")?;
+    let [spec_path] = args.as_slice() else {
+        return Err(usage());
+    };
+    let (spec, base_dir) = load_campaign(spec_path)?;
+    let cache_dir = match cache_override {
+        Some(dir) => PathBuf::from(dir),
+        None => base_dir.join(&spec.cache_dir),
+    };
+    let outcome = assemble_campaign(&spec, &base_dir, &cache_dir).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::from(1)
+    })?;
+    match outcome {
+        AssembleOutcome::Incomplete { missing } => {
+            eprintln!(
+                "ERROR: cache {} is missing {} of the campaign's cells \
+                 (never computed, evicted, truncated, different engine version, \
+                 or over the current step budget):",
+                cache_dir.display(),
+                missing.len(),
+            );
+            for m in &missing {
+                eprintln!("  {}:{} {}", m.entry, m.id, m.key);
+            }
+            Ok(ExitCode::from(2))
+        }
+        AssembleOutcome::Complete(result) => {
+            println!("{}", result.stats.render(true));
+            let out_dir = out_dir.unwrap_or_else(|| format!("{}.campaign", spec.name));
+            let written = result.write(Path::new(&out_dir)).map_err(|e| {
+                eprintln!("cannot write campaign artifacts to {out_dir}: {e}");
+                ExitCode::from(1)
+            })?;
+            eprintln!(
+                "assembled {} artifacts from cache {} into {out_dir}",
+                written.len(),
+                cache_dir.display(),
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+/// `fleet worker`: one distributed campaign worker process.
+fn cmd_worker(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
+    let cache_override = take_flag_value(&mut args, "--cache")?;
+    let store = parse_store(&mut args)?;
+    let shard = match take_flag_value(&mut args, "--shard")? {
+        None => None,
+        Some(v) => {
+            let parsed = v
+                .split_once('/')
+                .and_then(|(i, n)| Some((i.parse::<usize>().ok()?, n.parse::<usize>().ok()?)));
+            match parsed {
+                Some((i, n)) if n > 0 && i < n => Some((i, n)),
+                _ => {
+                    eprintln!("--shard needs i/n with 0 <= i < n (e.g. 0/3), got `{v}`");
+                    return Err(ExitCode::from(1));
+                }
+            }
+        }
+    };
+    let claim_ttl = match take_flag_value(&mut args, "--claim-ttl")? {
+        Some(v) => flexpipe_fleet::cache::parse_duration(&v).map_err(|e| {
+            eprintln!("{e}");
+            ExitCode::from(1)
+        })?,
+        None => flexpipe_fleet::DEFAULT_CLAIM_TTL,
+    };
+    let worker_id = take_flag_value(&mut args, "--worker-id")?;
+    let max_cells = match take_flag_value(&mut args, "--max-cells")? {
+        Some(v) => Some(v.parse::<usize>().map_err(|_| {
+            eprintln!("--max-cells needs an integer");
+            ExitCode::from(1)
+        })?),
+        None => None,
+    };
+    let threads = match take_flag_value(&mut args, "--threads")? {
+        Some(t) => t.parse::<usize>().map_err(|_| {
+            eprintln!("--threads needs an integer");
+            ExitCode::from(1)
+        })?,
+        None => 0,
+    };
+    let quiet = take_flag(&mut args, "--quiet");
+    let verbose = take_flag(&mut args, "--verbose");
+    let admission = parse_admission(&mut args)?;
+    let [spec_path] = args.as_slice() else {
+        return Err(usage());
+    };
+
+    let (spec, base_dir) = load_campaign(spec_path)?;
+    let cache_dir = match cache_override {
+        Some(dir) => PathBuf::from(dir),
+        None => base_dir.join(&spec.cache_dir),
+    };
+    let mut opts = WorkerOptions {
+        run: RunOptions {
+            threads,
+            quiet,
+            admission,
+            verbose,
+        },
+        shard,
+        claim_ttl,
+        max_cells,
+        store,
+        ..Default::default()
+    };
+    if let Some(id) = worker_id {
+        opts.worker_id = id;
+    }
+    run_worker(&spec, &base_dir, &cache_dir, &opts)
+        .map(|_| ExitCode::SUCCESS)
+        .map_err(|e| {
+            eprintln!("{e}");
+            ExitCode::from(1)
+        })
 }
 
 fn cmd_trace(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
@@ -816,6 +995,13 @@ fn cmd_cache(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
     let verb = args.remove(0);
     match verb.as_str() {
         "stats" => {
+            let claim_ttl = match take_flag_value(&mut args, "--claim-ttl")? {
+                Some(v) => flexpipe_fleet::cache::parse_duration(&v).map_err(|e| {
+                    eprintln!("{e}");
+                    ExitCode::from(1)
+                })?,
+                None => flexpipe_fleet::DEFAULT_CLAIM_TTL,
+            };
             let [dir] = args.as_slice() else {
                 return Err(usage());
             };
@@ -823,13 +1009,25 @@ fn cmd_cache(mut args: Vec<String>) -> Result<ExitCode, ExitCode> {
                 eprintln!("cannot open cache {dir}: {e}");
                 ExitCode::from(1)
             })?;
-            let s = cache.stats().map_err(|e| {
+            let s = cache.stats_with_ttl(claim_ttl).map_err(|e| {
                 eprintln!("cannot scan cache {dir}: {e}");
                 ExitCode::from(1)
             })?;
             println!(
-                "cache {dir}: {} entries ({} sweep, {} bench), {} stale-salt, {} foreign, {} bytes",
-                s.entries, s.sweep_cells, s.bench_cells, s.stale_salt, s.foreign, s.bytes
+                "cache {dir} ({}): {} entries ({} sweep, {} bench), {} stale-salt, {} foreign, \
+                 {} bytes",
+                cache.backend().kind(),
+                s.entries,
+                s.sweep_cells,
+                s.bench_cells,
+                s.stale_salt,
+                s.foreign,
+                s.bytes
+            );
+            println!(
+                "claims: {} live, {} stale (older than {claim_ttl:?}; reaped by workers, \
+                 never by gc)",
+                s.claims, s.stale_claims
             );
             println!(
                 "ages: oldest {}s, newest {}s; salt {}",
@@ -938,6 +1136,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(args),
         "bench" => cmd_bench(args),
         "campaign" => cmd_campaign(args),
+        "worker" => cmd_worker(args),
         "trace" => cmd_trace(args),
         "check" => cmd_check(args),
         "cache" => cmd_cache(args),

@@ -1,12 +1,13 @@
-//! The content-addressed per-cell artifact cache behind `fleet campaign`.
+//! The content-addressed per-cell artifact cache behind `fleet campaign`
+//! and the distributed `fleet worker` protocol.
 //!
 //! Every campaign cell persists its [`CellMetrics`] under a key derived
 //! from three things:
 //!
 //! 1. the **canonicalized semantic content** of the cell — the spec fields
 //!    and cell coordinates that can change the cell's metrics, and nothing
-//!    that cannot ([`SweepSpec::cell_semantics`] /
-//!    [`BenchSpec::cell_semantics`]). Canonicalization sorts map keys
+//!    that cannot (`SweepSpec::cell_semantics` /
+//!    `BenchSpec::cell_semantics`). Canonicalization sorts map keys
 //!    recursively and serializes through the typed spec structs, so JSON
 //!    key order, TOML-lite formatting, comments and numeric spelling
 //!    (`120` vs `120.0`) all hash identically while any semantically
@@ -18,26 +19,38 @@
 //!    `flexpipe_serving::engine_fingerprint()` plus the fleet's report and
 //!    cache format versions, so engine-semantics bumps, metric-definition
 //!    changes and cache-layout changes each invalidate the whole cache.
+//!    The salt is also what makes mixed-version *fleets* safe: workers
+//!    built from different engine semantics address disjoint keys, so a
+//!    stale binary can never poison a newer campaign's cells.
 //!
-//! Layout: `<dir>/<key[0..2]>/<key>.json`, one JSON [`CacheEntry`] per
-//! cell. Entries are written atomically (temp file + rename), so a killed
-//! run never leaves a torn entry and a resumed run either sees a complete
-//! result or recomputes. Truncated and panicked cells are **never**
-//! cached — an interrupted (step-budget-truncated) cell must be
-//! recomputed, which is what makes kill-and-resume byte-identical to an
-//! uninterrupted run.
+//! Storage is pluggable behind the [`CacheStore`] trait
+//! ([`crate::store`]): the default [`crate::store::LocalDiskStore`] keeps
+//! one atomically-renamed JSON file per entry under
+//! `<dir>/<key[0..2]>/<key>.json` (safe to share over NFS or rsync), and
+//! the single-file [`crate::store::LogStore`] append log proves the seam.
+//! Whatever the backend, entries land atomically — a killed run never
+//! leaves a torn entry, and a resumed run either sees a complete result
+//! or recomputes. Truncated and panicked cells are **never** cached — an
+//! interrupted (step-budget-truncated) cell must be recomputed, which is
+//! what makes kill-and-resume byte-identical to an uninterrupted run.
+//!
+//! Worker claims (`<key>.claim` files / log claim records) ride in the
+//! same store but are bookkeeping, not results: `stats` counts them
+//! separately from cell entries, and `gc` **never** removes a live claim
+//! — stale claims are reaped only explicitly, by TTL.
 //!
 //! Nothing wall-clock enters entry *contents*; `stats` / `gc` age entries
-//! by file mtime, which stays outside every byte-compared artifact.
+//! by storage mtime, which stays outside every byte-compared artifact.
 
 use std::io;
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, SystemTime};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize, Value};
 
 use crate::report::{CellMetrics, REPORT_VERSION};
+use crate::store::{open_store, CacheStore, ClaimInfo, ClaimOutcome, GcOutcome, StoreKind};
 
 /// Cache on-disk format version; bump on entry-layout changes.
 pub const CACHE_FORMAT_VERSION: u32 = 1;
@@ -96,6 +109,15 @@ pub fn cell_key(semantics: &Value) -> String {
     format!("{h1:016x}{h2:016x}")
 }
 
+/// The shard a key belongs to under an `i/n` deterministic partition:
+/// the key's leading 64 bits modulo `n`. Stateless — every worker
+/// computes the same answer from the campaign spec alone, which is what
+/// makes `fleet worker --shard i/n` coordination-free.
+pub fn key_shard(key: &str, n: usize) -> usize {
+    let h = u64::from_str_radix(key.get(0..16).unwrap_or("0"), 16).unwrap_or(0);
+    (h % n.max(1) as u64) as usize
+}
+
 /// One persisted cell result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CacheEntry {
@@ -115,7 +137,9 @@ pub struct CacheEntry {
     pub metrics: CellMetrics,
 }
 
-/// Aggregate cache statistics (`fleet cache stats`).
+/// Aggregate cache statistics (`fleet cache stats`). Cell entries and
+/// worker claims are counted strictly separately: a claim is protocol
+/// bookkeeping, never a result.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CacheStats {
     /// Readable, well-formed entries.
@@ -127,9 +151,16 @@ pub struct CacheStats {
     /// Entries whose salt differs from this build's (stale: unreachable
     /// until `gc` removes them).
     pub stale_salt: usize,
-    /// Files that failed to parse as entries.
+    /// Objects that failed to parse as entries (junk files, orphaned
+    /// temp files). Claims are **not** foreign — see
+    /// [`CacheStats::claims`].
     pub foreign: usize,
-    /// Total bytes across all files considered.
+    /// Live worker claims.
+    pub claims: usize,
+    /// Of those, claims whose heartbeat is older than the TTL passed to
+    /// [`CellCache::stats_with_ttl`] (likely dead workers; reapable).
+    pub stale_claims: usize,
+    /// Total bytes across all entry objects considered.
     pub bytes: u64,
     /// Age of the oldest entry, seconds (0 when empty).
     pub oldest_secs: u64,
@@ -137,43 +168,42 @@ pub struct CacheStats {
     pub newest_secs: u64,
 }
 
-/// Result of a `gc` pass.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct GcOutcome {
-    /// Entries removed.
-    pub removed: usize,
-    /// Entries kept.
-    pub kept: usize,
-    /// Bytes freed.
-    pub bytes_freed: u64,
-}
-
-/// Tie-breaker for concurrent same-key writers' temp file names.
-static STORE_NONCE: AtomicU64 = AtomicU64::new(0);
-
-/// A content-addressed cell cache rooted at a directory.
+/// A content-addressed cell cache over a pluggable [`CacheStore`].
 #[derive(Debug, Clone)]
 pub struct CellCache {
-    dir: PathBuf,
+    store: Arc<dyn CacheStore>,
 }
 
 impl CellCache {
-    /// Opens (creating if needed) a cache at `dir`.
+    /// Opens (creating if needed) a cache at `dir` with backend
+    /// autodetection: an existing `cells.log` selects the append-log
+    /// store, anything else the localdisk layout.
     pub fn open(dir: &Path) -> io::Result<CellCache> {
-        std::fs::create_dir_all(dir)?;
+        CellCache::open_kind(dir, None)
+    }
+
+    /// Opens a cache at `dir` with an explicit backend preference. An
+    /// already-initialized directory keeps its detected backend (mixing
+    /// engines in one directory would split the cache invisibly).
+    pub fn open_kind(dir: &Path, kind: Option<StoreKind>) -> io::Result<CellCache> {
         Ok(CellCache {
-            dir: dir.to_path_buf(),
+            store: open_store(dir, kind)?,
         })
+    }
+
+    /// Wraps an already-open storage engine.
+    pub fn with_store(store: Arc<dyn CacheStore>) -> CellCache {
+        CellCache { store }
     }
 
     /// The cache root.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.store.root()
     }
 
-    fn path_of(&self, key: &str) -> PathBuf {
-        let shard = key.get(0..2).unwrap_or("xx");
-        self.dir.join(shard).join(format!("{key}.json"))
+    /// The underlying storage engine.
+    pub fn backend(&self) -> &dyn CacheStore {
+        self.store.as_ref()
     }
 
     /// Loads the metrics cached under `key`, if a complete, matching
@@ -191,7 +221,7 @@ impl CellCache {
     /// that consumed exactly the budget is indistinguishable from a
     /// truncated one without re-running.
     pub fn load(&self, key: &str, max_events: u64) -> Option<CellMetrics> {
-        let text = std::fs::read_to_string(self.path_of(key)).ok()?;
+        let text = self.store.get(key).ok()??;
         let entry: CacheEntry = serde_json::from_str(&text).ok()?;
         if entry.version != CACHE_FORMAT_VERSION
             || entry.key != key
@@ -227,51 +257,53 @@ impl CellCache {
         };
         let mut json = serde_json::to_string_pretty(&entry).expect("entry serializes");
         json.push('\n');
-        let path = self.path_of(key);
-        let shard = path.parent().expect("sharded path");
-        std::fs::create_dir_all(shard)?;
-        let tmp = shard.join(format!(
-            ".tmp-{key}-{}-{}",
-            std::process::id(),
-            STORE_NONCE.fetch_add(1, Ordering::Relaxed)
-        ));
-        std::fs::write(&tmp, &json)?;
-        // Rename is atomic within a filesystem: concurrent same-key
-        // writers race benignly (identical bytes), and a kill mid-write
-        // leaves only a temp file that the next gc sweeps up.
-        std::fs::rename(&tmp, &path)?;
+        self.store.put(key, &json)?;
         Ok(true)
     }
 
-    /// Every entry file currently in the cache (sorted for determinism).
-    fn entry_files(&self) -> io::Result<Vec<PathBuf>> {
-        let mut files = Vec::new();
-        for shard in std::fs::read_dir(&self.dir)? {
-            let shard = shard?.path();
-            if !shard.is_dir() {
-                continue;
-            }
-            for f in std::fs::read_dir(&shard)? {
-                files.push(f?.path());
-            }
-        }
-        files.sort();
-        Ok(files)
+    /// Attempts to claim `key` for `worker` (see [`CacheStore::try_claim`]).
+    pub fn try_claim(&self, key: &str, worker: &str) -> io::Result<ClaimOutcome> {
+        self.store.try_claim(key, worker)
     }
 
-    /// Walks the cache and aggregates [`CacheStats`].
+    /// Heartbeats a held claim (see [`CacheStore::refresh_claim`]).
+    pub fn refresh_claim(&self, key: &str, worker: &str) -> io::Result<bool> {
+        self.store.refresh_claim(key, worker)
+    }
+
+    /// Releases `worker`'s claim on `key`.
+    pub fn release_claim(&self, key: &str, worker: &str) -> io::Result<bool> {
+        self.store.release_claim(key, worker)
+    }
+
+    /// Every live claim.
+    pub fn list_claims(&self) -> io::Result<Vec<ClaimInfo>> {
+        self.store.list_claims()
+    }
+
+    /// Releases every claim older than `ttl`; returns the count reaped.
+    pub fn reap_stale_claims(&self, ttl: Duration) -> io::Result<usize> {
+        self.store.reap_stale_claims(ttl)
+    }
+
+    /// Walks the cache and aggregates [`CacheStats`], judging claim
+    /// staleness against [`crate::store::DEFAULT_CLAIM_TTL`].
     pub fn stats(&self) -> io::Result<CacheStats> {
-        let now = SystemTime::now();
+        self.stats_with_ttl(crate::store::DEFAULT_CLAIM_TTL)
+    }
+
+    /// [`CellCache::stats`] with an explicit staleness TTL for claims.
+    pub fn stats_with_ttl(&self, claim_ttl: Duration) -> io::Result<CacheStats> {
         let salt = cache_salt();
         let mut s = CacheStats::default();
         let mut oldest: Option<u64> = None;
         let mut newest: Option<u64> = None;
-        for path in self.entry_files()? {
-            let meta = std::fs::metadata(&path)?;
-            s.bytes += meta.len();
-            let parsed = std::fs::read_to_string(&path)
-                .ok()
-                .and_then(|t| serde_json::from_str::<CacheEntry>(&t).ok());
+        for obj in self.store.list()? {
+            s.bytes += obj.bytes;
+            let parsed = obj
+                .payload
+                .as_deref()
+                .and_then(|t| serde_json::from_str::<CacheEntry>(t).ok());
             let Some(entry) = parsed else {
                 s.foreign += 1;
                 continue;
@@ -285,76 +317,44 @@ impl CellCache {
             if entry.salt != salt {
                 s.stale_salt += 1;
             }
-            let age = meta
-                .modified()
-                .ok()
-                .and_then(|m| now.duration_since(m).ok())
-                .map(|d| d.as_secs())
-                .unwrap_or(0);
+            let age = obj.age.as_secs();
             oldest = Some(oldest.map_or(age, |o| o.max(age)));
             newest = Some(newest.map_or(age, |n| n.min(age)));
+        }
+        for claim in self.store.list_claims()? {
+            s.claims += 1;
+            if claim.age >= claim_ttl {
+                s.stale_claims += 1;
+            }
         }
         s.oldest_secs = oldest.unwrap_or(0);
         s.newest_secs = newest.unwrap_or(0);
         Ok(s)
     }
 
-    /// Removes every file older than `max_age` (by mtime), including
-    /// foreign files and orphaned temp files, then prunes empty shards.
+    /// Removes every entry older than `max_age`. Live claims are never
+    /// touched (see [`CacheStore::gc`]).
     pub fn gc(&self, max_age: Duration) -> io::Result<GcOutcome> {
-        self.gc_bounded(Some(max_age), None)
+        self.store.gc(Some(max_age), None)
     }
 
-    /// LRU size cap: evicts oldest-mtime files first until the cache's
-    /// total size fits under `max_bytes`, then prunes empty shards. The
-    /// newest entries always survive (unless a single entry alone exceeds
-    /// the cap).
+    /// LRU size cap: evicts oldest entries first until the cache fits
+    /// under `max_bytes`. The newest entries always survive (unless a
+    /// single entry alone exceeds the cap). Live claims are never
+    /// touched.
     pub fn gc_max_bytes(&self, max_bytes: u64) -> io::Result<GcOutcome> {
-        self.gc_bounded(None, Some(max_bytes))
+        self.store.gc(None, Some(max_bytes))
     }
 
     /// Combined gc pass: the age bound (if any) applies first, then the
-    /// size cap (if any) evicts oldest-first among the survivors. Ties on
-    /// mtime break by path, so the pass is deterministic.
+    /// size cap (if any) evicts oldest-first among the survivors. Ties
+    /// break deterministically. Live claims are never touched.
     pub fn gc_bounded(
         &self,
         max_age: Option<Duration>,
         max_bytes: Option<u64>,
     ) -> io::Result<GcOutcome> {
-        let now = SystemTime::now();
-        let mut out = GcOutcome::default();
-        // (age, path, size) of every file, oldest first.
-        let mut files: Vec<(Duration, PathBuf, u64)> = Vec::new();
-        for path in self.entry_files()? {
-            let meta = std::fs::metadata(&path)?;
-            let age = meta
-                .modified()
-                .ok()
-                .and_then(|m| now.duration_since(m).ok())
-                .unwrap_or(Duration::ZERO);
-            files.push((age, path, meta.len()));
-        }
-        files.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-        let mut total: u64 = files.iter().map(|f| f.2).sum();
-        for (age, path, size) in files {
-            let too_old = max_age.is_some_and(|cap| age >= cap);
-            let too_big = max_bytes.is_some_and(|cap| total > cap);
-            if too_old || too_big {
-                std::fs::remove_file(&path)?;
-                out.removed += 1;
-                out.bytes_freed += size;
-                total -= size;
-            } else {
-                out.kept += 1;
-            }
-        }
-        for shard in std::fs::read_dir(&self.dir)? {
-            let shard = shard?.path();
-            if shard.is_dir() && std::fs::read_dir(&shard)?.next().is_none() {
-                std::fs::remove_dir(&shard)?;
-            }
-        }
-        Ok(out)
+        self.store.gc(max_age, max_bytes)
     }
 }
 
@@ -381,6 +381,8 @@ pub fn parse_duration(s: &str) -> Result<Duration, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
+    use std::time::SystemTime;
 
     fn tiny_metrics() -> CellMetrics {
         let mut m = crate::runner::failed_cell_metrics();
@@ -399,6 +401,18 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("flexpipe-cache-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    /// Every cache-semantics test runs against both backends: the cache
+    /// layer must be backend-agnostic by construction.
+    fn both_backends(tag: &str, f: impl Fn(&CellCache)) {
+        for kind in [StoreKind::LocalDisk, StoreKind::Log] {
+            let dir = tmp(&format!("{tag}-{}", kind.name()));
+            let cache = CellCache::open_kind(&dir, Some(kind)).unwrap();
+            assert_eq!(cache.backend().kind(), kind.name());
+            f(&cache);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]
@@ -436,40 +450,62 @@ mod tests {
     }
 
     #[test]
+    fn key_shards_partition_and_cover() {
+        let keys: Vec<String> = (0..64)
+            .map(|i| cell_key(&serde_json::parse_value(&format!("{{\"i\": {i}}}")).unwrap()))
+            .collect();
+        for n in [1, 2, 3, 5] {
+            let mut seen = vec![0usize; n];
+            for k in &keys {
+                let s = key_shard(k, n);
+                assert!(s < n);
+                seen[s] += 1;
+            }
+            // Every shard gets work (64 keys over ≤5 shards).
+            assert!(
+                seen.iter().all(|&c| c > 0),
+                "empty shard at n={n}: {seen:?}"
+            );
+            assert_eq!(seen.iter().sum::<usize>(), keys.len());
+        }
+        // Deterministic: the partition is a pure function of the key.
+        assert_eq!(key_shard(&keys[0], 3), key_shard(&keys[0], 3));
+        assert_eq!(key_shard("zz", 4), 0); // non-hex prefix degrades safely
+    }
+
+    #[test]
     fn store_load_round_trips_and_refuses_incomplete_cells() {
-        let dir = tmp("roundtrip");
-        let cache = CellCache::open(&dir).unwrap();
-        let m = tiny_metrics();
-        assert!(cache.load("0123", u64::MAX).is_none());
-        assert!(cache.store("0123", "sweep", "cell-a", &m).unwrap());
-        assert_eq!(cache.load("0123", u64::MAX), Some(m.clone()));
-        // A different key misses even if the shard exists.
-        assert!(cache.load("0124", u64::MAX).is_none());
-        // Truncated / failed results are never persisted.
-        let mut t = m.clone();
-        t.truncated = true;
-        assert!(!cache.store("0999", "sweep", "cell-b", &t).unwrap());
-        assert!(cache.load("0999", u64::MAX).is_none());
-        let mut f = m;
-        f.failed = true;
-        assert!(!cache.store("0998", "sweep", "cell-c", &f).unwrap());
-        assert!(cache.load("0998", u64::MAX).is_none());
-        let _ = std::fs::remove_dir_all(&dir);
+        both_backends("roundtrip", |cache| {
+            let m = tiny_metrics();
+            assert!(cache.load("0123", u64::MAX).is_none());
+            assert!(cache.store("0123", "sweep", "cell-a", &m).unwrap());
+            assert_eq!(cache.load("0123", u64::MAX), Some(m.clone()));
+            // A different key misses even if the shard exists.
+            assert!(cache.load("0124", u64::MAX).is_none());
+            // Truncated / failed results are never persisted.
+            let mut t = m.clone();
+            t.truncated = true;
+            assert!(!cache.store("0999", "sweep", "cell-b", &t).unwrap());
+            assert!(cache.load("0999", u64::MAX).is_none());
+            let mut f = m.clone();
+            f.failed = true;
+            assert!(!cache.store("0998", "sweep", "cell-c", &f).unwrap());
+            assert!(cache.load("0998", u64::MAX).is_none());
+        });
     }
 
     #[test]
     fn entries_only_replay_under_budgets_they_fit() {
-        let dir = tmp("budget");
-        let cache = CellCache::open(&dir).unwrap();
-        let m = tiny_metrics(); // events = 1234
-        cache.store("b001", "sweep", "cell", &m).unwrap();
-        // A budget the cached run demonstrably fits: hit.
-        assert_eq!(cache.load("b001", 2000), Some(m));
-        // A budget at or below the cached event count: the cell would
-        // truncate (or is ambiguous) under the current spec — recompute.
-        assert!(cache.load("b001", 1234).is_none());
-        assert!(cache.load("b001", 1000).is_none());
-        let _ = std::fs::remove_dir_all(&dir);
+        both_backends("budget", |cache| {
+            let m = tiny_metrics(); // events = 1234
+            cache.store("b001", "sweep", "cell", &m).unwrap();
+            // A budget the cached run demonstrably fits: hit.
+            assert_eq!(cache.load("b001", 2000), Some(m.clone()));
+            // A budget at or below the cached event count: the cell would
+            // truncate (or is ambiguous) under the current spec — recompute.
+            assert!(cache.load("b001", 1234).is_none());
+            assert!(cache.load("b001", 1000).is_none());
+        });
     }
 
     #[test]
@@ -489,6 +525,21 @@ mod tests {
     }
 
     #[test]
+    fn backend_autodetection_is_sticky() {
+        let dir = tmp("detect");
+        // First open as log; a later open with no (or a conflicting)
+        // preference must keep finding the log.
+        let cache = CellCache::open_kind(&dir, Some(StoreKind::Log)).unwrap();
+        cache.store("aa11", "sweep", "s", &tiny_metrics()).unwrap();
+        let re = CellCache::open(&dir).unwrap();
+        assert_eq!(re.backend().kind(), "log");
+        assert!(re.load("aa11", u64::MAX).is_some());
+        let conflicted = CellCache::open_kind(&dir, Some(StoreKind::LocalDisk)).unwrap();
+        assert_eq!(conflicted.backend().kind(), "log");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn stats_and_gc_bound_the_cache() {
         let dir = tmp("gc");
         let cache = CellCache::open(&dir).unwrap();
@@ -501,6 +552,7 @@ mod tests {
         assert_eq!(s.sweep_cells, 1);
         assert_eq!(s.bench_cells, 1);
         assert_eq!(s.foreign, 1);
+        assert_eq!(s.claims, 0);
         assert!(s.bytes > 0);
         // Nothing is older than a day: gc keeps everything.
         let kept = cache.gc(Duration::from_secs(86_400)).unwrap();
@@ -513,6 +565,33 @@ mod tests {
         assert_eq!(cache.stats().unwrap().entries, 0);
         assert!(std::fs::read_dir(&dir).unwrap().next().is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_count_claims_separately_and_gc_spares_them() {
+        both_backends("claimstats", |cache| {
+            let m = tiny_metrics();
+            cache.store("aa11", "sweep", "s", &m).unwrap();
+            cache.try_claim("bb22", "w1").unwrap();
+            cache.try_claim("cc33", "w2").unwrap();
+            let s = cache.stats().unwrap();
+            assert_eq!(s.entries, 1, "claims must not count as entries");
+            assert_eq!(s.claims, 2);
+            assert_eq!(s.stale_claims, 0, "fresh claims are not stale");
+            assert_eq!(s.foreign, 0, "claims must not count as foreign");
+            // The most aggressive entry gc possible: every entry goes,
+            // every live claim survives.
+            let swept = cache.gc_bounded(Some(Duration::ZERO), Some(0)).unwrap();
+            assert_eq!(swept.removed, 1);
+            let s = cache.stats().unwrap();
+            assert_eq!(s.entries, 0);
+            assert_eq!(s.claims, 2, "gc must never reap live claims");
+            // Zero-TTL stats read them as stale; zero-TTL reap clears.
+            let s = cache.stats_with_ttl(Duration::ZERO).unwrap();
+            assert_eq!(s.stale_claims, 2);
+            assert_eq!(cache.reap_stale_claims(Duration::ZERO).unwrap(), 2);
+            assert_eq!(cache.stats().unwrap().claims, 0);
+        });
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::runner::{
     RunOptions,
 };
 use crate::spec::{Cell, SweepSpec};
+use crate::store::StoreKind;
 use crate::BenchSpec;
 
 /// Campaign manifest format version.
@@ -199,6 +200,137 @@ pub fn load_entries(spec: &CampaignSpec, base_dir: &Path) -> Result<Vec<LoadedSp
     Ok(loaded)
 }
 
+/// The expanded execution plan of a campaign: every entry loaded and
+/// validated, every cell content-keyed, and the flat job list. This is
+/// the shared substrate of `fleet campaign` (one process), `fleet
+/// worker` (N processes against a shared cache), and `fleet campaign
+/// assemble` (cache-only artifact assembly): all three derive the same
+/// plan from the same campaign file, which is what lets them cooperate
+/// with no coordination channel beyond the cache itself.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// Loaded, validated, expanded entries, in campaign order.
+    pub entries: Vec<LoadedSpec>,
+    /// Content keys under the current salt, parallel to each entry's
+    /// cell grid.
+    pub keys: Vec<Vec<String>>,
+    /// The flat job list: `(entry index, cell index)` across every grid.
+    pub jobs: Vec<(usize, usize)>,
+}
+
+/// A borrowed view of one planned cell job.
+#[derive(Debug, Clone)]
+pub struct CellJob<'a> {
+    /// Owning spec's name.
+    pub entry_name: &'a str,
+    /// Cache entry kind label (`sweep` / `bench`).
+    pub kind: &'static str,
+    /// Human-readable cell id.
+    pub id: String,
+    /// The owning spec's step budget (`max_events`).
+    pub budget: u64,
+    /// The cell's content key.
+    pub key: &'a str,
+}
+
+impl CampaignPlan {
+    /// Loads and expands `spec` into its full plan. Keys are computed
+    /// unconditionally — the manifest records them even when the cache
+    /// is disabled.
+    pub fn load(spec: &CampaignSpec, base_dir: &Path) -> Result<CampaignPlan, FleetError> {
+        let entries = load_entries(spec, base_dir)?;
+        let keys: Vec<Vec<String>> = entries
+            .iter()
+            .map(|e| match e {
+                LoadedSpec::Sweep(s, cells) => cells
+                    .iter()
+                    .map(|c| cell_key(&s.cell_semantics(c)))
+                    .collect(),
+                LoadedSpec::Bench(s, cells) => cells
+                    .iter()
+                    .map(|c| cell_key(&s.cell_semantics(c)))
+                    .collect(),
+            })
+            .collect();
+        let jobs: Vec<(usize, usize)> = entries
+            .iter()
+            .enumerate()
+            .flat_map(|(ei, e)| (0..e.cells()).map(move |ci| (ei, ci)))
+            .collect();
+        Ok(CampaignPlan {
+            entries,
+            keys,
+            jobs,
+        })
+    }
+
+    /// Total cell count across all entries.
+    pub fn total_cells(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The metadata of flat job `i`.
+    pub fn job(&self, i: usize) -> CellJob<'_> {
+        let (ei, ci) = self.jobs[i];
+        let entry = &self.entries[ei];
+        let (kind, id, budget) = match entry {
+            LoadedSpec::Sweep(s, cells) => ("sweep", cells[ci].id(), s.max_events),
+            LoadedSpec::Bench(s, cells) => ("bench", cells[ci].id(), s.max_events),
+        };
+        CellJob {
+            entry_name: entry.name(),
+            kind,
+            id,
+            budget,
+            key: &self.keys[ei][ci],
+        }
+    }
+
+    /// Builds the shared model artefacts, one per distinct model across
+    /// all entries.
+    pub fn setups(&self) -> Vec<(ModelId, PaperSetup)> {
+        let mut setups: Vec<(ModelId, PaperSetup)> = Vec::new();
+        for e in &self.entries {
+            if !setups.iter().any(|(m, _)| *m == e.model()) {
+                setups.push((e.model(), PaperSetup::for_model(e.model())));
+            }
+        }
+        setups
+    }
+
+    /// Executes flat job `i` with panic containment: a panicking cell
+    /// becomes a failed-cell metrics record (never cached, visible in
+    /// the artifact) instead of taking down the worker.
+    pub fn compute(
+        &self,
+        i: usize,
+        setups: &[(ModelId, PaperSetup)],
+        admission: flexpipe_serving::AdmissionMode,
+    ) -> CellMetrics {
+        let (ei, ci) = self.jobs[i];
+        let entry = &self.entries[ei];
+        let setup = setups
+            .iter()
+            .find(|(m, _)| *m == entry.model())
+            .map(|(_, s)| s)
+            .expect("setup prebuilt for every model in the plan");
+        match catch_unwind(AssertUnwindSafe(|| match entry {
+            LoadedSpec::Sweep(s, cells) => run_cell_in_mode(s, &cells[ci], setup, admission),
+            LoadedSpec::Bench(s, cells) => run_bench_cell(s, &cells[ci], setup).0,
+        })) {
+            Ok(m) => m,
+            Err(_) => {
+                eprintln!(
+                    "campaign cell {}:{} PANICKED; recorded as failed",
+                    entry.name(),
+                    self.job(i).id
+                );
+                failed_cell_metrics()
+            }
+        }
+    }
+}
+
 /// Campaign runner configuration.
 #[derive(Debug, Clone, Default)]
 pub struct CampaignOptions {
@@ -207,6 +339,9 @@ pub struct CampaignOptions {
     /// Cache directory; `None` disables both lookups and stores
     /// (`--no-cache`).
     pub cache_dir: Option<PathBuf>,
+    /// Storage backend preference for a fresh cache directory
+    /// (`--store`); an initialized directory keeps its detected backend.
+    pub store: Option<StoreKind>,
 }
 
 /// Cache interaction counters of one campaign run. Deliberately **not**
@@ -418,52 +553,23 @@ pub fn run_campaign(
     opts: &CampaignOptions,
 ) -> Result<CampaignResult, FleetError> {
     let started = Instant::now();
-    let entries = load_entries(spec, base_dir)?;
+    let plan = CampaignPlan::load(spec, base_dir)?;
     let cache = match &opts.cache_dir {
         Some(dir) => Some(
-            CellCache::open(dir)
+            CellCache::open_kind(dir, opts.store)
                 .map_err(|e| FleetError(format!("cannot open cache {}: {e}", dir.display())))?,
         ),
         None => None,
     };
 
-    // Content keys, in (entry, cell) order. Computed even with the cache
-    // disabled: the manifest always records them.
-    let keys: Vec<Vec<String>> = entries
-        .iter()
-        .map(|e| match e {
-            LoadedSpec::Sweep(s, cells) => cells
-                .iter()
-                .map(|c| cell_key(&s.cell_semantics(c)))
-                .collect(),
-            LoadedSpec::Bench(s, cells) => cells
-                .iter()
-                .map(|c| cell_key(&s.cell_semantics(c)))
-                .collect(),
-        })
-        .collect();
-
-    // Shared model artefacts, one per distinct model across all entries.
-    let mut setups: Vec<(ModelId, PaperSetup)> = Vec::new();
-    for e in &entries {
-        if !setups.iter().any(|(m, _)| *m == e.model()) {
-            setups.push((e.model(), PaperSetup::for_model(e.model())));
-        }
-    }
-
-    // The flat job list: (entry, cell) pairs across every grid.
-    let jobs: Vec<(usize, usize)> = entries
-        .iter()
-        .enumerate()
-        .flat_map(|(ei, e)| (0..e.cells()).map(move |ci| (ei, ci)))
-        .collect();
-    let n = jobs.len();
+    let setups = plan.setups();
+    let n = plan.total_cells();
     if !opts.run.quiet {
         eprintln!(
             "campaign `{}`: {} cells across {} specs{}",
             spec.name,
             n,
-            entries.len(),
+            plan.entries.len(),
             match &cache {
                 Some(c) => format!(", cache at {}", c.dir().display()),
                 None => ", cache disabled".into(),
@@ -474,57 +580,32 @@ pub fn run_campaign(
     let threads = effective_threads(opts.run.threads, n);
     let finished = AtomicUsize::new(0);
     let outcomes: Vec<(CellMetrics, bool, bool, f64)> = parallel_indexed(n, threads, |i| {
-        let (ei, ci) = jobs[i];
-        let entry = &entries[ei];
-        let key = &keys[ei][ci];
-        let (kind, id, budget) = match entry {
-            LoadedSpec::Sweep(s, cells) => ("sweep", cells[ci].id(), s.max_events),
-            LoadedSpec::Bench(s, cells) => ("bench", cells[ci].id(), s.max_events),
-        };
+        let job = plan.job(i);
+        let (name, id, key) = (job.entry_name, &job.id, job.key);
         let job_started = Instant::now();
         if opts.run.verbose && !opts.run.quiet {
-            eprintln!("campaign cell={}:{id} event=start", entry.name());
+            eprintln!("campaign cell={name}:{id} event=start");
         }
         // Budget-aware hit: only replay entries that demonstrably fit
         // the current step budget (see [`CellCache::load`]).
-        if let Some(metrics) = cache.as_ref().and_then(|c| c.load(key, budget)) {
+        if let Some(metrics) = cache.as_ref().and_then(|c| c.load(key, job.budget)) {
             let wall_ms = job_started.elapsed().as_secs_f64() * 1e3;
             let done = finished.fetch_add(1, Ordering::Relaxed) + 1;
             if !opts.run.quiet {
                 if opts.run.verbose {
                     eprintln!(
-                        "campaign cell={}:{id} event=finish cache=hit wall_ms={wall_ms:.1} \
+                        "campaign cell={name}:{id} event=finish cache=hit wall_ms={wall_ms:.1} \
                          truncated={}",
-                        entry.name(),
                         metrics.truncated,
                     );
                 }
-                eprintln!("campaign [{done}/{n}] {}:{id} HIT {key}", entry.name());
+                eprintln!("campaign [{done}/{n}] {name}:{id} HIT {key}");
             }
             return (metrics, true, false, wall_ms);
         }
-        let setup = setups
-            .iter()
-            .find(|(m, _)| *m == entry.model())
-            .map(|(_, s)| s)
-            .expect("setup prebuilt");
-        let metrics = match catch_unwind(AssertUnwindSafe(|| match entry {
-            LoadedSpec::Sweep(s, cells) => {
-                run_cell_in_mode(s, &cells[ci], setup, opts.run.admission)
-            }
-            LoadedSpec::Bench(s, cells) => run_bench_cell(s, &cells[ci], setup).0,
-        })) {
-            Ok(m) => m,
-            Err(_) => {
-                eprintln!(
-                    "campaign cell {}:{id} PANICKED; recorded as failed",
-                    entry.name()
-                );
-                failed_cell_metrics()
-            }
-        };
+        let metrics = plan.compute(i, &setups, opts.run.admission);
         let stored = match &cache {
-            Some(c) => c.store(key, kind, &id, &metrics).unwrap_or_else(|e| {
+            Some(c) => c.store(key, job.kind, id, &metrics).unwrap_or_else(|e| {
                 eprintln!("campaign cache store failed for {id}: {e} (continuing uncached)");
                 false
             }),
@@ -535,15 +616,13 @@ pub fn run_campaign(
         if !opts.run.quiet {
             if opts.run.verbose {
                 eprintln!(
-                    "campaign cell={}:{id} event=finish cache=miss wall_ms={wall_ms:.1} \
+                    "campaign cell={name}:{id} event=finish cache=miss wall_ms={wall_ms:.1} \
                      truncated={}",
-                    entry.name(),
                     metrics.truncated,
                 );
             }
             eprintln!(
-                "campaign [{done}/{n}] {}:{id} done in {:.1}s{}",
-                entry.name(),
+                "campaign [{done}/{n}] {name}:{id} done in {:.1}s{}",
                 job_started.elapsed().as_secs_f64(),
                 if metrics.truncated {
                     ", TRUNCATED (not cached)"
@@ -563,36 +642,70 @@ pub fn run_campaign(
     };
 
     // The wall-clock sidecar rows, in flat job order.
-    let timing_cells: Vec<CellTiming> = jobs
-        .iter()
+    let timing_cells: Vec<CellTiming> = (0..n)
         .zip(&outcomes)
-        .map(|(&(ei, ci), (m, hit, _, wall_ms))| CellTiming {
-            entry: entries[ei].name().to_string(),
-            id: match &entries[ei] {
-                LoadedSpec::Sweep(_, cells) => cells[ci].id(),
-                LoadedSpec::Bench(_, cells) => cells[ci].id(),
-            },
-            cache_hit: *hit,
-            wall_ms: *wall_ms,
-            truncated: m.truncated,
+        .map(|(i, (m, hit, _, wall_ms))| {
+            let job = plan.job(i);
+            CellTiming {
+                entry: job.entry_name.to_string(),
+                id: job.id,
+                cache_hit: *hit,
+                wall_ms: *wall_ms,
+                truncated: m.truncated,
+            }
         })
         .collect();
 
     // Split the flat results back into per-entry artifacts.
-    let mut metrics_by_entry: Vec<Vec<CellMetrics>> = entries
+    let mut metrics_by_entry: Vec<Vec<CellMetrics>> = plan
+        .entries
         .iter()
         .map(|e| Vec::with_capacity(e.cells()))
         .collect();
-    for ((ei, _), (m, _, _, _)) in jobs.into_iter().zip(outcomes) {
+    for (&(ei, _), (m, _, _, _)) in plan.jobs.iter().zip(outcomes) {
         metrics_by_entry[ei].push(m);
     }
 
+    let (manifest, reports) = assemble_reports(spec, plan, metrics_by_entry);
+
+    if !opts.run.quiet {
+        eprintln!(
+            "campaign `{}`: {} cells on {} threads in {:.1}s ({})",
+            spec.name,
+            n,
+            threads,
+            started.elapsed().as_secs_f64(),
+            stats.render(opts.cache_dir.is_some()),
+        );
+    }
+    Ok(CampaignResult {
+        manifest,
+        reports,
+        stats,
+        timing: CampaignTiming {
+            cells: timing_cells,
+            total_ms: started.elapsed().as_secs_f64() * 1e3,
+            threads,
+        },
+    })
+}
+
+/// Folds per-entry metrics into the final artifacts: one [`SpecReport`]
+/// per entry (byte-identical to what `fleet run` / `fleet bench` would
+/// produce) plus the [`CampaignManifest`]. Shared by [`run_campaign`]
+/// and [`assemble_campaign`] so the two paths cannot drift.
+fn assemble_reports(
+    spec: &CampaignSpec,
+    plan: CampaignPlan,
+    metrics_by_entry: Vec<Vec<CellMetrics>>,
+) -> (CampaignManifest, Vec<SpecReport>) {
     let mut reports = Vec::new();
     let mut manifest_entries = Vec::new();
-    for (((entry, listed), keys), metrics) in entries
+    for (((entry, listed), keys), metrics) in plan
+        .entries
         .into_iter()
         .zip(&spec.entries)
-        .zip(keys)
+        .zip(plan.keys)
         .zip(metrics_by_entry)
     {
         let name = entry.name().to_string();
@@ -636,32 +749,114 @@ pub fn run_campaign(
         });
         reports.push(report);
     }
-
-    if !opts.run.quiet {
-        eprintln!(
-            "campaign `{}`: {} cells on {} threads in {:.1}s ({})",
-            spec.name,
-            n,
-            threads,
-            started.elapsed().as_secs_f64(),
-            stats.render(opts.cache_dir.is_some()),
-        );
-    }
-    Ok(CampaignResult {
-        manifest: CampaignManifest {
+    (
+        CampaignManifest {
             version: CAMPAIGN_FORMAT_VERSION,
             name: spec.name.clone(),
             salt: cache_salt(),
             entries: manifest_entries,
         },
         reports,
+    )
+}
+
+/// A cell `fleet campaign assemble` could not serve from the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissingCell {
+    /// Owning spec's name.
+    pub entry: String,
+    /// Human-readable cell id.
+    pub id: String,
+    /// The content key the cache was asked for.
+    pub key: String,
+}
+
+/// What [`assemble_campaign`] found in the cache.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssembleOutcome {
+    /// Every cell was present and budget-fit: the full artifact set,
+    /// byte-identical to a `fleet campaign` run of the same spec.
+    Complete(Box<CampaignResult>),
+    /// At least one cell is absent (never computed, evicted, truncated,
+    /// stored under a different salt, or over the current budget). The
+    /// CLI turns this into exit code 2, naming every key.
+    Incomplete {
+        /// Every absent cell, in plan order.
+        missing: Vec<MissingCell>,
+    },
+}
+
+/// Assembles a campaign's artifacts **from the cache alone** — the
+/// push-button "did the fleet finish?" check after `fleet worker`
+/// processes drained the cell list. No cell is ever computed here: either
+/// every key resolves (under the same budget-aware rule as
+/// [`run_campaign`]) and the complete artifact set comes back, or the
+/// full list of missing cells does.
+pub fn assemble_campaign(
+    spec: &CampaignSpec,
+    base_dir: &Path,
+    cache_dir: &Path,
+) -> Result<AssembleOutcome, FleetError> {
+    let started = Instant::now();
+    let plan = CampaignPlan::load(spec, base_dir)?;
+    let cache = CellCache::open(cache_dir)
+        .map_err(|e| FleetError(format!("cannot open cache {}: {e}", cache_dir.display())))?;
+
+    let n = plan.total_cells();
+    let mut metrics_by_entry: Vec<Vec<CellMetrics>> = plan
+        .entries
+        .iter()
+        .map(|e| Vec::with_capacity(e.cells()))
+        .collect();
+    let mut missing = Vec::new();
+    for i in 0..n {
+        let job = plan.job(i);
+        match cache.load(job.key, job.budget) {
+            Some(m) => metrics_by_entry[plan.jobs[i].0].push(m),
+            None => missing.push(MissingCell {
+                entry: job.entry_name.to_string(),
+                id: job.id,
+                key: job.key.to_string(),
+            }),
+        }
+    }
+    if !missing.is_empty() {
+        return Ok(AssembleOutcome::Incomplete { missing });
+    }
+
+    // Assembly is pure bookkeeping: every cell is a hit, no wall-clock
+    // enters any byte-compared artifact (the timing sidecar is already
+    // excluded from every cmp).
+    let timing_cells: Vec<CellTiming> = (0..n)
+        .map(|i| {
+            let job = plan.job(i);
+            let (ei, ci) = plan.jobs[i];
+            CellTiming {
+                entry: job.entry_name.to_string(),
+                id: job.id,
+                cache_hit: true,
+                wall_ms: 0.0,
+                truncated: metrics_by_entry[ei][ci].truncated,
+            }
+        })
+        .collect();
+    let stats = CampaignStats {
+        cells: n,
+        hits: n,
+        misses: 0,
+        stored: 0,
+    };
+    let (manifest, reports) = assemble_reports(spec, plan, metrics_by_entry);
+    Ok(AssembleOutcome::Complete(Box::new(CampaignResult {
+        manifest,
+        reports,
         stats,
         timing: CampaignTiming {
             cells: timing_cells,
             total_ms: started.elapsed().as_secs_f64() * 1e3,
-            threads,
+            threads: 0,
         },
-    })
+    })))
 }
 
 #[cfg(test)]
@@ -755,6 +950,7 @@ mod tests {
                 ..Default::default()
             },
             cache_dir: Some(dir.join("cells")),
+            store: None,
         }
     }
 
@@ -824,6 +1020,7 @@ mod tests {
                     ..Default::default()
                 },
                 cache_dir: None,
+                store: None,
             },
         )
         .unwrap();

@@ -17,9 +17,10 @@
 //! - [`report`] — steady-state aggregation (TTFT/TPOT percentiles, SLO
 //!   attainment, goodput, refactor pauses) into per-cell and per-policy
 //!   tables plus a byte-stable JSON artifact;
-//! - [`gate`] — regression detection against a committed baseline report
-//!   (quality metrics plus chaos recovery: mean TTR, replay counts);
-//! - [`bench`] — engine-tunable sweeps (`fleet bench`): ubatch size ×
+//! - [`mod@gate`] — regression detection against a committed baseline
+//!   report (quality metrics plus chaos recovery: mean TTR, replay
+//!   counts);
+//! - [`mod@bench`] — engine-tunable sweeps (`fleet bench`): ubatch size ×
 //!   prefill caps × admission batch × rates up to 10× the paper's 20 QPS,
 //!   with wall-clock throughput columns and indexed-vs-naive admission
 //!   A/B timing;
@@ -30,6 +31,14 @@
 //!   canonicalized semantics under the engine-fingerprint salt, entries
 //!   write atomically, truncated cells never persist (the resume
 //!   mechanism), `stats`/`gc` bound the directory;
+//! - [`store`] — the pluggable storage layer under the cache
+//!   ([`CacheStore`]): the sharded localdisk layout (default,
+//!   NFS-shareable) and a single-file append log, both passing one
+//!   conformance suite, plus the atomic worker-claim protocol;
+//! - [`worker`] — the distributed campaign worker (`fleet worker`):
+//!   drain one campaign's cell list from N processes/machines against a
+//!   shared cache dir, by deterministic shard (`--shard i/n`) or by
+//!   claim-file coordination with heartbeats and stale-claim reaping;
 //! - [`trace`] — structured engine traces as fleet artifacts
 //!   (`fleet trace`): record a cell's virtual-time JSONL trace,
 //!   summarize or structurally diff trace files, and profile the
@@ -37,8 +46,8 @@
 //! - [`toml_lite`] — the offline TOML-subset reader.
 //!
 //! The `flexpipe-fleet` binary wraps it all into `init` / `run` /
-//! `bench` / `campaign` / `cache` / `trace` / `fingerprint` /
-//! `compare` / `gate` subcommands.
+//! `bench` / `campaign` / `worker` / `cache` / `trace` /
+//! `fingerprint` / `compare` / `gate` subcommands.
 //!
 //! # Determinism contract
 //!
@@ -57,17 +66,22 @@ pub mod gate;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod store;
 pub mod toml_lite;
 pub mod trace;
+pub mod worker;
 
 pub use bench::{
     derive_bench_seed, hot_path_speedups, hot_path_table, run_bench, run_bench_cell, BenchCell,
     BenchCellResult, BenchReport, BenchSpec, BenchTiming, HotPathRow,
 };
-pub use cache::{cache_salt, canonical_json, canonicalize, cell_key, CacheStats, CellCache};
+pub use cache::{
+    cache_salt, canonical_json, canonicalize, cell_key, key_shard, CacheStats, CellCache,
+};
 pub use campaign::{
-    load_entries, run_campaign, CampaignEntry, CampaignManifest, CampaignOptions, CampaignResult,
-    CampaignSpec, CampaignStats, CampaignTiming, CellTiming, EntryKind, SpecReport,
+    assemble_campaign, load_entries, run_campaign, AssembleOutcome, CampaignEntry,
+    CampaignManifest, CampaignOptions, CampaignPlan, CampaignResult, CampaignSpec, CampaignStats,
+    CampaignTiming, CellTiming, EntryKind, MissingCell, SpecReport,
 };
 pub use gate::{gate, GateConfig, GateOutcome, Regression};
 pub use report::{summarize_cell, CellMetrics, CellResult, FleetReport, PolicySummary};
@@ -79,10 +93,15 @@ pub use spec::{
     derive_cell_seed, replica_seed, BackgroundShape, Cell, ClusterShape, DisruptionShape,
     PolicySpec, SweepSpec,
 };
+pub use store::{
+    open_store, CacheStore, ClaimInfo, ClaimOutcome, GcOutcome, StoreKind, StoredObject,
+    DEFAULT_CLAIM_TTL,
+};
 pub use trace::{
     find_cell, profile_on_tick, profile_on_tick_flexpipe, profile_spec, profile_spec_flexpipe,
     record_cell_trace,
 };
+pub use worker::{run_worker, WorkerOptions, WorkerOutcome};
 
 use serde::Deserialize;
 

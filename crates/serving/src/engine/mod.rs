@@ -12,12 +12,12 @@
 //! - `mod.rs` (this file) — the [`Event`] vocabulary, [`Scenario`],
 //!   [`EngineState`] (all mutable state) with its read-side accessors,
 //!   the [`Engine`] event loop and the policy-facing [`Ctx`];
-//! - [`lifecycle`] — spawn / ready / retire / release, the inflight
+//! - `lifecycle` — spawn / ready / retire / release, the inflight
 //!   refactor state machine (prepare → pause → commit/abort) and the
 //!   host-memory parameter cache;
-//! - [`exec`] — micro-batch execution: stage scheduling, pass completion,
+//! - `exec` — micro-batch execution: stage scheduling, pass completion,
 //!   continuous-batching decode dispatch and gateway admission;
-//! - [`disruption`] — capacity revocation, rescue accounting, restores
+//! - `disruption` — capacity revocation, rescue accounting, restores
 //!   and recovery-window tracking;
 //! - [`indexes`] — the incrementally maintained hot-path structures
 //!   ([`indexes::DecodeSlotTracker`] here; the admission index lives in
@@ -533,7 +533,7 @@ impl<'a> Ctx<'a> {
 
     /// Defers a policy decision to its own queue event at the current
     /// instant. The decision pops back into
-    /// [`ControlPolicy::on_action`](crate::policy::ControlPolicy::on_action)
+    /// [`crate::policy::ControlPolicy::on_action`]
     /// with the same tag — after everything else already queued at this
     /// instant, and as a first-class choice point for the equivalence
     /// checker, which can permute deferred decisions against the rest of

@@ -1,6 +1,6 @@
 //! Deterministic random number generation for reproducible simulations.
 //!
-//! The engine deliberately does not use [`rand::rngs::SmallRng`] for state:
+//! The engine deliberately does not use `rand::rngs::SmallRng` for state:
 //! its algorithm is explicitly unstable across `rand` releases, while
 //! experiment reproducibility is a hard requirement here. Instead this module
 //! implements xoshiro256++ (public domain, Blackman & Vigna) directly and

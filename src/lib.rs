@@ -12,14 +12,22 @@
 //!   lattice;
 //! - [`workload`] — CV-controlled arrival processes and trace synthesis;
 //! - [`metrics`] — latency/goodput/stall/utilisation instrumentation;
+//! - [`chaos`] — scriptable disruptions: preemptions, GPU loss, surges;
+//! - [`obs`] — engine-native tracing, event registry, self-time profiler;
 //! - [`serving`] — the pipelined serving engine and policy interface;
 //! - [`core`] — FlexPipe itself (Eq. 4-13, Algorithm 1);
 //! - [`baselines`] — AlpaServe-, MuxServe-, ServerlessLLM- and Tetris-like
 //!   policies;
-//! - [`bench`] — the paper's figure/table harness and system registry;
+//! - [`mod@bench`] — the paper's figure/table harness and system registry;
+//! - [`check`] — the schedule-equivalence checker: semantic trace
+//!   equivalence and bounded interleaving exploration;
 //! - [`fleet`] — parallel scenario-fleet orchestration: declarative
 //!   sweeps (CV × rate × cluster × policy), a thread-pool grid runner,
-//!   per-policy comparison reports and a regression gate.
+//!   per-policy comparison reports, a regression gate, and distributed
+//!   campaigns over a shared cell cache.
+//!
+//! The crate walk with the full dependency diagram lives in
+//! `docs/ARCHITECTURE.md`.
 //!
 //! # Quickstart
 //!
@@ -70,11 +78,13 @@
 pub use flexpipe_baselines as baselines;
 pub use flexpipe_bench as bench;
 pub use flexpipe_chaos as chaos;
+pub use flexpipe_check as check;
 pub use flexpipe_cluster as cluster;
 pub use flexpipe_core as core;
 pub use flexpipe_fleet as fleet;
 pub use flexpipe_metrics as metrics;
 pub use flexpipe_model as model;
+pub use flexpipe_obs as obs;
 pub use flexpipe_partition as partition;
 pub use flexpipe_serving as serving;
 pub use flexpipe_sim as sim;
