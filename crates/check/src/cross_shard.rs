@@ -1,0 +1,252 @@
+//! Cross-shard semantic equivalence: are `N` shard traces, merged,
+//! request-equivalent to the 1-shard canonical trace?
+//!
+//! A sharded live run splits one request stream across `N` independent
+//! engine partitions. The claim worth checking is that sharding is
+//! invisible *to requests*: every request's lifecycle — arrival → admit
+//! → prefill → complete/abort, with timestamps and generated-token
+//! counts — is exactly what the unsharded fleet would have produced,
+//! whenever the offered load never makes requests contend for the same
+//! replica (under contention, batching composition is genuinely
+//! different and no equivalence is claimed).
+//!
+//! Two quotients beyond [`crate::check_equiv`]'s commutation relation
+//! are required, both forced by what sharding legitimately changes:
+//!
+//! - **Request-stream projection.** Instance, control-tick and
+//!   disruption streams are per-engine facts: an `N`-shard run has `N`
+//!   control-tick streams and renumbers instances per partition. Only
+//!   [`crate::Entity::Request`] streams are compared.
+//! - **Per-request-stream instance alpha-renaming.** Request events
+//!   carry the serving instance in their payload, and instance ids are
+//!   allocated per engine — shard 1's first replica and the unsharded
+//!   fleet's third are the same capacity with different names. Within
+//!   each request's stream, instance ids are renumbered in order of
+//!   first appearance before comparing, so *which* replica served is
+//!   quotiented out while re-binding mid-lifecycle (an abort replayed
+//!   onto a different instance than the canonical run's) stays visible
+//!   as a label mismatch only when the binding *structure* differs.
+
+use std::collections::{BTreeMap, HashMap};
+
+use flexpipe_obs::{TraceEvent, TraceRecord};
+
+use crate::equiv::{EquivReport, SemanticDivergence};
+use crate::model::{classify, Entity};
+
+/// The serving-instance payload slot of a request-stream event, when
+/// the variant has one.
+fn instance_slot(event: &mut TraceEvent) -> Option<&mut u64> {
+    match event {
+        TraceEvent::RequestAdmit { instance, .. }
+        | TraceEvent::RequestPrefillDone { instance, .. }
+        | TraceEvent::RequestComplete { instance, .. }
+        | TraceEvent::RequestAbort { instance, .. } => Some(instance),
+        _ => None,
+    }
+}
+
+/// Projects a trace onto its request streams (order-preserving), with
+/// instance payloads alpha-renamed per stream by first appearance.
+fn request_streams(records: &[TraceRecord]) -> BTreeMap<u64, Vec<TraceRecord>> {
+    let mut out: BTreeMap<u64, Vec<TraceRecord>> = BTreeMap::new();
+    for r in records {
+        if let Entity::Request(id) = classify(&r.event) {
+            out.entry(id).or_default().push(r.clone());
+        }
+    }
+    for stream in out.values_mut() {
+        let mut names: HashMap<u64, u64> = HashMap::new();
+        for r in stream {
+            if let Some(slot) = instance_slot(&mut r.event) {
+                let next = names.len() as u64;
+                *slot = *names.entry(*slot).or_insert(next);
+            }
+        }
+    }
+    out
+}
+
+/// Compares `N` per-shard traces, merged, against the 1-shard canonical
+/// trace on request streams modulo per-stream instance renaming.
+///
+/// Each request is expected to live wholly on one shard; a request
+/// split across shards concatenates its fragments in shard order, which
+/// the per-stream comparison then reports as a divergence. The report's
+/// record counts are request-stream records (post-projection).
+pub fn check_cross_shard(shards: &[&[TraceRecord]], canonical: &[TraceRecord]) -> EquivReport {
+    let mut merged: BTreeMap<u64, Vec<TraceRecord>> = BTreeMap::new();
+    for shard in shards {
+        for (req, stream) in request_streams(shard) {
+            merged.entry(req).or_default().extend(stream);
+        }
+    }
+    let canon = request_streams(canonical);
+
+    let requests: std::collections::BTreeSet<u64> =
+        merged.keys().chain(canon.keys()).copied().collect();
+    let empty: Vec<TraceRecord> = Vec::new();
+    let mut best: Option<SemanticDivergence> = None;
+    for &req in &requests {
+        let ls = merged.get(&req).unwrap_or(&empty);
+        let rs = canon.get(&req).unwrap_or(&empty);
+        for i in 0..ls.len().max(rs.len()) {
+            let l = ls.get(i);
+            let r = rs.get(i);
+            if let (Some(l), Some(r)) = (l, r) {
+                if l.at == r.at && l.event == r.event {
+                    continue;
+                }
+            }
+            let cand = SemanticDivergence {
+                entity: Entity::Request(req),
+                index: i,
+                left: l.cloned(),
+                right: r.cloned(),
+            };
+            let better = match &best {
+                None => true,
+                // Earliest virtual time wins; request order breaks ties
+                // (requests are visited in ascending id order, so only
+                // strictly-earlier displaces).
+                Some(b) => cand.at() < b.at(),
+            };
+            if better {
+                best = Some(cand);
+            }
+            break; // only each request's first divergence matters
+        }
+    }
+
+    EquivReport {
+        left_records: merged.values().map(Vec::len).sum(),
+        right_records: canon.values().map(Vec::len).sum(),
+        entities: requests.len(),
+        divergence: best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, at: f64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { seq, at, event }
+    }
+
+    /// One request's full lifecycle on `instance`, shifted to start at
+    /// `t0`.
+    fn lifecycle(req: u64, instance: u64, t0: f64) -> Vec<TraceRecord> {
+        vec![
+            rec(0, t0, TraceEvent::RequestArrival { req }),
+            rec(1, t0, TraceEvent::RequestAdmit { req, instance }),
+            rec(
+                2,
+                t0 + 0.5,
+                TraceEvent::RequestPrefillDone { req, instance },
+            ),
+            rec(
+                3,
+                t0 + 1.0,
+                TraceEvent::RequestComplete {
+                    req,
+                    instance,
+                    generated: 4,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn sharded_streams_match_canonical_modulo_instance_names() {
+        // Canonical 1-shard run: requests 0 and 1 on instances 3 and 7.
+        let mut canonical = lifecycle(0, 3, 1.0);
+        canonical.extend(lifecycle(1, 7, 2.0));
+        // Instance streams exist only in the canonical run — projection
+        // must drop them rather than flag them missing on the shards.
+        canonical.push(rec(90, 0.0, TraceEvent::InstanceReady { instance: 3 }));
+        canonical.push(rec(
+            91,
+            0.0,
+            TraceEvent::ControlTick {
+                queued: 0,
+                instances: 2,
+            },
+        ));
+        // 2-shard run: each shard numbers its instances from 1.
+        let shard0 = lifecycle(0, 1, 1.0);
+        let shard1 = lifecycle(1, 1, 2.0);
+        let report = check_cross_shard(&[&shard0, &shard1], &canonical);
+        assert!(report.equivalent(), "{}", report.render("shards", "canon"));
+        assert_eq!(report.entities, 2);
+        assert_eq!(report.left_records, 8);
+        assert_eq!(report.right_records, 8, "non-request records must drop");
+    }
+
+    #[test]
+    fn renaming_is_per_stream_not_global() {
+        // Both requests served by the *same* shard instance; canonically
+        // by two different instances. Per-request renaming maps all four
+        // labels to 0 — which replica served is a shard-local fact.
+        let mut canonical = lifecycle(0, 3, 1.0);
+        canonical.extend(lifecycle(1, 7, 2.0));
+        let mut shard0 = lifecycle(0, 5, 1.0);
+        shard0.extend(lifecycle(1, 5, 2.0));
+        assert!(check_cross_shard(&[&shard0], &canonical).equivalent());
+    }
+
+    #[test]
+    fn rebinding_structure_stays_visible() {
+        // Canonically request 0 is admitted and completes on one
+        // instance; the sharded run completes it on a *different* one
+        // (abort-free rebinding). Renaming keeps first-appearance
+        // structure, so this diverges.
+        let canonical = lifecycle(0, 3, 1.0);
+        let mut shard0 = lifecycle(0, 1, 1.0);
+        if let TraceEvent::RequestComplete { instance, .. } = &mut shard0[3].event {
+            *instance = 2;
+        }
+        let d = check_cross_shard(&[&shard0], &canonical)
+            .divergence
+            .expect("rebinding must diverge");
+        assert_eq!(d.entity, Entity::Request(0));
+        assert_eq!(d.index, 3);
+    }
+
+    #[test]
+    fn timing_and_payload_shifts_diverge() {
+        let canonical = lifecycle(0, 3, 1.0);
+        let mut late = lifecycle(0, 3, 1.0);
+        late[3].at += 0.25;
+        assert!(!check_cross_shard(&[&late], &canonical).equivalent());
+
+        let mut short = lifecycle(0, 3, 1.0);
+        if let TraceEvent::RequestComplete { generated, .. } = &mut short[3].event {
+            *generated = 3;
+        }
+        assert!(!check_cross_shard(&[&short], &canonical).equivalent());
+    }
+
+    #[test]
+    fn missing_and_split_requests_diverge() {
+        let mut canonical = lifecycle(0, 3, 1.0);
+        canonical.extend(lifecycle(1, 7, 2.0));
+        // Request 1 never reached any shard.
+        let shard0 = lifecycle(0, 1, 1.0);
+        let report = check_cross_shard(&[&shard0], &canonical);
+        let d = report.divergence.expect("missing request must diverge");
+        assert_eq!(d.entity, Entity::Request(1));
+        assert!(d.left.is_none());
+
+        // Request 0 split across two shards: lifecycle fragments
+        // concatenate in shard order and fail the stream comparison.
+        let frag0 = lifecycle(0, 1, 1.0)[..2].to_vec();
+        let frag1 = lifecycle(0, 1, 1.0)[2..].to_vec();
+        let whole = lifecycle(0, 3, 1.0);
+        // Sanity: fragments in order still reassemble equivalently...
+        assert!(check_cross_shard(&[&frag0, &frag1], &whole).equivalent());
+        // ...but shard order flips the concatenation, and the lifecycle
+        // order violation is caught.
+        assert!(!check_cross_shard(&[&frag1, &frag0], &whole).equivalent());
+    }
+}

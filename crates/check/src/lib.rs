@@ -22,6 +22,12 @@
 //!    in a test, so semantics drift that forgets the manual
 //!    [`flexpipe_serving::ENGINE_SEMANTICS_VERSION`] bump fails loudly
 //!    instead of replaying stale campaign caches.
+//! 4. **Cross-shard equivalence** ([`check_cross_shard`]): `N` shard
+//!    traces of a sharded live run, merged, compared against the
+//!    1-shard canonical trace on request streams only, with
+//!    per-request-stream instance alpha-renaming — sharding renumbers
+//!    instances per partition and multiplies the control streams, but
+//!    request lifecycles must not notice.
 //!
 //! # The commutation relation
 //!
@@ -52,12 +58,14 @@
 //!   per-instance renumbering in order of first appearance (see
 //!   [`model::normalize`]).
 
+pub mod cross_shard;
 pub mod equiv;
 pub mod explore;
 pub mod fingerprint;
 pub mod model;
 pub mod scenarios;
 
+pub use cross_shard::check_cross_shard;
 pub use equiv::{check_equiv, EquivReport, SemanticDivergence};
 pub use explore::{explore, replay, Counterexample, ExploreConfig, ExploreOutcome, ScheduleSpec};
 pub use fingerprint::{semantic_fingerprint, PINNED_SEMANTIC_FINGERPRINT};

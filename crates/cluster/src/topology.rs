@@ -191,6 +191,59 @@ impl ClusterSpec {
         }
     }
 
+    /// Splits the cluster into `n` disjoint shard partitions by chunking
+    /// the server list round-robin-free (contiguous slices, sized as
+    /// evenly as possible, earlier shards take the remainder). Each
+    /// partition keeps the GPU and link parameters and renumbers racks
+    /// densely from zero so per-shard topologies stand alone. Used by the
+    /// live-serving gateway: shard `i` simulates partition `i` as an
+    /// independent cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero or exceeds the server count (a shard
+    /// without servers cannot host instances).
+    pub fn partition(&self, n: u32) -> Vec<ClusterSpec> {
+        assert!(n > 0, "partition count must be positive");
+        assert!(
+            (n as usize) <= self.servers.len(),
+            "cannot split {} servers into {n} shards",
+            self.servers.len()
+        );
+        let n = n as usize;
+        let base = self.servers.len() / n;
+        let rem = self.servers.len() % n;
+        let mut start = 0;
+        (0..n)
+            .map(|i| {
+                let len = base + usize::from(i < rem);
+                let slice = &self.servers[start..start + len];
+                start += len;
+                // Dense rack renumbering in order of first appearance.
+                let mut racks: Vec<RackId> = Vec::new();
+                let servers = slice
+                    .iter()
+                    .map(|s| {
+                        let rack = match racks.iter().position(|&r| r == s.rack) {
+                            Some(idx) => RackId(idx as u32),
+                            None => {
+                                racks.push(s.rack);
+                                RackId(racks.len() as u32 - 1)
+                            }
+                        };
+                        ServerSpec { rack, ..*s }
+                    })
+                    .collect();
+                ClusterSpec {
+                    name: format!("{}-shard{i}of{n}", self.name),
+                    servers,
+                    gpu: self.gpu,
+                    links: self.links,
+                }
+            })
+            .collect()
+    }
+
     /// Total number of GPUs across all servers.
     pub fn total_gpus(&self) -> u32 {
         self.servers.iter().map(|s| s.gpus).sum()
@@ -329,6 +382,30 @@ mod tests {
         let c2 = ClusterSpec::alibaba_c2();
         assert_eq!(c2.servers.len(), 927);
         assert_eq!(c2.total_gpus(), 1175);
+    }
+
+    #[test]
+    fn partition_splits_servers_and_gpus_without_loss() {
+        let spec = ClusterSpec::paper_testbed();
+        for n in [1u32, 2, 3, 4] {
+            let shards = spec.partition(n);
+            assert_eq!(shards.len(), n as usize);
+            let servers: usize = shards.iter().map(|s| s.servers.len()).sum();
+            assert_eq!(servers, spec.servers.len());
+            let gpus: u32 = shards.iter().map(|s| s.total_gpus()).sum();
+            assert_eq!(gpus, spec.total_gpus());
+            for shard in &shards {
+                // Dense rack ids: every shard topology stands alone.
+                assert!((0..shard.rack_count())
+                    .all(|r| shard.servers.iter().any(|s| s.rack == RackId(r))));
+                assert_eq!(shard.gpu, spec.gpu);
+            }
+            // Even split: sizes differ by at most one server.
+            let sizes: Vec<usize> = shards.iter().map(|s| s.servers.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1);
+        }
+        assert_eq!(spec.partition(1)[0].servers, spec.servers);
     }
 
     #[test]

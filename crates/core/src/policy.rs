@@ -74,6 +74,17 @@ pub struct FlexPipeConfig {
     pub interference_coeff: f64,
     /// Hard cap on replicas.
     pub max_replicas: u32,
+    /// Floor on the desired replica count. The default (1) preserves the
+    /// sizing rule exactly; pinned-fleet configurations (`fleet trace
+    /// profile`, scaling benchmarks) raise it to `max_replicas` so the
+    /// standing fleet stays calm — `live == desired` — even when the
+    /// live monitor correctly reads demand as near zero.
+    pub min_replicas: u32,
+    /// Deploy the initial standing fleet at this lattice level instead
+    /// of the CV=1 argmax. `None` (the default) keeps the Eq. (4) sweet
+    /// spot; profiling configurations pin a deliberately off-target
+    /// level so every calm tick exercises the full refactor pass.
+    pub initial_stages: Option<u32>,
 }
 
 impl Default for FlexPipeConfig {
@@ -96,6 +107,8 @@ impl Default for FlexPipeConfig {
             warmup: SimDuration::from_secs(20),
             interference_coeff: 0.6,
             max_replicas: 16,
+            min_replicas: 1,
+            initial_stages: None,
         }
     }
 }
@@ -212,6 +225,31 @@ impl FleetMirror {
     }
 }
 
+/// Calm-tick plan cache: the memoized outcome of one refactor-pass walk,
+/// reusable on later calm ticks for as long as every input that shaped
+/// it is provably unchanged. The cache only arms when the walk took no
+/// action at all (no admission hold, no refactor attempt) — an acting
+/// walk perturbs state the next decision depends on — and it is dropped
+/// the moment the engine's dirty set delivers any delta, because a delta
+/// is exactly a change to the fleet view the walk read. Two inputs drift
+/// even across delta-free ticks and are therefore re-checked, not
+/// cached: simulated time (a dwell window may open — `next_dwell` bounds
+/// validity) and ν_eff (the Eq. (4) scores move with the monitor — the
+/// hysteresis comparison is re-evaluated per distinct *level*, O(#levels),
+/// instead of per instance, O(fleet)). When every level still fails the
+/// comparison, the whole O(|off_target|) walk is provably a no-op and is
+/// skipped.
+#[derive(Debug)]
+struct PlanCache {
+    /// Eq. (4) target level the cached walk ran against.
+    target_stages: u32,
+    /// Distinct current levels that reached the score comparison.
+    score_levels: Vec<u32>,
+    /// Earliest instant a dwell-blocked instance leaves its window
+    /// ([`SimTime::MAX`] when none was blocked).
+    next_dwell: SimTime,
+}
+
 /// The FlexPipe policy.
 pub struct FlexPipePolicy {
     cfg: FlexPipeConfig,
@@ -221,6 +259,9 @@ pub struct FlexPipePolicy {
     last_refactor: HashMap<InstanceId, SimTime>,
     holds: std::collections::HashSet<InstanceId>,
     mirror: FleetMirror,
+    /// Calm-tick refactor-pass memo ([`EngineMode::Indexed`] only; the
+    /// naive reference walks from scratch every tick).
+    plan_cache: Option<PlanCache>,
     low_demand_ticks: u32,
     pending_target: Option<u32>,
     pending_ticks: u32,
@@ -240,6 +281,7 @@ impl FlexPipePolicy {
             last_refactor: HashMap::new(),
             holds: std::collections::HashSet::new(),
             mirror: FleetMirror::default(),
+            plan_cache: None,
             low_demand_ticks: 0,
             pending_target: None,
             pending_ticks: 0,
@@ -598,10 +640,15 @@ impl ControlPolicy for FlexPipePolicy {
         // rate at the CV=1 sweet spot, prewarmed — this is the deployment
         // that exists before measurement starts, exactly like the static
         // baselines' fleets. Eq. (5) takes over from the live monitor.
-        let initial =
-            select(&self.profiles, &self.cfg.granularity, 1.0).expect("profiles non-empty");
+        let initial = self
+            .cfg
+            .initial_stages
+            .and_then(|s| self.level_for_stages(s))
+            .or_else(|| select(&self.profiles, &self.cfg.granularity, 1.0))
+            .expect("profiles non-empty");
         let standing = instances_needed(&initial, self.cfg.expected_rate, self.cfg.headroom)
             .min(self.cfg.max_replicas)
+            .max(self.cfg.min_replicas)
             .max(1);
         for _ in 0..standing {
             if self.spawn_replica(ctx, initial.stages, 1.0, true).is_err() {
@@ -620,6 +667,11 @@ impl ControlPolicy for FlexPipePolicy {
         let warm = ctx.mode() == EngineMode::Indexed;
         if warm {
             self.mirror.apply(&deltas);
+        }
+        // Any delta changes the fleet view the cached walk read; the
+        // memoized plan is no longer evidence of anything.
+        if !deltas.is_empty() || !warm {
+            self.plan_cache = None;
         }
         let now = ctx.now();
         let (rate, cv, grad) = ctx.monitor();
@@ -685,6 +737,7 @@ impl ControlPolicy for FlexPipePolicy {
         };
         let desired = instances_needed(&target, effective_rate, self.cfg.headroom)
             .min(cap)
+            .max(self.cfg.min_replicas)
             .max(1);
 
         // Release holds that no longer serve a purpose (target moved, the
@@ -717,60 +770,96 @@ impl ControlPolicy for FlexPipePolicy {
         // scaling path — not topology change — is the right tool.
         let calm = !pressure_active && live == desired && !any_loading;
         if confirmed && calm {
-            // The warm path walks only the maintained off-target set (in id
-            // order, matching the naive snapshot's iteration order); the
-            // naive path filters the full snapshot — same set, same order.
-            // Retargeting happens here, at the set's only consumer, so a
-            // flapping Eq. (4) argmax on non-calm ticks never pays the
-            // rebuild; between consumptions `apply` maintains membership
-            // against the last consumed level.
-            let off_target: Vec<InstanceSnapshot> = match &naive_view {
-                Some(instances) => instances
-                    .iter()
-                    .filter(|i| i.state == InstanceState::Serving && i.stages != target.stages)
-                    .copied()
-                    .collect(),
-                None => {
-                    self.mirror.retarget(target.stages);
-                    self.mirror
-                        .off_target
+            // Calm-tick fast path: an armed plan cache proves the last walk
+            // took no action against this exact fleet view (the dirty-set
+            // drain above dropped it on any delta). Of the inputs that
+            // still drift — time and ν_eff — time is bounded by the cached
+            // dwell frontier, and ν_eff only enters through the per-level
+            // hysteresis comparison, so re-evaluating that comparison for
+            // the cached levels (O(#levels)) re-proves the entire
+            // O(|off_target|) walk a no-op and skips it.
+            let cached_skip = self.plan_cache.as_ref().is_some_and(|cache| {
+                cache.target_stages == target.stages && now < cache.next_dwell && {
+                    let s_target = score(&target, &self.profiles, &self.cfg.granularity, nu_eff);
+                    cache.score_levels.iter().all(|&stages| {
+                        self.level_for_stages(stages).is_some_and(|current| {
+                            let s_current =
+                                score(&current, &self.profiles, &self.cfg.granularity, nu_eff);
+                            s_target <= self.cfg.hysteresis * s_current
+                        })
+                    })
+                }
+            });
+            if !cached_skip {
+                // The warm path walks only the maintained off-target set (in
+                // id order, matching the naive snapshot's iteration order);
+                // the naive path filters the full snapshot — same set, same
+                // order. Retargeting happens here, at the set's only
+                // consumer, so a flapping Eq. (4) argmax on non-calm ticks
+                // never pays the rebuild; between consumptions `apply`
+                // maintains membership against the last consumed level.
+                let off_target: Vec<InstanceSnapshot> = match &naive_view {
+                    Some(instances) => instances
                         .iter()
-                        .filter_map(|id| self.mirror.instances.get(id))
+                        .filter(|i| i.state == InstanceState::Serving && i.stages != target.stages)
                         .copied()
-                        .collect()
-                }
-            };
-            // Eq. (4) scores depend only on the lattice level, never on the
-            // individual instance: score the target once and memoize the
-            // current-level scores across the pass.
-            let s_target = score(&target, &self.profiles, &self.cfg.granularity, nu_eff);
-            let mut s_current_memo: HashMap<u32, f64> = HashMap::new();
-            for inst in &off_target {
-                // A consolidation below the instance's live load cannot
-                // commit (the merged stages could not hold the admitted
-                // KV): hold admissions so the load drains toward the target
-                // capacity, then refactor on a later tick.
-                if target.batch_cap * 3 / 4 < inst.active_requests {
-                    ctx.set_admit_hold(inst.id, true);
-                    self.holds.insert(inst.id);
-                    continue;
-                }
-                let dwell_ok = self
-                    .last_refactor
-                    .get(&inst.id)
-                    .is_none_or(|&t| now.saturating_since(t) >= self.cfg.min_dwell);
-                if !dwell_ok {
-                    continue;
-                }
-                let Some(current) = self.level_for_stages(inst.stages) else {
-                    continue;
+                        .collect(),
+                    None => {
+                        self.mirror.retarget(target.stages);
+                        self.mirror
+                            .off_target
+                            .iter()
+                            .filter_map(|id| self.mirror.instances.get(id))
+                            .copied()
+                            .collect()
+                    }
                 };
-                let s_current = *s_current_memo.entry(inst.stages).or_insert_with(|| {
-                    score(&current, &self.profiles, &self.cfg.granularity, nu_eff)
-                });
-                if s_target > self.cfg.hysteresis * s_current {
-                    self.try_refactor(ctx, inst, &target, rate, cv);
+                // Eq. (4) scores depend only on the lattice level, never on
+                // the individual instance: score the target once and memoize
+                // the current-level scores across the pass.
+                let s_target = score(&target, &self.profiles, &self.cfg.granularity, nu_eff);
+                let mut s_current_memo: HashMap<u32, f64> = HashMap::new();
+                let mut acted = false;
+                let mut next_dwell = SimTime::MAX;
+                for inst in &off_target {
+                    // A consolidation below the instance's live load cannot
+                    // commit (the merged stages could not hold the admitted
+                    // KV): hold admissions so the load drains toward the
+                    // target capacity, then refactor on a later tick.
+                    if target.batch_cap * 3 / 4 < inst.active_requests {
+                        ctx.set_admit_hold(inst.id, true);
+                        self.holds.insert(inst.id);
+                        acted = true;
+                        continue;
+                    }
+                    if let Some(&t) = self.last_refactor.get(&inst.id) {
+                        if now.saturating_since(t) < self.cfg.min_dwell {
+                            next_dwell = next_dwell.min(t + self.cfg.min_dwell);
+                            continue;
+                        }
+                    }
+                    let Some(current) = self.level_for_stages(inst.stages) else {
+                        continue;
+                    };
+                    let s_current = *s_current_memo.entry(inst.stages).or_insert_with(|| {
+                        score(&current, &self.profiles, &self.cfg.granularity, nu_eff)
+                    });
+                    if s_target > self.cfg.hysteresis * s_current {
+                        self.try_refactor(ctx, inst, &target, rate, cv);
+                        acted = true;
+                    }
                 }
+                self.plan_cache = if warm && !acted {
+                    let mut score_levels: Vec<u32> = s_current_memo.into_keys().collect();
+                    score_levels.sort_unstable();
+                    Some(PlanCache {
+                        target_stages: target.stages,
+                        score_levels,
+                        next_dwell,
+                    })
+                } else {
+                    None
+                };
             }
         }
 

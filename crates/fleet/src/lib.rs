@@ -83,7 +83,9 @@ pub use campaign::{
     CampaignManifest, CampaignOptions, CampaignPlan, CampaignResult, CampaignSpec, CampaignStats,
     CampaignTiming, CellTiming, EntryKind, MissingCell, SpecReport,
 };
-pub use gate::{gate, GateConfig, GateOutcome, Regression};
+pub use gate::{
+    gate, GateConfig, GateOutcome, Regression, SpeedupGate, SpeedupGateReport, SPEEDUP_GATE_VERSION,
+};
 pub use report::{summarize_cell, CellMetrics, CellResult, FleetReport, PolicySummary};
 pub use runner::{
     realize_disruptions, run_cell, run_cell_in_mode, run_cell_observed, run_sweep, FleetError,
@@ -98,8 +100,8 @@ pub use store::{
     DEFAULT_CLAIM_TTL,
 };
 pub use trace::{
-    find_cell, profile_on_tick, profile_on_tick_flexpipe, profile_spec, profile_spec_flexpipe,
-    record_cell_trace,
+    find_cell, profile_on_tick, profile_on_tick_calm, profile_on_tick_flexpipe, profile_spec,
+    profile_spec_calm, profile_spec_flexpipe, record_cell_trace,
 };
 pub use worker::{run_worker, WorkerOptions, WorkerOutcome};
 

@@ -130,6 +130,20 @@ pub enum PolicySpec {
         /// Standing replica count the policy is pinned at.
         replicas: u32,
     },
+    /// FlexPipe pinned like [`PolicySpec::FlexPipeFleet`] but deployed
+    /// at an explicit (deliberately off-target) lattice level with
+    /// hysteresis set unreachably high: under near-zero traffic every
+    /// control tick is calm, the whole fleet is off-target, and the
+    /// Algorithm-1 refactor pass walks it end to end without ever
+    /// acting. This is the calm-tick plan-cache profiling configuration
+    /// (`fleet trace profile`): the warm path's cached walk versus the
+    /// naive reference's full walk, at fleet scale.
+    FlexPipeCalm {
+        /// Standing replica count the policy is pinned at.
+        replicas: u32,
+        /// Lattice level the standing fleet deploys at.
+        stages: u32,
+    },
 }
 
 impl PolicySpec {
@@ -139,6 +153,9 @@ impl PolicySpec {
             PolicySpec::Paper(id) => id.name().to_string(),
             PolicySpec::Static { stages, replicas } => format!("Static-{stages}x{replicas}"),
             PolicySpec::FlexPipeFleet { replicas } => format!("FlexPipeFleet-{replicas}"),
+            PolicySpec::FlexPipeCalm { replicas, stages } => {
+                format!("FlexPipeCalm-{replicas}x{stages}")
+            }
         }
     }
 
@@ -158,6 +175,24 @@ impl PolicySpec {
                 // reads demand as low.
                 cfg.expected_rate = 1e9;
                 cfg.scale_down_patience = u32::MAX;
+                Box::new(flexpipe_core::FlexPipePolicy::new(cfg))
+            }
+            PolicySpec::FlexPipeCalm { replicas, stages } => {
+                let mut cfg = flexpipe_bench::systems::flexpipe_config(rate);
+                cfg.max_replicas = *replicas;
+                // Sizing floor AND ceiling at `replicas`: with the floor,
+                // `desired == live` even when the monitor reads demand as
+                // zero — every tick is calm, so the refactor pass runs on
+                // every tick.
+                cfg.min_replicas = *replicas;
+                cfg.expected_rate = 1e9;
+                cfg.scale_down_patience = u32::MAX;
+                // Deploy at an explicit level and make the hysteresis
+                // comparison unwinnable: the pass walks a fully off-target
+                // fleet and provably never acts — the calm-tick shape the
+                // plan cache collapses to O(#levels).
+                cfg.initial_stages = Some(*stages);
+                cfg.hysteresis = 1e18;
                 Box::new(flexpipe_core::FlexPipePolicy::new(cfg))
             }
         }

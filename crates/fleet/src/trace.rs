@@ -124,6 +124,47 @@ pub fn profile_on_tick_flexpipe(
     run_cell_observed(&spec, &cell, &setup, admission, TraceMode::Off, true)
 }
 
+/// The calm-tick plan-cache profile scenario
+/// ([`PolicySpec::FlexPipeCalm`]): `instances` replicas deployed 8-stage
+/// deep while near-zero traffic keeps the Eq. (4) target at the coarse
+/// end, so the entire fleet is off-target on every calm tick and the
+/// refactor pass walks it end to end without ever acting. Under
+/// `NaiveScan` that walk is paid every tick; under `Indexed` the plan
+/// cache re-proves it a no-op in O(#levels) — the speedup this scenario
+/// exists to measure.
+pub fn profile_spec_calm(instances: u32) -> SweepSpec {
+    let total_gpus = instances * 8 + 64;
+    SweepSpec {
+        name: format!("flexpipe-calm-profile-{instances}"),
+        policies: vec![PolicySpec::FlexPipeCalm {
+            replicas: instances,
+            stages: 8,
+        }],
+        clusters: vec![ClusterShape::Custom {
+            nodes: total_gpus.div_ceil(8),
+            total_gpus,
+            servers_per_rack: 8,
+        }],
+        horizon_secs: 120.0,
+        // Near-zero (validation requires positive): the ~1 expected
+        // arrival leaves all but a couple of ticks delta-free.
+        rates: vec![0.01],
+        ..profile_spec(instances)
+    }
+}
+
+/// Profiles the calm-tick refactor pass at fleet scale under an explicit
+/// admission mode — the measurement behind the plan-cache claim.
+pub fn profile_on_tick_calm(
+    instances: u32,
+    admission: AdmissionMode,
+) -> (CellMetrics, ObservedRun) {
+    let spec = profile_spec_calm(instances);
+    let cell = spec.expand().remove(0);
+    let setup = PaperSetup::for_model(spec.model);
+    run_cell_observed(&spec, &cell, &setup, admission, TraceMode::Off, true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +198,27 @@ mod tests {
             assert!(metrics.completed > 0, "profile scenario must serve");
             assert!(observed.profiler.calls("policy.on_tick") > 0);
         }
+    }
+
+    #[test]
+    fn calm_profile_pins_an_off_target_fleet_that_never_acts() {
+        let spec = profile_spec_calm(4);
+        assert!(spec.validate().is_ok());
+        let mut per_mode = Vec::new();
+        for mode in [AdmissionMode::Indexed, AdmissionMode::NaiveScan] {
+            let (metrics, observed) = profile_on_tick_calm(4, mode);
+            assert!(!metrics.truncated);
+            assert_eq!(metrics.spawns, 4, "fleet must pin at 4 replicas");
+            assert_eq!(
+                metrics.refactors, 0,
+                "unwinnable hysteresis must keep the walk action-free"
+            );
+            assert!(observed.profiler.calls("policy.on_tick") > 0);
+            per_mode.push(metrics);
+        }
+        // The plan cache is a pure optimization: skipping the walk must
+        // leave every metric identical to the naive reference's.
+        assert_eq!(per_mode[0], per_mode[1]);
     }
 
     #[test]

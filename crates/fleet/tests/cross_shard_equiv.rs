@@ -1,0 +1,50 @@
+//! Cross-shard request equivalence: the pinned scenario behind
+//! `fleet check equiv --cross-shard`.
+//!
+//! Serving the non-interfering workload at 2 and 4 shards must produce
+//! merged request streams semantically equivalent to the 1-shard
+//! canonical trace (request-stream projection, per-stream instance
+//! alpha-renaming — see `flexpipe_check::check_cross_shard`).
+
+use flexpipe_check::check_cross_shard;
+use flexpipe_gateway::{cross_shard_check_spec, serve_with, NoSpillover, Pacing, PaperSetup};
+use flexpipe_serving::{TraceMode, TraceRecord};
+
+#[test]
+fn sharded_runs_are_request_equivalent_to_the_canonical_run() {
+    let canonical_spec = cross_shard_check_spec(1);
+    let setup = PaperSetup::for_model(canonical_spec.model);
+    let canonical = serve_with(
+        &canonical_spec,
+        Pacing::Virtual,
+        &NoSpillover,
+        &setup,
+        TraceMode::Full,
+    )
+    .unwrap();
+    let canon = canonical.global_trace(0);
+    assert!(!canon.is_empty(), "the canonical run must trace something");
+
+    for shards in [2u32, 4] {
+        let sharded = serve_with(
+            &cross_shard_check_spec(shards),
+            Pacing::Virtual,
+            &NoSpillover,
+            &setup,
+            TraceMode::Full,
+        )
+        .unwrap();
+        let traces: Vec<Vec<TraceRecord>> = (0..shards).map(|s| sharded.global_trace(s)).collect();
+        assert!(
+            traces.iter().filter(|t| !t.is_empty()).count() > 1,
+            "requests must actually split across shards for the check to mean anything"
+        );
+        let refs: Vec<&[TraceRecord]> = traces.iter().map(Vec::as_slice).collect();
+        let report = check_cross_shard(&refs, &canon);
+        assert!(
+            report.equivalent(),
+            "{}",
+            report.render(&format!("{shards}-shard"), "canonical")
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! `fleet bench --live`: the shard-scaling benchmark and its QPS gate
+//! inputs.
+//!
+//! One pinned workload stream is served at each shard count (1 → 2 → 4
+//! by default) in virtual pacing — deterministic stamps, engines
+//! running flat out — so the *simulated* outcome of every row is
+//! byte-stable while the wall clock measures how much real throughput
+//! parallel shards buy. Following the campaign-timing precedent, the
+//! two kinds of numbers never share a file: [`LiveBenchArtifact`] is
+//! sim-derived only (byte-compared in CI), wall-clock QPS and scaling
+//! factors live in [`LiveBenchTiming`] (gated, never byte-compared).
+
+use serde::{Deserialize, Serialize};
+
+use std::time::Instant;
+
+use crate::record::{ServeSpec, ShardPolicy};
+use crate::serve::{serve_virtual, ServeOutcome};
+use crate::{GatewayError, PaperSetup};
+
+/// Current [`LiveBenchArtifact::version`].
+pub const LIVE_BENCH_VERSION: u32 = 1;
+
+/// One shard count's deterministic results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveBenchRow {
+    /// Shard count of this row.
+    pub shards: u32,
+    /// Total arrivals absorbed (identical across rows by construction).
+    pub arrivals: u64,
+    /// Steady-state completions summed across shards.
+    pub completed: usize,
+    /// Steady-state within-SLO completions summed across shards.
+    pub within_slo: usize,
+    /// Worst per-shard steady-state p50 TTFT, seconds.
+    pub p50_ttft: f64,
+    /// Worst per-shard steady-state p99 TTFT, seconds.
+    pub p99_ttft: f64,
+    /// Engine events summed across shards.
+    pub events: u64,
+    /// Per-shard completion counts (load-balance visibility).
+    pub per_shard_completed: Vec<usize>,
+}
+
+/// The byte-stable scaling artifact: spec + one row per shard count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LiveBenchArtifact {
+    /// Format version ([`LIVE_BENCH_VERSION`]).
+    pub version: u32,
+    /// The base spec (its `shards` field is overridden per row).
+    pub spec: ServeSpec,
+    /// Per-shard-count results, in ascending shard order.
+    pub rows: Vec<LiveBenchRow>,
+}
+
+impl LiveBenchArtifact {
+    /// Serializes to pretty JSON with a trailing newline (the
+    /// byte-compared artifact form).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("artifact serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parses and version-checks an artifact.
+    pub fn from_json(text: &str) -> Result<LiveBenchArtifact, GatewayError> {
+        let a: LiveBenchArtifact = serde_json::from_str(text)
+            .map_err(|e| GatewayError(format!("live bench artifact: {e}")))?;
+        if a.version != LIVE_BENCH_VERSION {
+            return Err(GatewayError(format!(
+                "live bench artifact is format version {} (this build expects {})",
+                a.version, LIVE_BENCH_VERSION
+            )));
+        }
+        Ok(a)
+    }
+}
+
+/// One shard count's wall-clock measurement (never byte-compared).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveBenchTiming {
+    /// Shard count measured.
+    pub shards: u32,
+    /// Wall seconds to serve the full stream.
+    pub wall_secs: f64,
+    /// Sustained throughput: completions per wall second.
+    pub qps: f64,
+    /// Throughput relative to the single-shard row.
+    pub scaling: f64,
+}
+
+/// A finished live bench: artifact + timings.
+pub struct LiveBenchOutcome {
+    /// The deterministic artifact.
+    pub artifact: LiveBenchArtifact,
+    /// Wall-clock rows, aligned with the artifact's.
+    pub timing: Vec<LiveBenchTiming>,
+}
+
+/// The pinned standing-fleet workload the CI scaling gate runs: a
+/// 4-replica single-stage Llama2-7B fleet (divisible across 1, 2 and 4
+/// shards) under a heavy short stream, so engine execution — the part
+/// sharding parallelizes — dominates wall time.
+pub fn pinned_live_spec() -> ServeSpec {
+    ServeSpec {
+        name: "live-scaling".into(),
+        seed: 11,
+        shards: 1,
+        horizon_secs: 1800.0,
+        warmup_secs: 5.0,
+        rate: 120.0,
+        cv: 2.0,
+        lengths: flexpipe_workload::LengthProfile::fixed(256, 64),
+        nodes: 12,
+        total_gpus: 16,
+        servers_per_rack: 4,
+        policy: ShardPolicy::Static {
+            stages: 1,
+            replicas: 4,
+        },
+        // Small micro-batches: more engine passes per generated token,
+        // keeping per-shard sim execution (the parallelizable part) far
+        // above channel/thread orchestration cost.
+        ubatch_size: 8,
+        ..ServeSpec::template()
+    }
+}
+
+/// Serves the base spec once per shard count and assembles artifact +
+/// timings. Every row streams the *same* schedule (the spec's seed is
+/// shard-count independent); shard membership comes from the consistent
+/// ring, so rows differ only in how the stream is partitioned.
+pub fn run_live_bench(
+    base: &ServeSpec,
+    shard_counts: &[u32],
+    setup: &PaperSetup,
+) -> Result<LiveBenchOutcome, GatewayError> {
+    if shard_counts.is_empty() {
+        return Err(GatewayError(
+            "live bench needs at least one shard count".into(),
+        ));
+    }
+    let mut rows = Vec::with_capacity(shard_counts.len());
+    let mut timing: Vec<LiveBenchTiming> = Vec::with_capacity(shard_counts.len());
+    for &shards in shard_counts {
+        let mut spec = base.clone();
+        spec.shards = shards;
+        spec.validate()?;
+        let started = Instant::now();
+        let outcome = serve_virtual(&spec, setup)?;
+        let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+        let row = summarize_row(shards, &outcome);
+        let qps = row.completed as f64 / wall_secs;
+        let base_qps = timing.first().map_or(qps, |t| t.qps);
+        timing.push(LiveBenchTiming {
+            shards,
+            wall_secs,
+            qps,
+            scaling: qps / base_qps.max(1e-9),
+        });
+        rows.push(row);
+    }
+    Ok(LiveBenchOutcome {
+        artifact: LiveBenchArtifact {
+            version: LIVE_BENCH_VERSION,
+            spec: base.clone(),
+            rows,
+        },
+        timing,
+    })
+}
+
+fn summarize_row(shards: u32, outcome: &ServeOutcome) -> LiveBenchRow {
+    let reports = &outcome.reports;
+    LiveBenchRow {
+        shards,
+        arrivals: reports.iter().map(|r| r.arrivals).sum(),
+        completed: reports.iter().map(|r| r.completed).sum(),
+        within_slo: reports.iter().map(|r| r.within_slo).sum(),
+        p50_ttft: reports.iter().map(|r| r.p50_ttft).fold(0.0, f64::max),
+        p99_ttft: reports.iter().map(|r| r.p99_ttft).fold(0.0, f64::max),
+        events: reports.iter().map(|r| r.report.events).sum(),
+        per_shard_completed: reports.iter().map(|r| r.completed).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_spec_validates_at_every_gated_shard_count() {
+        for shards in [1u32, 2, 4] {
+            let mut spec = pinned_live_spec();
+            spec.shards = shards;
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_and_rejects_foreign_versions() {
+        let artifact = LiveBenchArtifact {
+            version: LIVE_BENCH_VERSION,
+            spec: ServeSpec::template(),
+            rows: vec![LiveBenchRow {
+                shards: 1,
+                arrivals: 10,
+                completed: 9,
+                within_slo: 8,
+                p50_ttft: 0.1,
+                p99_ttft: 0.4,
+                events: 1234,
+                per_shard_completed: vec![9],
+            }],
+        };
+        let json = artifact.to_json();
+        assert_eq!(LiveBenchArtifact::from_json(&json).unwrap(), artifact);
+        let mut foreign = artifact.clone();
+        foreign.version = LIVE_BENCH_VERSION + 1;
+        assert!(LiveBenchArtifact::from_json(&foreign.to_json()).is_err());
+    }
+}

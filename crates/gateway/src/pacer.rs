@@ -1,0 +1,76 @@
+//! Wall-clock pacing: the bridge between real time and virtual time.
+//!
+//! A [`Pacer`] anchors a run at construction and maps elapsed wall time
+//! onto [`SimTime`] through a `time_scale` factor (virtual seconds per
+//! wall second). `time_scale = 1.0` serves in real time; larger values
+//! fast-forward (a 60 s virtual stream in 6 s of wall time at 10×),
+//! which is how CI keeps live smoke runs short without changing the
+//! virtual-time semantics of anything downstream.
+//!
+//! The pacer is the *only* wall-clock ingredient of a live run. Every
+//! stamp it produces is recorded, so replay never consults a clock —
+//! that is the whole record/replay determinism story.
+
+use flexpipe_sim::SimTime;
+
+use std::time::{Duration, Instant};
+
+/// Maps wall time onto virtual time from a fixed anchor.
+#[derive(Debug)]
+pub struct Pacer {
+    start: Instant,
+    time_scale: f64,
+}
+
+impl Pacer {
+    /// Anchors a pacer now. `time_scale` is virtual seconds per wall
+    /// second and must be finite and positive.
+    pub fn new(time_scale: f64) -> Pacer {
+        assert!(
+            time_scale.is_finite() && time_scale > 0.0,
+            "time scale must be finite and positive"
+        );
+        Pacer {
+            start: Instant::now(),
+            time_scale,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.start.elapsed().as_secs_f64() * self.time_scale)
+    }
+
+    /// Sleeps until virtual time `t` (no-op when already past it): the
+    /// open-loop generator's release valve.
+    pub fn sleep_until(&self, t: SimTime) {
+        let due = t.as_secs_f64() / self.time_scale;
+        let elapsed = self.start.elapsed().as_secs_f64();
+        if due > elapsed {
+            std::thread::sleep(Duration::from_secs_f64(due - elapsed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_scale_stretches_virtual_time() {
+        let pacer = Pacer::new(100.0);
+        std::thread::sleep(Duration::from_millis(5));
+        let t = pacer.now();
+        // 5 ms of wall at 100x is at least 0.5 virtual seconds.
+        assert!(t >= SimTime::from_secs_f64(0.5), "got {t:?}");
+    }
+
+    #[test]
+    fn sleep_until_reaches_the_target() {
+        let pacer = Pacer::new(1000.0);
+        pacer.sleep_until(SimTime::from_secs_f64(2.0)); // 2 ms of wall
+        assert!(pacer.now() >= SimTime::from_secs_f64(2.0));
+        // Sleeping into the past returns immediately.
+        pacer.sleep_until(SimTime::ZERO);
+    }
+}

@@ -35,8 +35,10 @@ mod disruption;
 mod exec;
 pub mod indexes;
 mod lifecycle;
+mod live;
 mod stepped;
 
+pub use live::LiveEngine;
 pub use stepped::SteppedEngine;
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
